@@ -1,0 +1,91 @@
+"""Ablation: descriptor compression + address translation (§5.2).
+
+Removes FLD's memory optimizations one at a time from the analytical
+model and reports the on-die total — quantifying how much each of the
+paper's four techniques contributes to the 105x reduction.
+"""
+
+from repro.models.memory import (
+    DriverParameters,
+    KIB,
+    MIB,
+    S_CQE_FLD,
+    S_CQE_SW,
+    S_TXDESC_FLD,
+    S_TXDESC_SW,
+    desc_translation_bytes,
+    data_translation_bytes,
+    fld_memory,
+    round_pow2,
+    software_memory,
+)
+
+from .conftest import print_table, run_once
+
+
+def _variant_totals(p: DriverParameters):
+    """On-die bytes for FLD with individual optimizations disabled."""
+    base = fld_memory(p)
+    full = base["total"]
+
+    # (1) No descriptor compression: 64 B entries in the shared pool
+    # and 64 B CQEs.
+    no_compress = (
+        full
+        - round_pow2(p.n_txdesc) * S_TXDESC_FLD
+        + round_pow2(p.n_txdesc) * S_TXDESC_SW
+        - base["completion_queues"]
+        + (round_pow2(p.n_txdesc) + round_pow2(p.n_rxdesc)) * S_CQE_SW
+    )
+
+    # (2) No ring translation: a full ring per queue (still compressed).
+    no_ring_xlt = (
+        full
+        - base["tx_rings"]
+        + p.num_tx_queues * round_pow2(p.n_txdesc) * S_TXDESC_FLD
+    )
+
+    # (3) No data translation: per-queue max-size buffers (no sharing).
+    no_data_xlt = (
+        full
+        - base["tx_buffers"]
+        + p.max_packet * p.n_txdesc
+    )
+
+    # (4) Rx ring on-die instead of in host memory.
+    rx_ring_ondie = full + round_pow2(p.n_rxdesc) * 16
+
+    return {
+        "full FLD": full,
+        "w/o descriptor compression": no_compress,
+        "w/o ring translation": no_ring_xlt,
+        "w/o data translation (no sharing)": no_data_xlt,
+        "rx ring on-die": rx_ring_ondie,
+        "software (none)": software_memory(p)["total"],
+    }
+
+
+def test_ablation_compression(benchmark):
+    p = DriverParameters()
+    totals = run_once(benchmark, lambda: _variant_totals(p))
+    rows = [{"variant": k,
+             "total": f"{v / MIB:.2f} MiB" if v > MIB
+             else f"{v / KIB:.1f} KiB",
+             "vs full": f"x{v / totals['full FLD']:.2f}"}
+            for k, v in totals.items()]
+    print_table("Ablation: memory optimizations (Table 3 config)", rows)
+
+    full = totals["full FLD"]
+    # Every removed optimization costs real memory.
+    assert totals["w/o descriptor compression"] > full * 1.1
+    # Ring translation is the big one (the x2080 row of Table 3).
+    assert totals["w/o ring translation"] > full * 8
+    # Data-buffer sharing is the second biggest.
+    assert totals["w/o data translation (no sharing)"] > full * 5
+    # Host-resident rx ring is small but free.
+    assert totals["rx ring on-die"] > full
+    # Translation tables pay for themselves several-hundred-fold.
+    xlt = desc_translation_bytes(p) + data_translation_bytes(p)
+    saved = (totals["w/o ring translation"]
+             + totals["w/o data translation (no sharing)"] - 2 * full)
+    assert saved / xlt > 100

@@ -1,0 +1,76 @@
+"""Ablation: MPRQ vs per-packet receive buffers (§5.2 "MPRQ").
+
+Replays the IMC-like size mixture into (a) a multi-packet receive queue
+and (b) classic per-packet max-size buffers, and compares the memory
+needed to hold the same packets — MPRQ's fragmentation is bounded by
+half a buffer, while per-packet buffers waste (max - actual) on every
+packet.
+"""
+
+from repro.net import ImcDatacenterSizes
+from repro.nic import CompletionQueue, MultiPacketReceiveQueue
+from repro.sim import Simulator
+
+from .conftest import print_table, run_once
+
+PACKETS = 4000
+MAX_PACKET = 2048  # per-packet buffer provisioning (a 1500 MTU rounds up)
+
+
+def _mprq_usage(sizes):
+    sim = Simulator()
+    cq = CompletionQueue(sim, 1, 0, 1024)
+    # ConnectX MPRQs take configurable stride sizes; small strides are
+    # what bound fragmentation for mixed traffic.
+    rq = MultiPacketReceiveQueue(sim, 1, 0, 1024, cq,
+                                 strides_per_buffer=64, stride_size=256)
+    rq.post(1024)
+    used_strides = 0
+    for size in sizes:
+        placement = rq.place(size)
+        assert placement is not None
+        used_strides += placement["strides"]
+    buffers_consumed = rq.ci + (1 if rq.stride_cursor else 0)
+    return {
+        "packets": len(sizes),
+        "payload_bytes": sum(sizes),
+        "memory_bytes": buffers_consumed * rq.buffer_size,
+        "wasted_strides": rq.stats_wasted_strides,
+    }
+
+
+def _per_packet_usage(sizes):
+    return {
+        "packets": len(sizes),
+        "payload_bytes": sum(sizes),
+        "memory_bytes": len(sizes) * MAX_PACKET,
+        "wasted_strides": 0,
+    }
+
+
+def test_ablation_mprq(benchmark):
+    sizes = ImcDatacenterSizes(seed=3).sizes(PACKETS)
+
+    def run():
+        return {"mprq": _mprq_usage(sizes),
+                "per-packet": _per_packet_usage(sizes)}
+
+    results = run_once(benchmark, run)
+    rows = []
+    for name, r in results.items():
+        rows.append({
+            "scheme": name,
+            "memory_mib": r["memory_bytes"] / (1 << 20),
+            "efficiency": r["payload_bytes"] / r["memory_bytes"],
+        })
+    print_table("Ablation: MPRQ vs per-packet rx buffers", rows)
+
+    mprq = results["mprq"]
+    classic = results["per-packet"]
+    # Small-packet-heavy traffic: MPRQ packs strides, per-packet wastes
+    # a full MTU buffer per tiny packet.
+    assert classic["memory_bytes"] > mprq["memory_bytes"] * 3
+    # MPRQ utilization beats 25%; per-packet sits near mean/max ~ 11%.
+    assert mprq["payload_bytes"] / mprq["memory_bytes"] > 0.1
+    assert (classic["payload_bytes"] / classic["memory_bytes"]
+            < mprq["payload_bytes"] / mprq["memory_bytes"])

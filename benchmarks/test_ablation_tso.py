@@ -1,0 +1,83 @@
+"""Ablation: TCP segmentation offload (one of §2.1's stateless offloads).
+
+Compares transmitting a bulk TCP stream as host-segmented MSS frames
+(one descriptor + one doorbell per wire packet) against LSO (one
+descriptor per 16 KiB super-frame, the NIC segments) — the
+per-descriptor PCIe traffic and host-side work TSO exists to remove.
+"""
+
+from repro.host import CpuCore
+from repro.net import Flow, PROTO_TCP
+from repro.sim import Simulator
+from repro.testbed import make_remote_pair
+
+from .conftest import print_table, run_once
+
+CLIENT_MAC = "02:00:00:00:00:01"
+SERVER_MAC = "02:00:00:00:00:02"
+MSS = 1460
+BULK = 64 * 1024  # per mode: 64 KiB of TCP payload
+
+
+def _run(tso: bool):
+    sim = Simulator()
+    client, server = make_remote_pair(
+        sim, client_core=CpuCore(sim, os_jitter_probability=0))
+    client.add_vport_for_mac(1, CLIENT_MAC)
+    server.add_vport_for_mac(1, SERVER_MAC)
+    sender = client.driver.create_eth_qp(vport=1, buffer_size=16384)
+    receiver = server.driver.create_eth_qp(vport=1, rq_entries=2048)
+    receiver.post_rx_buffers(2048)
+    received = {"bytes": 0, "packets": 0, "last": 0.0}
+
+    def on_receive(data, cqe):
+        received["bytes"] += cqe.byte_count
+        received["packets"] += 1
+        received["last"] = sim.now
+
+    receiver.on_receive = on_receive
+    flow = Flow(CLIENT_MAC, SERVER_MAC, "10.0.0.1", "10.0.0.2",
+                5000, 5201, proto=PROTO_TCP)
+
+    def drive(sim):
+        sent = 0
+        while sent < BULK:
+            if tso:
+                chunk = min(BULK - sent, 8 * MSS)
+                frame = flow.make_packet(bytes(chunk),
+                                         fill_checksums=False)
+                yield from sender.wait_for_tx_space()
+                sender.send_tso(frame.to_bytes(), mss=MSS)
+            else:
+                chunk = min(BULK - sent, MSS)
+                frame = flow.make_packet(bytes(chunk))
+                yield from sender.wait_for_tx_space()
+                sender.send(frame.to_bytes())
+            sent += chunk
+
+    sim.spawn(drive(sim))
+    sim.run(until=0.1)
+    return {
+        "mode": "lso" if tso else "host-segmented",
+        "payload_kib": received["bytes"] // 1024,
+        "wire_packets": received["packets"],
+        "descriptors": sender.sq.stats_wqes,
+        "doorbells": (sender.sq.stats_doorbells
+                      + sender.sq.stats_mmio_wqes),
+        "gbps": received["bytes"] * 8 / received["last"] / 1e9,
+    }
+
+
+def test_ablation_tso(benchmark):
+    rows = run_once(benchmark, lambda: [_run(False), _run(True)])
+    print_table("Ablation: TCP segmentation offload (64 KiB stream)",
+                rows)
+
+    host, lso = rows[0], rows[1]
+    # Same wire behaviour...
+    assert host["wire_packets"] == lso["wire_packets"]
+    # ...at an order of magnitude fewer descriptors and doorbells.
+    assert lso["descriptors"] * 7 <= host["descriptors"]
+    assert lso["doorbells"] * 7 <= host["doorbells"]
+    # Throughput no worse with LSO.
+    assert lso["gbps"] >= host["gbps"] * 0.9

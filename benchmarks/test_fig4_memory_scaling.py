@@ -1,0 +1,57 @@
+"""Figure 4: driver memory requirements with/without FLD optimizations.
+
+Sweeps line rate (25 -> 400 Gbps) and transmit-queue count (64 -> 2048)
+and compares the conventional driver against FLD against the XCKU15P's
+10.05 MiB of on-chip memory.  The paper's claim: FLD stays on-chip even
+at 400 Gbps with 2048 queues; software blows past it everywhere.
+"""
+
+from repro.models.memory import (
+    MIB,
+    XCKU15P_ON_CHIP_BYTES,
+    figure4_bandwidth_sweep,
+    figure4_queue_sweep,
+)
+
+from .conftest import print_table, run_once
+
+
+def test_fig4_bandwidth_sweep(benchmark):
+    rows = run_once(benchmark, figure4_bandwidth_sweep)
+    display = [
+        {"bandwidth_gbps": r["bandwidth_gbps"],
+         "software_mib": r["software_bytes"] / MIB,
+         "fld_mib": r["fld_bytes"] / MIB,
+         "fits_on_chip": "fld" if r["fld_bytes"] < XCKU15P_ON_CHIP_BYTES
+         else "neither"}
+        for r in rows
+    ]
+    print_table("Fig. 4 (left): memory vs line rate, Nq=512", display)
+
+    for row in rows:
+        assert row["software_bytes"] > XCKU15P_ON_CHIP_BYTES
+        assert row["fld_bytes"] < XCKU15P_ON_CHIP_BYTES
+        assert row["software_bytes"] / row["fld_bytes"] > 50
+
+
+def test_fig4_queue_sweep(benchmark):
+    rows = run_once(benchmark, figure4_queue_sweep)
+    display = [
+        {"tx_queues": r["num_tx_queues"],
+         "software_mib": r["software_bytes"] / MIB,
+         "fld_mib": r["fld_bytes"] / MIB}
+        for r in rows
+    ]
+    print_table("Fig. 4 (right): memory vs queue count, B=100G", display)
+
+    software = [r["software_bytes"] for r in rows]
+    fld = [r["fld_bytes"] for r in rows]
+    # Software grows steeply with queues (rings are per-queue)...
+    assert software[-1] / software[0] > 8
+    # ...FLD is essentially flat (shared pool + translation).
+    assert fld[-1] / fld[0] < 1.05
+    # And the paper's extreme point holds: 400G x 2048 queues on-chip.
+    from repro.models.memory import DriverParameters, fld_memory
+    extreme = fld_memory(DriverParameters(bandwidth_bps=400e9,
+                                          num_tx_queues=2048))
+    assert extreme["total"] < XCKU15P_ON_CHIP_BYTES

@@ -1,0 +1,82 @@
+"""Figure 7a: the PCIe performance model vs raw Ethernet.
+
+For each (Ethernet rate, PCIe rate) configuration, computes achievable
+echo throughput across packet sizes.  Shape targets from §8.1: the
+prototype's 25 GbE / 50 Gbps-PCIe configuration meets line rate for all
+but the smallest packets; equal-rate configurations converge toward the
+Ethernet line as packets grow (the PCIe per-packet overhead amortizes).
+"""
+
+from repro.models.perf import FldPerfModel, figure7a
+
+from .conftest import print_table, run_once
+
+
+def test_fig7a(benchmark):
+    rows = run_once(benchmark, figure7a)
+    print_table("Fig. 7a: FLD-over-PCIe vs raw Ethernet (Gbps)", rows,
+                columns=["config", "size", "ethernet_gbps", "fld_gbps",
+                         "fraction_of_ethernet"])
+
+    by_config = {}
+    for row in rows:
+        by_config.setdefault(row["config"], []).append(row)
+
+    # Prototype config: line rate everywhere above 64 B.
+    for row in by_config["25G-eth/50G-pcie"]:
+        if row["size"] >= 128:
+            assert row["fraction_of_ethernet"] > 0.999
+    # 64 B is the one point below line even with 2x PCIe headroom.
+    smallest = by_config["25G-eth/50G-pcie"][0]
+    assert smallest["size"] == 64 and smallest["fraction_of_ethernet"] < 1.0
+
+    # Equal-rate configs: fraction grows monotonically with size and
+    # exceeds 3/4 by 512 B (paper quotes ~95%; our TLP accounting is
+    # more conservative — see EXPERIMENTS.md).
+    for config in ("50G-eth/50G-pcie", "100G-eth/100G-pcie"):
+        fractions = [r["fraction_of_ethernet"] for r in by_config[config]]
+        assert fractions == sorted(fractions)
+        at_512 = next(r for r in by_config[config] if r["size"] == 512)
+        assert at_512["fraction_of_ethernet"] > 0.75
+
+
+def test_fig7a_optimization_sensitivity(benchmark):
+    """The §6 PCIe optimizations visibly move the model."""
+    def build():
+        rows = []
+        for mmio in (True, False):
+            for signal in (1, 16):
+                model = FldPerfModel(wqe_by_mmio=mmio,
+                                     tx_signal_interval=signal)
+                rows.append({
+                    "wqe_by_mmio": mmio,
+                    "signal_interval": signal,
+                    "rate_64B_mpps": model.echo_packet_rate(64) / 1e6,
+                })
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table("Fig. 7a sensitivity: PCIe optimizations at 64 B", rows)
+    best = max(rows, key=lambda r: r["rate_64B_mpps"])
+    worst = min(rows, key=lambda r: r["rate_64B_mpps"])
+    assert best["wqe_by_mmio"] and best["signal_interval"] == 16
+    assert best["rate_64B_mpps"] > worst["rate_64B_mpps"] * 1.05
+
+
+def test_fig7a_cqe_compression_headroom(benchmark):
+    """§8.1's unused optimization: receive-CQE compression would lift
+    small-packet throughput further."""
+    def build():
+        rows = []
+        for ratio in (1, 4):
+            model = FldPerfModel(rx_cqe_compression_ratio=ratio)
+            rows.append({
+                "cqe_compression": f"{ratio}x",
+                "rate_64B_mpps": model.echo_packet_rate(64) / 1e6,
+                "rate_256B_mpps": model.echo_packet_rate(256) / 1e6,
+            })
+        return rows
+
+    rows = run_once(benchmark, build)
+    print_table("Fig. 7a headroom: rx CQE compression", rows)
+    assert rows[1]["rate_64B_mpps"] > rows[0]["rate_64B_mpps"] * 1.1

@@ -1,0 +1,87 @@
+"""Figure 7b: echo bandwidth vs packet size (FLD-E/CPU, local/remote).
+
+Runs the full simulated stack: load generator -> NIC -> (FLD + echo
+accelerator | host testpmd) -> back.  Shape targets: every mode tracks
+its model curve for large packets; FLD-E matches or beats the
+single-core CPU driver at small packet sizes; the local (PCIe-bound)
+configuration exceeds the 25 GbE remote ceiling for large frames.
+"""
+
+import pytest
+
+from repro.experiments.echo import echo_throughput
+
+from .conftest import print_table, run_once
+
+SIZES = [64, 128, 256, 512, 1024, 1500]
+
+
+def test_fig7b(benchmark):
+    def run():
+        rows = []
+        for mode in ("flde-remote", "cpu-remote", "flde-local"):
+            for size in SIZES:
+                rows.append(echo_throughput(mode, size, count=900))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print_table("Fig. 7b: echo throughput (Gbps)", rows,
+                columns=["mode", "size", "gbps", "model_gbps", "mpps",
+                         "received", "sent"])
+
+    by_mode = {}
+    for row in rows:
+        by_mode.setdefault(row["mode"], {})[row["size"]] = row
+
+    flde = by_mode["flde-remote"]
+    cpu = by_mode["cpu-remote"]
+    local = by_mode["flde-local"]
+
+    # Large packets: both remote modes meet the model/line rate.
+    for size in (512, 1024, 1500):
+        assert flde[size]["gbps"] >= flde[size]["model_gbps"] * 0.95
+        assert cpu[size]["gbps"] >= cpu[size]["model_gbps"] * 0.95
+
+    # Small packets: FLD-E drives the NIC at least as hard as one core.
+    for size in (64, 128, 256):
+        assert flde[size]["mpps"] >= cpu[size]["mpps"] * 0.95
+
+    # Throughput grows with size everywhere.
+    for mode_rows in by_mode.values():
+        series = [mode_rows[s]["gbps"] for s in SIZES]
+        assert all(b >= a * 0.98 for a, b in zip(series, series[1:]))
+
+    # Local (PCIe-limited) beats the 25G wire for large frames and
+    # stays below the 50G PCIe ceiling.
+    assert local[1500]["gbps"] > 30.0
+    assert local[1500]["gbps"] < 50.0
+
+
+def test_fig7b_fldr_column(benchmark):
+    """Fig. 7b's FLD-R rows: RDMA echo goodput vs message size.
+
+    §8.1.2: FLD-R is slightly below FLD-E but meets its 25 Gbps target
+    for messages >= 512 B, and messages beyond the 1024 B RoCE MTU ride
+    the NIC's hardware segmentation.
+    """
+    from repro.experiments.echo import fldr_throughput
+
+    def run():
+        return [fldr_throughput(size, count=300)
+                for size in (64, 256, 512, 1024, 4096, 8192)]
+
+    rows = run_once(benchmark, run)
+    print_table("Fig. 7b (right): FLD-R echo throughput", rows,
+                columns=["mode", "size", "gbps", "segments_per_message",
+                         "received"])
+
+    by_size = {r["size"]: r for r in rows}
+    # Goodput grows with message size and approaches the 25G line's
+    # goodput ceiling (~23.3 Gbps at 1 KiB MTU framing) from 512 B on.
+    series = [by_size[s]["gbps"] for s in (64, 256, 512, 1024, 4096)]
+    assert series == sorted(series)
+    for size in (1024, 4096, 8192):
+        assert by_size[size]["gbps"] > 20.0
+    # Multi-segment messages (hardware segmentation) lose nothing.
+    assert by_size[8192]["segments_per_message"] == 8
+    assert all(r["received"] == 300 for r in rows)

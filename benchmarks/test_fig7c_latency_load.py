@@ -1,0 +1,40 @@
+"""Figure 7c: FLD-R 1 KiB message latency vs offered load.
+
+Shape targets from §8.1.2: single-digit-microsecond median latency at
+low load; queueing delay grows latency as load rises; the system keeps
+up with offered load well past half of line rate (the paper reports a
+knee near 82% of the expected bandwidth).
+"""
+
+from repro.experiments.echo import fldr_latency_vs_load
+
+from .conftest import print_table, run_once
+
+
+def test_fig7c(benchmark):
+    rows = run_once(benchmark,
+                    lambda: fldr_latency_vs_load(per_point=500))
+    display = [
+        {"offered_kmps": r["offered_mps"] / 1e3,
+         "achieved_gbps": r["achieved_gbps"],
+         "median_us": r["median_latency_us"],
+         "p99_us": r["p99_latency_us"]}
+        for r in rows
+    ]
+    print_table("Fig. 7c: FLD-R latency vs load (1 KiB messages)", display)
+
+    # Low-load latency: single-digit microseconds (paper: 10.6 remote).
+    assert 2.0 < rows[0]["median_latency_us"] < 20.0
+
+    # Latency grows monotonically (within noise) as load rises.
+    medians = [r["median_latency_us"] for r in rows]
+    assert medians[-1] > medians[0]
+    assert all(b >= a * 0.9 for a, b in zip(medians, medians[1:]))
+
+    # The system keeps pace with offered load up to the highest point
+    # (90% of nominal): achieved tracks offered within 5%.
+    for row in rows:
+        assert row["achieved_mps"] >= row["offered_mps"] * 0.95
+
+    # The highest point exceeds 70% of the 25G line (paper knee: 82%).
+    assert rows[-1]["achieved_gbps"] > 0.7 * 25.0 * 1024 / (1024 + 150)

@@ -1,0 +1,37 @@
+"""Figure 8b: ZUC latency vs bandwidth.
+
+Shape targets from §8.2.1: the disaggregated accelerator is *not*
+faster than local software at low load (network hops cost ~10 us), but
+it sustains far higher bandwidth; the CPU saturates early and its
+latency explodes with load while FLD's grows gently until its knee.
+"""
+
+from repro.experiments.zuc import figure8b
+
+from .conftest import print_table, run_once
+
+
+def test_fig8b(benchmark):
+    rows = run_once(benchmark, lambda: figure8b(loads=[1, 4, 16, 64],
+                                                count=250))
+    print_table("Fig. 8b: ZUC latency vs load (512 B requests)", rows,
+                columns=["mode", "window", "gbps", "median_latency_us",
+                         "p99_latency_us"])
+
+    fld = {r["window"]: r for r in rows if r["mode"] == "fld"}
+    cpu = {r["window"]: r for r in rows if r["mode"] == "cpu"}
+
+    # At window=1 (low load) the remote accelerator is slower than the
+    # local software — disaggregation costs a network round trip.
+    assert fld[1]["median_latency_us"] > cpu[1]["median_latency_us"]
+
+    # But at high load FLD delivers several times the bandwidth.
+    assert fld[64]["gbps"] > cpu[64]["gbps"] * 2.5
+
+    # CPU saturates: added load stops buying bandwidth and costs
+    # latency steeply.
+    assert cpu[64]["gbps"] < cpu[16]["gbps"] * 1.2
+    assert cpu[64]["median_latency_us"] > cpu[1]["median_latency_us"] * 4
+
+    # FLD's bandwidth keeps growing with window until its knee.
+    assert fld[64]["gbps"] > fld[4]["gbps"]

@@ -1,0 +1,51 @@
+"""Table 1: FPGA-based networking architectures — area vs features.
+
+Regenerates the paper's comparison of CPU-mediated, accelerator-hosted,
+BITW and FlexDriver designs: resource utilization alongside the NIC
+feature set each can use.
+"""
+
+from repro.models import area
+
+from .conftest import print_table, run_once
+
+
+def _build_rows():
+    rows = []
+    for arch in area.TABLE1:
+        util = arch.utilization
+        rows.append({
+            "category": arch.category,
+            "solution": arch.solution,
+            "gbps": "/".join(map(str, arch.gbps)),
+            "LUT": util.lut,
+            "FF": util.ff,
+            "BRAM": util.bram,
+            "URAM": util.uram,
+            "tunneling": arch.tunneling,
+            "hw transport": arch.hardware_transport,
+        })
+    return rows
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, _build_rows)
+    print_table("Table 1: accelerator networking architectures", rows)
+
+    by_name = {r["solution"]: r for r in rows}
+    fld = by_name["FLD"]
+
+    # FLD is the only design with full tunneling + hardware transport.
+    assert fld["tunneling"] == "yes" and fld["hw transport"] == "yes"
+    for name, row in by_name.items():
+        if name != "FLD":
+            assert not (row["tunneling"] == "yes"
+                        and row["hw transport"] == "yes")
+
+    # ...at an area comparable to or below the full-NIC designs.
+    assert fld["LUT"] <= by_name["Corundum"]["LUT"] * 1.05
+    assert fld["LUT"] < by_name["StRoM"]["LUT"]
+    assert fld["LUT"] < by_name["NICA"]["LUT"]
+    assert fld["FF"] < by_name["NICA"]["FF"]
+    assert fld["BRAM"] < min(r["BRAM"] for n, r in by_name.items()
+                             if n != "FLD")

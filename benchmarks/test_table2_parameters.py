@@ -1,0 +1,50 @@
+"""Table 2: the NIC-driver memory-analysis parameters.
+
+Regenerates Table 2a's derived quantities from the base configuration
+(100 Gbps, 256 B min packets, 5/25 us lifetimes, 512 queues) and checks
+them against the paper's printed values.
+"""
+
+import pytest
+
+from repro.models.memory import DriverParameters, KIB
+
+from .conftest import print_table, run_once
+
+
+def test_table2a(benchmark):
+    p = DriverParameters()
+    derived = run_once(benchmark, p.table2a)
+    rows = [
+        {"parameter": "Max. packet rate R", "value": f"{derived['packet_rate_mpps']:.0f} Mpps", "paper": "45 Mpps"},
+        {"parameter": "Min. TX descriptors", "value": derived["n_txdesc"], "paper": 1133},
+        {"parameter": "Min. RX descriptors", "value": derived["n_rxdesc"], "paper": 227},
+        {"parameter": "TX bandwidth x delay", "value": f"{derived['tx_bdp_kib']:.0f} KiB", "paper": "305 KiB"},
+        {"parameter": "RX bandwidth x delay", "value": f"{derived['rx_bdp_kib']:.0f} KiB", "paper": "61 KiB"},
+    ]
+    print_table("Table 2a: driver memory analysis parameters", rows)
+
+    assert derived["packet_rate_mpps"] == pytest.approx(45, abs=0.5)
+    assert derived["n_txdesc"] == 1133
+    assert derived["n_rxdesc"] == 227
+    assert derived["tx_bdp_kib"] == pytest.approx(305, abs=1)
+    assert derived["rx_bdp_kib"] == pytest.approx(61, abs=1)
+
+
+def test_table2b_structure_sizes(benchmark):
+    """Table 2b: software vs FLD structure sizes."""
+    from repro.core import COMPRESSED_CQE_SIZE, COMPRESSED_TX_DESC_SIZE
+    from repro.nic import CQE_SIZE, RX_DESC_SIZE, WQE_SIZE
+
+    rows = run_once(benchmark, lambda: [
+        {"structure": "Tx descriptor", "software": WQE_SIZE,
+         "fld": COMPRESSED_TX_DESC_SIZE},
+        {"structure": "Rx descriptor", "software": RX_DESC_SIZE,
+         "fld": "- (host)"},
+        {"structure": "CQ entry", "software": CQE_SIZE,
+         "fld": COMPRESSED_CQE_SIZE},
+        {"structure": "Producer index", "software": 4, "fld": 4},
+    ])
+    print_table("Table 2b: ConnectX/FLD structure sizes (bytes)", rows)
+    assert rows[0]["software"] == 64 and rows[0]["fld"] == 8
+    assert rows[2]["software"] == 64 and rows[2]["fld"] == 15

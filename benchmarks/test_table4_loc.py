@@ -1,0 +1,48 @@
+"""Table 4: software lines of code per component.
+
+The paper counted its C components with cloc; we count this
+reproduction's Python components with the same non-blank/non-comment
+rule.  Absolute numbers differ (Python vs C, simulation vs production),
+but the *proportions* — the runtime library largest, the client library
+and kernel driver small — are the reproduction target.
+"""
+
+from repro.models import loc
+
+from .conftest import print_table, run_once
+
+PAPER_LOC = {
+    "FLD runtime library": 3753,
+    "FLD kernel driver": 1137,
+    "FLD-E control-plane": 1554,
+    "FLD-R control-plane": 1510,
+    "FLD-R client library": 754,
+    "ZUC DPDK driver": 732,
+}
+
+
+def test_table4(benchmark):
+    table = run_once(benchmark, loc.table4)
+    rows = [
+        {"component": name, "this repo": count,
+         "paper (C)": PAPER_LOC[name]}
+        for name, count in table.items()
+    ]
+    print_table("Table 4: software LOC per component", rows)
+
+    assert set(table) == set(PAPER_LOC)
+    for name, count in table.items():
+        assert count > 10, f"{name} is implausibly small"
+    # Proportion check: the runtime library is the biggest component in
+    # both the paper and the reproduction.
+    assert table["FLD runtime library"] == max(table.values())
+
+
+def test_hardware_loc(benchmark):
+    """Table 5's LOC column analogue: behavioural-model sizes."""
+    table = run_once(benchmark, loc.hardware_loc)
+    rows = [{"module": k, "python loc": v} for k, v in table.items()]
+    rows.append({"module": "whole library", "python loc":
+                 loc.repository_loc()})
+    print_table("Hardware-model LOC (cf. Table 5)", rows)
+    assert table["FLD"] == max(table.values())  # FLD is the largest model

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""A virtualized IoT authentication offload (§8.2.3).
+
+One accelerator, several tenants: the NIC classifies each tenant's flows
+and tags them with a context ID; the accelerator keeps only a linear
+table of HMAC keys indexed by that tag; the NIC's traffic shaper
+enforces per-tenant bandwidth so one tenant cannot starve another.
+Forged JWTs are dropped in hardware before they cost any host CPU.
+
+Run:  python examples/iot_multitenant.py
+"""
+
+from repro.experiments.iot import drop_invalid_tokens, isolation
+
+
+def main():
+    print("=== IoT token-authentication offload ===\n")
+
+    print("-- DDoS filtering: alternating valid/forged HMAC tokens --")
+    result = drop_invalid_tokens(count=200)
+    print(f"valid tokens accepted    : {result['valid']}")
+    print(f"forged tokens dropped    : {result['invalid']}")
+    print(f"packets reaching the host: {result['delivered_to_host']} "
+          "(only the valid ones)\n")
+
+    print("-- Performance isolation: tenants at 8 & 16 Gbps, "
+          "accelerator capped at 12 Gbps --")
+    unshaped = isolation(shaped=False)
+    print(f"without NIC shaping : tenant A {unshaped['tenant_a_gbps']:.2f} "
+          f"Gbps, tenant B {unshaped['tenant_b_gbps']:.2f} Gbps  "
+          "(proportional to link share; paper: 4.15 / 8.35)")
+    shaped = isolation(shaped=True)
+    print(f"with 6 Gbps limits  : tenant A {shaped['tenant_a_gbps']:.2f} "
+          f"Gbps, tenant B {shaped['tenant_b_gbps']:.2f} Gbps  "
+          "(each gets its allocation; paper: 6 / 6)")
+    print(f"packets policed by the NIC shaper: {shaped['meter_drops']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Example accelerators from the paper's §7, built on the FLD streams."""
+
+from .base import Accelerator, DroppingAccelerator
+from .defrag import IpDefragAccelerator
+from .echo import EchoAccelerator, RdmaEchoAccelerator
+from .iot import IotAuthAccelerator
+from .zuc import ZucAccelerator
+
+__all__ = [
+    "Accelerator",
+    "DroppingAccelerator",
+    "EchoAccelerator",
+    "IotAuthAccelerator",
+    "IpDefragAccelerator",
+    "RdmaEchoAccelerator",
+    "ZucAccelerator",
+]

@@ -1,0 +1,18 @@
+"""IoT token-authentication offload: CoAP + JWT + the accelerator (§7)."""
+
+from .accel import IotAuthAccelerator
+from .coap import CoapError, CoapMessage, GET, POST, TYPE_NON_CONFIRMABLE
+from .jwt import JwtError, parse_token, sign_token, verify_token
+
+__all__ = [
+    "CoapError",
+    "CoapMessage",
+    "GET",
+    "IotAuthAccelerator",
+    "JwtError",
+    "POST",
+    "TYPE_NON_CONFIRMABLE",
+    "parse_token",
+    "sign_token",
+    "verify_token",
+]

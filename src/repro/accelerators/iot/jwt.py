@@ -1,0 +1,73 @@
+"""JSON Web Tokens (RFC 7519) with HMAC-SHA256 (HS256) signatures.
+
+The IoT offload validates the JWT each client message carries; invalid
+signatures mean the packet is dropped before it ever costs host CPU
+(the DDoS-protection story of §7).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import hmac
+import json
+from typing import Any, Dict, Optional, Tuple
+
+
+class JwtError(ValueError):
+    """Raised on malformed tokens."""
+
+
+def _b64url_encode(data: bytes) -> bytes:
+    return base64.urlsafe_b64encode(data).rstrip(b"=")
+
+
+def _b64url_decode(data: bytes) -> bytes:
+    padding = (-len(data)) % 4
+    try:
+        return base64.urlsafe_b64decode(data + b"=" * padding)
+    except Exception as exc:
+        raise JwtError(f"bad base64url segment: {exc}") from exc
+
+
+def sign_token(claims: Dict[str, Any], key: bytes) -> bytes:
+    """Produce an HS256-signed JWT."""
+    header = _b64url_encode(
+        json.dumps({"alg": "HS256", "typ": "JWT"},
+                   separators=(",", ":")).encode()
+    )
+    payload = _b64url_encode(
+        json.dumps(claims, separators=(",", ":")).encode()
+    )
+    signing_input = header + b"." + payload
+    signature = hmac.new(key, signing_input, hashlib.sha256).digest()
+    return signing_input + b"." + _b64url_encode(signature)
+
+
+def parse_token(token: bytes) -> Tuple[Dict[str, Any], Dict[str, Any], bytes]:
+    """(header, claims, signature) of a compact JWT; validates structure."""
+    parts = token.split(b".")
+    if len(parts) != 3:
+        raise JwtError("JWT must have three dot-separated segments")
+    try:
+        header = json.loads(_b64url_decode(parts[0]))
+        claims = json.loads(_b64url_decode(parts[1]))
+    except json.JSONDecodeError as exc:
+        raise JwtError(f"bad JSON in token: {exc}") from exc
+    signature = _b64url_decode(parts[2])
+    return header, claims, signature
+
+
+def verify_token(token: bytes, key: bytes) -> Optional[Dict[str, Any]]:
+    """Claims when the HS256 signature verifies, else ``None``."""
+    try:
+        header, claims, signature = parse_token(token)
+    except JwtError:
+        return None
+    if header.get("alg") != "HS256":
+        return None  # the offload only implements HMAC-SHA256
+    signing_input = token.rsplit(b".", 1)[0]
+    expected = hmac.new(key, signing_input, hashlib.sha256).digest()
+    if not hmac.compare_digest(signature, expected):
+        return None
+    return claims

@@ -1,0 +1,131 @@
+"""On-chip buffer pools with reference counting (§5.1).
+
+FLD's Tx and Rx data buffers are small on-die SRAMs divided into
+fixed-size *chunks*.  The ring managers allocate chunks per packet (a
+packet may span several), keep reference counts, and recycle chunks when
+the NIC's completion or the accelerator's consumption releases them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class BufferPoolError(RuntimeError):
+    """Raised on pool exhaustion misuse (double free, bad handle)."""
+
+
+class BufferPool:
+    """A chunked on-die memory pool.
+
+    ``capacity_bytes`` total SRAM, carved into ``chunk_size`` chunks.
+    Chunks are identified by integer handles (their index).
+    """
+
+    def __init__(self, capacity_bytes: int, chunk_size: int = 256,
+                 name: str = ""):
+        if capacity_bytes <= 0 or chunk_size <= 0:
+            raise ValueError("capacity and chunk size must be positive")
+        if capacity_bytes % chunk_size:
+            raise ValueError("capacity must be a multiple of the chunk size")
+        self.name = name
+        self.chunk_size = chunk_size
+        self.num_chunks = capacity_bytes // chunk_size
+        self._data = bytearray(capacity_bytes)
+        self._free: List[int] = list(range(self.num_chunks))
+        self._refcount: Dict[int, int] = {}
+        self.stats_allocs = 0
+        self.stats_frees = 0
+        self.stats_alloc_failures = 0
+        self.stats_min_free = self.num_chunks
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_chunks * self.chunk_size
+
+    @property
+    def free_chunks(self) -> int:
+        return len(self._free)
+
+    @property
+    def free_bytes(self) -> int:
+        return len(self._free) * self.chunk_size
+
+    def chunks_for(self, nbytes: int) -> int:
+        return max(1, -(-nbytes // self.chunk_size))
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, nbytes: int) -> Optional[List[int]]:
+        """Allocate chunks covering ``nbytes``; ``None`` when exhausted."""
+        needed = self.chunks_for(nbytes)
+        if needed > len(self._free):
+            self.stats_alloc_failures += 1
+            return None
+        handles = [self._free.pop(0) for _ in range(needed)]
+        for handle in handles:
+            self._refcount[handle] = 1
+        self.stats_allocs += 1
+        self.stats_min_free = min(self.stats_min_free, len(self._free))
+        return handles
+
+    def add_ref(self, handle: int) -> None:
+        if handle not in self._refcount:
+            raise BufferPoolError(f"add_ref on free chunk {handle}")
+        self._refcount[handle] += 1
+
+    def release(self, handle: int) -> None:
+        """Drop one reference; the chunk returns to the pool at zero."""
+        count = self._refcount.get(handle)
+        if count is None:
+            raise BufferPoolError(f"release of free chunk {handle}")
+        if count == 1:
+            del self._refcount[handle]
+            self._free.append(handle)
+            self.stats_frees += 1
+        else:
+            self._refcount[handle] = count - 1
+
+    def release_all(self, handles: List[int]) -> None:
+        for handle in handles:
+            self.release(handle)
+
+    # -- data access ----------------------------------------------------------
+
+    def _bounds(self, handle: int) -> int:
+        if not 0 <= handle < self.num_chunks:
+            raise BufferPoolError(f"bad chunk handle {handle}")
+        return handle * self.chunk_size
+
+    def write(self, handle: int, offset: int, data: bytes) -> None:
+        if offset + len(data) > self.chunk_size:
+            raise BufferPoolError("write crosses chunk boundary")
+        base = self._bounds(handle)
+        self._data[base + offset:base + offset + len(data)] = data
+
+    def read(self, handle: int, offset: int, length: int) -> bytes:
+        if offset + length > self.chunk_size:
+            raise BufferPoolError("read crosses chunk boundary")
+        base = self._bounds(handle)
+        return bytes(self._data[base + offset:base + offset + length])
+
+    def write_scattered(self, handles: List[int], data: bytes) -> None:
+        """Spread ``data`` across an allocated chunk list."""
+        cursor = 0
+        for handle in handles:
+            chunk = data[cursor:cursor + self.chunk_size]
+            if not chunk:
+                break
+            self.write(handle, 0, chunk)
+            cursor += len(chunk)
+
+    def read_scattered(self, handles: List[int], length: int) -> bytes:
+        out = bytearray()
+        remaining = length
+        for handle in handles:
+            take = min(remaining, self.chunk_size)
+            out.extend(self.read(handle, 0, take))
+            remaining -= take
+            if remaining <= 0:
+                break
+        return bytes(out)

@@ -1,0 +1,170 @@
+"""4-bank cuckoo hash table with a 4-entry stash (§5.2 "Address Translation").
+
+FLD virtualizes the NIC-visible descriptor rings and data windows through
+translation tables implemented as cuckoo hash tables:
+
+* 4 banks, each probed with an independent hash — a lookup is one
+  parallel probe of all banks (constant time, as in hardware);
+* insertion that collides in every bank evicts a victim into a 4-entry
+  **stash**; the stash retries the victim into another bank, looping
+  until placement succeeds;
+* a full stash stalls further insertions (counted; the paper avoids the
+  stall by doubling the table — load factor ½ — which our default sizing
+  reproduces).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Optional, Tuple
+
+NUM_BANKS = 4
+STASH_SIZE = 4
+MAX_KICKS = 64  # safety bound on eviction chains per insertion
+
+# Odd multipliers for the per-bank multiply-shift hash family.
+_BANK_SALTS = (0x9E3779B97F4A7C15, 0xC2B2AE3D27D4EB4F,
+               0x165667B19E3779F9, 0x27D4EB2F165667C5)
+
+
+class CuckooFullError(RuntimeError):
+    """Raised when an insertion stalls: all banks and the stash are full."""
+
+
+class CuckooHashTable:
+    """A fixed-capacity hardware-style cuckoo hash.
+
+    ``capacity`` is the number of *entries provisioned for use*; the table
+    allocates ``capacity / load_factor`` slots across the banks (the paper
+    doubles, i.e. load factor ½, to guarantee insertion convergence).
+    """
+
+    def __init__(self, capacity: int, load_factor: float = 0.5,
+                 entry_size: int = 8):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < load_factor <= 1:
+            raise ValueError("load factor must be in (0, 1]")
+        self.capacity = capacity
+        self.load_factor = load_factor
+        self.entry_size = entry_size
+        total_slots = int(capacity / load_factor)
+        self.bank_size = max(1, -(-total_slots // NUM_BANKS))
+        self._banks: List[List[Optional[Tuple[Hashable, Any]]]] = [
+            [None] * self.bank_size for _ in range(NUM_BANKS)
+        ]
+        self._stash: List[Tuple[Hashable, Any]] = []
+        self._count = 0
+        self.stats_inserts = 0
+        self.stats_kicks = 0
+        self.stats_stash_peak = 0
+        self.stats_stalls = 0
+
+    # -- hashing -----------------------------------------------------------
+
+    def _slot(self, bank: int, key: Hashable) -> int:
+        mixed = (hash(key) ^ _BANK_SALTS[bank]) * 0x2545F4914F6CDD1D
+        return (mixed & 0xFFFFFFFFFFFFFFFF) % self.bank_size
+
+    # -- operations --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.lookup(key) is not None or any(
+            k == key for k, _v in self._stash
+        )
+
+    def lookup(self, key: Hashable) -> Optional[Any]:
+        """Constant-time lookup: probe all banks + the stash."""
+        for bank in range(NUM_BANKS):
+            entry = self._banks[bank][self._slot(bank, key)]
+            if entry is not None and entry[0] == key:
+                return entry[1]
+        for k, v in self._stash:
+            if k == key:
+                return v
+        return None
+
+    def insert(self, key: Hashable, value: Any) -> None:
+        """Insert; raises :class:`CuckooFullError` on a stash stall.
+
+        A colliding insertion evicts a victim *into the stash* — the
+        stash is part of the table's storage, so nothing is ever lost —
+        and the stash drains back into banks as slots free up (§5.2).
+        A stall (all banks colliding while the stash is full) raises,
+        leaving the table unchanged; the caller retries after a release.
+        """
+        if key in self:
+            raise KeyError(f"duplicate key {key!r}")
+        if self._count >= self.capacity:
+            self.stats_stalls += 1
+            raise CuckooFullError("table at provisioned capacity")
+        self.stats_inserts += 1
+        item: Tuple[Hashable, Any] = (key, value)
+        # Fast path: an empty slot in any bank.
+        for bank in range(NUM_BANKS):
+            slot = self._slot(bank, key)
+            if self._banks[bank][slot] is None:
+                self._banks[bank][slot] = item
+                self._count += 1
+                self._drain_stash()
+                return
+        # All banks collide: evict a rotating victim into the stash and
+        # take its slot.
+        if len(self._stash) >= STASH_SIZE:
+            self.stats_stalls += 1
+            raise CuckooFullError("stash full; insertion stalled")
+        bank = self.stats_kicks % NUM_BANKS
+        slot = self._slot(bank, key)
+        victim = self._banks[bank][slot]
+        self._banks[bank][slot] = item
+        self._stash.append(victim)
+        self._count += 1
+        self.stats_kicks += 1
+        self.stats_stash_peak = max(self.stats_stash_peak, len(self._stash))
+        self._drain_stash()
+
+    def _drain_stash(self) -> None:
+        """Move stash entries back into any bank slot that opened up."""
+        if not self._stash:
+            return
+        remaining: List[Tuple[Hashable, Any]] = []
+        for key, value in self._stash:
+            placed = False
+            for bank in range(NUM_BANKS):
+                slot = self._slot(bank, key)
+                if self._banks[bank][slot] is None:
+                    self._banks[bank][slot] = (key, value)
+                    placed = True
+                    break
+            if not placed:
+                remaining.append((key, value))
+        self._stash = remaining
+
+    def remove(self, key: Hashable) -> Any:
+        for bank in range(NUM_BANKS):
+            slot = self._slot(bank, key)
+            entry = self._banks[bank][slot]
+            if entry is not None and entry[0] == key:
+                self._banks[bank][slot] = None
+                self._count -= 1
+                self._drain_stash()
+                return entry[1]
+        for index, (k, v) in enumerate(self._stash):
+            if k == key:
+                del self._stash[index]
+                self._count -= 1
+                return v
+        raise KeyError(key)
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def memory_bytes(self) -> int:
+        """On-die SRAM for the banks + stash."""
+        return (NUM_BANKS * self.bank_size + STASH_SIZE) * self.entry_size
+
+    @property
+    def occupancy(self) -> float:
+        return self._count / (NUM_BANKS * self.bank_size)

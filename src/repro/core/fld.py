@@ -1,0 +1,258 @@
+"""FlexDriver top level: the on-accelerator NIC data-plane driver (§5).
+
+One :class:`FlexDriver` is a PCIe endpoint exposing the BAR of
+:mod:`repro.core.bar`; it composes the Tx and Rx ring managers, the
+accelerator-facing streams, the credit interface and the error channel.
+
+Data flow:
+
+* **transmit** — the accelerator calls :meth:`send` (credits permitting);
+  the Tx manager buffers the payload on-die and rings the NIC; the NIC's
+  PCIe reads of descriptors and data arrive at :meth:`handle_read` and are
+  answered from compressed state on the fly.
+* **receive** — the NIC DMA-writes packet data and CQEs into the BAR
+  (:meth:`handle_write`); FLD decodes the CQE, streams the packet with
+  metadata to the accelerator after its pipeline latency, and recycles
+  buffers/descriptors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..nic.wqe import (
+    CQE_ERROR,
+    CQE_RECV_COMPLETION,
+    CQE_SEND_COMPLETION,
+    CQE_SIZE,
+    Cqe,
+    OP_ETH_SEND,
+)
+from ..pcie import PcieEndpoint, PcieError
+from ..sim import Simulator
+from . import bar
+from .axis import AxisMetadata, AxisStream
+from .buffers import BufferPool
+from .descriptors import COMPRESSED_CQE_SIZE, CompressedCqe
+from .errors import ErrorReporter, FldError
+from .rx import RxRingManager
+from .tx import TxRingManager
+
+
+@dataclass
+class FldConfig:
+    """FLD sizing, defaulting to the prototype of §6: two transmit
+    queues, 256 KiB transmit and receive buffers, a 4096-entry shared
+    descriptor pool, logic at 250 MHz."""
+
+    tx_buffer_bytes: int = 256 * 1024
+    rx_buffer_bytes: int = 256 * 1024
+    chunk_size: int = 256
+    descriptor_pool_size: int = 4096
+    clock_hz: float = 250e6
+    # End-to-end latency through FLD's internal pipeline, each direction
+    # (~50 FPGA cycles of decode/steering/SRAM access).
+    pipeline_latency: float = 200e-9
+    rx_stream_depth: int = 256
+    cq_entries: int = 1024          # per completion ring, for accounting
+
+    def cycles(self, count: float) -> float:
+        return count / self.clock_hz
+
+
+class FlexDriver(PcieEndpoint):
+    """The FLD hardware module."""
+
+    # CQ index space: transmit CQs at 0..15, receive CQs at 16+.
+    RX_CQ_BASE = 16
+
+    def __init__(self, sim: Simulator, fabric, name: str = "fld",
+                 config: Optional[FldConfig] = None, bar_base: int = 0,
+                 link_config=None):
+        super().__init__(name)
+        self.sim = sim
+        self.config = config or FldConfig()
+        self.bar_base = bar_base
+        fabric.attach(self, link_config)
+        tx_pool = BufferPool(self.config.tx_buffer_bytes,
+                             self.config.chunk_size, name=f"{name}.txpool")
+        self.tx = TxRingManager(
+            sim, tx_pool, self.config.descriptor_pool_size,
+            mmio_writer=self._mmio_write, bar_base=bar_base,
+        )
+        self.rx = RxRingManager(
+            sim, self.config.rx_buffer_bytes,
+            mmio_writer=self._mmio_write, emit=self._emit_rx,
+        )
+        self.rx_stream = AxisStream(sim, f"{name}.rx_stream",
+                                    depth=self.config.rx_stream_depth)
+        self.errors = ErrorReporter(sim)
+        # cq index -> ("tx", _) or ("rx", binding_id)
+        self._cq_route: Dict[int, Tuple[str, int]] = {}
+        # Chunks promised to sends that passed the resource check but
+        # whose pipeline-latency submission has not landed yet.
+        self._pending_chunks = 0
+        self.stats_cqe_writes = 0
+        self.stats_tx_packets = 0
+        self.stats_tx_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Configuration (called by the FLD runtime library, §5.3)
+    # ------------------------------------------------------------------
+
+    def bind_tx_queue(self, queue_id: int, qpn: int, entries: int,
+                      doorbell_addr: int, mmio_addr: int, cq_index: int,
+                      use_mmio: bool = True, opcode: int = OP_ETH_SEND,
+                      credits: Optional[int] = None) -> None:
+        self.tx.add_queue(queue_id, qpn, entries, doorbell_addr, mmio_addr,
+                          use_mmio=use_mmio, credits=credits, opcode=opcode)
+        self._cq_route[cq_index] = ("tx", queue_id)
+
+    def bind_rx_queue(self, binding_id: int, cq_index: int,
+                      ring_entries: int, strides_per_buffer: int,
+                      stride_size: int, rq_doorbell_addr: int) -> int:
+        """Returns the BAR offset of the binding's buffer slice."""
+        offset = self.rx.add_binding(
+            binding_id, ring_entries, strides_per_buffer, stride_size,
+            rq_doorbell_addr,
+        )
+        self._cq_route[cq_index] = ("rx", binding_id)
+        return bar.RX_BUFFER_REGION + offset
+
+    # ------------------------------------------------------------------
+    # Accelerator-facing interface (§5.5)
+    # ------------------------------------------------------------------
+
+    def try_send(self, data: bytes, meta: AxisMetadata) -> bool:
+        """Non-blocking transmit; False when the queue has no credit.
+
+        Drop-capable accelerators use this directly (§5.5 lets them shed
+        load); others use :meth:`send` to wait for credit.
+        """
+        needed = self.tx.buffers.chunks_for(len(data))
+        if not self.tx.can_submit(meta.queue_id, len(data)):
+            return False
+        if (self.tx.buffers.free_chunks - self._pending_chunks < needed
+                or self.tx.descriptors.free_slots <= self._pending_chunks):
+            return False
+        self._submit(data, meta)
+        return True
+
+    def send(self, data: bytes, meta: AxisMetadata):
+        """Generator: wait for a credit, then transmit.
+
+        The caller is held only for the pipeline's *occupancy* (the
+        datapath is 512 bits wide at the FLD clock, §9's 100 Gbps
+        figure); the pipeline *latency* to the doorbell is modelled
+        without blocking, so back-to-back sends stream at line rate.
+        """
+        yield self.tx.credits.acquire(meta.queue_id)
+        needed = self.tx.buffers.chunks_for(len(data))
+        while not (
+            self.tx.buffers.free_chunks - self._pending_chunks >= needed
+            and self.tx.descriptors.free_slots > self._pending_chunks
+        ):
+            yield self.sim.timeout(self.config.cycles(16))
+        self._pending_chunks += needed
+        yield self.sim.timeout(self.config.cycles(max(1, len(data) // 64)))
+        self.sim.schedule(
+            self.config.pipeline_latency,
+            lambda: self._submit_now(data, meta, needed),
+        )
+
+    def _submit(self, data: bytes, meta: AxisMetadata) -> None:
+        self.tx.credits.try_consume(meta.queue_id, 1)
+        self._pending_chunks += self.tx.buffers.chunks_for(len(data))
+        self.sim.schedule(
+            self.config.pipeline_latency,
+            lambda: self._submit_now(
+                data, meta, self.tx.buffers.chunks_for(len(data))),
+        )
+
+    def _submit_now(self, data: bytes, meta: AxisMetadata,
+                    reserved_chunks: int = 0) -> None:
+        self._pending_chunks -= reserved_chunks
+        self.tx.submit(meta.queue_id, data, meta)
+        self.stats_tx_packets += 1
+        self.stats_tx_bytes += len(data)
+
+    def credits_available(self, queue_id: int) -> int:
+        return self.tx.credits.available(queue_id)
+
+    # ------------------------------------------------------------------
+    # PCIe BAR handlers
+    # ------------------------------------------------------------------
+
+    def handle_read(self, offset: int, length: int) -> bytes:
+        region = bar.decode(offset)
+        if region.region == "tx_ring":
+            return self.tx.handle_ring_read(region.queue, region.offset,
+                                            length)
+        if region.region == "tx_data":
+            return self.tx.handle_data_read(region.queue, region.offset,
+                                            length)
+        raise PcieError(f"{self.name}: unreadable region {region!r}")
+
+    def handle_write(self, offset: int, data: bytes) -> None:
+        region = bar.decode(offset)
+        if region.region == "rx_buffer":
+            self.rx.handle_buffer_write(region.offset, data)
+            return
+        if region.region == "cq":
+            self._on_cqe_write(region.queue, data)
+            return
+        if region.region == "pi":
+            return  # producer-index mirror writes: accepted, uninterpreted
+        raise PcieError(f"{self.name}: unwritable region {region!r}")
+
+    def _on_cqe_write(self, cq_index: int, data: bytes) -> None:
+        if len(data) < CQE_SIZE:
+            raise PcieError(f"{self.name}: short CQE write ({len(data)} B)")
+        self.stats_cqe_writes += 1
+        cqe = Cqe.unpack(data)
+        compressed = CompressedCqe.compress(cqe)
+        route = self._cq_route.get(cq_index)
+        if route is None:
+            self.errors.report(FldError.CQE_ERROR, cq_index,
+                               detail="CQE on unbound completion ring")
+            return
+        if cqe.opcode == CQE_ERROR:
+            self.errors.report(FldError.CQE_ERROR, cq_index, cqe.syndrome)
+            return
+        kind, binding = route
+        if kind == "tx":
+            if cqe.opcode == CQE_SEND_COMPLETION:
+                self.tx.on_send_completion(cqe.qpn, cqe.wqe_counter)
+        else:
+            if cqe.opcode == CQE_RECV_COMPLETION:
+                self.rx.on_recv_completion(binding, compressed)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _mmio_write(self, address: int, data: bytes) -> None:
+        self.fabric.post_write(self, address, data)
+
+    def _emit_rx(self, data: bytes, meta: AxisMetadata) -> None:
+        self.sim.schedule(
+            self.config.pipeline_latency,
+            lambda: self.rx_stream.push(data, meta),
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def on_die_memory(self) -> Dict[str, int]:
+        """Bytes of on-die SRAM in use, by component (cf. Table 3)."""
+        memory = {}
+        memory.update(self.tx.memory_bytes())
+        memory.update(self.rx.memory_bytes())
+        memory["cq_storage"] = (
+            len(self._cq_route) * self.config.cq_entries
+            * COMPRESSED_CQE_SIZE
+        )
+        memory["total"] = sum(memory.values())
+        return memory

@@ -1,0 +1,163 @@
+"""Address translation: virtual rings/windows onto shared physical pools.
+
+Two layers, both from §5.2:
+
+* :class:`DescriptorPool` — the NIC sees a full-size descriptor ring per
+  queue (``Nq x f(N_desc)`` WQEs of virtual address space), but FLD keeps
+  a single shared pool of ``N_txdesc`` compressed descriptors; a cuckoo
+  table maps (queue, wqe-index) to the pool slot.  This is the 2080x
+  reduction of Table 3's Tx-rings row.
+
+* :class:`DataTranslationTable` — each queue advertises a virtual data
+  window; a second cuckoo table maps (queue, chunk-of-window) to on-chip
+  buffer chunks so queues share one small buffer pool at fine granularity
+  with bounded fragmentation (the 28.2x reduction of the Tx-buffer row).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .buffers import BufferPool
+from .cuckoo import CuckooFullError, CuckooHashTable
+from .descriptors import COMPRESSED_TX_DESC_SIZE, CompressedTxDescriptor
+
+# Translation entry sizes (key + value + valid bits, rounded to bytes),
+# chosen to land at the paper's reported table overheads (~15.5 KiB for
+# descriptors, ~33 KiB for data at the Table 3 configuration).
+DESC_XLT_ENTRY_SIZE = 4
+DATA_XLT_ENTRY_SIZE = 8
+
+
+class TranslationError(RuntimeError):
+    """Raised on unmapped lookups and double mappings."""
+
+
+class DescriptorPool:
+    """Shared pool of compressed Tx descriptors behind virtual rings."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._slots: List[Optional[CompressedTxDescriptor]] = [None] * capacity
+        self._free: List[int] = list(range(capacity))
+        self._xlt = CuckooHashTable(capacity, load_factor=0.5,
+                                    entry_size=DESC_XLT_ENTRY_SIZE)
+        self.stats_stored = 0
+        self.stats_failures = 0
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    def store(self, queue: int, wqe_index: int,
+              descriptor: CompressedTxDescriptor) -> Optional[int]:
+        """Place a descriptor for (queue, index); ``None`` when full."""
+        if not self._free:
+            self.stats_failures += 1
+            return None
+        slot = self._free.pop(0)
+        try:
+            self._xlt.insert((queue, wqe_index), slot)
+        except CuckooFullError:
+            self._free.insert(0, slot)
+            self.stats_failures += 1
+            return None
+        self._slots[slot] = descriptor
+        self.stats_stored += 1
+        return slot
+
+    def lookup(self, queue: int, wqe_index: int) -> CompressedTxDescriptor:
+        slot = self._xlt.lookup((queue, wqe_index))
+        if slot is None:
+            raise TranslationError(
+                f"no descriptor mapped for queue {queue} index {wqe_index}"
+            )
+        return self._slots[slot]
+
+    def remove(self, queue: int, wqe_index: int) -> CompressedTxDescriptor:
+        slot = self._xlt.remove((queue, wqe_index))
+        descriptor = self._slots[slot]
+        self._slots[slot] = None
+        self._free.append(slot)
+        return descriptor
+
+    @property
+    def memory_bytes(self) -> int:
+        """Pool SRAM + translation table SRAM."""
+        return (self.capacity * COMPRESSED_TX_DESC_SIZE
+                + self._xlt.memory_bytes)
+
+
+class DataTranslationTable:
+    """Maps per-queue virtual window chunks onto buffer-pool chunks."""
+
+    def __init__(self, pool: BufferPool, window_bytes: int,
+                 max_mappings: Optional[int] = None):
+        if window_bytes % pool.chunk_size:
+            raise ValueError("window must be a multiple of the chunk size")
+        self.pool = pool
+        self.window_bytes = window_bytes
+        capacity = max_mappings or pool.num_chunks
+        self._xlt = CuckooHashTable(capacity, load_factor=0.5,
+                                    entry_size=DATA_XLT_ENTRY_SIZE)
+        self.stats_mappings = 0
+        self.stats_failures = 0
+
+    def chunks_per_window(self) -> int:
+        return self.window_bytes // self.pool.chunk_size
+
+    def map_range(self, queue: int, virt_offset: int,
+                  handles: List[int]) -> None:
+        """Bind ``handles`` to the window chunks starting at virt_offset."""
+        if virt_offset % self.pool.chunk_size:
+            raise TranslationError("virtual offset must be chunk-aligned")
+        start = virt_offset // self.pool.chunk_size
+        inserted = []
+        try:
+            for i, handle in enumerate(handles):
+                chunk = (start + i) % self.chunks_per_window()
+                self._xlt.insert((queue, chunk), handle)
+                inserted.append((queue, chunk))
+        except (CuckooFullError, KeyError):
+            for key in inserted:
+                self._xlt.remove(key)
+            self.stats_failures += 1
+            raise
+        self.stats_mappings += len(handles)
+
+    def unmap_range(self, queue: int, virt_offset: int, count: int) -> List[int]:
+        """Remove ``count`` chunk mappings, returning the handles."""
+        start = virt_offset // self.pool.chunk_size
+        handles = []
+        for i in range(count):
+            chunk = (start + i) % self.chunks_per_window()
+            handles.append(self._xlt.remove((queue, chunk)))
+        return handles
+
+    def resolve(self, queue: int, virt_offset: int) -> Tuple[int, int]:
+        """(chunk handle, offset inside the chunk) for a virtual address."""
+        window_offset = virt_offset % self.window_bytes
+        chunk = window_offset // self.pool.chunk_size
+        handle = self._xlt.lookup((queue, chunk))
+        if handle is None:
+            raise TranslationError(
+                f"queue {queue} virt {virt_offset:#x} not mapped"
+            )
+        return handle, window_offset % self.pool.chunk_size
+
+    def read_virtual(self, queue: int, virt_offset: int, length: int) -> bytes:
+        """Gather a read that may span several translated chunks."""
+        out = bytearray()
+        cursor = virt_offset
+        remaining = length
+        while remaining > 0:
+            handle, inner = self.resolve(queue, cursor)
+            take = min(remaining, self.pool.chunk_size - inner)
+            out.extend(self.pool.read(handle, inner, take))
+            cursor += take
+            remaining -= take
+        return bytes(out)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self._xlt.memory_bytes

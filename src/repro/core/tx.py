@@ -1,0 +1,255 @@
+"""FLD transmit ring manager (§5.1, §5.2).
+
+Owns the shared compressed-descriptor pool, the shared transmit buffer
+pool, and the two translation tables.  For every packet the accelerator
+pushes it:
+
+1. allocates buffer chunks and copies the payload on-die,
+2. maps the chunks into the queue's *virtual data window*,
+3. stores an 8 B compressed descriptor in the shared pool, keyed by
+   (queue, wqe-index) in the descriptor translation table,
+4. rings the NIC — by default with WQE-by-MMIO (§6), writing the
+   expanded 64 B WQE straight into the NIC's doorbell window so the NIC
+   never reads the ring.
+
+When the NIC does read the virtual ring (plain doorbell mode, or
+re-fetch), :meth:`handle_ring_read` *generates* the 64 B WQEs on the fly
+from the compressed pool — the core idea of §5.2.  Data reads gather
+through the translation table.  Send completions retire descriptors
+cumulatively, recycle chunks and refund credits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..nic.wqe import OP_ETH_SEND, WQE_SIZE
+from ..sim import Simulator
+from .axis import AxisMetadata, CreditInterface
+from .bar import TX_DATA_SPAN, tx_data_address, tx_ring_address
+from .buffers import BufferPool
+from .descriptors import CompressedTxDescriptor
+from .translation import DataTranslationTable, DescriptorPool, TranslationError
+
+
+class TxQueueError(RuntimeError):
+    """Raised on tx-queue misuse (overflow, unknown queue)."""
+
+
+class _TxQueueState:
+    __slots__ = ("queue_id", "qpn", "entries", "pi", "ci", "data_cursor",
+                 "doorbell_addr", "mmio_addr", "use_mmio", "window_chunks",
+                 "opcode", "outstanding", "stats_submitted",
+                 "stats_completed")
+
+    def __init__(self, queue_id: int, qpn: int, entries: int,
+                 doorbell_addr: int, mmio_addr: int, use_mmio: bool,
+                 window_chunks: int, opcode: int = OP_ETH_SEND):
+        self.queue_id = queue_id
+        self.qpn = qpn
+        self.entries = entries
+        self.pi = 0
+        self.ci = 0
+        self.data_cursor = 0  # in chunks, within the virtual window
+        self.doorbell_addr = doorbell_addr
+        self.mmio_addr = mmio_addr
+        self.use_mmio = use_mmio
+        self.window_chunks = window_chunks
+        self.opcode = opcode
+        # wqe_index -> (chunk handles, virt chunk offset, chunk count)
+        self.outstanding: Dict[int, Tuple[List[int], int, int]] = {}
+        self.stats_submitted = 0
+        self.stats_completed = 0
+
+
+class TxRingManager:
+    """The transmit half of FLD."""
+
+    def __init__(self, sim: Simulator, buffer_pool: BufferPool,
+                 descriptor_pool_size: int = 4096,
+                 mmio_writer: Optional[Callable] = None,
+                 bar_base: int = 0):
+        self.sim = sim
+        self.buffers = buffer_pool
+        self.descriptors = DescriptorPool(descriptor_pool_size)
+        self.data_xlt = DataTranslationTable(buffer_pool, TX_DATA_SPAN)
+        self.credits = CreditInterface(sim)
+        self.mmio_writer = mmio_writer  # callable(addr, bytes) -> posts PCIe
+        self.bar_base = bar_base
+        self._queues: Dict[int, _TxQueueState] = {}
+        self._qpn_to_queue: Dict[int, int] = {}
+        self.stats_wqe_reads = 0
+        self.stats_data_read_bytes = 0
+
+    # -- configuration -------------------------------------------------------
+
+    def add_queue(self, queue_id: int, qpn: int, entries: int,
+                  doorbell_addr: int, mmio_addr: int,
+                  use_mmio: bool = True, credits: Optional[int] = None,
+                  opcode: int = OP_ETH_SEND) -> None:
+        if queue_id in self._queues:
+            raise TxQueueError(f"queue {queue_id} exists")
+        state = _TxQueueState(
+            queue_id, qpn, entries, doorbell_addr, mmio_addr, use_mmio,
+            window_chunks=TX_DATA_SPAN // self.buffers.chunk_size,
+            opcode=opcode,
+        )
+        self._queues[queue_id] = state
+        self._qpn_to_queue[qpn] = queue_id
+        self.credits.configure(queue_id, credits or entries)
+
+    def queue(self, queue_id: int) -> _TxQueueState:
+        try:
+            return self._queues[queue_id]
+        except KeyError:
+            raise TxQueueError(f"unknown tx queue {queue_id}") from None
+
+    # -- the accelerator-facing submit path -----------------------------------
+
+    def can_submit(self, queue_id: int, nbytes: int) -> bool:
+        state = self.queue(queue_id)
+        return (
+            self.credits.available(queue_id) >= 1
+            and self.buffers.free_chunks >= self.buffers.chunks_for(nbytes)
+            and self.descriptors.free_slots >= 1
+            and state.pi - state.ci < state.entries
+        )
+
+    def submit(self, queue_id: int, data: bytes, meta: AxisMetadata) -> int:
+        """Enqueue one packet/message; returns its wqe index.
+
+        The caller (FLD top) is responsible for holding a credit; this
+        method asserts physical resources, which credits guarantee.
+        """
+        state = self.queue(queue_id)
+        if state.pi - state.ci >= state.entries:
+            raise TxQueueError(f"queue {queue_id} ring overflow")
+        handles = self.buffers.alloc(len(data))
+        if handles is None:
+            raise TxQueueError(
+                f"buffer pool exhausted for {len(data)} B on queue {queue_id}"
+            )
+        self.buffers.write_scattered(handles, data)
+
+        index = state.pi
+        state.pi += 1
+        # Chunk-aligned virtual placement at the rotating cursor.
+        virt_chunk = state.data_cursor
+        state.data_cursor = (state.data_cursor + len(handles)) % state.window_chunks
+        virt_offset = virt_chunk * self.buffers.chunk_size
+        self.data_xlt.map_range(queue_id, virt_offset, handles)
+
+        descriptor = CompressedTxDescriptor(
+            handle=handles[0], length=len(data),
+            context_id=meta.context_id, opcode=state.opcode,
+            signaled=meta.signaled,
+        )
+        slot = self.descriptors.store(queue_id, index, descriptor)
+        if slot is None:
+            self.data_xlt.unmap_range(queue_id, virt_offset, len(handles))
+            self.buffers.release_all(handles)
+            state.pi -= 1
+            raise TxQueueError("descriptor pool exhausted")
+        state.outstanding[index] = (handles, virt_chunk, len(handles))
+        state.stats_submitted += 1
+        self._ring_nic(state, index, descriptor, virt_offset)
+        return index
+
+    def _ring_nic(self, state: _TxQueueState, index: int,
+                  descriptor: CompressedTxDescriptor, virt_offset: int) -> None:
+        if self.mmio_writer is None:
+            return  # standalone/unit-test mode
+        if state.use_mmio:
+            wqe = descriptor.expand(
+                state.qpn, index,
+                self.bar_base + tx_data_address(state.queue_id, virt_offset),
+            )
+            self.mmio_writer(state.mmio_addr, wqe.pack())
+        else:
+            self.mmio_writer(state.doorbell_addr,
+                             (index + 1).to_bytes(4, "big"))
+
+    # -- the NIC-facing PCIe handlers ------------------------------------------
+
+    def handle_ring_read(self, queue_id: int, offset: int,
+                         length: int) -> bytes:
+        """Generate WQE bytes for a NIC read of the virtual ring."""
+        state = self.queue(queue_id)
+        if offset % WQE_SIZE or length % WQE_SIZE:
+            raise TxQueueError("unaligned WQE ring read")
+        out = bytearray()
+        first_slot = offset // WQE_SIZE
+        for i in range(length // WQE_SIZE):
+            slot = first_slot + i
+            # The ring is virtual: resolve the slot to the outstanding
+            # wqe index that currently occupies it.
+            index = self._slot_to_index(state, slot)
+            descriptor = self.descriptors.lookup(queue_id, index)
+            _handles, virt_chunk, _count = state.outstanding[index]
+            wqe = descriptor.expand(
+                state.qpn, index,
+                self.bar_base + tx_data_address(
+                    queue_id, virt_chunk * self.buffers.chunk_size),
+            )
+            out.extend(wqe.pack())
+            self.stats_wqe_reads += 1
+        return bytes(out)
+
+    @staticmethod
+    def _slot_to_index(state: _TxQueueState, slot: int) -> int:
+        """Map a ring slot back to the in-flight wqe index occupying it."""
+        base = state.ci - (state.ci % state.entries)
+        index = base + slot
+        if index < state.ci:
+            index += state.entries
+        if index >= state.pi:
+            raise TranslationError(
+                f"NIC read of unposted slot {slot} on queue {state.queue_id}"
+            )
+        return index
+
+    def handle_data_read(self, queue_id: int, offset: int,
+                         length: int) -> bytes:
+        """Gather a NIC data read through the translation table."""
+        self.stats_data_read_bytes += length
+        return self.data_xlt.read_virtual(queue_id, offset, length)
+
+    # -- completion handling -----------------------------------------------------
+
+    def on_send_completion(self, qpn: int, wqe_counter: int) -> int:
+        """Cumulatively retire up to ``wqe_counter`` (selective signalling).
+
+        Returns the number of descriptors retired.
+        """
+        queue_id = self._qpn_to_queue.get(qpn)
+        if queue_id is None:
+            raise TxQueueError(f"send completion for unknown qpn {qpn}")
+        state = self._queues[queue_id]
+        # Recover the full index from the 16-bit CQE counter.
+        target = (state.ci & ~0xFFFF) | wqe_counter
+        if target < state.ci:
+            target += 1 << 16
+        retired = 0
+        while state.ci <= target and state.ci < state.pi:
+            index = state.ci
+            state.ci += 1
+            self.descriptors.remove(queue_id, index)
+            handles, virt_chunk, count = state.outstanding.pop(index)
+            self.data_xlt.unmap_range(
+                queue_id, virt_chunk * self.buffers.chunk_size, count)
+            self.buffers.release_all(handles)
+            self.credits.refund(queue_id, 1)
+            retired += 1
+            state.stats_completed += 1
+        return retired
+
+    # -- accounting -----------------------------------------------------------------
+
+    def memory_bytes(self) -> Dict[str, int]:
+        """On-die SRAM used by the transmit side (Table 3's FLD column)."""
+        return {
+            "tx_descriptor_pool": self.descriptors.memory_bytes,
+            "tx_data_translation": self.data_xlt.memory_bytes,
+            "tx_buffers": self.buffers.capacity_bytes,
+            "tx_producer_indices": 4 * max(1, len(self._queues)),
+        }

@@ -1,0 +1,26 @@
+"""Experiment harnesses reproducing the paper's evaluation (§8)."""
+
+from . import cpu_mediated, defrag, echo, iot, scaling, zuc
+from .setups import (
+    Calibration,
+    cpu_echo_remote,
+    flde_echo_local,
+    flde_echo_remote,
+    fldr_echo,
+    zuc_service,
+)
+
+__all__ = [
+    "Calibration",
+    "cpu_echo_remote",
+    "cpu_mediated",
+    "defrag",
+    "echo",
+    "flde_echo_local",
+    "flde_echo_remote",
+    "fldr_echo",
+    "iot",
+    "scaling",
+    "zuc",
+    "zuc_service",
+]

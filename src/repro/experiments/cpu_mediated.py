@@ -1,0 +1,146 @@
+"""The CPU-mediated accelerator architecture (§3, Fig. 2a).
+
+The third corner of the paper's trade-off triangle: VN2F-style designs
+put the host CPU on *every* network transaction — the NIC delivers to
+host memory, software relays the data over PCIe to a dumb accelerator
+BAR, polls the result back, and retransmits.  Small accelerator area,
+full NIC features, but CPU cycles burn per byte and the relay caps
+throughput.
+
+This module builds that architecture on the same substrate and measures
+what the paper argues qualitatively: the mediated design's throughput
+ceiling and host-CPU consumption against FLD's.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Dict, Optional
+
+from ..host import CpuCore, LoadGenerator
+from ..net import Flow
+from ..pcie import MemoryRegion
+from ..sim import Simulator, Store
+from ..testbed import make_remote_pair
+from .setups import CLIENT_MAC, CLIENT_IP, Calibration, SERVER_IP, SERVER_MAC
+
+#: Fabric window for the dumb accelerator's staging BAR.
+ACCEL_BAR_BASE = 0x20_0000_0000
+
+
+class DumbAccelerator(MemoryRegion):
+    """A fixed-function device with only a staging buffer BAR.
+
+    No NIC access, no doorbells toward the network — everything moves
+    through the host.  ``process`` transforms staged bytes in place
+    after a fixed device latency (the echo workload: identity).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "dumb-accel",
+                 size: int = 1 << 20, latency: float = 500e-9):
+        super().__init__(name, size)
+        self.sim = sim
+        self.latency = latency
+        self.stats_jobs = 0
+
+    def process(self, offset: int, length: int):
+        """Event firing when the staged job completes."""
+        self.stats_jobs += 1
+        return self.sim.timeout(self.latency)
+
+
+class CpuMediatedEcho:
+    """Host software relaying packets NIC <-> accelerator (Fig. 2a)."""
+
+    #: Cycles the relay spends per packet beyond the driver's rx cost:
+    #: staging the DMA, polling the device, re-posting the transmit.
+    RELAY_CYCLES = 220
+
+    def __init__(self, sim: Simulator, node, qp, core: CpuCore):
+        self.sim = sim
+        self.node = node
+        self.qp = qp
+        self.core = core
+        self.accel = DumbAccelerator(sim)
+        node.fabric.attach(self.accel)
+        node.fabric.map_window(ACCEL_BAR_BASE, self.accel.size, self.accel)
+        self._pending = Store(sim, capacity=4096, name="mediated.pending")
+        self.stats_echoed = 0
+        self.stats_cpu_seconds = 0.0
+        qp.on_receive = lambda data, cqe: self._pending.try_put(data)
+        sim.spawn(self._relay(), name="mediated.relay")
+
+    def _relay(self):
+        fabric = self.node.fabric
+        cpu_port = self.node.driver.cpu_port
+        while True:
+            data = yield self._pending.get()
+            start = self.sim.now
+            # Host CPU stages the packet into the accelerator BAR...
+            yield self.sim.timeout(
+                self.core.seconds_for_cycles(self.RELAY_CYCLES))
+            yield fabric.post_write(cpu_port, ACCEL_BAR_BASE, data)
+            # ...busy-polls the device...
+            yield self.accel.process(0, len(data))
+            # ...reads the result back over PCIe (a blocking MMIO read
+            # from the core's point of view)...
+            result = yield fabric.read(cpu_port, ACCEL_BAR_BASE, len(data))
+            # ...and transmits it (reusing the echo direction swap).
+            from ..host.testpmd import swap_directions
+            from ..net.parse import parse_frame
+            packet = swap_directions(parse_frame(result))
+            yield from self.qp.wait_for_tx_space()
+            self.qp.send(packet.to_bytes())
+            self.stats_echoed += 1
+            # The relay core spins for the whole turnaround: this is
+            # the "CPU involved in every network transaction" cost.
+            self.stats_cpu_seconds += self.sim.now - start
+
+
+def build(sim: Simulator, cal: Optional[Calibration] = None):
+    """Client + CPU-mediated echo server."""
+    cal = cal or Calibration()
+    client, server = make_remote_pair(
+        sim, nic_config=cal.nic_config(),
+        client_core=cal.client_core(sim),
+        server_core=cal.server_core(sim, jitter=False),
+    )
+    client.add_vport_for_mac(1, CLIENT_MAC)
+    server.add_vport_for_mac(1, SERVER_MAC)
+    client_qp = client.driver.create_eth_qp(vport=1, use_mmio_wqe=True)
+    client_qp.post_rx_buffers(1024)
+    server_qp = server.driver.create_eth_qp(vport=1, use_mmio_wqe=True)
+    server_qp.post_rx_buffers(1024)
+    echo = CpuMediatedEcho(sim, server, server_qp, server.core)
+    flow = Flow(CLIENT_MAC, SERVER_MAC, CLIENT_IP, SERVER_IP, 7000, 7001)
+    loadgen = LoadGenerator(sim, client_qp, flow)
+    return SimpleNamespace(client=client, server=server, echo=echo,
+                           loadgen=loadgen)
+
+
+def echo_throughput(size: int, count: int = 1200,
+                    cal: Optional[Calibration] = None) -> Dict:
+    """One throughput point for the mediated architecture."""
+    sim = Simulator()
+    setup = build(sim, cal)
+    loadgen = setup.loadgen
+    rate = 25e9 / ((size + 24) * 8)
+
+    def run(sim):
+        yield from loadgen.run_open_loop([size] * count, rate_pps=rate)
+        yield from loadgen.drain()
+
+    sim.spawn(run(sim))
+    sim.run(until=2.0)
+    duration = max(loadgen.rx_meter.duration, 1e-12)
+    return {
+        "architecture": "cpu-mediated",
+        "size": size,
+        "gbps": loadgen.rx_meter.gbps(wire_overhead_per_packet=24),
+        "mpps": loadgen.rx_meter.mpps(),
+        "received": loadgen.stats_received,
+        "sent": loadgen.stats_sent,
+        # Host CPU utilization of the relay alone (excludes the driver
+        # rx path, which FLD also avoids).
+        "host_cpu_utilization": setup.echo.stats_cpu_seconds / duration,
+    }

@@ -1,0 +1,243 @@
+"""Echo microbenchmark experiments (§8.1: Fig. 7b, Fig. 7c, Table 6,
+and the mixed-size trace of §8.1.1)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..models.perf import expected_echo_gbps
+from ..net import ImcDatacenterSizes
+from ..sim import LatencyCollector, Simulator
+from .setups import Calibration, cpu_echo_remote, flde_echo_local, \
+    flde_echo_remote, fldr_echo
+
+
+def _run_loadgen_throughput(sim, loadgen, size: int, count: int,
+                            deadline: float = 2.0,
+                            pace_bps: float = 25e9) -> Dict:
+    # Offer exactly line rate for this size; the measured echo rate then
+    # reflects the path's capacity, not transient queueing of a burst.
+    rate_pps = pace_bps / ((size + 24) * 8)
+
+    def run(sim):
+        yield from loadgen.run_open_loop([size] * count, rate_pps=rate_pps)
+        yield from loadgen.drain()
+
+    sim.spawn(run(sim))
+    sim.run(until=deadline)
+    return {
+        "size": size,
+        "sent": loadgen.stats_sent,
+        "received": loadgen.stats_received,
+        "gbps": loadgen.rx_meter.gbps(wire_overhead_per_packet=24),
+        "mpps": loadgen.rx_meter.mpps(),
+    }
+
+
+def echo_throughput(mode: str, size: int, count: int = 2000,
+                    cal: Optional[Calibration] = None) -> Dict:
+    """One point of Fig. 7b: echo goodput at ``size`` for a given mode.
+
+    Modes: ``flde-remote``, ``flde-local``, ``cpu-remote``.
+    """
+    sim = Simulator()
+    cal = cal or Calibration()
+    if mode == "flde-remote":
+        setup = flde_echo_remote(sim, cal)
+    elif mode == "flde-local":
+        setup = flde_echo_local(sim, cal)
+    elif mode == "cpu-remote":
+        setup = cpu_echo_remote(sim, cal, jitter=False)
+    else:
+        raise ValueError(f"unknown echo mode {mode!r}")
+    line_bps = 25e9 if mode.endswith("remote") else 50e9
+    result = _run_loadgen_throughput(sim, setup.loadgen, size, count,
+                                     pace_bps=line_bps)
+    result["mode"] = mode
+    result["model_gbps"] = expected_echo_gbps(size, line_bps, 50e9)
+    return result
+
+
+def figure7b(sizes: Optional[List[int]] = None, count: int = 1500,
+             modes: Optional[List[str]] = None) -> List[Dict]:
+    """The Fig. 7b sweep: bandwidth vs packet size per mode."""
+    sizes = sizes or [64, 128, 256, 512, 1024, 1500]
+    modes = modes or ["flde-remote", "flde-local", "cpu-remote"]
+    rows = []
+    for mode in modes:
+        for size in sizes:
+            rows.append(echo_throughput(mode, size, count))
+    return rows
+
+
+def echo_latency(mode: str, count: int = 3000, frame_size: int = 64,
+                 cal: Optional[Calibration] = None) -> Dict:
+    """Table 6: closed-loop 64 B echo round-trip statistics."""
+    sim = Simulator()
+    cal = cal or Calibration()
+    if mode == "flde":
+        setup = flde_echo_remote(sim, cal)
+    elif mode == "cpu":
+        setup = cpu_echo_remote(sim, cal, jitter=True)
+    else:
+        raise ValueError(f"unknown latency mode {mode!r}")
+    loadgen = setup.loadgen
+
+    def run(sim):
+        yield from loadgen.run_closed_loop(frame_size, count, window=1)
+        yield from loadgen.drain()
+
+    sim.spawn(run(sim))
+    sim.run(until=10.0)
+    summary = loadgen.latency.summary()
+    return {
+        "mode": mode,
+        "count": len(loadgen.latency),
+        "mean_us": summary["mean"] * 1e6,
+        "median_us": summary["median"] * 1e6,
+        "p99_us": summary["p99"] * 1e6,
+        "p999_us": summary["p99.9"] * 1e6,
+    }
+
+
+def table6() -> List[Dict]:
+    return [echo_latency("flde"), echo_latency("cpu")]
+
+
+def trace_forwarding(mode: str, count: int = 6000, seed: int = 7,
+                     cal: Optional[Calibration] = None) -> Dict:
+    """§8.1.1: forwarding the IMC-2010-like mixed-size trace.
+
+    Reports Mpps — the paper's 12.7 (FLD-E) vs 9.6 (one CPU core).
+    """
+    sim = Simulator()
+    cal = cal or Calibration()
+    if mode == "flde":
+        setup = flde_echo_remote(sim, cal, units=4)
+    elif mode == "cpu":
+        setup = cpu_echo_remote(sim, cal, jitter=False)
+    else:
+        raise ValueError(f"unknown trace mode {mode!r}")
+    sizes = ImcDatacenterSizes(seed=seed).sizes(count)
+    loadgen = setup.loadgen
+
+    def run(sim):
+        yield from loadgen.run_open_loop(sizes)
+        yield from loadgen.drain()
+
+    sim.spawn(run(sim))
+    sim.run(until=5.0)
+    return {
+        "mode": mode,
+        "received": loadgen.stats_received,
+        "sent": loadgen.stats_sent,
+        "mpps": loadgen.rx_meter.mpps(),
+        "gbps": loadgen.rx_meter.gbps(24),
+    }
+
+
+def fldr_latency_vs_load(loads: Optional[List[float]] = None,
+                         message_size: int = 1024, local: bool = False,
+                         per_point: int = 800,
+                         cal: Optional[Calibration] = None) -> List[Dict]:
+    """Fig. 7c: FLD-R 1 KiB message latency as load increases.
+
+    ``loads`` are request rates in messages/second; each point runs an
+    open-loop Poisson-ish arrival (fixed gap) and reports median latency
+    and achieved throughput.
+    """
+    if loads is None:
+        peak = 25e9 / ((message_size + 150) * 8)  # rough saturation rate
+        loads = [peak * f for f in (0.1, 0.3, 0.5, 0.7, 0.8, 0.9)]
+    rows = []
+    for rate in loads:
+        sim = Simulator()
+        setup = fldr_echo(sim, cal, local=local)
+        connection = setup.connection
+        latency = LatencyCollector()
+        sent_times: List[float] = []
+        state = {"received": 0, "first_rx": None, "last_rx": None}
+
+        def receiver(sim, connection=connection, latency=latency,
+                     sent_times=sent_times, state=state):
+            # RC QPs are FIFO: response i answers request i.
+            while True:
+                _message, _cqe = yield connection.responses.get()
+                index = state["received"]
+                state["received"] += 1
+                if index < len(sent_times):
+                    latency.add(sim.now - sent_times[index])
+                if state["first_rx"] is None:
+                    state["first_rx"] = sim.now
+                state["last_rx"] = sim.now
+
+        def sender(sim, connection=connection, sent_times=sent_times,
+                   rate=rate):
+            gap = 1.0 / rate
+            for _ in range(per_point):
+                sent_times.append(sim.now)
+                connection.post(bytes(message_size))
+                yield sim.timeout(gap)
+
+        sim.spawn(receiver(sim))
+        sim.spawn(sender(sim))
+        sim.run(until=per_point / rate + 0.05)
+        duration = ((state["last_rx"] or 0.0) - (state["first_rx"] or 0.0))
+        achieved = state["received"] / duration if duration > 0 else 0.0
+        rows.append({
+            "offered_mps": rate,
+            "received": state["received"],
+            "achieved_mps": achieved,
+            "achieved_gbps": achieved * message_size * 8 / 1e9,
+            "median_latency_us": (latency.median * 1e6
+                                  if len(latency) else None),
+            "p99_latency_us": (latency.pct(99) * 1e6
+                               if len(latency) else None),
+        })
+    return rows
+
+
+def fldr_throughput(size: int, count: int = 400, window: int = 64,
+                    local: bool = False,
+                    cal: Optional[Calibration] = None) -> Dict:
+    """Fig. 7b's right column: FLD-R echo goodput at ``size``.
+
+    Messages above the 1024 B RoCE MTU exercise the NIC's hardware
+    segmentation — the transport offload FLD gets for free (§8.1.2).
+    """
+    sim = Simulator()
+    setup = fldr_echo(sim, cal, local=local)
+    connection = setup.connection
+    # Application-layer flow control (§5.5): keep the outstanding bytes
+    # within FLD's on-chip buffering so the no-backpressure rx stream is
+    # never overrun.
+    window = max(4, min(window, (128 * 1024) // max(size, 1)))
+    state = {"received": 0, "first": None, "last": None}
+
+    def runner(sim):
+        sent = 0
+        for _ in range(min(window, count)):
+            connection.post(bytes(size))
+            sent += 1
+        while state["received"] < count:
+            _message, _cqe = yield connection.responses.get()
+            state["received"] += 1
+            state["first"] = state["first"] or sim.now
+            state["last"] = sim.now
+            if sent < count:
+                connection.post(bytes(size))
+                sent += 1
+
+    sim.spawn(runner(sim))
+    sim.run(until=5.0)
+    duration = (state["last"] or 1.0) - (state["first"] or 0.0)
+    gbps = ((state["received"] - 1) * size * 8 / duration / 1e9
+            if duration > 0 else 0.0)
+    segments = max(1, -(-size // 1024))
+    return {
+        "mode": "fldr-local" if local else "fldr-remote",
+        "size": size,
+        "received": state["received"],
+        "gbps": gbps,
+        "segments_per_message": segments,
+    }

@@ -1,0 +1,120 @@
+"""FLD scaling to higher line rates (§9 "Discussion").
+
+The paper argues FLD scales past one instance's PCIe/pipeline ceiling by
+"instantiating multiple FLD 'cores' within the accelerator, combined
+with NIC RSS offloads to balance the load on these cores."  This
+experiment builds exactly that: a 100 GbE-class NIC steering traffic
+through an RSS group whose queues belong to *N separate FLD instances*,
+each with its own BAR window, PCIe x8 attachment and echo engine.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Dict, List, Optional
+
+from ..accelerators import EchoAccelerator
+from ..core import bar as fld_bar
+from ..host import LoadGenerator
+from ..net import Flow, RssEngine
+from ..nic import ForwardToRss, NicConfig, RssGroup
+from ..sim import Simulator
+from ..sw import FldRuntime
+from ..testbed import FLD_BAR_BASE, make_remote_pair
+from .setups import CLIENT_MAC, CLIENT_IP, Calibration, FLD_MAC, SERVER_IP
+
+
+def build(cores: int, port_rate_bps: float = 100e9,
+          cal: Optional[Calibration] = None) -> SimpleNamespace:
+    """A server with ``cores`` FLD instances behind one RSS group."""
+    cal = cal or Calibration()
+    nic_config = NicConfig(port_rate_bps=port_rate_bps,
+                           port_latency=cal.wire_latency,
+                           processing_delay=cal.nic_processing)
+    # A 100 GbE-era testbed: hosts attach at PCIe x16 so the traffic
+    # generator is not the bottleneck under test.
+    client, server = make_remote_pair(sim := Simulator(),
+                                      nic_config=nic_config,
+                                      client_core=cal.client_core(sim),
+                                      host_lanes=16)
+    client.add_vport_for_mac(1, CLIENT_MAC)
+    server.add_vport_for_mac(2, FLD_MAC)
+
+    runtimes: List[FldRuntime] = []
+    accelerators: List[EchoAccelerator] = []
+    rqs = []
+    for core in range(cores):
+        runtime = FldRuntime(
+            server, fld_config=cal.fld_config(),
+            fld_bar_base=FLD_BAR_BASE + core * fld_bar.FLD_BAR_SIZE,
+            fld_name=f"{server.name}.fld{core}",
+        )
+        rq = runtime.create_rx_queue(vport=2, set_default=False)
+        txq = runtime.create_eth_tx_queue(vport=2)
+        accelerators.append(
+            EchoAccelerator(sim, runtime.fld, units=2, tx_queue=txq))
+        runtimes.append(runtime)
+        rqs.append(rq)
+
+    # NIC RSS spreads flows across the FLD cores' receive queues (§9).
+    group = RssGroup("fld-cores", rqs, RssEngine(queues=list(range(cores))))
+    vport = server.nic.eswitch.vports[2]
+    server.nic.steering.table(vport.rx_root).default_actions = [
+        ForwardToRss(group)]
+
+    client_qp = client.driver.create_eth_qp(vport=1, use_mmio_wqe=True,
+                                            sq_entries=2048,
+                                            rq_entries=2048)
+    client_qp.post_rx_buffers(2048)
+    return SimpleNamespace(sim=sim, client=client, server=server,
+                           runtimes=runtimes, accelerators=accelerators,
+                           client_qp=client_qp)
+
+
+def throughput(cores: int, frame_size: int = 1500, count: int = 2000,
+               flows: int = 32, port_rate_bps: float = 100e9) -> Dict:
+    """Echo throughput with ``cores`` FLD instances at ``port_rate``."""
+    setup = build(cores, port_rate_bps)
+    sim = setup.sim
+    # Many flows so RSS can spread them; one aggregate latency/rx meter.
+    flow_list = [
+        Flow(CLIENT_MAC, FLD_MAC, CLIENT_IP, SERVER_IP, 40000 + i, 7001)
+        for i in range(flows)
+    ]
+    loadgen = LoadGenerator(sim, setup.client_qp, flow_list[0])
+    rate_pps = port_rate_bps / ((frame_size + 24) * 8)
+
+    def drive(sim):
+        gap = 1.0 / rate_pps
+        for i in range(count):
+            flow = flow_list[i % flows]
+            packet = flow.make_sized_packet(frame_size)
+            import struct
+            payload = bytearray(packet.payload)
+            struct.pack_into("!Q", payload, 0, i)
+            loadgen._sent_at[i] = sim.now
+            loadgen._seq = i + 1
+            packet.payload = bytes(payload)
+            yield from setup.client_qp.wait_for_tx_space()
+            setup.client_qp.send(packet.to_bytes())
+            loadgen.stats_sent += 1
+            yield sim.timeout(gap)
+        yield from loadgen.drain()
+
+    loadgen.rx_meter.start(0.0)
+    sim.spawn(drive(sim))
+    sim.run(until=2.0)
+    per_core = [a.stats_processed for a in setup.accelerators]
+    return {
+        "cores": cores,
+        "gbps": loadgen.rx_meter.gbps(wire_overhead_per_packet=24),
+        "received": loadgen.stats_received,
+        "sent": loadgen.stats_sent,
+        "per_core_packets": per_core,
+        "active_cores": sum(1 for c in per_core if c > 0),
+    }
+
+
+def core_sweep(core_counts=(1, 2, 4), frame_size: int = 1500,
+               count: int = 1500) -> List[Dict]:
+    return [throughput(c, frame_size, count) for c in core_counts]

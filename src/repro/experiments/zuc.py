@@ -1,0 +1,134 @@
+"""The disaggregated ZUC accelerator experiments (§8.2.1, Fig. 8).
+
+Measures encryption throughput and latency through the DPDK-style
+cryptodev API, comparing:
+
+* the **remote FLD accelerator** (8 ZUC units over FLD-R / 25 GbE),
+* the **CPU software driver** (one core running the real cipher at
+  IPsec-MB-class cycles/byte),
+* the **performance model** upper bound (RoCE + application headers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..host import CpuComputeCost, CpuCore
+from ..models.perf import zuc_model_gbps
+from ..sim import LatencyCollector, Simulator
+from ..sw import CryptoOp, FldRZucCryptodev, SwZucCryptodev
+from .setups import Calibration, zuc_service
+
+#: Software ZUC cost: Intel IPsec-MB class performance (§8.2.1's CPU
+#: baseline reaches ~1/4 of the accelerator at 512 B requests).
+SW_CYCLES_PER_BYTE = 3.0
+SW_CYCLES_PER_OP = 600
+
+
+def _measure_throughput(sim, dev, key: bytes, size: int, count: int,
+                        window: int, deadline: float) -> Dict:
+    """Closed-loop with ``window`` outstanding ops (test-crypto-perf)."""
+    state = {"completed": 0, "first": None, "last": None}
+    latency = LatencyCollector()
+
+    def runner(sim):
+        submitted = 0
+        for _ in range(min(window, count)):
+            dev.submit(CryptoOp(CryptoOp.CIPHER, key, bytes(size)))
+            submitted += 1
+        while state["completed"] < count:
+            op = yield dev.completions.get()
+            latency.add(op.latency)
+            state["completed"] += 1
+            if state["first"] is None:
+                state["first"] = sim.now
+            state["last"] = sim.now
+            if submitted < count:
+                dev.submit(CryptoOp(CryptoOp.CIPHER, key, bytes(size)))
+                submitted += 1
+
+    sim.spawn(runner(sim))
+    sim.run(until=deadline)
+    duration = (state["last"] or 0) - (state["first"] or 0)
+    completed = state["completed"]
+    gbps = (completed - 1) * size * 8 / duration / 1e9 if duration > 0 else 0
+    return {
+        "size": size,
+        "completed": completed,
+        "gbps": gbps,
+        "median_latency_us": latency.median * 1e6 if len(latency) else None,
+        "p99_latency_us": latency.pct(99) * 1e6 if len(latency) else None,
+    }
+
+
+def fld_throughput(size: int, count: int = 400, window: int = 64,
+                   cal: Optional[Calibration] = None) -> Dict:
+    """One Fig. 8a point for the remote accelerator."""
+    sim = Simulator()
+    setup = zuc_service(sim, cal)
+    dev = FldRZucCryptodev(sim, setup.connection)
+    result = _measure_throughput(sim, dev, bytes(range(16)), size, count,
+                                 window, deadline=5.0)
+    result["mode"] = "fld"
+    result["model_gbps"] = zuc_model_gbps(size)
+    return result
+
+
+def cpu_throughput(size: int, count: int = 400,
+                   cal: Optional[Calibration] = None) -> Dict:
+    """One Fig. 8a point for the single-core software baseline."""
+    sim = Simulator()
+    cal = cal or Calibration()
+    core = CpuCore(sim, cal.cpu_frequency_hz, os_jitter_probability=0.0)
+    compute = CpuComputeCost(core, SW_CYCLES_PER_BYTE, SW_CYCLES_PER_OP)
+    dev = SwZucCryptodev(sim, compute)
+    result = _measure_throughput(sim, dev, bytes(range(16)), size, count,
+                                 window=16, deadline=5.0)
+    result["mode"] = "cpu"
+    result["model_gbps"] = zuc_model_gbps(size)
+    return result
+
+
+def figure8a(sizes: Optional[List[int]] = None,
+             count: int = 300) -> List[Dict]:
+    """Fig. 8a: encryption throughput vs request size, FLD vs CPU."""
+    sizes = sizes or [64, 128, 256, 512, 1024, 2048, 4096]
+    rows = []
+    for size in sizes:
+        rows.append(fld_throughput(size, count))
+        rows.append(cpu_throughput(size, count))
+    return rows
+
+
+def figure8b(loads: Optional[List[int]] = None, size: int = 512,
+             count: int = 300,
+             cal: Optional[Calibration] = None) -> List[Dict]:
+    """Fig. 8b: latency vs offered load for both implementations.
+
+    ``loads`` are window sizes (outstanding requests) — the knob
+    test-crypto-perf uses to raise utilization.
+    """
+    loads = loads or [1, 2, 4, 8, 16, 32, 64]
+    rows = []
+    for window in loads:
+        sim = Simulator()
+        setup = zuc_service(sim, cal)
+        dev = FldRZucCryptodev(sim, setup.connection)
+        result = _measure_throughput(sim, dev, bytes(range(16)), size,
+                                     count, window, deadline=5.0)
+        result["mode"] = "fld"
+        result["window"] = window
+        rows.append(result)
+
+        sim = Simulator()
+        cal2 = cal or Calibration()
+        core = CpuCore(sim, cal2.cpu_frequency_hz,
+                       os_jitter_probability=0.0)
+        compute = CpuComputeCost(core, SW_CYCLES_PER_BYTE, SW_CYCLES_PER_OP)
+        cpu_dev = SwZucCryptodev(sim, compute)
+        cpu_result = _measure_throughput(sim, cpu_dev, bytes(range(16)),
+                                         size, count, window, deadline=5.0)
+        cpu_result["mode"] = "cpu"
+        cpu_result["window"] = window
+        rows.append(cpu_result)
+    return rows

@@ -1,0 +1,21 @@
+"""Host-side software: memory, CPU model, software driver, testpmd apps."""
+
+from .cpu import CpuComputeCost, CpuCore, HostCpuPort
+from .driver import EthQueuePair, RcEndpoint, SoftwareDriver
+from .memory import BumpAllocator, HostMemory, PAGE_SIZE
+from .testpmd import EchoApp, LoadGenerator, swap_directions
+
+__all__ = [
+    "BumpAllocator",
+    "CpuComputeCost",
+    "CpuCore",
+    "EchoApp",
+    "EthQueuePair",
+    "HostCpuPort",
+    "HostMemory",
+    "LoadGenerator",
+    "PAGE_SIZE",
+    "RcEndpoint",
+    "SoftwareDriver",
+    "swap_directions",
+]

@@ -1,0 +1,95 @@
+"""Host DRAM: a sparse, page-backed PCIe-addressable memory.
+
+Big enough for driver rings and DPDK-style buffer pools without
+allocating gigabytes of real Python memory — pages materialize on first
+touch.  Includes a bump allocator for carving rings and pools out of the
+region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..pcie.endpoint import PcieEndpoint, PcieError
+
+PAGE_SIZE = 4096
+
+
+class HostMemory(PcieEndpoint):
+    """Sparse byte-addressable memory."""
+
+    def __init__(self, name: str, size: int = 1 << 34):
+        super().__init__(name)
+        if size <= 0:
+            raise PcieError("memory size must be positive")
+        self.size = size
+        self._pages: Dict[int, bytearray] = {}
+        self.stats_reads = 0
+        self.stats_writes = 0
+
+    def _check(self, address: int, length: int) -> None:
+        if address < 0 or address + length > self.size:
+            raise PcieError(
+                f"access [{address:#x}+{length}] outside {self.name}"
+            )
+
+    def handle_read(self, address: int, length: int) -> bytes:
+        self._check(address, length)
+        self.stats_reads += 1
+        out = bytearray(length)
+        cursor = 0
+        while cursor < length:
+            page_no, offset = divmod(address + cursor, PAGE_SIZE)
+            chunk = min(length - cursor, PAGE_SIZE - offset)
+            page = self._pages.get(page_no)
+            if page is not None:
+                out[cursor:cursor + chunk] = page[offset:offset + chunk]
+            cursor += chunk
+        return bytes(out)
+
+    def handle_write(self, address: int, data: bytes) -> None:
+        self._check(address, len(data))
+        self.stats_writes += 1
+        cursor = 0
+        while cursor < len(data):
+            page_no, offset = divmod(address + cursor, PAGE_SIZE)
+            chunk = min(len(data) - cursor, PAGE_SIZE - offset)
+            page = self._pages.get(page_no)
+            if page is None:
+                page = self._pages[page_no] = bytearray(PAGE_SIZE)
+            page[offset:offset + chunk] = data[cursor:cursor + chunk]
+            cursor += chunk
+
+    # CPU-local access: same operation, but models no PCIe traffic.
+    read_local = handle_read
+    write_local = handle_write
+
+    @property
+    def resident_bytes(self) -> int:
+        """Physical footprint actually allocated (for tests)."""
+        return len(self._pages) * PAGE_SIZE
+
+
+class BumpAllocator:
+    """Carves aligned regions out of an address window (never frees)."""
+
+    def __init__(self, base: int, size: int):
+        self.base = base
+        self.size = size
+        self._cursor = base
+
+    def alloc(self, size: int, align: int = 64) -> int:
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        start = (self._cursor + align - 1) // align * align
+        if start + size > self.base + self.size:
+            raise MemoryError(
+                f"allocator exhausted: need {size} at {start:#x}, "
+                f"window ends {self.base + self.size:#x}"
+            )
+        self._cursor = start + size
+        return start
+
+    @property
+    def used(self) -> int:
+        return self._cursor - self.base

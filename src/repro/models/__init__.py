@@ -1,0 +1,5 @@
+"""Analytical models reproducing the paper's tables and model curves."""
+
+from . import area, loc, memory, perf
+
+__all__ = ["area", "loc", "memory", "perf"]

@@ -1,0 +1,181 @@
+"""The paper's FLD performance model (§8.1, Fig. 7a, and the model
+curves of Fig. 7b / Fig. 8a).
+
+FLD talks to the NIC over PCIe, so every network packet is accompanied
+by control traffic: descriptor/doorbell writes, data TLP headers, and
+completion writes.  The model computes the PCIe bytes each direction
+carries per packet and derives the achievable packet rate, compared to a
+raw Ethernet port of the same nominal rate (what an accelerator-hosted
+or BITW design would see).
+
+Per echoed packet of wire-visible size S (plus 24 B Ethernet overhead on
+the wire comparison):
+
+NIC -> FLD direction:
+  * received packet data, split at the max payload size (24 B/TLP),
+  * one receive CQE write (64 B + TLP overhead),
+  * the transmit-side data *read requests* (header-only TLPs),
+  * one transmit CQE write, amortized by selective signalling (§6).
+
+FLD -> NIC direction:
+  * the WQE-by-MMIO doorbell (a 64 B write; §6),
+  * transmit data read completions, split at the RCB,
+  * the receive-ring producer-index write, amortized per MPRQ buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..pcie.tlp import (
+    COMPLETION_HEADER,
+    DLLP_FRAMING,
+    MEM_REQUEST_HEADER,
+    read_wire_bytes,
+    write_wire_bytes,
+)
+
+ETHERNET_OVERHEAD = 24  # preamble + FCS + IFG
+CQE_BYTES = 64
+WQE_BYTES = 64
+DOORBELL_BYTES = 4
+
+WRITE_TLP_OVERHEAD = MEM_REQUEST_HEADER + DLLP_FRAMING      # 24 B
+READ_REQUEST_BYTES = MEM_REQUEST_HEADER + DLLP_FRAMING      # 24 B
+COMPLETION_TLP_OVERHEAD = COMPLETION_HEADER + DLLP_FRAMING  # 20 B
+
+
+@dataclass
+class FldPerfModel:
+    """PCIe overhead accounting for the FLD data path."""
+
+    pcie_bps: float = 50e9          # usable PCIe rate, each direction
+    max_payload_size: int = 256
+    read_completion_boundary: int = 256
+    max_read_request: int = 512
+    wqe_by_mmio: bool = True        # §6 optimization
+    tx_signal_interval: int = 16    # selective completion signalling
+    mprq_packets_per_buffer: int = 64
+    # §8.1 lists receive-CQE compression as a further (unused) NIC
+    # optimization: several completions coalesce into one CQE-sized
+    # write.  1 = off (the paper's configuration).
+    rx_cqe_compression_ratio: int = 1
+
+    # -- per-packet PCIe bytes -------------------------------------------
+
+    def rx_bytes_to_fld(self, size: int) -> float:
+        """NIC->FLD bytes to deliver one received packet."""
+        data = write_wire_bytes(size, self.max_payload_size)
+        cqe = (write_wire_bytes(CQE_BYTES, self.max_payload_size)
+               / max(1, self.rx_cqe_compression_ratio))
+        return data + cqe
+
+    def rx_bytes_from_fld(self, size: int) -> float:
+        """FLD->NIC bytes per received packet (buffer recycling)."""
+        doorbell = write_wire_bytes(DOORBELL_BYTES, self.max_payload_size)
+        return doorbell / self.mprq_packets_per_buffer
+
+    def tx_bytes_from_fld(self, size: int) -> float:
+        """FLD->NIC bytes to transmit one packet."""
+        total = 0.0
+        if self.wqe_by_mmio:
+            total += write_wire_bytes(WQE_BYTES, self.max_payload_size)
+        else:
+            total += write_wire_bytes(DOORBELL_BYTES, self.max_payload_size)
+        _requests, completions = read_wire_bytes(
+            size, self.read_completion_boundary, self.max_read_request)
+        total += completions
+        return total
+
+    def tx_bytes_to_fld(self, size: int) -> float:
+        """NIC->FLD bytes per transmitted packet."""
+        total = 0.0
+        if not self.wqe_by_mmio:
+            # The NIC reads the WQE from the FLD BAR.
+            requests, completions = read_wire_bytes(
+                WQE_BYTES, self.read_completion_boundary)
+            total += completions  # (requests go the other way)
+        requests, _completions = read_wire_bytes(
+            size, self.read_completion_boundary, self.max_read_request)
+        total += requests
+        total += (write_wire_bytes(CQE_BYTES, self.max_payload_size)
+                  / self.tx_signal_interval)
+        return total
+
+    # -- achievable rates ---------------------------------------------------
+
+    def echo_packet_rate(self, size: int) -> float:
+        """Packets/s for an echo accelerator (receive + transmit each)."""
+        to_fld = self.rx_bytes_to_fld(size) + self.tx_bytes_to_fld(size)
+        from_fld = self.rx_bytes_from_fld(size) + self.tx_bytes_from_fld(size)
+        per_packet = max(to_fld, from_fld)  # full duplex: worst direction
+        return self.pcie_bps / (per_packet * 8)
+
+    def echo_throughput_bps(self, size: int) -> float:
+        """Goodput (packet bytes/s, excluding Ethernet overhead)."""
+        return self.echo_packet_rate(size) * size * 8
+
+
+def ethernet_packet_rate(size: int, line_bps: float) -> float:
+    """Raw Ethernet: what a direct-attached port moves at this size."""
+    return line_bps / ((size + ETHERNET_OVERHEAD) * 8)
+
+
+def ethernet_throughput_bps(size: int, line_bps: float) -> float:
+    return ethernet_packet_rate(size, line_bps) * size * 8
+
+
+def expected_echo_gbps(size: int, line_bps: float,
+                       pcie_bps: float) -> float:
+    """The model line of Fig. 7b: min(wire, PCIe) at this packet size."""
+    model = FldPerfModel(pcie_bps=pcie_bps)
+    return min(
+        ethernet_throughput_bps(size, line_bps),
+        model.echo_throughput_bps(size),
+    ) / 1e9
+
+
+def figure7a(sizes: List[int] = None,
+             configs: List[Dict] = None) -> List[Dict]:
+    """Fig. 7a: PCIe-attached FLD vs raw Ethernet across packet sizes.
+
+    Each config pairs an Ethernet line rate with a PCIe rate; the paper
+    shows 25/50 (the prototype: remote and local ceilings) and
+    100/100 Gbps.
+    """
+    sizes = sizes or [64, 128, 256, 512, 1024, 1500, 2048, 4096, 8192,
+                      16384]
+    configs = configs or [
+        {"name": "25G-eth/50G-pcie", "eth_bps": 25e9, "pcie_bps": 50e9},
+        {"name": "50G-eth/50G-pcie", "eth_bps": 50e9, "pcie_bps": 50e9},
+        {"name": "100G-eth/100G-pcie", "eth_bps": 100e9, "pcie_bps": 100e9},
+    ]
+    rows = []
+    for config in configs:
+        model = FldPerfModel(pcie_bps=config["pcie_bps"])
+        for size in sizes:
+            ethernet = ethernet_throughput_bps(size, config["eth_bps"])
+            fld = min(ethernet, model.echo_throughput_bps(size))
+            rows.append({
+                "config": config["name"],
+                "size": size,
+                "ethernet_gbps": ethernet / 1e9,
+                "fld_gbps": fld / 1e9,
+                "fraction_of_ethernet": fld / ethernet,
+            })
+    return rows
+
+
+def zuc_model_gbps(request_size: int, line_bps: float = 25e9,
+                   app_header: int = 64, roce_header: int = 58+4) -> float:
+    """Fig. 8a's model line: RoCE + app header overhead on the wire.
+
+    Each request/response carries a 64 B application header; segments
+    add Eth/IP/UDP/BTH/ICRC (~62 B) per RoCE MTU (1024 B).
+    """
+    mtu = 1024
+    message = app_header + request_size
+    segments = max(1, -(-message // mtu))
+    wire = message + segments * (roce_header + ETHERNET_OVERHEAD)
+    return line_bps * request_size / wire / 1e9

@@ -1,0 +1,46 @@
+"""Internet checksum (RFC 1071) and helpers.
+
+Used by the IPv4 header, UDP/TCP pseudo-header checksums, and by the NIC's
+checksum offload engine.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+def internet_checksum(data: bytes, initial: int = 0) -> int:
+    """One's-complement sum of 16-bit words, folded and inverted.
+
+    ``initial`` allows chaining (e.g. pseudo-header then payload).
+    """
+    total = initial
+    if len(data) % 2:
+        data = data + b"\x00"
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def ones_complement_add(data: bytes, initial: int = 0) -> int:
+    """Partial (non-inverted) one's-complement sum, for pseudo-headers."""
+    total = initial
+    if len(data) % 2:
+        data = data + b"\x00"
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True when ``data`` (checksum field included) sums to zero."""
+    return internet_checksum(data) == 0
+
+
+def pseudo_header_v4(src: bytes, dst: bytes, proto: int, length: int) -> bytes:
+    """IPv4 pseudo-header used in UDP/TCP checksums."""
+    return src + dst + struct.pack("!BBH", 0, proto, length)

@@ -1,0 +1,114 @@
+"""Layered packet model.
+
+A :class:`Packet` is an ordered stack of header objects plus a payload.
+Headers are small structs with real ``pack``/byte-accurate sizing, so wire
+sizes, checksums and fragmentation behave like the real protocols.  The
+``meta`` mapping carries simulation-side annotations (offload results,
+queue/context IDs, timestamps) that in hardware would travel in completion
+entries or sideband metadata — never on the wire.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional, Type, TypeVar
+
+H = TypeVar("H")
+
+# Ethernet wire overhead per frame: preamble+SFD (8) + FCS (4) + IFG (12).
+ETHERNET_WIRE_OVERHEAD = 24
+
+
+class Header:
+    """Base class for protocol headers; subclasses define ``pack``."""
+
+    name = "header"
+
+    def pack(self) -> bytes:
+        raise NotImplementedError
+
+    def size(self) -> int:
+        return len(self.pack())
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{k}={v!r}" for k, v in vars(self).items() if not k.startswith("_")
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+class Packet:
+    """An ordered header stack over a payload.
+
+    Headers are stored outermost-first (Ethernet, then IP, then L4...).
+    """
+
+    __slots__ = ("headers", "payload", "meta")
+
+    def __init__(self, headers: Optional[List[Header]] = None,
+                 payload: bytes = b"", meta: Optional[Dict[str, Any]] = None):
+        self.headers: List[Header] = list(headers) if headers else []
+        self.payload = payload
+        self.meta: Dict[str, Any] = dict(meta) if meta else {}
+
+    # -- header access ---------------------------------------------------
+
+    def push(self, header: Header) -> "Packet":
+        """Prepend an outer header (encapsulation)."""
+        self.headers.insert(0, header)
+        return self
+
+    def append(self, header: Header) -> "Packet":
+        """Add an inner header (building a packet top-down)."""
+        self.headers.append(header)
+        return self
+
+    def pop(self) -> Header:
+        """Remove and return the outermost header (decapsulation)."""
+        if not self.headers:
+            raise IndexError("no headers to pop")
+        return self.headers.pop(0)
+
+    def find(self, header_type: Type[H]) -> Optional[H]:
+        """First header of the given type, outermost-first, or ``None``."""
+        for header in self.headers:
+            if isinstance(header, header_type):
+                return header
+        return None
+
+    def find_all(self, header_type: Type[H]) -> List[H]:
+        return [h for h in self.headers if isinstance(h, header_type)]
+
+    def index_of(self, header: Header) -> int:
+        return self.headers.index(header)
+
+    def layers_below(self, header: Header) -> "Packet":
+        """A new packet view of everything inside ``header`` (exclusive)."""
+        idx = self.headers.index(header)
+        return Packet(self.headers[idx + 1:], self.payload, self.meta)
+
+    # -- sizing ----------------------------------------------------------
+
+    def header_size(self) -> int:
+        return sum(h.size() for h in self.headers)
+
+    def size(self) -> int:
+        """Total frame size in bytes (headers + payload, no FCS/preamble)."""
+        return self.header_size() + len(self.payload)
+
+    def wire_size(self) -> int:
+        """Bytes consumed on an Ethernet wire including overheads."""
+        return self.size() + ETHERNET_WIRE_OVERHEAD
+
+    def to_bytes(self) -> bytes:
+        return b"".join(h.pack() for h in self.headers) + self.payload
+
+    def copy(self) -> "Packet":
+        """Deep copy of headers, shallow copy of payload bytes."""
+        return Packet(
+            [copy.copy(h) for h in self.headers], self.payload, dict(self.meta)
+        )
+
+    def __repr__(self) -> str:
+        names = "/".join(type(h).__name__ for h in self.headers) or "raw"
+        return f"Packet({names}, payload={len(self.payload)}B)"

@@ -1,0 +1,79 @@
+"""Parse raw Ethernet frames back into layered :class:`Packet` objects.
+
+The NIC's receive pipeline and the accelerators both parse frames that
+arrive as bytes (from DMA buffers or the wire).  The parser understands
+the protocols the reproduction exercises: Ethernet / IPv4 / {TCP, UDP} /
+VXLAN (recursively) and RoCE v2 (BTH over UDP 4791).
+
+Fragmented IPv4 packets stop parsing at the IP layer — their L4 bytes stay
+in the payload, exactly the property that breaks L4-dependent NIC offloads.
+"""
+
+from __future__ import annotations
+
+from .ethernet import ETHERTYPE_IPV4, Ethernet
+from .ip import Ipv4, PROTO_TCP, PROTO_UDP
+from .packet import Packet
+from .roce import Aeth, Bth, Reth, ICRC_SIZE
+from .tcp import Tcp
+from .udp import ROCE_V2_PORT, Udp, VXLAN_PORT
+from .vxlan import Vxlan
+
+
+class ParseError(ValueError):
+    """Raised on truncated or malformed frames."""
+
+
+def parse_frame(data: bytes) -> Packet:
+    """Parse a full Ethernet frame into a layered packet."""
+    packet = Packet()
+    offset = _parse_ethernet(packet, data, 0)
+    packet.payload = data[offset:]
+    return packet
+
+
+def _parse_ethernet(packet: Packet, data: bytes, offset: int) -> int:
+    if len(data) - offset < 14:
+        raise ParseError("frame shorter than an Ethernet header")
+    eth = Ethernet.unpack(data[offset:offset + 14])
+    packet.append(eth)
+    offset += 14
+    if eth.ethertype == ETHERTYPE_IPV4:
+        return _parse_ipv4(packet, data, offset)
+    return offset
+
+
+def _parse_ipv4(packet: Packet, data: bytes, offset: int) -> int:
+    ip = Ipv4.unpack(data[offset:offset + Ipv4.HEADER_LEN])
+    packet.append(ip)
+    offset += Ipv4.HEADER_LEN
+    if ip.is_fragment:
+        return offset  # L4 header may be absent or must not be consumed
+    if ip.proto == PROTO_TCP and len(data) - offset >= Tcp.HEADER_LEN:
+        packet.append(Tcp.unpack(data[offset:offset + Tcp.HEADER_LEN]))
+        return offset + Tcp.HEADER_LEN
+    if ip.proto == PROTO_UDP and len(data) - offset >= Udp.HEADER_LEN:
+        udp = Udp.unpack(data[offset:offset + Udp.HEADER_LEN])
+        packet.append(udp)
+        offset += Udp.HEADER_LEN
+        if udp.dst_port == VXLAN_PORT and len(data) - offset >= Vxlan.HEADER_LEN:
+            packet.append(Vxlan.unpack(data[offset:offset + Vxlan.HEADER_LEN]))
+            offset += Vxlan.HEADER_LEN
+            return _parse_ethernet(packet, data, offset)
+        if udp.dst_port == ROCE_V2_PORT and len(data) - offset >= Bth.HEADER_LEN:
+            return _parse_roce(packet, data, offset)
+        return offset
+    return offset
+
+
+def _parse_roce(packet: Packet, data: bytes, offset: int) -> int:
+    bth = Bth.unpack(data[offset:offset + Bth.HEADER_LEN])
+    packet.append(bth)
+    offset += Bth.HEADER_LEN
+    if bth.is_ack and len(data) - offset >= Aeth.HEADER_LEN:
+        packet.append(Aeth.unpack(data[offset:offset + Aeth.HEADER_LEN]))
+        offset += Aeth.HEADER_LEN
+    elif bth.is_write and bth.is_first and len(data) - offset >= Reth.HEADER_LEN:
+        packet.append(Reth.unpack(data[offset:offset + Reth.HEADER_LEN]))
+        offset += Reth.HEADER_LEN
+    return offset

@@ -1,0 +1,170 @@
+"""RoCE v2 framing: the InfiniBand Base Transport Header (BTH) over UDP.
+
+The NIC's RDMA engine (``repro.nic.rdma``) segments messages into MTU-sized
+packets, each carrying a BTH; the opcode's first/middle/last structure lets
+the receiver reassemble messages and the FLD-R path deliver per-packet
+completions (§6's incremental message processing).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .packet import Header
+
+# BTH opcodes (RC transport subset).
+OP_SEND_FIRST = 0x00
+OP_SEND_MIDDLE = 0x01
+OP_SEND_LAST = 0x02
+OP_SEND_ONLY = 0x04
+OP_RDMA_WRITE_FIRST = 0x06
+OP_RDMA_WRITE_MIDDLE = 0x07
+OP_RDMA_WRITE_LAST = 0x08
+OP_RDMA_WRITE_ONLY = 0x0A
+OP_RDMA_READ_REQUEST = 0x0C
+OP_RDMA_READ_RESPONSE_ONLY = 0x10
+OP_ACK = 0x11
+
+_SEND_OPS = {OP_SEND_FIRST, OP_SEND_MIDDLE, OP_SEND_LAST, OP_SEND_ONLY}
+_WRITE_OPS = {
+    OP_RDMA_WRITE_FIRST, OP_RDMA_WRITE_MIDDLE,
+    OP_RDMA_WRITE_LAST, OP_RDMA_WRITE_ONLY,
+}
+_FIRST_OPS = {OP_SEND_FIRST, OP_RDMA_WRITE_FIRST, OP_SEND_ONLY, OP_RDMA_WRITE_ONLY}
+_LAST_OPS = {OP_SEND_LAST, OP_RDMA_WRITE_LAST, OP_SEND_ONLY, OP_RDMA_WRITE_ONLY}
+
+# Invariant CRC trailing each RoCE packet on the wire.
+ICRC_SIZE = 4
+
+
+class Bth(Header):
+    """Base Transport Header (12 bytes)."""
+
+    name = "bth"
+    HEADER_LEN = 12
+
+    def __init__(self, opcode: int, dest_qp: int, psn: int,
+                 ack_request: bool = False, partition: int = 0xFFFF):
+        self.opcode = opcode
+        self.dest_qp = dest_qp & 0xFFFFFF
+        self.psn = psn & 0xFFFFFF
+        self.ack_request = ack_request
+        self.partition = partition
+
+    def size(self) -> int:
+        return self.HEADER_LEN
+
+    def pack(self) -> bytes:
+        flags = 0x40 if self.ack_request else 0  # AckReq bit in byte 4
+        return struct.pack(
+            "!BBHII",
+            self.opcode,
+            0x40,  # SE/migreq/pad/tver defaults
+            self.partition,
+            (flags << 24) | self.dest_qp,
+            self.psn,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Bth":
+        if len(data) < cls.HEADER_LEN:
+            raise ValueError("truncated BTH")
+        opcode, _flags, partition, qp_field, psn_field = struct.unpack(
+            "!BBHII", data[:12]
+        )
+        return cls(
+            opcode=opcode,
+            dest_qp=qp_field & 0xFFFFFF,
+            psn=psn_field & 0xFFFFFF,
+            ack_request=bool((qp_field >> 24) & 0x40),
+            partition=partition,
+        )
+
+    # -- opcode classification -------------------------------------------
+
+    @property
+    def is_send(self) -> bool:
+        return self.opcode in _SEND_OPS
+
+    @property
+    def is_write(self) -> bool:
+        return self.opcode in _WRITE_OPS
+
+    @property
+    def is_first(self) -> bool:
+        return self.opcode in _FIRST_OPS
+
+    @property
+    def is_last(self) -> bool:
+        return self.opcode in _LAST_OPS
+
+    @property
+    def is_ack(self) -> bool:
+        return self.opcode == OP_ACK
+
+
+class Aeth(Header):
+    """ACK Extended Transport Header (4 bytes): syndrome + MSN."""
+
+    name = "aeth"
+    HEADER_LEN = 4
+
+    def __init__(self, msn: int, syndrome: int = 0):
+        self.msn = msn & 0xFFFFFF
+        self.syndrome = syndrome
+
+    def size(self) -> int:
+        return self.HEADER_LEN
+
+    def pack(self) -> bytes:
+        return struct.pack("!I", (self.syndrome << 24) | self.msn)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Aeth":
+        (word,) = struct.unpack("!I", data[:4])
+        return cls(msn=word & 0xFFFFFF, syndrome=word >> 24)
+
+
+class Reth(Header):
+    """RDMA Extended Transport Header (16 bytes): VA, rkey, length."""
+
+    name = "reth"
+    HEADER_LEN = 16
+
+    def __init__(self, virtual_address: int, rkey: int, length: int):
+        self.virtual_address = virtual_address
+        self.rkey = rkey
+        self.length = length
+
+    def size(self) -> int:
+        return self.HEADER_LEN
+
+    def pack(self) -> bytes:
+        return struct.pack("!QII", self.virtual_address, self.rkey, self.length)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Reth":
+        va, rkey, length = struct.unpack("!QII", data[:16])
+        return cls(va, rkey, length)
+
+
+def send_opcode(first: bool, last: bool) -> int:
+    """BTH opcode for a SEND segment at the given message position."""
+    if first and last:
+        return OP_SEND_ONLY
+    if first:
+        return OP_SEND_FIRST
+    if last:
+        return OP_SEND_LAST
+    return OP_SEND_MIDDLE
+
+
+def write_opcode(first: bool, last: bool) -> int:
+    """BTH opcode for an RDMA WRITE segment at the given message position."""
+    if first and last:
+        return OP_RDMA_WRITE_ONLY
+    if first:
+        return OP_RDMA_WRITE_FIRST
+    if last:
+        return OP_RDMA_WRITE_LAST
+    return OP_RDMA_WRITE_MIDDLE

@@ -1,0 +1,74 @@
+"""TCP header (enough for flow generation and checksum offloads).
+
+The reproduction does not implement a full TCP state machine: the defrag
+experiment (§8.2.2) only needs identifiable TCP flows with valid checksums,
+mirroring how iperf traffic exercises the NIC's RSS and checksum offloads.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .checksum import internet_checksum, pseudo_header_v4
+from .ip import IpAddress, PROTO_TCP
+from .packet import Header
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+
+
+class Tcp(Header):
+    """TCP header (20 bytes, no options)."""
+
+    name = "tcp"
+    HEADER_LEN = 20
+
+    def __init__(self, src_port: int, dst_port: int, seq: int = 0,
+                 ack: int = 0, flags: int = FLAG_ACK, window: int = 65535,
+                 checksum: int = 0):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq & 0xFFFFFFFF
+        self.ack = ack & 0xFFFFFFFF
+        self.flags = flags
+        self.window = window
+        self.checksum = checksum
+
+    def size(self) -> int:
+        return self.HEADER_LEN
+
+    def pack(self) -> bytes:
+        offset_flags = (5 << 12) | (self.flags & 0x3F)
+        return struct.pack(
+            "!HHIIHHHH",
+            self.src_port, self.dst_port, self.seq, self.ack,
+            offset_flags, self.window, self.checksum, 0,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Tcp":
+        if len(data) < cls.HEADER_LEN:
+            raise ValueError("truncated TCP header")
+        (src, dst, seq, ack, offset_flags, window, checksum,
+         _urgent) = struct.unpack("!HHIIHHHH", data[:20])
+        return cls(src, dst, seq, ack, offset_flags & 0x3F, window, checksum)
+
+    def compute_checksum(self, src: IpAddress, dst: IpAddress,
+                         payload: bytes) -> int:
+        length = self.HEADER_LEN + len(payload)
+        pseudo = pseudo_header_v4(src.pack(), dst.pack(), PROTO_TCP, length)
+        saved, self.checksum = self.checksum, 0
+        checksum = internet_checksum(pseudo + self.pack() + payload)
+        self.checksum = saved
+        return checksum
+
+    def fill_checksum(self, src: IpAddress, dst: IpAddress,
+                      payload: bytes) -> "Tcp":
+        self.checksum = self.compute_checksum(src, dst, payload)
+        return self
+
+    def verify(self, src: IpAddress, dst: IpAddress, payload: bytes) -> bool:
+        return self.compute_checksum(src, dst, payload) == self.checksum

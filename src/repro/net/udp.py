@@ -1,0 +1,66 @@
+"""UDP header with pseudo-header checksum support."""
+
+from __future__ import annotations
+
+import struct
+
+from .checksum import internet_checksum, pseudo_header_v4
+from .ip import IpAddress, PROTO_UDP
+from .packet import Header
+
+VXLAN_PORT = 4789
+ROCE_V2_PORT = 4791
+COAP_PORT = 5683
+
+
+class Udp(Header):
+    """UDP header (8 bytes)."""
+
+    name = "udp"
+    HEADER_LEN = 8
+
+    def __init__(self, src_port: int, dst_port: int, length: int = 0,
+                 checksum: int = 0):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.length = length
+        self.checksum = checksum
+
+    def size(self) -> int:
+        return self.HEADER_LEN
+
+    def finalize(self, payload_length: int) -> "Udp":
+        self.length = self.HEADER_LEN + payload_length
+        return self
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            "!HHHH", self.src_port, self.dst_port, self.length, self.checksum
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Udp":
+        if len(data) < cls.HEADER_LEN:
+            raise ValueError("truncated UDP header")
+        src, dst, length, checksum = struct.unpack("!HHHH", data[:8])
+        return cls(src, dst, length, checksum)
+
+    def compute_checksum(self, src: IpAddress, dst: IpAddress,
+                         payload: bytes) -> int:
+        """RFC 768 checksum over pseudo-header + UDP header + payload."""
+        self.finalize(len(payload))
+        pseudo = pseudo_header_v4(src.pack(), dst.pack(), PROTO_UDP, self.length)
+        saved, self.checksum = self.checksum, 0
+        checksum = internet_checksum(pseudo + self.pack() + payload)
+        self.checksum = saved
+        return checksum or 0xFFFF  # 0 means "no checksum" in UDP
+
+    def fill_checksum(self, src: IpAddress, dst: IpAddress,
+                      payload: bytes) -> "Udp":
+        self.checksum = self.compute_checksum(src, dst, payload)
+        return self
+
+    def verify(self, src: IpAddress, dst: IpAddress, payload: bytes) -> bool:
+        if self.checksum == 0:
+            return True  # checksum disabled
+        return self.compute_checksum(src, dst, payload) == self.checksum

@@ -1,0 +1,478 @@
+"""The NIC device model (ConnectX-5-like).
+
+One :class:`Nic` owns an Ethernet port + eSwitch, steering pipelines,
+stateless offloads, a traffic shaper, the RoCE RC transport engine, and
+the queue machinery.  Its PCIe BAR exposes doorbell records and a
+WQE-by-MMIO window; its DMA engine reads rings/buffers and writes packet
+data/CQEs at *fabric addresses* — host memory and the FLD BAR look
+identical to it, which is precisely the property FlexDriver exploits.
+
+Control-plane operations (queue creation, steering rule installation,
+QP connection) are plain method calls, standing in for the firmware
+command interface a real driver uses; they are exercised by the software
+control planes in :mod:`repro.sw` and :mod:`repro.host`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..net import Bth, Packet
+from ..net.parse import parse_frame
+from ..pcie import PcieEndpoint, PcieError, PcieFabric, PcieLinkConfig
+from ..sim import Simulator, Store
+from .eswitch import ESwitch, EthernetPort, VPort
+from .offloads import ChecksumOffload, SegmentationOffload
+from .queues import (
+    CompletionQueue,
+    MultiPacketReceiveQueue,
+    QueueError,
+    ReceiveQueue,
+    RssGroup,
+    SendQueue,
+)
+from .rdma import RcQp, RdmaEngine
+from .shaper import Shaper
+from .steering import Disposition, SteeringPipeline
+from .wqe import (
+    CQE_RECV_COMPLETION,
+    CQE_SEND_COMPLETION,
+    Cqe,
+    RX_DESC_SIZE,
+    RxDesc,
+    TxWqe,
+    WQE_FLAG_CSUM_L3,
+    WQE_FLAG_CSUM_L4,
+    WQE_FLAG_LSO,
+    WQE_SIZE,
+)
+
+# BAR layout.
+DOORBELL_STRIDE = 64
+RQ_DOORBELL_BASE = 0x8_0000
+WQE_MMIO_BASE = 0x10_0000
+WQE_MMIO_STRIDE = 256
+BAR_SIZE = 0x20_0000
+
+
+@dataclass
+class NicConfig:
+    """Tunable device parameters (defaults match the Innova-2 testbed)."""
+
+    port_rate_bps: float = 25e9
+    port_latency: float = 500e-9     # wire propagation + MAC/PHY latency
+    rdma_mtu: int = 1024             # the paper uses 1024 B for RoCE
+    processing_delay: float = 60e-9  # per-packet ASIC pipeline occupancy
+    rx_inbox_depth: int = 1024       # internal rx buffering per queue
+    # RoCE retransmission timers are milliseconds-scale; anything
+    # shorter fires spuriously once the pipe holds >100 us of data.
+    retransmit_timeout: float = 2e-3
+    dma_window: int = 32             # outstanding DMA contexts per queue
+    wqe_fetch_batch: int = 16        # WQEs fetched per descriptor DMA read
+    rx_desc_batch: int = 16          # rx descriptors prefetched per read
+
+
+class _RxItem:
+    """One unit of work for a receive-queue worker."""
+
+    __slots__ = ("data", "flags", "context_id", "qpn", "rss_hash")
+
+    def __init__(self, data: bytes, flags: int, context_id: int, qpn: int,
+                 rss_hash: int = 0):
+        self.data = data
+        self.flags = flags
+        self.context_id = context_id
+        self.qpn = qpn
+        self.rss_hash = rss_hash
+
+
+class Nic(PcieEndpoint):
+    """A NIC ASIC on the PCIe fabric."""
+
+    def __init__(self, sim: Simulator, fabric: PcieFabric, name: str,
+                 config: Optional[NicConfig] = None,
+                 link_config: Optional[PcieLinkConfig] = None):
+        super().__init__(name)
+        self.sim = sim
+        self.config = config or NicConfig()
+        # The NIC fronts the Innova-2's embedded PCIe switch (Fig. 6):
+        # its own attachment is wider than any single peer's x8 link, so
+        # the per-peer links are the bottlenecks, as on the real board.
+        if link_config is None:
+            link_config = PcieLinkConfig(lanes=16)
+        self.port = EthernetPort(sim, f"{name}.port",
+                                 self.config.port_rate_bps,
+                                 self.config.port_latency)
+        self.eswitch = ESwitch(sim, self.port, self._deliver_disposition)
+        self.eswitch.pre_rx_hook = self._pre_rx_hook
+        self.checksum = ChecksumOffload()
+        self.lso = SegmentationOffload()
+        self.shaper = Shaper(sim)
+        self.rdma = RdmaEngine(
+            sim, mtu=self.config.rdma_mtu,
+            retransmit_timeout=self.config.retransmit_timeout,
+            egress=self._rdma_egress, deliver_segment=self._rdma_deliver,
+            complete_send=self._rdma_complete_send,
+        )
+        self.sqs: Dict[int, SendQueue] = {}
+        self.rqs: Dict[int, ReceiveQueue] = {}
+        self.cqs: Dict[int, CompletionQueue] = {}
+        self._qp_by_sqn: Dict[int, RcQp] = {}
+        self._rx_inbox: Dict[int, Store] = {}
+        self._cached_rx_desc: Dict[Tuple[int, int], RxDesc] = {}
+        self._next_qpn = 1
+        self._next_cqn = 1
+        self._next_rqn = 1
+        # FLD-E resume tables: id -> steering table name (§5.3).
+        self._resume_tables: Dict[int, str] = {}
+        self._next_resume_id = 1
+        self.stats_rx_dropped_inbox = 0
+        self.stats_rx_dropped_no_desc = 0
+        self.stats_meter_drops = 0
+        fabric.attach(self, link_config)
+        # Inbound RDMA WRITEs DMA straight to the target fabric address.
+        self.rdma.dma_write = (
+            lambda va, data: self.fabric.post_write(self, va, data))
+
+    # ------------------------------------------------------------------
+    # Control interface (firmware commands)
+    # ------------------------------------------------------------------
+
+    def create_cq(self, ring_addr: int, entries: int) -> CompletionQueue:
+        cq = CompletionQueue(self.sim, self._next_cqn, ring_addr, entries)
+        self.cqs[cq.cqn] = cq
+        self._next_cqn += 1
+        return cq
+
+    def create_sq(self, ring_addr: int, entries: int, cq: CompletionQueue,
+                  vport: int = 0, transport: str = SendQueue.TRANSPORT_ETH,
+                  meter: Optional[str] = None) -> SendQueue:
+        sq = SendQueue(self.sim, self._next_qpn, ring_addr, entries, cq,
+                       transport, vport)
+        sq.meter = meter
+        self.sqs[sq.qpn] = sq
+        self._next_qpn += 1
+        self.sim.spawn(self._sq_worker(sq), name=f"{self.name}.sq{sq.qpn}")
+        return sq
+
+    def create_rq(self, ring_addr: int, entries: int, cq: CompletionQueue,
+                  shared: bool = False) -> ReceiveQueue:
+        rq = ReceiveQueue(self.sim, self._next_rqn, ring_addr, entries, cq,
+                          shared)
+        self._register_rq(rq)
+        return rq
+
+    def create_mprq(self, ring_addr: int, entries: int, cq: CompletionQueue,
+                    strides_per_buffer: int = 64,
+                    stride_size: int = 2048) -> MultiPacketReceiveQueue:
+        rq = MultiPacketReceiveQueue(
+            self.sim, self._next_rqn, ring_addr, entries, cq,
+            strides_per_buffer, stride_size,
+        )
+        self._register_rq(rq)
+        return rq
+
+    def _register_rq(self, rq: ReceiveQueue) -> None:
+        self.rqs[rq.rqn] = rq
+        self._next_rqn += 1
+        inbox = Store(self.sim, capacity=self.config.rx_inbox_depth,
+                      name=f"{self.name}.rq{rq.rqn}.inbox")
+        self._rx_inbox[rq.rqn] = inbox
+        self.sim.spawn(self._rq_worker(rq, inbox),
+                       name=f"{self.name}.rq{rq.rqn}")
+
+    def create_rc_qp(self, ring_addr: int, entries: int,
+                     cq: CompletionQueue, rq: ReceiveQueue, vport: int,
+                     local_mac, local_ip) -> RcQp:
+        """Create an RC QP: an RDMA send queue bound to a receive queue."""
+        sq = self.create_sq(ring_addr, entries, cq, vport,
+                            transport=SendQueue.TRANSPORT_RC)
+        qp = RcQp(sq.qpn, sq, rq, local_mac=local_mac, local_ip=local_ip)
+        self.rdma.register_qp(qp)
+        self._qp_by_sqn[sq.qpn] = qp
+        return qp
+
+    def set_vport_default_queue(self, vport: int, rq: ReceiveQueue) -> None:
+        """Deliver a vPort's otherwise-unmatched traffic to ``rq``."""
+        from .steering import ForwardToQueue
+        if vport not in self.eswitch.vports:
+            self.eswitch.add_vport(vport)
+        table = self.steering.table(self.eswitch.vports[vport].rx_root)
+        table.default_actions = [ForwardToQueue(rq)]
+
+    def register_resume_table(self, table_name: str) -> int:
+        """Register a steering table as an FLD-E resume target (§5.3).
+
+        Returns the resume ID the accelerator must echo in the upper 16
+        bits of its transmit context_id to continue pipeline processing
+        at ``table_name``.
+        """
+        resume_id = self._next_resume_id
+        self._next_resume_id += 1
+        self._resume_tables[resume_id] = table_name
+        return resume_id
+
+    @property
+    def steering(self) -> SteeringPipeline:
+        return self.eswitch.pipeline
+
+    # ------------------------------------------------------------------
+    # PCIe BAR (doorbells + WQE-by-MMIO)
+    # ------------------------------------------------------------------
+
+    def handle_write(self, offset: int, data: bytes) -> None:
+        if offset >= WQE_MMIO_BASE:
+            qpn = (offset - WQE_MMIO_BASE) // WQE_MMIO_STRIDE
+            sq = self.sqs.get(qpn)
+            if sq is None:
+                raise PcieError(f"{self.name}: MMIO WQE for unknown SQ {qpn}")
+            wqe = TxWqe.unpack(data)
+            sq.push_mmio_wqe(wqe)
+            sq.ring_doorbell(wqe.wqe_index + 1)
+            return
+        if offset >= RQ_DOORBELL_BASE:
+            rqn = (offset - RQ_DOORBELL_BASE) // DOORBELL_STRIDE
+            rq = self.rqs.get(rqn)
+            if rq is None:
+                raise PcieError(f"{self.name}: doorbell for unknown RQ {rqn}")
+            new_pi = int.from_bytes(data[:4], "big")
+            if new_pi > rq.pi:
+                rq.post(new_pi - rq.pi)
+            return
+        qpn = offset // DOORBELL_STRIDE
+        sq = self.sqs.get(qpn)
+        if sq is None:
+            raise PcieError(f"{self.name}: doorbell for unknown SQ {qpn}")
+        sq.ring_doorbell(int.from_bytes(data[:4], "big"))
+
+    def handle_read(self, offset: int, length: int) -> bytes:
+        raise PcieError(f"{self.name}: BAR reads not supported")
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+
+    def _sq_worker(self, sq: SendQueue):
+        """Fetch stage: pull WQEs (batched) and launch data DMA reads.
+
+        Data reads for consecutive WQEs are issued back-to-back and
+        overlap; the companion ``_sq_tx_stage`` consumes them in order, so
+        PCIe round-trip latency is hidden behind the pipeline — the way
+        real NIC DMA engines keep many transactions in flight.
+        """
+        fabric = self.fabric
+        window = Store(self.sim, capacity=self.config.dma_window,
+                       name=f"{self.name}.sq{sq.qpn}.pipe")
+        self.sim.spawn(self._sq_tx_stage(sq, window),
+                       name=f"{self.name}.sq{sq.qpn}.tx")
+        wqe_batch: Dict[int, TxWqe] = {}
+        while True:
+            yield sq.doorbell.get()
+            while sq.ci < sq.pi:
+                index = sq.ci
+                sq.ci = index + 1
+                wqe = sq.mmio_wqes.pop(index & 0xFFFF, None)
+                if wqe is None:
+                    wqe = wqe_batch.pop(index, None)
+                if wqe is None:
+                    # Fetch a contiguous batch (bounded by the ring edge).
+                    slot = index % sq.entries
+                    burst = min(self.config.wqe_fetch_batch, sq.pi - index,
+                                sq.entries - slot)
+                    raw = yield fabric.read(self, sq.slot_addr(index),
+                                            burst * WQE_SIZE)
+                    sq.stats_wqe_fetches += burst
+                    for i in range(burst):
+                        wqe_batch[index + i] = TxWqe.unpack(
+                            raw[i * WQE_SIZE:(i + 1) * WQE_SIZE]
+                        )
+                    wqe = wqe_batch.pop(index)
+                if wqe.byte_count > 0:
+                    data_event = fabric.read(self, wqe.buffer_addr,
+                                             wqe.byte_count)
+                else:
+                    data_event = None
+                # Blocks when the pipeline window is full.
+                yield window.put((index, wqe, data_event))
+
+    def _sq_tx_stage(self, sq: SendQueue, window: Store):
+        """Transmit stage: consume fetched WQEs in order and send."""
+        while True:
+            index, wqe, data_event = yield window.get()
+            data = (yield data_event) if data_event is not None else b""
+            yield self.sim.timeout(self.config.processing_delay)
+            sq.stats_wqes += 1
+            meter = getattr(sq, "meter", None)
+            if meter is not None and self.shaper.has_limiter(meter):
+                delay = self.shaper.delay_for(meter, len(data) * 8)
+                if delay > 0:
+                    yield self.sim.timeout(delay)
+                self.shaper.consume(meter, len(data) * 8)
+            if sq.transport == SendQueue.TRANSPORT_RC:
+                qp = self._qp_by_sqn[sq.qpn]
+                yield from self.rdma.send_message(
+                    qp, wqe, data, remote_addr=wqe.remote_addr,
+                    rkey=wqe.rkey)
+                # Send CQE arrives later, on the remote ack.
+            else:
+                self._transmit_eth(sq, wqe, data)
+                if wqe.signaled:
+                    self._post_cqe(sq.cq, Cqe(
+                        CQE_SEND_COMPLETION, sq.qpn, index,
+                        wqe.byte_count,
+                    ))
+
+    def _transmit_eth(self, sq: SendQueue, wqe: TxWqe, data: bytes) -> None:
+        packet = parse_frame(data)
+        if wqe.flags & (WQE_FLAG_CSUM_L3 | WQE_FLAG_CSUM_L4):
+            self.checksum.fill(packet, l3=bool(wqe.flags & WQE_FLAG_CSUM_L3),
+                               l4=bool(wqe.flags & WQE_FLAG_CSUM_L4))
+        if wqe.flags & WQE_FLAG_LSO and wqe.mss:
+            packets = self.lso.segment(packet, wqe.mss)
+        else:
+            packets = [packet]
+        resume_id = wqe.context_id >> 16
+        for packet in packets:
+            packet.meta["context_id"] = wqe.context_id & 0xFFFF
+            if resume_id and resume_id in self._resume_tables:
+                # FLD-E return path: resume steering mid-pipeline (§5.3).
+                table = self._resume_tables[resume_id]
+                disposition = self.steering.process(packet, table)
+                self.eswitch._apply_fdb(disposition, from_vport=None)
+            else:
+                self.eswitch.egress_from_vport(sq.vport, packet)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+
+    def _pre_rx_hook(self, vport: VPort, packet: Packet) -> bool:
+        """Transport interception: RoCE frames bypass guest steering."""
+        if packet.find(Bth) is not None:
+            return self.rdma.on_ingress(packet)
+        return False
+
+    def _deliver_disposition(self, vport: Optional[VPort],
+                             disposition: Disposition) -> None:
+        packet = disposition.packet
+        for meter in disposition.meters:
+            if not self.shaper.police(meter, packet.size() * 8):
+                self.stats_meter_drops += 1
+                return
+        if disposition.kind == Disposition.RSS:
+            rq = disposition.target.select(packet)
+        else:  # DELIVER or ACCELERATOR
+            rq = disposition.target
+        flags = self.checksum.validate(packet)
+        context = disposition.context_id & 0xFFFF
+        if disposition.kind == Disposition.ACCELERATOR and disposition.next_table:
+            resume_id = self._resume_id_for(disposition.next_table)
+            context |= resume_id << 16
+        item = _RxItem(packet.to_bytes(), flags, context, rq.rqn,
+                       packet.meta.get("rss_hash", 0))
+        if not self._rx_inbox[rq.rqn].try_put(item):
+            self.stats_rx_dropped_inbox += 1
+
+    def _resume_id_for(self, table_name: str) -> int:
+        for resume_id, name in self._resume_tables.items():
+            if name == table_name:
+                return resume_id
+        return self.register_resume_table(table_name)
+
+    def _rq_worker(self, rq: ReceiveQueue, inbox: Store):
+        fabric = self.fabric
+        while True:
+            item = yield inbox.get()
+            yield self.sim.timeout(self.config.processing_delay)
+            if isinstance(rq, MultiPacketReceiveQueue):
+                placement = rq.place(len(item.data))
+                if placement is None:
+                    self.stats_rx_dropped_no_desc += 1
+                    continue
+                key = (rq.rqn, placement["desc_index"] % rq.entries)
+                if placement["stride_index"] == 0 or key not in self._cached_rx_desc:
+                    raw = yield fabric.read(
+                        self, rq.slot_addr(placement["desc_index"]),
+                        RX_DESC_SIZE,
+                    )
+                    self._cached_rx_desc[key] = RxDesc.unpack(raw)
+                desc = self._cached_rx_desc[key]
+                address = (desc.buffer_addr
+                           + placement["stride_index"] * rq.stride_size)
+                wqe_counter = placement["desc_index"]
+                stride_index = placement["stride_index"]
+            else:
+                if rq.available == 0:
+                    rq.stats_drops_no_desc += 1
+                    self.stats_rx_dropped_no_desc += 1
+                    continue
+                index = rq.ci
+                rq.ci += 1
+                rq.stats_packets += 1
+                desc = yield from self._fetch_rx_desc(rq, index)
+                if len(item.data) > desc.byte_count:
+                    self.stats_rx_dropped_no_desc += 1
+                    continue
+                address = desc.buffer_addr
+                wqe_counter = index
+                stride_index = 0
+            write_done = fabric.post_write(self, address, item.data)
+            cqe = Cqe(
+                CQE_RECV_COMPLETION, item.qpn, wqe_counter, len(item.data),
+                flags=item.flags, rss_hash=item.rss_hash,
+                flow_tag=item.context_id, stride_index=stride_index,
+            )
+            # The CQE is ordered after the data write (PCIe posted-write
+            # ordering) but the worker moves on — writes pipeline.
+            write_done.add_callback(
+                lambda _e, cq=rq.cq, entry=cqe: self._post_cqe(cq, entry)
+            )
+
+    def _fetch_rx_desc(self, rq: ReceiveQueue, index: int):
+        """Return the descriptor at ``index``, prefetching a batch.
+
+        Real NICs amortize descriptor DMA by reading cachelines of
+        descriptors at once; we cache a batch and refill on miss.
+        """
+        key = (rq.rqn, index)
+        cached = self._cached_rx_desc.pop(key, None)
+        if cached is not None:
+            return cached
+        slot = index % rq.entries
+        burst = max(1, min(self.config.rx_desc_batch, rq.pi - index,
+                           rq.entries - slot))
+        raw = yield self.fabric.read(self, rq.slot_addr(index),
+                                     burst * RX_DESC_SIZE)
+        for i in range(burst):
+            self._cached_rx_desc[(rq.rqn, index + i)] = RxDesc.unpack(
+                raw[i * RX_DESC_SIZE:(i + 1) * RX_DESC_SIZE]
+            )
+        return self._cached_rx_desc.pop(key)
+
+    # ------------------------------------------------------------------
+    # RDMA engine callbacks
+    # ------------------------------------------------------------------
+
+    def _rdma_egress(self, qp: RcQp, frame: Packet) -> None:
+        self.eswitch.egress_from_vport(qp.sq.vport, frame)
+
+    def _rdma_deliver(self, qp: RcQp, payload: bytes, flags: int,
+                      context: int, first: bool, last: bool) -> None:
+        item = _RxItem(payload, flags, context, qp.qpn)
+        if not self._rx_inbox[qp.rq.rqn].try_put(item):
+            self.stats_rx_dropped_inbox += 1
+
+    def _rdma_complete_send(self, qp: RcQp, wqe: TxWqe) -> None:
+        if wqe.signaled:
+            self._post_cqe(qp.sq.cq, Cqe(
+                CQE_SEND_COMPLETION, qp.qpn, wqe.wqe_index, wqe.byte_count,
+            ))
+
+    # ------------------------------------------------------------------
+    # Completion writes
+    # ------------------------------------------------------------------
+
+    def _post_cqe(self, cq: CompletionQueue, cqe: Cqe) -> None:
+        done = self.fabric.post_write(self, cq.next_slot(), cqe.pack())
+        done.add_callback(lambda _event: cq.notify.try_put(cqe))

@@ -1,0 +1,160 @@
+"""Embedded switch (eSwitch), vPorts and the physical Ethernet port (§2.3).
+
+The eSwitch connects the NIC's uplink (wire) to its virtual ports.  A
+hypervisor-managed FDB pipeline steers ingress traffic to vPorts (and can
+decap tunnels / tag tenants on the way); each vPort then runs its own
+guest-managed receive pipeline that picks the receive queue, RSS group or
+accelerator.  Egress traffic from a vPort goes through the FDB too, which
+may loop it back to another vPort — the configuration the paper's local
+experiments use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..net import ETHERNET_WIRE_OVERHEAD, Packet
+from ..sim import Link, Simulator
+from .steering import Disposition, ForwardToUplink, SteeringPipeline
+
+
+class EthernetPort:
+    """A MAC serializing frames onto a wire at the port's line rate."""
+
+    def __init__(self, sim: Simulator, name: str, rate_bps: float = 25e9,
+                 latency: float = 500e-9):
+        self.sim = sim
+        self.name = name
+        self.link = Link(sim, rate_bps, latency, name=f"{name}.wire")
+        self.on_receive: Optional[Callable[[Packet], None]] = None
+        self.stats_tx_packets = 0
+        self.stats_rx_packets = 0
+
+    def connect(self, peer: "EthernetPort") -> None:
+        """Connect both directions of a back-to-back cable."""
+        self.link.connect(peer._receive)
+        peer.link.connect(self._receive)
+
+    def send(self, packet: Packet) -> None:
+        self.stats_tx_packets += 1
+        self.link.send(packet, packet.wire_size() * 8)
+
+    def _receive(self, packet: Packet) -> None:
+        self.stats_rx_packets += 1
+        if self.on_receive is not None:
+            self.on_receive(packet)
+
+    @property
+    def rate_bps(self) -> float:
+        return self.link.rate_bps
+
+
+class VPort:
+    """A virtual port: the eSwitch-facing side of a vNIC."""
+
+    def __init__(self, number: int):
+        self.number = number
+        self.rx_root = f"vport{number}.rx"
+        self.tx_root: Optional[str] = None  # optional guest egress table
+        self.stats_rx = 0
+        self.stats_tx = 0
+
+
+class ESwitch:
+    """FDB steering between the uplink and vPorts.
+
+    ``deliver`` is the device callback that takes (vport, Disposition)
+    for packets terminating at a receive queue; the eSwitch handles
+    vPort-to-vPort loopback and uplink forwarding itself.
+    """
+
+    FDB_ROOT = "fdb"
+
+    def __init__(self, sim: Simulator, port: EthernetPort,
+                 deliver: Callable[[VPort, Disposition], None]):
+        self.sim = sim
+        self.port = port
+        self.port.on_receive = self.ingress_from_wire
+        self._deliver = deliver
+        # Optional transport interception run before a vPort's guest
+        # pipeline (the device uses it to catch RoCE frames); returns
+        # True when the packet was consumed.
+        self.pre_rx_hook = None
+        self.pipeline = SteeringPipeline()
+        # Default FDB behaviour: send everything out the wire.
+        self.pipeline.table(self.FDB_ROOT, default_actions=[ForwardToUplink()])
+        self.vports: Dict[int, VPort] = {}
+        self.stats_loopback = 0
+        self.stats_to_uplink = 0
+        self.stats_fdb_drops = 0
+
+    def add_vport(self, number: int) -> VPort:
+        if number in self.vports:
+            raise ValueError(f"vport {number} exists")
+        vport = VPort(number)
+        self.vports[number] = vport
+        # Each vPort gets an rx pipeline table; default drop until the
+        # guest installs rules.
+        self.pipeline.table(vport.rx_root)
+        return vport
+
+    # -- ingress (wire -> eSwitch -> vPort) ------------------------------
+
+    def ingress_from_wire(self, packet: Packet) -> None:
+        disposition = self.pipeline.process(packet, self.FDB_ROOT)
+        if disposition.kind == Disposition.UPLINK:
+            # Split horizon: never hairpin a frame back out the port it
+            # arrived on; an FDB miss from the wire is a drop.
+            self.stats_fdb_drops += 1
+            return
+        self._apply_fdb(disposition, from_vport=None)
+
+    # -- egress (vPort -> eSwitch -> wire or loopback) --------------------
+
+    def egress_from_vport(self, vport_number: int, packet: Packet) -> None:
+        vport = self.vports[vport_number]
+        vport.stats_tx += 1
+        if vport.tx_root is not None:
+            disposition = self.pipeline.process(packet, vport.tx_root)
+        else:
+            disposition = self.pipeline.process(packet, self.FDB_ROOT)
+        self._apply_fdb(disposition, from_vport=vport)
+
+    # -- shared -----------------------------------------------------------
+
+    def _apply_fdb(self, disposition: Disposition,
+                   from_vport: Optional[VPort]) -> None:
+        packet = disposition.packet
+        if disposition.kind == Disposition.UPLINK:
+            self.stats_to_uplink += 1
+            self.port.send(packet)
+            return
+        if disposition.kind == Disposition.VPORT:
+            if from_vport is not None:
+                self.stats_loopback += 1
+            self.ingress_to_vport(disposition.target, packet)
+            return
+        if disposition.kind == Disposition.DROP:
+            self.stats_fdb_drops += 1
+            return
+        # FDB resolved straight to a queue/RSS/accelerator (hypervisor
+        # rules may do that for FLD-E); hand to the device.
+        self._deliver(from_vport, disposition)
+
+    def ingress_to_vport(self, vport_number: int, packet: Packet) -> None:
+        """Run a packet through a vPort's guest receive pipeline."""
+        vport = self.vports[vport_number]
+        vport.stats_rx += 1
+        if self.pre_rx_hook is not None and self.pre_rx_hook(vport, packet):
+            return
+        disposition = self.pipeline.process(packet, vport.rx_root)
+        if disposition.kind == Disposition.DROP:
+            self.stats_fdb_drops += 1
+            return
+        if disposition.kind == Disposition.UPLINK:
+            self.port.send(disposition.packet)
+            return
+        if disposition.kind == Disposition.VPORT:
+            self.ingress_to_vport(disposition.target, disposition.packet)
+            return
+        self._deliver(vport, disposition)

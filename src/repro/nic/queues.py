@@ -1,0 +1,224 @@
+"""NIC queue state: send queues, receive queues (incl. MPRQ), CQs.
+
+Queue objects hold the state the NIC keeps per queue (ring location,
+producer/consumer indices, stride bookkeeping); the device
+(:mod:`repro.nic.device`) runs the processes that move packets through
+them.  Rings live at *fabric addresses*, so the same queue works whether
+its ring is in host memory (software driver) or inside the FLD BAR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim import Simulator, Store
+from .wqe import CQE_SIZE, RX_DESC_SIZE, TxWqe, WQE_SIZE
+
+
+class QueueError(RuntimeError):
+    """Raised on queue misconfiguration or overflow."""
+
+
+def _power_of_two(value: int, what: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise QueueError(f"{what} must be a positive power of two, got {value}")
+    return value
+
+
+class CompletionQueue:
+    """A completion ring the NIC writes and a consumer polls.
+
+    ``notify`` is a simulation-side channel carrying each written CQE; it
+    stands in for the consumer's poll loop discovering new entries (or an
+    interrupt/event queue), without simulating busy-polling.
+    """
+
+    def __init__(self, sim: Simulator, cqn: int, ring_addr: int, entries: int):
+        self.sim = sim
+        self.cqn = cqn
+        self.ring_addr = ring_addr
+        self.entries = _power_of_two(entries, "CQ entries")
+        self.pi = 0
+        self.notify = Store(sim, name=f"cq{cqn}.notify")
+        self.stats_cqes = 0
+
+    def next_slot(self) -> int:
+        """Fabric address of the slot for the next CQE, advancing the PI."""
+        address = self.ring_addr + (self.pi % self.entries) * CQE_SIZE
+        self.pi += 1
+        self.stats_cqes += 1
+        return address
+
+
+class SendQueue:
+    """A transmit ring (Ethernet raw queue or an RDMA QP's send side)."""
+
+    TRANSPORT_ETH = "eth"
+    TRANSPORT_RC = "rc"
+
+    def __init__(self, sim: Simulator, qpn: int, ring_addr: int, entries: int,
+                 cq: CompletionQueue, transport: str = TRANSPORT_ETH,
+                 vport: int = 0, max_inline: int = 256):
+        if transport not in (self.TRANSPORT_ETH, self.TRANSPORT_RC):
+            raise QueueError(f"unknown transport {transport!r}")
+        self.sim = sim
+        self.qpn = qpn
+        self.ring_addr = ring_addr
+        self.entries = _power_of_two(entries, "SQ entries")
+        self.cq = cq
+        self.transport = transport
+        self.vport = vport
+        self.max_inline = max_inline
+        self.pi = 0            # producer index, advanced by doorbells
+        self.ci = 0            # consumer index, advanced by the NIC
+        self.doorbell = Store(sim, name=f"sq{qpn}.doorbell")
+        # WQEs pushed by MMIO (WQE-by-MMIO / BlueFlame): index -> WQE.
+        self.mmio_wqes: Dict[int, TxWqe] = {}
+        self.stats_doorbells = 0
+        self.stats_wqes = 0
+        self.stats_wqe_fetches = 0
+        self.stats_mmio_wqes = 0
+
+    def slot_addr(self, index: int) -> int:
+        return self.ring_addr + (index % self.entries) * WQE_SIZE
+
+    def ring_doorbell(self, new_pi: int) -> None:
+        """Handle a doorbell MMIO: advance PI and wake the SQ process."""
+        if new_pi < self.pi:
+            raise QueueError(
+                f"doorbell PI {new_pi} behind current {self.pi} on SQ {self.qpn}"
+            )
+        if new_pi - self.ci > self.entries:
+            raise QueueError(f"SQ {self.qpn} overflow: pi={new_pi} ci={self.ci}")
+        self.pi = new_pi
+        self.stats_doorbells += 1
+        self.doorbell.try_put(new_pi)
+
+    def push_mmio_wqe(self, wqe: TxWqe) -> None:
+        """Stage a WQE written directly through MMIO (saves a DMA read)."""
+        self.mmio_wqes[wqe.wqe_index] = wqe
+        self.stats_mmio_wqes += 1
+
+    @property
+    def outstanding(self) -> int:
+        return self.pi - self.ci
+
+
+class ReceiveQueue:
+    """A receive ring of per-packet descriptors (16 B each).
+
+    The driver posts descriptors (advancing ``pi`` through the RQ
+    doorbell record); the NIC consumes one per received packet.  A
+    ``shared`` RQ acts as an SRQ: multiple logical queues (or QPs)
+    deliver through it.
+    """
+
+    def __init__(self, sim: Simulator, rqn: int, ring_addr: int, entries: int,
+                 cq: CompletionQueue, shared: bool = False):
+        self.sim = sim
+        self.rqn = rqn
+        self.ring_addr = ring_addr
+        self.entries = _power_of_two(entries, "RQ entries")
+        self.cq = cq
+        self.shared = shared
+        self.pi = 0
+        self.ci = 0
+        self.stats_packets = 0
+        self.stats_drops_no_desc = 0
+
+    def slot_addr(self, index: int) -> int:
+        return self.ring_addr + (index % self.entries) * RX_DESC_SIZE
+
+    def post(self, count: int = 1) -> None:
+        """Driver-side: advance the producer index by ``count``."""
+        if self.pi + count - self.ci > self.entries:
+            raise QueueError(f"RQ {self.rqn} overposted")
+        self.pi += count
+
+    @property
+    def available(self) -> int:
+        return self.pi - self.ci
+
+
+class MultiPacketReceiveQueue(ReceiveQueue):
+    """An MPRQ: each descriptor covers a large multi-stride buffer.
+
+    Packets land in consecutive strides; a packet consumes
+    ``ceil(len / stride_size)`` strides.  When the remaining strides
+    cannot hold a packet, the buffer is closed (the residue is the
+    bounded fragmentation of §5.2) and the next descriptor begins.
+    """
+
+    def __init__(self, sim: Simulator, rqn: int, ring_addr: int, entries: int,
+                 cq: CompletionQueue, strides_per_buffer: int = 64,
+                 stride_size: int = 2048, shared: bool = True):
+        super().__init__(sim, rqn, ring_addr, entries, cq, shared)
+        self.strides_per_buffer = _power_of_two(
+            strides_per_buffer, "strides per buffer")
+        self.stride_size = _power_of_two(stride_size, "stride size")
+        self.stride_cursor = 0  # next free stride within the current buffer
+        self.stats_buffers_closed = 0
+        self.stats_wasted_strides = 0
+
+    @property
+    def buffer_size(self) -> int:
+        return self.strides_per_buffer * self.stride_size
+
+    def strides_for(self, length: int) -> int:
+        return max(1, -(-length // self.stride_size))
+
+    def place(self, length: int) -> Optional[dict]:
+        """Allocate strides for a packet of ``length`` bytes.
+
+        Returns placement info (descriptor index, stride index, whether the
+        buffer was closed) or ``None`` when no descriptor is available.
+        """
+        needed = self.strides_for(length)
+        if needed > self.strides_per_buffer:
+            raise QueueError(
+                f"packet of {length} B exceeds MPRQ buffer {self.buffer_size} B"
+            )
+        if self.available == 0:
+            self.stats_drops_no_desc += 1
+            return None
+        if self.stride_cursor + needed > self.strides_per_buffer:
+            # Close the current buffer; its tail strides are wasted.
+            self.stats_wasted_strides += (
+                self.strides_per_buffer - self.stride_cursor
+            )
+            self._advance_buffer()
+            if self.available == 0:
+                self.stats_drops_no_desc += 1
+                return None
+        placement = {
+            "desc_index": self.ci,
+            "stride_index": self.stride_cursor,
+            "strides": needed,
+            "closes_buffer": False,
+        }
+        self.stride_cursor += needed
+        self.stats_packets += 1
+        if self.stride_cursor == self.strides_per_buffer:
+            placement["closes_buffer"] = True
+            self._advance_buffer()
+        return placement
+
+    def _advance_buffer(self) -> None:
+        self.ci += 1
+        self.stride_cursor = 0
+        self.stats_buffers_closed += 1
+
+
+class RssGroup:
+    """A set of receive queues fed through an RSS indirection table."""
+
+    def __init__(self, name: str, queues: List[ReceiveQueue], engine):
+        if not queues:
+            raise QueueError("RSS group needs at least one queue")
+        self.name = name
+        self.queues = {i: q for i, q in enumerate(queues)}
+        self.engine = engine  # a repro.net.RssEngine over range(len(queues))
+
+    def select(self, packet) -> ReceiveQueue:
+        index = self.engine.queue_for(packet)
+        return self.queues[index]

@@ -1,0 +1,365 @@
+"""RoCE RC transport engine: segmentation, acks, retransmission (§2.1-2.2).
+
+The NIC implements the reliable transport in hardware — the key offload a
+BITW design cannot reach and FLD can (§3).  The engine:
+
+* segments messages into MTU-sized RoCE v2 frames (Eth/IP/UDP/BTH),
+* tracks PSNs per QP and acknowledges received data cumulatively,
+* retransmits outstanding segments on timeout (go-back-N),
+* delivers received payload segments into the QP's receive queue with
+  per-packet completions (ConnectX's shared MPRQ behaviour the paper
+  exploits for incremental message processing, §6 Limitations).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
+
+from ..net import (
+    Aeth,
+    Bth,
+    Ethernet,
+    IpAddress,
+    Ipv4,
+    MacAddress,
+    PROTO_UDP,
+    Packet,
+    ROCE_V2_PORT,
+    Reth,
+    Udp,
+    send_opcode,
+    write_opcode,
+)
+from ..net.roce import ICRC_SIZE, OP_ACK
+from ..sim import Simulator
+from .wqe import (
+    CQE_FLAG_MSG_LAST,
+    CQE_RECV_COMPLETION,
+    CQE_SEND_COMPLETION,
+    Cqe,
+    OP_RDMA_WRITE,
+    TxWqe,
+)
+
+
+class MemoryRegion:
+    """A registered memory region: the target of RDMA WRITEs.
+
+    Registration hands out an ``rkey`` the remote peer must present in
+    the RETH; incoming writes are bounds-checked against the region.
+    """
+
+    __slots__ = ("rkey", "base", "length")
+
+    def __init__(self, rkey: int, base: int, length: int):
+        self.rkey = rkey
+        self.base = base
+        self.length = length
+
+    def contains(self, address: int, nbytes: int) -> bool:
+        return (self.base <= address
+                and address + nbytes <= self.base + self.length)
+
+
+class RdmaError(RuntimeError):
+    """Raised on QP misuse (unconnected sends, bad state)."""
+
+
+class _Segment:
+    """One outstanding (unacked) transmit segment."""
+
+    __slots__ = ("frame", "wqe", "is_last", "sent_at")
+
+    def __init__(self, frame: Packet, wqe: TxWqe, is_last: bool,
+                 sent_at: float):
+        self.frame = frame
+        self.wqe = wqe
+        self.is_last = is_last
+        self.sent_at = sent_at
+
+
+class RcQp:
+    """A reliable-connected queue pair's transport state."""
+
+    RESET, READY = "reset", "ready"
+
+    def __init__(self, qpn: int, sq, rq, local_mac: MacAddress,
+                 local_ip: IpAddress):
+        self.qpn = qpn
+        self.sq = sq          # SendQueue with transport 'rc'
+        self.rq = rq          # ReceiveQueue / MPRQ segments land in
+        self.local_mac = local_mac
+        self.local_ip = local_ip
+        self.state = self.RESET
+        # Remote endpoint (set by connect).
+        self.remote_mac: Optional[MacAddress] = None
+        self.remote_ip: Optional[IpAddress] = None
+        self.remote_qpn: Optional[int] = None
+        # Sender state.
+        self.next_psn = 0
+        self.outstanding: "OrderedDict[int, _Segment]" = OrderedDict()
+        # Receiver state.
+        self.expected_psn = 0
+        self.received_msn = 0
+        # In-progress inbound RDMA WRITE: the VA cursor set by the
+        # first segment's RETH.
+        self.write_cursor: Optional[int] = None
+        self.write_region: Optional["MemoryRegion"] = None
+        self.stats_sent_segments = 0
+        self.stats_retransmits = 0
+        self.stats_received_segments = 0
+        self.stats_duplicate_segments = 0
+        self.stats_writes_received = 0
+        self.stats_write_protection_errors = 0
+
+    def connect(self, remote_mac, remote_ip, remote_qpn: int,
+                initial_psn: int = 0) -> None:
+        self.remote_mac = MacAddress(remote_mac)
+        self.remote_ip = IpAddress(remote_ip)
+        self.remote_qpn = remote_qpn
+        self.next_psn = initial_psn
+        self.expected_psn = initial_psn
+        self.state = self.READY
+
+
+class RdmaEngine:
+    """The device-resident transport processor.
+
+    ``egress`` sends a finished RoCE frame out of the owning NIC;
+    ``deliver_segment`` hands received payload to the device's receive
+    path (buffer placement + CQE); ``complete_send`` writes send CQEs.
+    """
+
+    def __init__(self, sim: Simulator, mtu: int = 1024,
+                 retransmit_timeout: float = 2e-3,
+                 egress: Callable[[RcQp, Packet], None] = None,
+                 deliver_segment=None, complete_send=None):
+        self.sim = sim
+        self.mtu = mtu
+        self.retransmit_timeout = retransmit_timeout
+        self.egress = egress
+        self.deliver_segment = deliver_segment
+        self.complete_send = complete_send
+        self.qps: Dict[int, RcQp] = {}
+        # Registered memory regions (one protection domain per engine).
+        self._regions: Dict[int, MemoryRegion] = {}
+        self._next_rkey = 1
+        # Target for validated inbound RDMA WRITE data: callable
+        # (virtual_address, data); typically the device's DMA engine.
+        self.dma_write = None
+        self.stats_acks_sent = 0
+        self.stats_acks_received = 0
+
+    # -- memory registration ------------------------------------------------
+
+    def register_mr(self, base: int, length: int) -> MemoryRegion:
+        """Register [base, base+length) as an RDMA WRITE target."""
+        region = MemoryRegion(self._next_rkey, base, length)
+        self._regions[region.rkey] = region
+        self._next_rkey += 1
+        return region
+
+    def deregister_mr(self, rkey: int) -> None:
+        self._regions.pop(rkey, None)
+
+    def register_qp(self, qp: RcQp) -> None:
+        if qp.qpn in self.qps:
+            raise RdmaError(f"QP {qp.qpn} already registered")
+        self.qps[qp.qpn] = qp
+
+    # -- transmit ---------------------------------------------------------
+
+    def per_packet_overhead(self) -> int:
+        """Wire header bytes around each segment's payload."""
+        return 14 + 20 + 8 + Bth.HEADER_LEN + ICRC_SIZE
+
+    def send_message(self, qp: RcQp, wqe: TxWqe, data: bytes,
+                     remote_addr: int = 0, rkey: int = 0):
+        """Generator: segment and transmit one message.
+
+        ``wqe.opcode`` selects SEND or RDMA WRITE; a WRITE carries the
+        (remote VA, rkey) in the first segment's RETH.
+        """
+        if qp.state != RcQp.READY:
+            raise RdmaError(f"QP {qp.qpn} not connected")
+        is_write = wqe is not None and wqe.opcode == OP_RDMA_WRITE
+        chunks = [data[i:i + self.mtu] for i in range(0, len(data), self.mtu)]
+        if not chunks:
+            chunks = [b""]
+        total = len(chunks)
+        for index, chunk in enumerate(chunks):
+            first, last = index == 0, index == total - 1
+            frame = self._build_frame(
+                qp, chunk, first, last, wqe, is_write=is_write,
+                remote_addr=remote_addr, rkey=rkey,
+                total_length=len(data),
+            )
+            segment = _Segment(frame, wqe, last, self.sim.now)
+            qp.outstanding[qp.next_psn] = segment
+            qp.next_psn = (qp.next_psn + 1) & 0xFFFFFF
+            qp.stats_sent_segments += 1
+            self.egress(qp, frame)
+            if len(qp.outstanding) == 1:
+                self._arm_retransmit_timer(qp)
+            yield self.sim.timeout(0)  # pipeline one segment per pass
+
+    def _build_frame(self, qp: RcQp, payload: bytes, first: bool, last: bool,
+                     wqe: Optional[TxWqe], is_write: bool = False,
+                     remote_addr: int = 0, rkey: int = 0,
+                     total_length: int = 0) -> Packet:
+        opcode = (write_opcode(first, last) if is_write
+                  else send_opcode(first, last))
+        bth = Bth(
+            opcode, dest_qp=qp.remote_qpn, psn=qp.next_psn,
+            ack_request=last,
+        )
+        packet = Packet(payload=payload + bytes(ICRC_SIZE))
+        packet.append(bth)
+        if is_write and first:
+            packet.append(Reth(remote_addr, rkey, total_length))
+        udp = Udp(49152 + (qp.qpn & 0x3FFF), ROCE_V2_PORT)
+        udp.finalize(bth.size() + len(payload) + ICRC_SIZE)
+        packet.push(udp)
+        ip = Ipv4(qp.local_ip, qp.remote_ip, proto=PROTO_UDP)
+        ip.finalize(udp.length)
+        packet.push(ip)
+        packet.push(Ethernet(qp.local_mac, qp.remote_mac))
+        if wqe is not None:
+            packet.meta["context_id"] = wqe.context_id
+        return packet
+
+    def _arm_retransmit_timer(self, qp: RcQp) -> None:
+        def check():
+            if not qp.outstanding:
+                return
+            oldest_psn = next(iter(qp.outstanding))
+            oldest = qp.outstanding[oldest_psn]
+            age = self.sim.now - oldest.sent_at
+            if age + 1e-12 >= self.retransmit_timeout:
+                self._retransmit(qp)
+                self.sim.schedule(self.retransmit_timeout, check)
+            else:
+                self.sim.schedule(self.retransmit_timeout - age, check)
+
+        self.sim.schedule(self.retransmit_timeout, check)
+
+    def _retransmit(self, qp: RcQp) -> None:
+        """Go-back-N: resend every outstanding segment."""
+        for psn, segment in qp.outstanding.items():
+            segment.sent_at = self.sim.now
+            qp.stats_retransmits += 1
+            self.egress(qp, segment.frame.copy())
+
+    # -- receive ----------------------------------------------------------
+
+    def on_ingress(self, packet: Packet) -> bool:
+        """Process a RoCE frame; returns False when it is not for us."""
+        bth = packet.find(Bth)
+        if bth is None:
+            return False
+        qp = self.qps.get(bth.dest_qp)
+        if qp is None:
+            return False
+        if bth.is_ack:
+            self._handle_ack(qp, packet, bth)
+            return True
+        if bth.is_write:
+            self._handle_write(qp, packet, bth)
+            return True
+        self._handle_data(qp, packet, bth)
+        return True
+
+    def _handle_write(self, qp: RcQp, packet: Packet, bth: Bth) -> None:
+        """Inbound RDMA WRITE: place payload directly at the target VA.
+
+        No receive descriptor is consumed and no receive completion is
+        generated — the one-sided semantics that make WRITE cheap.
+        """
+        if bth.psn != qp.expected_psn:
+            qp.stats_duplicate_segments += 1
+            self._send_ack(qp)
+            return
+        payload = (packet.payload[:-ICRC_SIZE]
+                   if len(packet.payload) >= ICRC_SIZE else b"")
+        if bth.is_first:
+            reth = packet.find(Reth)
+            region = self._regions.get(reth.rkey) if reth else None
+            if region is None or not region.contains(reth.virtual_address,
+                                                     reth.length):
+                # Protection error: NAK by not advancing; real NICs move
+                # the QP to an error state, which software must recover.
+                qp.stats_write_protection_errors += 1
+                self._send_ack(qp)
+                return
+            qp.write_region = region
+            qp.write_cursor = reth.virtual_address
+        if qp.write_cursor is None or qp.write_region is None:
+            qp.stats_write_protection_errors += 1
+            self._send_ack(qp)
+            return
+        if not qp.write_region.contains(qp.write_cursor, len(payload)):
+            qp.stats_write_protection_errors += 1
+            self._send_ack(qp)
+            return
+        qp.expected_psn = (qp.expected_psn + 1) & 0xFFFFFF
+        qp.stats_received_segments += 1
+        qp.stats_writes_received += 1
+        if self.dma_write is not None and payload:
+            self.dma_write(qp.write_cursor, payload)
+        qp.write_cursor += len(payload)
+        if bth.is_last:
+            qp.received_msn = (qp.received_msn + 1) & 0xFFFFFF
+            qp.write_cursor = None
+            qp.write_region = None
+        if bth.ack_request or bth.is_last:
+            self._send_ack(qp)
+
+    def _handle_data(self, qp: RcQp, packet: Packet, bth: Bth) -> None:
+        if bth.psn != qp.expected_psn:
+            # Duplicate (retransmission already seen) or out-of-order
+            # (a gap after loss).  Either way: re-ack the last good PSN
+            # so the sender resynchronizes; do not deliver.
+            qp.stats_duplicate_segments += 1
+            self._send_ack(qp)
+            return
+        qp.expected_psn = (qp.expected_psn + 1) & 0xFFFFFF
+        qp.stats_received_segments += 1
+        if bth.is_last:
+            qp.received_msn = (qp.received_msn + 1) & 0xFFFFFF
+        payload = packet.payload[:-ICRC_SIZE] if len(packet.payload) >= ICRC_SIZE else b""
+        flags = CQE_FLAG_MSG_LAST if bth.is_last else 0
+        context = packet.meta.get("context_id", 0)
+        self.deliver_segment(qp, payload, flags, context,
+                             first=bth.is_first, last=bth.is_last)
+        if bth.ack_request or bth.is_last:
+            self._send_ack(qp)
+
+    def _send_ack(self, qp: RcQp) -> None:
+        last_good = (qp.expected_psn - 1) & 0xFFFFFF
+        ack = Bth(OP_ACK, dest_qp=qp.remote_qpn, psn=last_good)
+        packet = Packet(payload=bytes(ICRC_SIZE))
+        packet.append(ack)
+        packet.append(Aeth(msn=qp.received_msn))
+        udp = Udp(49152 + (qp.qpn & 0x3FFF), ROCE_V2_PORT)
+        udp.finalize(ack.size() + Aeth.HEADER_LEN + ICRC_SIZE)
+        packet.push(udp)
+        ip = Ipv4(qp.local_ip, qp.remote_ip, proto=PROTO_UDP)
+        ip.finalize(udp.length)
+        packet.push(ip)
+        packet.push(Ethernet(qp.local_mac, qp.remote_mac))
+        self.stats_acks_sent += 1
+        self.egress(qp, packet)
+
+    def _handle_ack(self, qp: RcQp, packet: Packet, bth: Bth) -> None:
+        self.stats_acks_received += 1
+        acked_psn = bth.psn
+        while qp.outstanding:
+            psn = next(iter(qp.outstanding))
+            # Handle 24-bit wraparound with a signed window comparison.
+            delta = (acked_psn - psn) & 0xFFFFFF
+            if delta >= (1 << 23):
+                break  # psn is after acked_psn
+            segment = qp.outstanding.pop(psn)
+            if segment.is_last and segment.wqe is not None:
+                self.complete_send(qp, segment.wqe)

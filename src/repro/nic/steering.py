@@ -1,0 +1,300 @@
+"""Match-action flow steering (§2.3, §5.3).
+
+The NIC processes packets through chains of flow tables.  Each table holds
+priority-ordered rules; a rule is a :class:`MatchSpec` plus a list of
+actions.  Terminal actions decide the packet's fate (deliver to a queue,
+forward to a vPort, drop); non-terminal actions transform the packet or
+its metadata (VXLAN decap, context-ID tagging) and processing continues.
+
+FLD-E extends the model with :class:`ToAccelerator` (§5.3): the packet is
+handed to an accelerator's receive queue together with a *context ID* and
+the ID of the table where processing should resume once the accelerator
+returns the packet — this is how acceleration is injected mid-pipeline
+while NIC offloads still run before and after it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..net import Ethernet, Ipv4, Packet, Tcp, Udp, Vxlan, vxlan_decapsulate
+
+
+class SteeringError(RuntimeError):
+    """Raised on pipeline misconfiguration (loops, dangling tables)."""
+
+
+class MatchSpec:
+    """Field-equality match over a parsed packet; ``None`` = wildcard."""
+
+    __slots__ = ("dst_mac", "ethertype", "src_ip", "dst_ip", "ip_proto",
+                 "src_port", "dst_port", "vni", "is_fragment")
+
+    def __init__(self, dst_mac=None, ethertype: Optional[int] = None,
+                 src_ip=None, dst_ip=None, ip_proto: Optional[int] = None,
+                 src_port: Optional[int] = None,
+                 dst_port: Optional[int] = None, vni: Optional[int] = None,
+                 is_fragment: Optional[bool] = None):
+        from ..net import IpAddress, MacAddress
+        self.dst_mac = MacAddress(dst_mac) if dst_mac is not None else None
+        self.ethertype = ethertype
+        self.src_ip = IpAddress(src_ip) if src_ip is not None else None
+        self.dst_ip = IpAddress(dst_ip) if dst_ip is not None else None
+        self.ip_proto = ip_proto
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.vni = vni
+        self.is_fragment = is_fragment
+
+    def matches(self, packet: Packet) -> bool:
+        eth = packet.find(Ethernet)
+        if self.dst_mac is not None and (eth is None or eth.dst != self.dst_mac):
+            return False
+        if self.ethertype is not None and (
+            eth is None or eth.ethertype != self.ethertype
+        ):
+            return False
+        ip = packet.find(Ipv4)
+        if self.src_ip is not None and (ip is None or ip.src != self.src_ip):
+            return False
+        if self.dst_ip is not None and (ip is None or ip.dst != self.dst_ip):
+            return False
+        if self.ip_proto is not None and (ip is None or ip.proto != self.ip_proto):
+            return False
+        if self.is_fragment is not None:
+            if ip is None or ip.is_fragment != self.is_fragment:
+                return False
+        if self.src_port is not None or self.dst_port is not None:
+            l4 = packet.find(Tcp) or packet.find(Udp)
+            if l4 is None:
+                return False
+            if self.src_port is not None and l4.src_port != self.src_port:
+                return False
+            if self.dst_port is not None and l4.dst_port != self.dst_port:
+                return False
+        if self.vni is not None:
+            vxlan = packet.find(Vxlan)
+            if vxlan is None or vxlan.vni != self.vni:
+                return False
+        return True
+
+
+# -- actions ---------------------------------------------------------------
+
+
+class Action:
+    """Base class; terminal actions end pipeline processing."""
+
+    terminal = False
+
+
+class Drop(Action):
+    terminal = True
+
+
+class ForwardToVport(Action):
+    terminal = True
+
+    def __init__(self, vport: int):
+        self.vport = vport
+
+
+class ForwardToUplink(Action):
+    terminal = True
+
+
+class ForwardToQueue(Action):
+    """Deliver to a specific receive queue."""
+
+    terminal = True
+
+    def __init__(self, rq):
+        self.rq = rq
+
+
+class ForwardToRss(Action):
+    """Deliver through an RSS group's indirection table."""
+
+    terminal = True
+
+    def __init__(self, group):
+        self.group = group
+
+
+class ToAccelerator(Action):
+    """FLD-E acceleration action (§5.3): detour through an accelerator.
+
+    ``rq`` is the accelerator-facing receive queue (owned by FLD);
+    ``next_table`` names the flow table where the packet resumes after the
+    accelerator sends it back; ``context_id`` identifies the tenant (§5.4).
+    """
+
+    terminal = True
+
+    def __init__(self, rq, next_table: str, context_id: int = 0):
+        self.rq = rq
+        self.next_table = next_table
+        self.context_id = context_id
+
+
+class DecapVxlan(Action):
+    """Strip the outer Eth/IP/UDP/VXLAN headers (NIC tunnel offload)."""
+
+
+class SetContextId(Action):
+    """Stamp the flow's context/tenant ID into packet metadata (§5.4)."""
+
+    def __init__(self, context_id: int):
+        self.context_id = context_id
+
+
+class GotoTable(Action):
+    terminal = True
+
+    def __init__(self, table: str):
+        self.table = table
+
+
+class Meter(Action):
+    """Apply a named rate limiter (token bucket); may drop the packet."""
+
+    def __init__(self, meter_name: str):
+        self.meter_name = meter_name
+
+
+# -- tables and pipeline -----------------------------------------------------
+
+
+class Rule:
+    __slots__ = ("priority", "match", "actions")
+
+    def __init__(self, match: MatchSpec, actions: List[Action],
+                 priority: int = 0):
+        if not actions:
+            raise SteeringError("rule with no actions")
+        self.priority = priority
+        self.match = match
+        self.actions = actions
+
+
+class FlowTable:
+    """Priority-ordered rules plus a default (miss) action list."""
+
+    def __init__(self, name: str,
+                 default_actions: Optional[List[Action]] = None):
+        self.name = name
+        self.rules: List[Rule] = []
+        self.default_actions = default_actions or [Drop()]
+
+    def add_rule(self, match: MatchSpec, actions: List[Action],
+                 priority: int = 0) -> Rule:
+        rule = Rule(match, actions, priority)
+        self.rules.append(rule)
+        self.rules.sort(key=lambda r: -r.priority)
+        return rule
+
+    def remove_rule(self, rule: Rule) -> None:
+        self.rules.remove(rule)
+
+    def lookup(self, packet: Packet) -> List[Action]:
+        for rule in self.rules:
+            if rule.match.matches(packet):
+                return rule.actions
+        return self.default_actions
+
+
+class Disposition:
+    """The pipeline's verdict for one packet."""
+
+    __slots__ = ("kind", "target", "packet", "context_id", "next_table",
+                 "meters")
+
+    DELIVER = "deliver"        # target: ReceiveQueue
+    RSS = "rss"                # target: RssGroup
+    VPORT = "vport"            # target: vport number
+    UPLINK = "uplink"
+    ACCELERATOR = "accelerator"  # target: ReceiveQueue owned by FLD
+    DROP = "drop"
+
+    def __init__(self, kind: str, target: Any, packet: Packet,
+                 context_id: int = 0, next_table: str = "",
+                 meters: Optional[List[str]] = None):
+        self.kind = kind
+        self.target = target
+        self.packet = packet
+        self.context_id = context_id
+        self.next_table = next_table
+        self.meters = meters or []
+
+
+class SteeringPipeline:
+    """A named set of flow tables processed from a root (or resume) table."""
+
+    MAX_HOPS = 32  # guards against GotoTable loops
+
+    def __init__(self):
+        self.tables: Dict[str, FlowTable] = {}
+        self.stats_lookups = 0
+
+    def table(self, name: str,
+              default_actions: Optional[List[Action]] = None) -> FlowTable:
+        """Get or create a table."""
+        if name not in self.tables:
+            self.tables[name] = FlowTable(name, default_actions)
+        return self.tables[name]
+
+    def process(self, packet: Packet, root: str) -> Disposition:
+        """Run ``packet`` through the pipeline starting at table ``root``."""
+        if root not in self.tables:
+            raise SteeringError(f"no table named {root!r}")
+        current = self.tables[root]
+        context_id = packet.meta.get("context_id", 0)
+        meters: List[str] = []
+        for _hop in range(self.MAX_HOPS):
+            self.stats_lookups += 1
+            actions = current.lookup(packet)
+            next_table: Optional[FlowTable] = None
+            for action in actions:
+                if isinstance(action, Drop):
+                    return Disposition(Disposition.DROP, None, packet,
+                                       context_id, meters=meters)
+                if isinstance(action, ForwardToQueue):
+                    return Disposition(Disposition.DELIVER, action.rq, packet,
+                                       context_id, meters=meters)
+                if isinstance(action, ForwardToRss):
+                    return Disposition(Disposition.RSS, action.group, packet,
+                                       context_id, meters=meters)
+                if isinstance(action, ForwardToVport):
+                    return Disposition(Disposition.VPORT, action.vport, packet,
+                                       context_id, meters=meters)
+                if isinstance(action, ForwardToUplink):
+                    return Disposition(Disposition.UPLINK, None, packet,
+                                       context_id, meters=meters)
+                if isinstance(action, ToAccelerator):
+                    return Disposition(
+                        Disposition.ACCELERATOR, action.rq, packet,
+                        action.context_id or context_id,
+                        next_table=action.next_table, meters=meters,
+                    )
+                if isinstance(action, DecapVxlan):
+                    packet = vxlan_decapsulate(packet)
+                elif isinstance(action, SetContextId):
+                    context_id = action.context_id
+                    packet.meta["context_id"] = context_id
+                elif isinstance(action, Meter):
+                    meters.append(action.meter_name)
+                elif isinstance(action, GotoTable):
+                    if action.table not in self.tables:
+                        raise SteeringError(
+                            f"GotoTable to unknown table {action.table!r}"
+                        )
+                    next_table = self.tables[action.table]
+                else:
+                    raise SteeringError(f"unhandled action {action!r}")
+            if next_table is None:
+                # Non-terminal actions exhausted without a verdict: drop,
+                # matching hardware behaviour for incomplete rule chains.
+                return Disposition(Disposition.DROP, None, packet,
+                                   context_id, meters=meters)
+            current = next_table
+        raise SteeringError("steering loop exceeded MAX_HOPS")

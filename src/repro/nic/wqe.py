@@ -1,0 +1,217 @@
+"""NIC hardware descriptor formats (WQEs and CQEs).
+
+These are the *vendor* formats the NIC exchanges over PCIe — what a
+software driver stores in host-memory rings and what FLD must produce
+on-the-fly from its compressed internal state.  Sizes match the paper's
+Table 2b: a 64 B transmit WQE, a 16 B receive descriptor, and a 64 B CQE.
+
+The layouts are ConnectX-*like*: field selection follows the mlx5
+programmer's model (control + data segments; completions carrying byte
+count, checksum status, RSS hash and flow tag) but the exact bit packing
+is ours.
+"""
+
+from __future__ import annotations
+
+import struct
+
+WQE_SIZE = 64
+RX_DESC_SIZE = 16
+CQE_SIZE = 64
+
+# WQE opcodes.
+OP_ETH_SEND = 0x01
+OP_RDMA_SEND = 0x02
+OP_RDMA_WRITE = 0x03
+
+# WQE flags.
+WQE_FLAG_SIGNALED = 0x01   # request a CQE on completion
+WQE_FLAG_CSUM_L3 = 0x02    # offload: fill IPv4 checksum
+WQE_FLAG_CSUM_L4 = 0x04    # offload: fill TCP/UDP checksum
+WQE_FLAG_INLINE = 0x08     # payload inlined after the header segment
+WQE_FLAG_LSO = 0x10        # offload: TCP segmentation at wqe.mss
+
+# CQE opcodes.
+CQE_SEND_COMPLETION = 0x01
+CQE_RECV_COMPLETION = 0x02
+CQE_ERROR = 0x0F
+
+# CQE flags.
+CQE_FLAG_L3_OK = 0x01
+CQE_FLAG_L4_OK = 0x02
+CQE_FLAG_VXLAN_DECAP = 0x04
+CQE_FLAG_MSG_LAST = 0x08   # last packet of an RDMA message
+
+
+class TxWqe:
+    """A 64 B transmit work-queue entry.
+
+    Layout (big-endian)::
+
+        0   opcode        u8
+        1   flags         u8
+        2   wqe_index     u16   producer position, for CQE matching
+        4   qpn           u32
+        8   buffer_addr   u64   fabric address of the packet/message
+        16  byte_count    u32
+        20  lkey          u32
+        24  context_id    u32   FLD-E tenant/next-table tag (§5.4)
+        28  ack_req       u8    RDMA: request remote ack
+        29  remote_addr   u64   RETH virtual address (RDMA WRITE)
+        37  rkey          u32   RETH remote key (RDMA WRITE)
+        41  mss           u16   LSO maximum segment size
+        43  reserved      (21 B of zero padding to 64 B)
+    """
+
+    _FORMAT = "!BBHIQIIIBQIH"
+    _PACKED = struct.calcsize(_FORMAT)
+
+    __slots__ = ("opcode", "flags", "wqe_index", "qpn", "buffer_addr",
+                 "byte_count", "lkey", "context_id", "ack_req",
+                 "remote_addr", "rkey", "mss")
+
+    def __init__(self, opcode: int, qpn: int, wqe_index: int,
+                 buffer_addr: int, byte_count: int, flags: int = 0,
+                 lkey: int = 0, context_id: int = 0, ack_req: bool = True,
+                 remote_addr: int = 0, rkey: int = 0, mss: int = 0):
+        self.opcode = opcode
+        self.flags = flags
+        self.wqe_index = wqe_index & 0xFFFF
+        self.qpn = qpn
+        self.buffer_addr = buffer_addr
+        self.byte_count = byte_count
+        self.lkey = lkey
+        self.context_id = context_id
+        self.ack_req = ack_req
+        # RETH fields for RDMA WRITE work requests.
+        self.remote_addr = remote_addr
+        self.rkey = rkey
+        # Maximum segment size for LSO/TSO work requests.
+        self.mss = mss
+
+    @property
+    def signaled(self) -> bool:
+        return bool(self.flags & WQE_FLAG_SIGNALED)
+
+    def pack(self) -> bytes:
+        body = struct.pack(
+            self._FORMAT, self.opcode, self.flags, self.wqe_index, self.qpn,
+            self.buffer_addr, self.byte_count, self.lkey, self.context_id,
+            1 if self.ack_req else 0, self.remote_addr, self.rkey,
+            self.mss,
+        )
+        return body + bytes(WQE_SIZE - self._PACKED)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TxWqe":
+        if len(data) < cls._PACKED:
+            raise ValueError("truncated TxWqe")
+        (opcode, flags, wqe_index, qpn, addr, count, lkey, context,
+         ack_req, remote_addr, rkey, mss) = struct.unpack(
+            cls._FORMAT, data[:cls._PACKED])
+        return cls(opcode, qpn, wqe_index, addr, count, flags, lkey,
+                   context, bool(ack_req), remote_addr, rkey, mss)
+
+    def __repr__(self) -> str:
+        return (
+            f"TxWqe(op={self.opcode:#x}, qpn={self.qpn}, idx={self.wqe_index}, "
+            f"addr={self.buffer_addr:#x}, len={self.byte_count})"
+        )
+
+
+class RxDesc:
+    """A 16 B receive descriptor: buffer address + length + lkey."""
+
+    _FORMAT = "!QII"
+
+    __slots__ = ("buffer_addr", "byte_count", "lkey")
+
+    def __init__(self, buffer_addr: int, byte_count: int, lkey: int = 0):
+        self.buffer_addr = buffer_addr
+        self.byte_count = byte_count
+        self.lkey = lkey
+
+    def pack(self) -> bytes:
+        return struct.pack(self._FORMAT, self.buffer_addr, self.byte_count,
+                           self.lkey)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "RxDesc":
+        if len(data) < RX_DESC_SIZE:
+            raise ValueError("truncated RxDesc")
+        addr, count, lkey = struct.unpack(cls._FORMAT, data[:RX_DESC_SIZE])
+        return cls(addr, count, lkey)
+
+    def __repr__(self) -> str:
+        return f"RxDesc(addr={self.buffer_addr:#x}, len={self.byte_count})"
+
+
+class Cqe:
+    """A 64 B completion-queue entry.
+
+    Layout (big-endian)::
+
+        0   opcode        u8
+        1   flags         u8
+        2   wqe_counter   u16
+        4   qpn           u32
+        8   byte_count    u32
+        12  rss_hash      u32
+        16  flow_tag      u32   context ID stamped by steering (§5.4)
+        20  stride_index  u16   MPRQ stride within the receive buffer
+        22  owner         u8    ownership/phase bit for poll-mode drivers
+        23  syndrome      u8    error code when opcode is CQE_ERROR
+        24  reserved      (40 B of zero padding to 64 B)
+    """
+
+    _FORMAT = "!BBHIIIIHBB"
+    _PACKED = struct.calcsize(_FORMAT)
+
+    __slots__ = ("opcode", "flags", "wqe_counter", "qpn", "byte_count",
+                 "rss_hash", "flow_tag", "stride_index", "owner", "syndrome")
+
+    def __init__(self, opcode: int, qpn: int, wqe_counter: int,
+                 byte_count: int, flags: int = 0, rss_hash: int = 0,
+                 flow_tag: int = 0, stride_index: int = 0, owner: int = 1,
+                 syndrome: int = 0):
+        self.opcode = opcode
+        self.flags = flags
+        self.wqe_counter = wqe_counter & 0xFFFF
+        self.qpn = qpn
+        self.byte_count = byte_count
+        self.rss_hash = rss_hash & 0xFFFFFFFF
+        self.flow_tag = flow_tag
+        self.stride_index = stride_index
+        self.owner = owner
+        self.syndrome = syndrome
+
+    @property
+    def l4_ok(self) -> bool:
+        return bool(self.flags & CQE_FLAG_L4_OK)
+
+    @property
+    def is_error(self) -> bool:
+        return self.opcode == CQE_ERROR
+
+    def pack(self) -> bytes:
+        body = struct.pack(
+            self._FORMAT, self.opcode, self.flags, self.wqe_counter,
+            self.qpn, self.byte_count, self.rss_hash, self.flow_tag,
+            self.stride_index, self.owner, self.syndrome,
+        )
+        return body + bytes(CQE_SIZE - self._PACKED)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Cqe":
+        if len(data) < cls._PACKED:
+            raise ValueError("truncated Cqe")
+        (opcode, flags, counter, qpn, count, rss, tag, stride, owner,
+         syndrome) = struct.unpack(cls._FORMAT, data[:cls._PACKED])
+        return cls(opcode, qpn, counter, count, flags, rss, tag, stride,
+                   owner, syndrome)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cqe(op={self.opcode:#x}, qpn={self.qpn}, "
+            f"wqe={self.wqe_counter}, len={self.byte_count})"
+        )

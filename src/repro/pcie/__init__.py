@@ -1,0 +1,33 @@
+"""Transaction-level PCIe fabric model."""
+
+from .config import GEN5_X16_LINK, INNOVA2_LINK, PcieLinkConfig
+from .endpoint import Bar, MemoryRegion, MmioRegion, PcieEndpoint, PcieError
+from .fabric import PcieFabric
+from .tlp import (
+    COMPLETION_HEADER,
+    DLLP_FRAMING,
+    MEM_REQUEST_HEADER,
+    Tlp,
+    TlpType,
+    read_wire_bytes,
+    write_wire_bytes,
+)
+
+__all__ = [
+    "Bar",
+    "COMPLETION_HEADER",
+    "DLLP_FRAMING",
+    "GEN5_X16_LINK",
+    "INNOVA2_LINK",
+    "MEM_REQUEST_HEADER",
+    "MemoryRegion",
+    "MmioRegion",
+    "PcieEndpoint",
+    "PcieError",
+    "PcieFabric",
+    "PcieLinkConfig",
+    "Tlp",
+    "TlpType",
+    "read_wire_bytes",
+    "write_wire_bytes",
+]

@@ -1,0 +1,204 @@
+"""The PCIe fabric: ports, a switch, and TLP routing.
+
+Topology mirrors the Innova-2 (paper Fig. 6): every attached endpoint gets
+a full-duplex port into one logical switch; peer-to-peer TLPs cross the
+sender's upstream lane and the receiver's downstream lane, so a device's
+link bandwidth is shared by all traffic through it — exactly the resource
+the paper's §8.1 performance model budgets.
+
+Reads are split transactions: a header-only request TLP travels to the
+completer, which answers with one or more completion-with-data TLPs
+(split at the RCB).  Writes are posted.  All TLP handling is functional
+*and* timed: handlers run with real bytes when the initiator provides
+them, and every TLP pays serialization on both lanes it crosses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim import Event, Link, Simulator
+from .config import PcieLinkConfig
+from .endpoint import Bar, PcieEndpoint, PcieError
+from .tlp import Tlp, TlpType, completion_chunks, split_write_bytes
+
+
+class _Port:
+    """A device's two lanes into the switch."""
+
+    def __init__(self, sim: Simulator, endpoint: PcieEndpoint,
+                 config: PcieLinkConfig):
+        rate = config.effective_data_bps
+        self.endpoint = endpoint
+        self.config = config
+        # Split the configured one-way latency across the two hops.
+        hop_latency = config.latency / 2
+        self.up = Link(sim, rate, hop_latency, name=f"{endpoint.name}.up")
+        self.down = Link(sim, rate, hop_latency, name=f"{endpoint.name}.down")
+
+
+class PcieFabric:
+    """Address-routed TLP switch connecting endpoints."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._ports: Dict[str, _Port] = {}
+        self._bars: List[Bar] = []
+        self._pending_reads: Dict[int, dict] = {}
+        self.stats_tlps: Dict[str, int] = {}
+
+    # -- topology ---------------------------------------------------------
+
+    def attach(self, endpoint: PcieEndpoint,
+               config: Optional[PcieLinkConfig] = None) -> None:
+        """Give ``endpoint`` a port; required before it can initiate TLPs."""
+        if endpoint.name in self._ports:
+            raise PcieError(f"endpoint {endpoint.name!r} already attached")
+        port = _Port(self.sim, endpoint, config or PcieLinkConfig())
+        port.up.connect(self._route)
+        port.down.connect(self._deliver)
+        self._ports[endpoint.name] = port
+        endpoint.fabric = self
+
+    def map_window(self, base: int, size: int, endpoint: PcieEndpoint) -> Bar:
+        """Claim [base, base+size) in the fabric address space."""
+        bar = Bar(base, size, endpoint)
+        for existing in self._bars:
+            if bar.overlaps(existing):
+                raise PcieError(f"{bar} overlaps {existing}")
+        self._bars.append(bar)
+        return bar
+
+    def decode(self, address: int) -> Bar:
+        for bar in self._bars:
+            if bar.contains(address):
+                return bar
+        raise PcieError(f"address {address:#x} does not decode to any BAR")
+
+    def port_of(self, endpoint: PcieEndpoint) -> _Port:
+        try:
+            return self._ports[endpoint.name]
+        except KeyError:
+            raise PcieError(f"endpoint {endpoint.name!r} not attached") from None
+
+    def link_utilization_bits(self, endpoint_name: str) -> float:
+        """Total bits that have crossed this endpoint's two lanes."""
+        port = self._ports[endpoint_name]
+        return port.up.stats_bits + port.down.stats_bits
+
+    # -- transactions -------------------------------------------------------
+
+    def post_write(self, requester: PcieEndpoint, address: int,
+                   data: bytes = None, length: int = None) -> Event:
+        """A posted memory write; the event fires when the last TLP lands.
+
+        Pass ``data`` for functional writes or just ``length`` for
+        timing-only traffic.
+        """
+        port = self.port_of(requester)
+        if data is None and length is None:
+            raise PcieError("write needs data or length")
+        total = len(data) if data is not None else length
+        mps = port.config.max_payload_size
+        done = Event(self.sim)
+        cursor = 0
+        chunks = split_write_bytes(total, mps) or [0]
+        remaining = len(chunks)
+
+        for chunk in chunks:
+            payload = data[cursor:cursor + chunk] if data is not None else None
+            tlp = Tlp(TlpType.MEM_WRITE, address + cursor, chunk, payload,
+                      requester=requester.name)
+            cursor += chunk
+
+            def finish(_=None):
+                nonlocal remaining
+                remaining -= 1
+                if remaining == 0:
+                    done.succeed()
+
+            tlp.meta["on_delivered"] = finish
+            self._send(port, tlp)
+        return done
+
+    def read(self, requester: PcieEndpoint, address: int,
+             length: int) -> Event:
+        """A memory read; the event fires with the data bytes."""
+        if length <= 0:
+            raise PcieError("read length must be positive")
+        port = self.port_of(requester)
+        done = Event(self.sim)
+        request = Tlp(TlpType.MEM_READ, address, length,
+                      requester=requester.name)
+        self._pending_reads[request.tag] = {
+            "event": done,
+            "requester": requester.name,
+            "chunks": [],
+            "remaining": None,
+        }
+        self._send(port, request)
+        return done
+
+    # -- internals -----------------------------------------------------------
+
+    def _send(self, port: _Port, tlp: Tlp) -> None:
+        self.stats_tlps[tlp.kind.value] = self.stats_tlps.get(tlp.kind.value, 0) + 1
+        port.up.send(tlp, tlp.wire_bytes() * 8)
+
+    def _route(self, tlp: Tlp) -> None:
+        """Switch stage: forward a TLP down its target's lane."""
+        if tlp.kind in (TlpType.COMPLETION_DATA, TlpType.COMPLETION):
+            target = self._ports[tlp.completer]
+        else:
+            bar = self.decode(tlp.address)
+            target = self.port_of(bar.endpoint)
+            tlp.meta["bar"] = bar
+        target.down.send(tlp, tlp.wire_bytes() * 8)
+
+    def _deliver(self, tlp: Tlp) -> None:
+        """Endpoint ingress: run the handler / complete the transaction."""
+        if tlp.kind is TlpType.MEM_WRITE:
+            bar = tlp.meta["bar"]
+            offset = tlp.address - bar.base
+            if tlp.data is not None:
+                bar.endpoint.handle_write(offset, tlp.data)
+            on_delivered = tlp.meta.get("on_delivered")
+            if on_delivered:
+                on_delivered()
+            return
+
+        if tlp.kind is TlpType.MEM_READ:
+            bar = tlp.meta["bar"]
+            offset = tlp.address - bar.base
+            data = bar.endpoint.handle_read(offset, tlp.length)
+            completer_port = self.port_of(bar.endpoint)
+            rcb = completer_port.config.read_completion_boundary
+            chunks = completion_chunks(tlp.length, rcb)
+            state = self._pending_reads[tlp.tag]
+            state["remaining"] = len(chunks)
+            cursor = 0
+            for index, chunk in enumerate(chunks):
+                completion = Tlp(
+                    TlpType.COMPLETION_DATA, tlp.address + cursor, chunk,
+                    data[cursor:cursor + chunk], tag=tlp.tag,
+                    requester=tlp.requester, completer=tlp.requester,
+                )
+                completion.meta["seq"] = index
+                cursor += chunk
+                self._send(completer_port, completion)
+            return
+
+        if tlp.kind is TlpType.COMPLETION_DATA:
+            state = self._pending_reads.get(tlp.tag)
+            if state is None:
+                raise PcieError(f"orphan completion {tlp!r}")
+            state["chunks"].append((tlp.meta["seq"], tlp.data))
+            if len(state["chunks"]) == state["remaining"]:
+                del self._pending_reads[tlp.tag]
+                data = b"".join(
+                    part for _seq, part in sorted(state["chunks"])
+                )
+                state["event"].succeed(data)
+            return
+
+        raise PcieError(f"unroutable TLP {tlp!r}")

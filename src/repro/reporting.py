@@ -1,0 +1,224 @@
+"""Regenerate the paper's tables and figures from the command line.
+
+``python -m repro`` prints the analytical tables (instant) and, with
+``--full``, re-runs the simulated experiments too.  The same renderers
+back the benchmark suite's output.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .models import area, loc
+from .models.memory import (
+    DriverParameters,
+    KIB,
+    MIB,
+    figure4_bandwidth_sweep,
+    figure4_queue_sweep,
+    table3,
+)
+from .models.perf import figure7a
+
+
+def format_table(title: str, rows: List[Dict], columns=None) -> str:
+    """Render rows as an aligned text table under a banner."""
+    lines = [f"\n=== {title} ==="]
+    if not rows:
+        lines.append("(no rows)")
+        return "\n".join(lines)
+    columns = columns or list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in rows))
+        for c in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(c)).ljust(widths[c])
+                               for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _human(nbytes: float) -> str:
+    if nbytes >= MIB:
+        return f"{nbytes / MIB:.1f} MiB"
+    if nbytes >= KIB:
+        return f"{nbytes / KIB:.1f} KiB"
+    return f"{int(nbytes)} B"
+
+
+# ---------------------------------------------------------------------------
+# Section renderers
+# ---------------------------------------------------------------------------
+
+def render_table1() -> str:
+    rows = [
+        {"category": a.category, "solution": a.solution,
+         "LUT": a.utilization.lut, "FF": a.utilization.ff,
+         "BRAM": a.utilization.bram, "tunneling": a.tunneling,
+         "hw transport": a.hardware_transport}
+        for a in area.TABLE1
+    ]
+    return format_table("Table 1: accelerator networking architectures",
+                        rows)
+
+
+def render_table2() -> str:
+    derived = DriverParameters().table2a()
+    rows = [{"parameter": k, "value": round(v, 2)}
+            for k, v in derived.items()]
+    return format_table("Table 2a: driver memory parameters", rows)
+
+
+def render_table3() -> str:
+    result = table3()
+    rows = []
+    for key in ("tx_rings", "tx_buffers", "rx_buffers",
+                "completion_queues", "rx_ring", "producer_indices",
+                "total"):
+        rows.append({
+            "structure": key,
+            "software": _human(result["software"][key]),
+            "fld": _human(result["fld"][key]),
+            "shrink": (f"x{result['ratios'][key]:.1f}"
+                       if key in result["ratios"] else "-"),
+        })
+    return format_table("Table 3: memory, software vs FLD", rows)
+
+
+def render_table4() -> str:
+    rows = [{"component": k, "python loc": v}
+            for k, v in loc.table4().items()]
+    return format_table("Table 4: software LOC (this reproduction)", rows)
+
+
+def render_table5() -> str:
+    rows = [
+        {"module": m.name, "clk MHz": m.clock_mhz,
+         "LUT": m.utilization.lut, "FF": m.utilization.ff,
+         "BRAM": m.utilization.bram, "URAM": m.utilization.uram}
+        for m in area.TABLE5
+    ]
+    return format_table("Table 5: prototype resource utilization", rows)
+
+
+def render_fig4() -> str:
+    bandwidth = [
+        {"line_rate_gbps": r["bandwidth_gbps"],
+         "software": _human(r["software_bytes"]),
+         "fld": _human(r["fld_bytes"])}
+        for r in figure4_bandwidth_sweep()
+    ]
+    queues = [
+        {"tx_queues": r["num_tx_queues"],
+         "software": _human(r["software_bytes"]),
+         "fld": _human(r["fld_bytes"])}
+        for r in figure4_queue_sweep()
+    ]
+    return (format_table("Fig. 4 (left): memory vs line rate", bandwidth)
+            + "\n" + format_table("Fig. 4 (right): memory vs queues",
+                                  queues))
+
+
+def render_fig7a() -> str:
+    rows = figure7a(sizes=[64, 128, 256, 512, 1024, 1500])
+    return format_table("Fig. 7a: PCIe model vs raw Ethernet (Gbps)", rows)
+
+
+def render_table6() -> str:
+    from .experiments.echo import echo_latency
+    rows = [echo_latency("flde", count=1500),
+            echo_latency("cpu", count=1500)]
+    return format_table("Table 6: 64 B echo RTT (simulated)", rows)
+
+
+def render_fig7b() -> str:
+    from .experiments.echo import echo_throughput
+    rows = []
+    for mode in ("flde-remote", "cpu-remote", "flde-local"):
+        for size in (64, 256, 1024, 1500):
+            rows.append(echo_throughput(mode, size, count=700))
+    return format_table(
+        "Fig. 7b: echo throughput (simulated, Gbps)", rows,
+        columns=["mode", "size", "gbps", "model_gbps", "mpps"])
+
+
+def render_fig8a() -> str:
+    from .experiments.zuc import cpu_throughput, fld_throughput
+    rows = []
+    for size in (64, 256, 512, 1024):
+        rows.append(fld_throughput(size, count=200))
+        rows.append(cpu_throughput(size, count=200))
+    return format_table(
+        "Fig. 8a: ZUC throughput (simulated, Gbps)", rows,
+        columns=["mode", "size", "gbps", "model_gbps"])
+
+
+def render_defrag() -> str:
+    from .experiments.defrag import run
+    rows = [run(config) for config in
+            ("nofrag", "sw-defrag", "hw-defrag", "vxlan-sw", "vxlan-hw")]
+    return format_table(
+        "§8.2.2: IP defragmentation (simulated)", rows,
+        columns=["config", "goodput_gbps", "active_cores"])
+
+
+def render_iot() -> str:
+    from .experiments.iot import isolation
+    rows = [dict(name="unshaped", **isolation(shaped=False)),
+            dict(name="shaped 6G+6G", **isolation(shaped=True))]
+    return format_table(
+        "§8.2.3: IoT tenant isolation (simulated)", rows,
+        columns=["name", "tenant_a_gbps", "tenant_b_gbps", "meter_drops"])
+
+
+ANALYTICAL = {
+    "table1": render_table1,
+    "table2": render_table2,
+    "table3": render_table3,
+    "table4": render_table4,
+    "table5": render_table5,
+    "fig4": render_fig4,
+    "fig7a": render_fig7a,
+}
+
+SIMULATED = {
+    "table6": render_table6,
+    "fig7b": render_fig7b,
+    "fig8a": render_fig8a,
+    "defrag": render_defrag,
+    "iot": render_iot,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    full = "--full" in argv
+    requested = [a for a in argv if not a.startswith("-")]
+    sections = dict(ANALYTICAL)
+    if full:
+        sections.update(SIMULATED)
+    if requested:
+        everything = {**ANALYTICAL, **SIMULATED}
+        unknown = [r for r in requested if r not in everything]
+        if unknown:
+            print(f"unknown sections: {', '.join(unknown)}; "
+                  f"choose from {', '.join(everything)}")
+            return 2
+        sections = {name: everything[name] for name in requested}
+    for name, renderer in sections.items():
+        print(renderer())
+    if not full and not requested:
+        print("\n(analytical tables only; add --full to re-run the "
+              "simulated experiments, or name sections: "
+              f"{', '.join(SIMULATED)})")
+    return 0

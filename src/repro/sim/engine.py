@@ -1,0 +1,319 @@
+"""Discrete-event simulation engine.
+
+The engine is a small, dependency-free core in the style of SimPy:
+generator-based processes yield *events*, and the simulator advances a
+virtual clock from one scheduled event to the next.  Time is measured in
+**seconds** (floats); bandwidth in **bits per second**.
+
+The engine underpins every timed experiment in the reproduction: PCIe links,
+NIC pipelines, accelerator processing loops and host CPU threads are all
+processes exchanging work through :class:`Store` queues and delaying through
+:meth:`Simulator.timeout`.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def proc(sim):
+...     yield sim.timeout(1.0)
+...     log.append(sim.now)
+>>> _ = sim.spawn(proc(sim))
+>>> sim.run()
+>>> log
+[1.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; :meth:`succeed` schedules all waiting
+    processes to resume with ``value``.  Events may only fire once.
+    """
+
+    __slots__ = ("sim", "_value", "_fired", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._value: Any = None
+        self._fired = False
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError("event value read before it fired")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._fired:
+            raise SimulationError("event fired twice")
+        self._fired = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._fired:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+
+class Process:
+    """A running generator-based simulation process.
+
+    Wraps a generator that yields :class:`Event` objects.  The process
+    itself is an event that fires (with the generator's return value) when
+    the generator finishes, so processes can wait for each other::
+
+        result = yield sim.spawn(worker(sim))
+    """
+
+    __slots__ = ("sim", "_gen", "_done", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self._gen = gen
+        self._done = Event(sim)
+        self.name = name or getattr(gen, "__name__", "process")
+
+    @property
+    def done(self) -> Event:
+        return self._done
+
+    @property
+    def finished(self) -> bool:
+        return self._done.fired
+
+    def _step(self, value: Any = None) -> None:
+        # Trampoline: when the yielded event has already fired, resume the
+        # generator in this same frame instead of recursing — long chains
+        # of ready events (busy stores, cached DMA) would otherwise
+        # overflow the Python stack.
+        while True:
+            try:
+                target = self._gen.send(value)
+            except StopIteration as stop:
+                self._done.succeed(stop.value)
+                return
+            if isinstance(target, Process):
+                target = target.done
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "expected an Event"
+                )
+            if target.fired:
+                value = target.value
+                continue
+            target.add_callback(lambda event: self._step(event.value))
+            return
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, seq, action) entries."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List = []
+        self._seq = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action()`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), action))
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that fires ``delay`` seconds from now."""
+        event = Event(self)
+        self.schedule(delay, lambda: event.succeed(value))
+        return event
+
+    def event(self) -> Event:
+        """A fresh pending event, fired manually via :meth:`Event.succeed`."""
+        return Event(self)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a generator as a process on the next event-loop pass."""
+        process = Process(self, gen, name)
+        self.schedule(0.0, process._step)
+        return process
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """An event that fires once every event in ``events`` has fired."""
+        events = list(events)
+        combined = Event(self)
+        remaining = len(events)
+        if remaining == 0:
+            return combined.succeed([])
+
+        def on_fire(_event: Event) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                combined.succeed([e.value for e in events])
+
+        for event in events:
+            event.add_callback(on_fire)
+        return combined
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the simulation time when execution stopped.
+        """
+        processed = 0
+        while self._queue:
+            time, _seq, action = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = time
+            action()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; likely a livelock"
+                )
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+
+class Store:
+    """An unbounded (or bounded) FIFO channel between processes.
+
+    ``put`` succeeds immediately when below capacity; ``get`` blocks the
+    calling process until an item is available.  Items are delivered in
+    insertion order, one per waiting getter, preserving getter arrival
+    order.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: List[Any] = []
+        self._getters: List[Event] = []
+        self._putters: List = []  # (event, item) waiting for space
+        self.stats_put = 0
+        self.stats_dropped = 0
+        self.stats_max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns ``False`` (drops) when full."""
+        if self.is_full and not self._getters:
+            self.stats_dropped += 1
+            return False
+        self._deliver(item)
+        return True
+
+    def put(self, item: Any) -> Event:
+        """Blocking put; the returned event fires when the item is queued."""
+        event = Event(self.sim)
+        if self.is_full and not self._getters:
+            self._putters.append((event, item))
+        else:
+            self._deliver(item)
+            event.succeed(item)
+        return event
+
+    def get(self) -> Event:
+        """An event that fires with the next item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.pop(0))
+            self._admit_waiting_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns ``None`` when empty."""
+        if not self._items:
+            return None
+        item = self._items.pop(0)
+        self._admit_waiting_putter()
+        return item
+
+    def _deliver(self, item: Any) -> None:
+        self.stats_put += 1
+        if self._getters:
+            self._getters.pop(0).succeed(item)
+        else:
+            self._items.append(item)
+            self.stats_max_depth = max(self.stats_max_depth, len(self._items))
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and not self.is_full:
+            event, item = self._putters.pop(0)
+            self._deliver(item)
+            event.succeed(item)
+
+
+class Resource:
+    """A counting resource (e.g. DMA engines); acquire/release semantics."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: List[Event] = []
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def acquire(self) -> Event:
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release without acquire")
+        if self._waiters:
+            self._waiters.pop(0).succeed()
+        else:
+            self._in_use -= 1

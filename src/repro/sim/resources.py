@@ -1,0 +1,164 @@
+"""Bandwidth-limited transmission resources for the simulator.
+
+These model serial links (Ethernet ports, PCIe links, DRAM channels): a
+message of ``bits`` occupies the link for ``bits / rate_bps`` seconds, plus a
+fixed propagation latency before delivery.  Links are work-conserving FIFOs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .engine import Simulator, Store
+
+
+class Link:
+    """A serializing, work-conserving point-to-point link.
+
+    Messages are delivered to ``sink`` (a callable) in order; each message
+    holds the link for its serialization time.  Propagation latency overlaps
+    with the next message's serialization (pipelining), as on real wires.
+
+    Parameters
+    ----------
+    rate_bps:
+        Line rate in bits/second. ``None`` means infinite rate.
+    latency:
+        One-way propagation delay in seconds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: Optional[float],
+        latency: float = 0.0,
+        name: str = "",
+    ):
+        if rate_bps is not None and rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.latency = latency
+        self.name = name
+        self.sink: Optional[Callable[[Any], None]] = None
+        self._busy_until = 0.0
+        self.stats_bits = 0
+        self.stats_messages = 0
+
+    def connect(self, sink: Callable[[Any], None]) -> None:
+        self.sink = sink
+
+    def serialization_time(self, bits: float) -> float:
+        if self.rate_bps is None:
+            return 0.0
+        return bits / self.rate_bps
+
+    def send(self, message: Any, bits: float) -> float:
+        """Enqueue ``message`` of ``bits``; returns its delivery time.
+
+        The caller does not block; backpressure, when needed, is modelled by
+        the caller checking :meth:`queue_delay`.
+        """
+        if self.sink is None:
+            raise RuntimeError(f"link {self.name!r} has no sink connected")
+        start = max(self.sim.now, self._busy_until)
+        finish = start + self.serialization_time(bits)
+        self._busy_until = finish
+        delivery = finish + self.latency
+        self.stats_bits += bits
+        self.stats_messages += 1
+        sink = self.sink
+        self.sim.schedule(delivery - self.sim.now, lambda: sink(message))
+        return delivery
+
+    def queue_delay(self) -> float:
+        """Seconds until the link would start serializing a new message."""
+        return max(0.0, self._busy_until - self.sim.now)
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+
+class DuplexLink:
+    """A full-duplex link: independent TX and RX unidirectional lanes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: Optional[float],
+        latency: float = 0.0,
+        name: str = "",
+    ):
+        self.tx = Link(sim, rate_bps, latency, name=f"{name}.tx")
+        self.rx = Link(sim, rate_bps, latency, name=f"{name}.rx")
+        self.name = name
+
+    @property
+    def rate_bps(self) -> Optional[float]:
+        return self.tx.rate_bps
+
+
+class TokenBucket:
+    """A token-bucket rate limiter (used by the NIC traffic shaper).
+
+    Tokens accrue at ``rate_bps`` bits/second up to ``burst_bits``.  A
+    message conforming to the bucket consumes its size in tokens; the
+    ``delay_for`` method reports how long a non-conforming message must wait.
+    """
+
+    def __init__(self, sim: Simulator, rate_bps: float, burst_bits: float):
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.burst_bits = burst_bits
+        self._tokens = burst_bits
+        self._last = sim.now
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        self._tokens = min(
+            self.burst_bits, self._tokens + (now - self._last) * self.rate_bps
+        )
+        self._last = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_consume(self, bits: float) -> bool:
+        self._refill()
+        if self._tokens >= bits:
+            self._tokens -= bits
+            return True
+        return False
+
+    def delay_for(self, bits: float) -> float:
+        """Seconds until ``bits`` tokens will be available (0 if now)."""
+        self._refill()
+        deficit = bits - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate_bps
+
+    def consume(self, bits: float) -> None:
+        """Consume unconditionally (may drive the bucket negative-free)."""
+        self._refill()
+        self._tokens = max(0.0, self._tokens - bits)
+
+
+def drain_store_via_link(sim: Simulator, store: Store, link: Link,
+                         bits_of: Callable[[Any], float]):
+    """A process shipping every item from ``store`` over ``link``.
+
+    Waits for serialization so the link is never oversubscribed by this
+    drain (models a device's egress scheduler).
+    """
+    while True:
+        item = yield store.get()
+        link.send(item, bits_of(item))
+        delay = link.queue_delay()
+        if delay > 0:
+            yield sim.timeout(delay)

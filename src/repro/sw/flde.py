@@ -1,0 +1,132 @@
+"""FLD-E control plane (§5.3, §5.4): match-action with acceleration.
+
+Extends the NIC's match-action abstraction with the new *acceleration
+action*: matched packets detour through an FLD receive queue carrying a
+context ID (tenant) and a resume-table ID; the accelerator's transmitted
+packets re-enter steering at the resume table, so NIC offloads run both
+before and after the accelerator.
+
+For virtualization (§5.4) the control plane is the trusted entity: it
+stamps context IDs via :class:`SetContextId` itself and rejects
+tenant-supplied rules that try to forge them; per-tenant rate limits use
+the NIC's shaper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..nic import (
+    Action,
+    DecapVxlan,
+    ForwardToQueue,
+    ForwardToRss,
+    MatchSpec,
+    Meter,
+    Rule,
+    SetContextId,
+    ToAccelerator,
+)
+from ..nic.queues import ReceiveQueue
+from .runtime import FldRuntime
+
+
+class FldEPolicyError(RuntimeError):
+    """Raised when an untrusted rule tries to escalate (forge contexts)."""
+
+
+class FldEControlPlane:
+    """Installs acceleration/steering rules for one vPort's pipeline."""
+
+    def __init__(self, runtime: FldRuntime, vport: int):
+        self.runtime = runtime
+        self.nic = runtime.nic
+        self.vport = vport
+        if vport not in self.nic.eswitch.vports:
+            self.nic.eswitch.add_vport(vport)
+        self._vport = self.nic.eswitch.vports[vport]
+        self.table = self.nic.steering.table(self._vport.rx_root)
+        self.stats_rules = 0
+
+    # ------------------------------------------------------------------
+    # Acceleration rules
+    # ------------------------------------------------------------------
+
+    def accelerate(self, match: MatchSpec, accel_rq: ReceiveQueue,
+                   resume_actions: List[Action],
+                   context_id: int = 0, priority: int = 0,
+                   pre_actions: Optional[List[Action]] = None,
+                   resume_table: Optional[str] = None) -> Rule:
+        """Send matching packets through the accelerator and resume.
+
+        ``pre_actions`` run before the detour (e.g. VXLAN decap — the
+        §8.2.2 pattern); ``resume_actions`` populate the resume table's
+        default entry (e.g. RSS delivery after defragmentation).
+        """
+        name = resume_table or f"vport{self.vport}.resume{self.stats_rules}"
+        table = self.nic.steering.table(name)
+        table.default_actions = resume_actions
+        self.nic.register_resume_table(name)
+        actions: List[Action] = list(pre_actions or [])
+        actions.append(ToAccelerator(accel_rq, name, context_id))
+        rule = self.table.add_rule(match, actions, priority)
+        self.stats_rules += 1
+        return rule
+
+    def deliver(self, match: MatchSpec, rq: ReceiveQueue,
+                priority: int = 0) -> Rule:
+        """Plain delivery rule (no acceleration)."""
+        self.stats_rules += 1
+        return self.table.add_rule(match, [ForwardToQueue(rq)], priority)
+
+    # ------------------------------------------------------------------
+    # Virtualization (§5.4)
+    # ------------------------------------------------------------------
+
+    def add_tenant(self, tenant_id: int, match: MatchSpec,
+                   accel_rq: ReceiveQueue, resume_actions: List[Action],
+                   rate_bps: Optional[float] = None,
+                   priority: int = 0) -> Rule:
+        """Classify a tenant's flows: tag + optional rate limit + detour.
+
+        The context ID is stamped by this (trusted) control plane; the
+        tenant never controls it.
+        """
+        if not 0 < tenant_id <= 0xFFFF:
+            raise FldEPolicyError("tenant IDs are 16-bit and nonzero")
+        name = f"vport{self.vport}.tenant{tenant_id}.resume"
+        table = self.nic.steering.table(name)
+        table.default_actions = resume_actions
+        self.nic.register_resume_table(name)
+        actions: List[Action] = [SetContextId(tenant_id)]
+        if rate_bps is not None:
+            meter_name = f"tenant{tenant_id}"
+            self.nic.shaper.add_limiter(meter_name, rate_bps)
+            actions.append(Meter(meter_name))
+        actions.append(ToAccelerator(accel_rq, name, tenant_id))
+        rule = self.table.add_rule(match, actions, priority)
+        self.stats_rules += 1
+        return rule
+
+    def set_tenant_rate(self, tenant_id: int, rate_bps: float) -> None:
+        self.nic.shaper.add_limiter(f"tenant{tenant_id}", rate_bps)
+
+    def validate_tenant_rule(self, actions: List[Action]) -> None:
+        """Reject untrusted rules that set context IDs (§5.4).
+
+        Tenants may install classification rules for their own traffic,
+        but only the control plane may tag contexts — a forged
+        SetContextId would impersonate another tenant.
+        """
+        for action in actions:
+            if isinstance(action, SetContextId):
+                raise FldEPolicyError(
+                    "untrusted rules must not set context IDs"
+                )
+
+    def install_tenant_rule(self, match: MatchSpec, actions: List[Action],
+                            priority: int = 0) -> Rule:
+        """Install a rule on behalf of an untrusted tenant, validated."""
+        self.validate_tenant_rule(actions)
+        self.stats_rules += 1
+        return self.table.add_rule(match, actions, priority)

@@ -1,0 +1,40 @@
+"""FLD kernel driver (§5.3 "Error Handling", Table 4).
+
+The kernel-side shim between FLD hardware and control-plane
+applications: it drains the hardware error channel and dispatches
+asynchronous error notifications to registered handlers, keeping a log
+for diagnostics.  Recovery policy stays with the application, as in
+RDMA Verbs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..core import FlexDriver, FldError
+from ..sim import Simulator
+
+
+class FldKernelDriver:
+    """Error-channel consumer and dispatcher."""
+
+    def __init__(self, sim: Simulator, fld: FlexDriver):
+        self.sim = sim
+        self.fld = fld
+        self.error_log: List[FldError] = []
+        self._handlers: List[Callable[[FldError], None]] = []
+        sim.spawn(self._error_pump(), name=f"{fld.name}.kdriver")
+
+    def on_error(self, handler: Callable[[FldError], None]) -> None:
+        """Register an asynchronous error handler."""
+        self._handlers.append(handler)
+
+    def _error_pump(self):
+        while True:
+            error = yield self.fld.errors.channel.get()
+            self.error_log.append(error)
+            for handler in self._handlers:
+                handler(error)
+
+    def errors_of_kind(self, kind: str) -> List[FldError]:
+        return [e for e in self.error_log if e.kind == kind]

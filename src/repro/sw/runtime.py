@@ -1,0 +1,179 @@
+"""FLD runtime library (§5.3): binds FLD and the NIC together.
+
+This is the host-side library control-plane applications link against.
+It owns the low-level plumbing both FLD-E and FLD-R need:
+
+* creating NIC completion queues whose rings live inside the FLD BAR,
+* creating NIC send queues whose (virtual) rings live inside the FLD BAR,
+* creating multi-packet receive queues whose descriptor ring lives in
+  *host memory* while the buffers point into FLD's receive SRAM (§5.2),
+* creating RDMA RC QPs bound to FLD queues (the FLD-R split of the verbs
+  QP abstraction: software owns the transport endpoint, the accelerator
+  owns the data path).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core import FlexDriver, bar as fld_bar
+from ..core.fld import FldConfig
+from ..nic import (
+    MultiPacketReceiveQueue,
+    Nic,
+    OP_ETH_SEND,
+    OP_RDMA_SEND,
+    RcQp,
+    RxDesc,
+    SendQueue,
+)
+from ..nic.device import (
+    DOORBELL_STRIDE,
+    RQ_DOORBELL_BASE,
+    WQE_MMIO_BASE,
+    WQE_MMIO_STRIDE,
+)
+from ..testbed import FLD_BAR_BASE, NIC_BAR_BASE, Node
+
+
+class FldRuntimeError(RuntimeError):
+    """Raised on runtime misconfiguration."""
+
+
+class FldRuntime:
+    """One FLD device's host-side runtime state."""
+
+    def __init__(self, node: Node, fld_config: Optional[FldConfig] = None,
+                 fld_bar_base: int = FLD_BAR_BASE,
+                 nic_bar_base: int = NIC_BAR_BASE,
+                 fld_name: Optional[str] = None):
+        self.node = node
+        self.sim = node.sim
+        self.nic: Nic = node.nic
+        self.fld_bar_base = fld_bar_base
+        self.nic_bar_base = nic_bar_base
+        if fld_name is None:
+            fld_name = f"{node.name}.fld"
+            if fld_bar_base != FLD_BAR_BASE:
+                # Additional FLD cores (§9 scaling) need distinct names.
+                fld_name += f"@{fld_bar_base:#x}"
+        from ..pcie import PcieLinkConfig
+        self.fld = FlexDriver(
+            self.sim, node.fabric, name=fld_name,
+            config=fld_config, bar_base=fld_bar_base,
+            link_config=PcieLinkConfig(
+                lanes=8, latency=getattr(node, "pcie_latency", 300e-9)),
+        )
+        node.fabric.map_window(fld_bar_base, fld_bar.FLD_BAR_SIZE, self.fld)
+        self._next_tx_queue = 0
+        self._next_rx_binding = 0
+
+    # ------------------------------------------------------------------
+    # Queue plumbing
+    # ------------------------------------------------------------------
+
+    def _alloc_tx_ids(self) -> Tuple[int, int]:
+        queue_id = self._next_tx_queue
+        self._next_tx_queue += 1
+        if queue_id >= FlexDriver.RX_CQ_BASE:
+            raise FldRuntimeError("out of FLD tx queue slots")
+        return queue_id, queue_id  # (queue id, tx cq index)
+
+    def create_eth_tx_queue(self, vport: int, entries: int = 1024,
+                            use_mmio: bool = True,
+                            meter: Optional[str] = None,
+                            credits: Optional[int] = None) -> int:
+        """An FLD Ethernet transmit queue; returns the FLD queue id.
+
+        ``credits`` caps the accelerator's in-flight packets on this
+        queue (§5.5's per-queue backpressure); defaults to the ring
+        depth.
+        """
+        queue_id, cq_index = self._alloc_tx_ids()
+        cq = self.nic.create_cq(
+            self.fld_bar_base + fld_bar.cq_address(cq_index),
+            self.fld.config.cq_entries,
+        )
+        sq = self.nic.create_sq(
+            self.fld_bar_base + fld_bar.tx_ring_address(queue_id, 0, entries),
+            entries, cq, vport=vport, meter=meter,
+        )
+        self._bind_tx(queue_id, sq, cq_index, entries, use_mmio,
+                      credits=credits)
+        return queue_id
+
+    def _bind_tx(self, queue_id: int, sq: SendQueue, cq_index: int,
+                 entries: int, use_mmio: bool,
+                 opcode: Optional[int] = None,
+                 credits: Optional[int] = None) -> None:
+        self.fld.bind_tx_queue(
+            queue_id, sq.qpn, entries,
+            doorbell_addr=self.nic_bar_base + sq.qpn * DOORBELL_STRIDE,
+            mmio_addr=(self.nic_bar_base + WQE_MMIO_BASE
+                       + sq.qpn * WQE_MMIO_STRIDE),
+            cq_index=cq_index, use_mmio=use_mmio,
+            opcode=opcode if opcode is not None else OP_ETH_SEND,
+            credits=credits,
+        )
+
+    def create_rx_queue(self, vport: int, ring_entries: int = 2,
+                        strides_per_buffer: int = 64,
+                        stride_size: int = 2048,
+                        set_default: bool = True) -> MultiPacketReceiveQueue:
+        """An FLD receive path: MPRQ + host-memory ring + FLD buffers.
+
+        Returns the NIC receive queue (steering rules target it).
+        """
+        binding_id = self._next_rx_binding
+        self._next_rx_binding += 1
+        cq_index = FlexDriver.RX_CQ_BASE + binding_id
+        cq = self.nic.create_cq(
+            self.fld_bar_base + fld_bar.cq_address(cq_index),
+            self.fld.config.cq_entries,
+        )
+        # The receive descriptor ring lives in HOST memory (§5.2).
+        ring_addr = self.node.driver.allocator.alloc(ring_entries * 16)
+        rq = self.nic.create_mprq(ring_addr, ring_entries, cq,
+                                  strides_per_buffer, stride_size)
+        slice_offset = self.fld.bind_rx_queue(
+            binding_id, cq_index, ring_entries, strides_per_buffer,
+            stride_size,
+            rq_doorbell_addr=(self.nic_bar_base + RQ_DOORBELL_BASE
+                              + rq.rqn * DOORBELL_STRIDE),
+        )
+        # Software writes the immutable descriptors once, pointing at
+        # FLD's buffer slice, and posts the full ring.
+        buffer_size = strides_per_buffer * stride_size
+        for i in range(ring_entries):
+            desc = RxDesc(
+                self.fld_bar_base + slice_offset + i * buffer_size,
+                buffer_size,
+            )
+            self.node.memory.write_local(
+                rq.slot_addr(i) - self.node.driver.mem_base, desc.pack()
+            )
+        rq.post(ring_entries)
+        if set_default:
+            self.nic.set_vport_default_queue(vport, rq)
+        return rq
+
+    def create_fldr_qp(self, vport: int, local_mac, local_ip,
+                       rq: Optional[MultiPacketReceiveQueue] = None,
+                       entries: int = 1024,
+                       use_mmio: bool = True) -> Tuple[RcQp, int]:
+        """An FLD-R RDMA QP (§5.3): FLD owns the data path, software the
+        transport endpoint.  Returns (qp, fld queue id)."""
+        queue_id, cq_index = self._alloc_tx_ids()
+        cq = self.nic.create_cq(
+            self.fld_bar_base + fld_bar.cq_address(cq_index),
+            self.fld.config.cq_entries,
+        )
+        if rq is None:
+            rq = self.create_rx_queue(vport, set_default=False)
+        qp = self.nic.create_rc_qp(
+            self.fld_bar_base + fld_bar.tx_ring_address(queue_id, 0, entries),
+            entries, cq, rq, vport, local_mac, local_ip,
+        )
+        self._bind_tx(queue_id, qp.sq, cq_index, entries, use_mmio,
+                      opcode=OP_RDMA_SEND)
+        return qp, queue_id

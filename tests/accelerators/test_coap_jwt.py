@@ -1,0 +1,134 @@
+"""Unit tests for the CoAP parser and JWT validation."""
+
+import pytest
+
+from repro.accelerators.iot import (
+    CoapError,
+    CoapMessage,
+    JwtError,
+    parse_token,
+    sign_token,
+    verify_token,
+)
+from repro.accelerators.iot.coap import (
+    OPTION_CONTENT_FORMAT,
+    OPTION_URI_PATH,
+    POST,
+    TYPE_ACK,
+    TYPE_NON_CONFIRMABLE,
+)
+
+
+class TestCoap:
+    def test_minimal_roundtrip(self):
+        message = CoapMessage(code=POST, message_id=0x1234)
+        again = CoapMessage.unpack(message.pack())
+        assert again.code == POST
+        assert again.message_id == 0x1234
+        assert again.payload == b""
+
+    def test_token_roundtrip(self):
+        message = CoapMessage(token=b"\xde\xad\xbe\xef")
+        assert CoapMessage.unpack(message.pack()).token == b"\xde\xad\xbe\xef"
+
+    def test_payload_roundtrip(self):
+        message = CoapMessage(payload=b"hello iot world")
+        again = CoapMessage.unpack(message.pack())
+        assert again.payload == b"hello iot world"
+
+    def test_options_roundtrip(self):
+        message = CoapMessage()
+        message.add_option(OPTION_URI_PATH, b"sensors")
+        message.add_option(OPTION_URI_PATH, b"temp")
+        message.add_option(OPTION_CONTENT_FORMAT, b"\x00")
+        again = CoapMessage.unpack(message.pack())
+        assert again.option(OPTION_URI_PATH) == b"sensors"
+        assert len([o for o in again.options if o[0] == OPTION_URI_PATH]) == 2
+
+    def test_large_option_delta_extended_encoding(self):
+        message = CoapMessage()
+        message.add_option(2000, b"far")
+        again = CoapMessage.unpack(message.pack())
+        assert again.option(2000) == b"far"
+
+    def test_large_option_value(self):
+        message = CoapMessage()
+        message.add_option(OPTION_URI_PATH, b"x" * 400)
+        again = CoapMessage.unpack(message.pack())
+        assert again.option(OPTION_URI_PATH) == b"x" * 400
+
+    def test_everything_together(self):
+        message = CoapMessage(code=POST, mtype=TYPE_ACK, message_id=7,
+                              token=b"tok", payload=b"data!")
+        message.add_option(OPTION_URI_PATH, b"auth")
+        again = CoapMessage.unpack(message.pack())
+        assert (again.mtype, again.token, again.payload) == (
+            TYPE_ACK, b"tok", b"data!")
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(CoapError):
+            CoapMessage.unpack(b"\x40\x01")
+
+    def test_bad_version_rejected(self):
+        data = bytearray(CoapMessage().pack())
+        data[0] = (2 << 6) | (data[0] & 0x3F)
+        with pytest.raises(CoapError):
+            CoapMessage.unpack(bytes(data))
+
+    def test_payload_marker_without_payload_rejected(self):
+        data = CoapMessage().pack() + b"\xff"
+        with pytest.raises(CoapError):
+            CoapMessage.unpack(data)
+
+    def test_long_token_rejected(self):
+        with pytest.raises(CoapError):
+            CoapMessage(token=b"123456789")
+
+
+class TestJwt:
+    KEY = b"tenant-secret-key"
+
+    def test_sign_and_verify(self):
+        token = sign_token({"sub": "device-1", "iat": 1000}, self.KEY)
+        claims = verify_token(token, self.KEY)
+        assert claims == {"sub": "device-1", "iat": 1000}
+
+    def test_wrong_key_rejected(self):
+        token = sign_token({"sub": "device-1"}, self.KEY)
+        assert verify_token(token, b"other-key") is None
+
+    def test_tampered_payload_rejected(self):
+        token = sign_token({"sub": "device-1"}, self.KEY)
+        header, payload, signature = token.split(b".")
+        evil = sign_token({"sub": "attacker"}, b"attacker-key").split(b".")[1]
+        assert verify_token(header + b"." + evil + b"." + signature,
+                            self.KEY) is None
+
+    def test_tampered_signature_rejected(self):
+        token = bytearray(sign_token({"a": 1}, self.KEY))
+        token[-1] ^= 0x41
+        assert verify_token(bytes(token), self.KEY) is None
+
+    def test_structure_parse(self):
+        token = sign_token({"x": [1, 2, 3]}, self.KEY)
+        header, claims, signature = parse_token(token)
+        assert header["alg"] == "HS256"
+        assert claims["x"] == [1, 2, 3]
+        assert len(signature) == 32
+
+    def test_malformed_token_raises(self):
+        with pytest.raises(JwtError):
+            parse_token(b"not-a-jwt")
+        with pytest.raises(JwtError):
+            parse_token(b"a.b")
+
+    def test_garbage_segments_return_none(self):
+        assert verify_token(b"!!!.???.###", self.KEY) is None
+
+    def test_non_hs256_rejected(self):
+        import base64, json
+        header = base64.urlsafe_b64encode(
+            json.dumps({"alg": "none"}).encode()).rstrip(b"=")
+        body = base64.urlsafe_b64encode(b"{}").rstrip(b"=")
+        token = header + b"." + body + b"."
+        assert verify_token(token, self.KEY) is None

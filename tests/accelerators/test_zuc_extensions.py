@@ -1,0 +1,196 @@
+"""Tests for the ZUC future-work extensions: key cache + batching."""
+
+import pytest
+
+from repro.accelerators.zuc import (
+    CachedKeyZucAccelerator,
+    CompactRequest,
+    OP_EEA3_CACHED,
+    OP_EIA3_CACHED,
+    OP_SET_KEY,
+    eea3_encrypt,
+    eia3_mac,
+    make_compact_request,
+    make_set_key,
+    pack_batch,
+    unpack_batch,
+)
+from repro.experiments.setups import Calibration, zuc_service
+from repro.sim import Simulator
+from repro.sw import BatchingZucCryptodev, CryptoOp, FldRControlPlane
+from repro.testbed import make_remote_pair
+
+
+class TestCompactFormat:
+    def test_roundtrip(self):
+        header = CompactRequest(OP_EEA3_CACHED, 7, count=5, bearer=2,
+                                direction=1, length_bits=800,
+                                request_id=0xABCD)
+        again = CompactRequest.unpack(header.pack())
+        assert (again.op, again.slot, again.count, again.bearer,
+                again.direction, again.length_bits, again.request_id) == (
+            OP_EEA3_CACHED, 7, 5, 2, 1, 800, 0xABCD)
+
+    def test_header_is_16_bytes(self):
+        assert len(CompactRequest(OP_SET_KEY, 0).pack()) == 16
+
+    def test_slot_range_checked(self):
+        with pytest.raises(ValueError):
+            CompactRequest(OP_SET_KEY, 256)
+
+    def test_header_savings_vs_baseline(self):
+        """The point of key storage: 64 B -> 16 B per request."""
+        from repro.accelerators.zuc import HEADER_SIZE
+        assert HEADER_SIZE / 16 == 4.0
+
+
+class TestBatchFraming:
+    def test_roundtrip(self):
+        entries = [b"first", b"second entry", b"x" * 300]
+        assert unpack_batch(pack_batch(entries)) == entries
+
+    def test_non_batch_returns_none(self):
+        assert unpack_batch(b"\x00plain message") is None
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            pack_batch([])
+
+    def test_truncated_batch_rejected(self):
+        framed = pack_batch([b"abcdef"])
+        with pytest.raises(ValueError):
+            unpack_batch(framed[:-3])
+
+
+def batched_service(sim, batch_size=16, batch_delay=5e-6):
+    """A zuc_service variant running the extended accelerator."""
+    from repro.experiments.setups import CLIENT_MAC, CLIENT_IP, \
+        FLD_MAC, SERVER_IP
+    from repro.sw import FldRClient, FldRuntime
+    cal = Calibration()
+    client, server = make_remote_pair(sim, nic_config=cal.nic_config(),
+                                      client_core=cal.client_core(sim))
+    client.add_vport_for_mac(1, CLIENT_MAC)
+    server.add_vport_for_mac(2, FLD_MAC)
+    runtime = FldRuntime(server, fld_config=cal.fld_config())
+    control = FldRControlPlane(runtime, vport=2, mac=FLD_MAC, ip=SERVER_IP)
+    accel = CachedKeyZucAccelerator(sim, runtime.fld, units=8,
+                                    queue_map=control.queue_map)
+    fld_client = FldRClient(client.driver, vport=1, mac=CLIENT_MAC,
+                            ip=CLIENT_IP, buffer_size=16 * 1024)
+    connection = fld_client.connect(control)
+    dev = BatchingZucCryptodev(sim, connection, batch_size=batch_size,
+                               batch_delay=batch_delay)
+    batched_service.last_control = control
+    batched_service.last_client = fld_client
+    return accel, dev
+
+
+class TestCachedKeyAccelerator:
+    def test_ciphertext_correct_via_batched_driver(self):
+        sim = Simulator()
+        accel, dev = batched_service(sim)
+        key = bytes(range(16))
+        payload = b"\x5a" * 300
+        done = {}
+
+        def proc(sim):
+            dev.submit(CryptoOp(CryptoOp.CIPHER, key, payload, count=2,
+                                bearer=1))
+            op = yield dev.completions.get()
+            done["op"] = op
+
+        sim.spawn(proc(sim))
+        sim.run(until=0.1)
+        assert done["op"].result == eea3_encrypt(key, 2, 1, 0, payload)
+        assert accel.stats_set_key == 1
+        assert dev.stats_keys_installed == 1
+
+    def test_auth_via_cached_key(self):
+        sim = Simulator()
+        accel, dev = batched_service(sim)
+        key = bytes(range(16))
+        done = {}
+
+        def proc(sim):
+            dev.submit(CryptoOp(CryptoOp.AUTH, key, b"msg" * 40))
+            op = yield dev.completions.get()
+            done["op"] = op
+
+        sim.spawn(proc(sim))
+        sim.run(until=0.1)
+        assert done["op"].mac == eia3_mac(key, 0, 0, 0, b"msg" * 40)
+
+    def test_key_installed_once_for_many_ops(self):
+        sim = Simulator()
+        accel, dev = batched_service(sim)
+        key = bytes(16)
+        state = {"done": 0}
+
+        def proc(sim):
+            for _ in range(40):
+                dev.submit(CryptoOp(CryptoOp.CIPHER, key, bytes(64)))
+            while state["done"] < 40:
+                yield dev.completions.get()
+                state["done"] += 1
+
+        sim.spawn(proc(sim))
+        sim.run(until=0.1)
+        assert state["done"] == 40
+        assert accel.stats_set_key == 1
+        assert accel.stats_batches >= 1
+
+    def test_batching_reduces_message_count(self):
+        sim = Simulator()
+        accel, dev = batched_service(sim, batch_size=16)
+        key = bytes(16)
+        state = {"done": 0}
+
+        def proc(sim):
+            for _ in range(32):
+                dev.submit(CryptoOp(CryptoOp.CIPHER, key, bytes(64)))
+            while state["done"] < 32:
+                yield dev.completions.get()
+                state["done"] += 1
+
+        sim.spawn(proc(sim))
+        sim.run(until=0.1)
+        # 32 ops in ~2 batch messages (plus the key install).
+        assert dev.stats_batches_sent <= 4
+
+    def test_unknown_slot_dropped(self):
+        """A request against an uninstalled slot dies at the accelerator
+        (the tenant-safety property of the key table)."""
+        sim = Simulator()
+        accel, dev = batched_service(sim)
+        # Bypass the driver's auto-install by injecting a raw request.
+        raw = make_compact_request(OP_EEA3_CACHED, 99, b"data")
+
+        def proc(sim):
+            dev.connection.post(raw)
+            yield sim.timeout(0)
+
+        sim.spawn(proc(sim))
+        sim.run(until=0.05)
+        assert accel.stats_unknown_slot == 1
+
+    def test_baseline_protocol_still_works(self):
+        """The extended accelerator remains wire-compatible."""
+        from repro.sw import FldRZucCryptodev
+        sim = Simulator()
+        accel, dev = batched_service(sim)
+        # A separate connection: each driver owns its response stream.
+        connection = batched_service.last_client.connect(
+            batched_service.last_control)
+        baseline = FldRZucCryptodev(sim, connection)
+        key = bytes(range(16))
+        done = {}
+
+        def proc(sim):
+            baseline.submit(CryptoOp(CryptoOp.CIPHER, key, b"old" * 50))
+            op = yield baseline.completions.get()
+            done["op"] = op
+
+        sim.spawn(proc(sim))
+        sim.run(until=0.1)
+        assert done["op"].result == eea3_encrypt(key, 0, 0, 0, b"old" * 50)

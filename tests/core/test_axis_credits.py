@@ -1,0 +1,138 @@
+"""Unit tests for the AXI-stream interface and credit machinery (§5.5)."""
+
+import pytest
+
+from repro.core import AxisMetadata, AxisStream, CreditInterface
+from repro.sim import Simulator
+
+
+class TestAxisStream:
+    def test_push_and_get(self):
+        sim = Simulator()
+        stream = AxisStream(sim, "s")
+        got = []
+
+        def consumer(sim):
+            data, meta = yield stream.get()
+            got.append((data, meta.queue_id))
+
+        stream.push(b"abc", AxisMetadata(queue_id=3))
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert got == [(b"abc", 3)]
+
+    def test_bounded_stream_drops_on_overflow(self):
+        """The no-backpressure rule: a slow accelerator loses packets."""
+        sim = Simulator()
+        stream = AxisStream(sim, "s", depth=2)
+        assert stream.push(b"1", AxisMetadata())
+        assert stream.push(b"2", AxisMetadata())
+        assert not stream.push(b"3", AxisMetadata())
+        assert stream.stats_dropped == 1
+        assert stream.stats_delivered == 2
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        stream = AxisStream(sim, "s")
+        for i in range(5):
+            stream.push(bytes([i]), AxisMetadata())
+        got = []
+
+        def consumer(sim):
+            for _ in range(5):
+                data, _meta = yield stream.get()
+                got.append(data[0])
+
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+
+class TestAxisMetadata:
+    def test_defaults(self):
+        meta = AxisMetadata()
+        assert meta.queue_id == 0
+        assert meta.msg_first and meta.msg_last
+        assert meta.signaled
+
+    def test_repr_mentions_queue_and_context(self):
+        meta = AxisMetadata(queue_id=2, context_id=0xAB)
+        assert "q=2" in repr(meta) and "0xab" in repr(meta)
+
+
+class TestCreditInterface:
+    def test_consume_and_refund(self):
+        sim = Simulator()
+        credits = CreditInterface(sim)
+        credits.configure(0, 4)
+        assert credits.available(0) == 4
+        assert credits.try_consume(0, 3)
+        assert not credits.try_consume(0, 2)
+        credits.refund(0, 2)
+        assert credits.available(0) == 3
+
+    def test_refund_capped_at_capacity(self):
+        sim = Simulator()
+        credits = CreditInterface(sim)
+        credits.configure(0, 4)
+        credits.refund(0, 10)
+        assert credits.available(0) == 4
+
+    def test_acquire_blocks_until_refund(self):
+        sim = Simulator()
+        credits = CreditInterface(sim)
+        credits.configure(0, 1)
+        order = []
+
+        def consumer(sim):
+            yield credits.acquire(0)
+            order.append(("first", sim.now))
+            yield credits.acquire(0)
+            order.append(("second", sim.now))
+
+        def producer(sim):
+            yield sim.timeout(1.0)
+            credits.refund(0, 1)
+
+        sim.spawn(consumer(sim))
+        sim.spawn(producer(sim))
+        sim.run()
+        assert order == [("first", 0.0), ("second", 1.0)]
+        assert credits.stats_waits == 1
+
+    def test_per_queue_isolation(self):
+        sim = Simulator()
+        credits = CreditInterface(sim)
+        credits.configure(0, 2)
+        credits.configure(1, 5)
+        credits.try_consume(0, 2)
+        assert credits.available(1) == 5
+
+    def test_refund_unknown_queue_raises(self):
+        sim = Simulator()
+        credits = CreditInterface(sim)
+        with pytest.raises(KeyError):
+            credits.refund(9)
+
+    def test_waiters_fifo(self):
+        sim = Simulator()
+        credits = CreditInterface(sim)
+        credits.configure(0, 0)
+        order = []
+
+        def waiter(sim, tag):
+            yield credits.acquire(0)
+            order.append(tag)
+
+        sim.spawn(waiter(sim, "a"))
+        sim.spawn(waiter(sim, "b"))
+
+        def refunder(sim):
+            yield sim.timeout(1.0)
+            credits.refund(0, 1)
+            yield sim.timeout(1.0)
+            credits.refund(0, 1)
+
+        sim.spawn(refunder(sim))
+        sim.run()
+        assert order == ["a", "b"]

@@ -1,0 +1,69 @@
+"""Integration: FLD-R in the *local* setup (§8 Setup, §8.1.2).
+
+A client QP on the host connects to an FLD QP associated with the same
+Innova-2 NIC; traffic never touches the wire — the eSwitch loops RoCE
+frames between the host's vPort and FLD's vPort, stressing the PCIe
+path, exactly the paper's local FLD-R experiments.
+"""
+
+import pytest
+
+from repro.experiments.echo import fldr_throughput
+from repro.experiments.setups import fldr_echo
+from repro.sim import Simulator
+
+
+class TestFldRLocal:
+    def test_local_roundtrip_without_wire(self):
+        sim = Simulator()
+        setup = fldr_echo(sim, local=True)
+        connection = setup.connection
+        result = {}
+
+        def proc(sim):
+            connection.post(bytes(range(256)) * 8)  # 2 KiB message
+            message, _cqe = yield connection.responses.get()
+            result["reply"] = message
+            result["time"] = sim.now
+
+        sim.spawn(proc(sim))
+        sim.run(until=0.05)
+        assert result["reply"] == bytes(range(256)) * 8
+        # The physical port never transmitted: pure eSwitch loopback.
+        assert setup.server.nic.port.stats_tx_packets == 0
+        assert setup.server.nic.eswitch.stats_loopback > 0
+
+    def test_local_latency_below_remote(self):
+        """Local skips two wire crossings: its RTT must be lower."""
+        def median_rtt(local):
+            sim = Simulator()
+            setup = fldr_echo(sim, local=local)
+            connection = setup.connection
+            samples = []
+
+            def proc(sim):
+                for _ in range(40):
+                    start = sim.now
+                    connection.post(bytes(1024))
+                    yield connection.responses.get()
+                    samples.append(sim.now - start)
+
+            sim.spawn(proc(sim))
+            sim.run(until=0.05)
+            samples.sort()
+            return samples[len(samples) // 2]
+
+        local = median_rtt(True)
+        remote = median_rtt(False)
+        assert local < remote
+        # Paper: 9.4 us local vs 10.6 us remote at low load — a modest,
+        # wire-latency-sized gap, not an order of magnitude.
+        assert remote - local < 3e-6
+
+    def test_local_throughput_exceeds_remote_ceiling_unreached(self):
+        """Local FLD-R moves traffic at a healthy rate through the
+        PCIe-only path (the paper notes local FLD-R underperformed
+        for small messages; large messages flow fine)."""
+        result = fldr_throughput(4096, count=200, local=True)
+        assert result["received"] == 200
+        assert result["gbps"] > 15.0

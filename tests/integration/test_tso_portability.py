@@ -1,0 +1,157 @@
+"""Integration: TSO/LSO offload, NIC portability, end-to-end conservation."""
+
+import pytest
+
+from repro.host import CpuCore
+from repro.net import Flow, Ipv4, PROTO_TCP, Tcp
+from repro.net.parse import parse_frame
+from repro.nic import NicConfig, SegmentationOffload
+from repro.sim import Simulator
+from repro.testbed import make_remote_pair
+
+CLIENT_MAC = "02:00:00:00:00:01"
+SERVER_MAC = "02:00:00:00:00:02"
+
+
+def tcp_megaframe(payload_size):
+    flow = Flow(CLIENT_MAC, SERVER_MAC, "10.0.0.1", "10.0.0.2",
+                5000, 5201, proto=PROTO_TCP)
+    payload = (bytes(range(256)) * ((payload_size // 256) + 1))
+    return flow.make_packet(payload[:payload_size])
+
+
+class TestSegmentationOffload:
+    def test_segments_cover_payload_with_correct_sequences(self):
+        offload = SegmentationOffload()
+        packet = tcp_megaframe(4000)
+        base_seq = packet.find(Tcp).seq
+        segments = offload.segment(packet, mss=1460)
+        assert len(segments) == 3
+        offset = 0
+        for segment in segments:
+            tcp = segment.find(Tcp)
+            assert tcp.seq == (base_seq + offset) & 0xFFFFFFFF
+            offset += len(segment.payload)
+        assert offset == 4000
+        assert b"".join(s.payload for s in segments) == packet.payload
+
+    def test_segment_checksums_valid(self):
+        offload = SegmentationOffload()
+        segments = offload.segment(tcp_megaframe(5000), mss=1460)
+        for segment in segments:
+            ip = segment.find(Ipv4)
+            assert segment.find(Tcp).verify(ip.src, ip.dst,
+                                            segment.payload)
+
+    def test_ip_idents_advance(self):
+        offload = SegmentationOffload()
+        segments = offload.segment(tcp_megaframe(4000), mss=1000)
+        idents = [s.find(Ipv4).ident for s in segments]
+        assert len(set(idents)) == len(idents)
+
+    def test_small_frame_passes_through(self):
+        offload = SegmentationOffload()
+        packet = tcp_megaframe(100)
+        assert offload.segment(packet, mss=1460) == [packet]
+
+    def test_non_tcp_passes_through(self):
+        offload = SegmentationOffload()
+        flow = Flow(CLIENT_MAC, SERVER_MAC, "1.1.1.1", "2.2.2.2", 1, 2)
+        packet = flow.make_packet(bytes(3000))
+        assert offload.segment(packet, mss=1000) == [packet]
+
+    def test_invalid_mss_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentationOffload().segment(tcp_megaframe(3000), mss=0)
+
+
+class TestTsoEndToEnd:
+    def test_one_descriptor_many_wire_packets(self):
+        sim = Simulator()
+        client, server = make_remote_pair(
+            sim, client_core=CpuCore(sim, os_jitter_probability=0))
+        client.add_vport_for_mac(1, CLIENT_MAC)
+        server.add_vport_for_mac(1, SERVER_MAC)
+        sender = client.driver.create_eth_qp(vport=1, buffer_size=16384)
+        receiver = server.driver.create_eth_qp(vport=1, buffer_size=2048)
+        receiver.post_rx_buffers(64)
+        received = []
+        receiver.on_receive = lambda data, cqe: received.append(data)
+
+        frame = tcp_megaframe(8000)
+        sender.send_tso(frame.to_bytes(), mss=1460)
+        sim.run(until=0.01)
+
+        # One WQE...
+        assert sender.sq.stats_wqes == 1
+        # ...six MSS-sized wire packets, all delivered and valid.
+        assert len(received) == 6
+        total = b""
+        for data in received:
+            packet = parse_frame(data)
+            ip = packet.find(Ipv4)
+            assert packet.find(Tcp).verify(ip.src, ip.dst, packet.payload)
+            total += packet.payload
+        assert total == frame.payload
+        assert client.nic.lso.stats_lso_frames == 1
+        assert client.nic.lso.stats_segments == 6
+
+
+class TestNicPortability:
+    """§6 Limitations: the ConnectX-5 design was 'successfully tested
+    against ConnectX-6 Dx' — the same FLD binding must work unchanged on
+    a differently-parameterized NIC."""
+
+    def test_fld_runs_unchanged_on_cx6dx_profile(self):
+        from repro.experiments.setups import Calibration, flde_echo_remote
+
+        cal = Calibration()
+        # ConnectX-6 Dx profile: 100 GbE port, faster pipeline.
+        cal.nic_config = lambda: NicConfig(
+            port_rate_bps=100e9, port_latency=cal.wire_latency,
+            processing_delay=15e-9, rdma_mtu=cal.rdma_mtu,
+        )
+        sim = Simulator()
+        setup = flde_echo_remote(sim, cal)
+        loadgen = setup.loadgen
+
+        def run(sim):
+            yield from loadgen.run_closed_loop(frame_size=512, count=40)
+            yield from loadgen.drain()
+
+        sim.spawn(run(sim))
+        sim.run(until=1.0)
+        assert loadgen.stats_received == 40
+        assert setup.runtime.fld.errors.stats_reported == 0
+
+
+class TestConservation:
+    def test_every_packet_is_accounted_for(self):
+        """Conservation invariant under overload: sent == delivered +
+        every drop counter along the path."""
+        from repro.experiments.setups import Calibration, flde_echo_remote
+
+        sim = Simulator()
+        setup = flde_echo_remote(sim, Calibration())
+        loadgen = setup.loadgen
+        count = 1500
+
+        def run(sim):
+            # Unpaced burst of small frames: guaranteed overload.
+            yield from loadgen.run_open_loop([64] * count)
+            yield from loadgen.drain()
+
+        sim.spawn(run(sim))
+        sim.run(until=2.0)
+
+        fld = setup.runtime.fld
+        drops = (
+            setup.server.nic.stats_rx_dropped_inbox
+            + setup.server.nic.stats_rx_dropped_no_desc
+            + setup.client.nic.stats_rx_dropped_inbox
+            + setup.client.nic.stats_rx_dropped_no_desc
+            + fld.rx_stream.stats_dropped
+            + setup.accel.stats_dropped
+        )
+        assert loadgen.stats_sent == count
+        assert loadgen.stats_received + drops == count

@@ -1,0 +1,162 @@
+"""The memory model must reproduce the paper's Tables 2-3 and Fig. 4."""
+
+import pytest
+
+from repro.models.memory import (
+    DriverParameters,
+    KIB,
+    MIB,
+    XCKU15P_ON_CHIP_BYTES,
+    desc_translation_bytes,
+    data_translation_bytes,
+    figure4_bandwidth_sweep,
+    figure4_queue_sweep,
+    fld_memory,
+    round_pow2,
+    shrink_ratios,
+    software_memory,
+    table3,
+)
+
+
+class TestRoundPow2:
+    def test_powers_unchanged(self):
+        assert round_pow2(1024) == 1024
+
+    def test_rounds_up(self):
+        assert round_pow2(1133) == 2048
+        assert round_pow2(227) == 256
+
+    def test_small_values(self):
+        assert round_pow2(0) == 1
+        assert round_pow2(1) == 1
+        assert round_pow2(3) == 4
+
+
+class TestTable2a:
+    """Paper Table 2a derived values."""
+
+    def setup_method(self):
+        self.p = DriverParameters()
+
+    def test_packet_rate_45mpps(self):
+        assert self.p.packet_rate == pytest.approx(45e6, rel=0.01)
+
+    def test_min_tx_descriptors_1133(self):
+        assert self.p.n_txdesc == 1133
+
+    def test_min_rx_descriptors_227(self):
+        assert self.p.n_rxdesc == 227
+
+    def test_tx_bdp_305kib(self):
+        assert self.p.tx_bdp_bytes / KIB == pytest.approx(305, abs=1)
+
+    def test_rx_bdp_61kib(self):
+        assert self.p.rx_bdp_bytes / KIB == pytest.approx(61, abs=1)
+
+
+class TestTable3Software:
+    def setup_method(self):
+        self.memory = software_memory(DriverParameters())
+
+    def test_tx_rings_64mib(self):
+        assert self.memory["tx_rings"] == 64 * MIB
+
+    def test_tx_buffers_17_7mib(self):
+        assert self.memory["tx_buffers"] / MIB == pytest.approx(17.7, abs=0.1)
+
+    def test_rx_buffers_3_5mib(self):
+        assert self.memory["rx_buffers"] / MIB == pytest.approx(3.5, abs=0.1)
+
+    def test_cq_144kib(self):
+        assert self.memory["completion_queues"] == 144 * KIB
+
+    def test_rx_ring_4kib(self):
+        assert self.memory["rx_ring"] == 4 * KIB
+
+    def test_producer_indices_2052(self):
+        assert self.memory["producer_indices"] == 2052
+
+    def test_total_85mib(self):
+        assert self.memory["total"] / MIB == pytest.approx(85.3, abs=0.2)
+
+
+class TestTable3Fld:
+    def setup_method(self):
+        self.memory = fld_memory(DriverParameters())
+
+    def test_tx_rings_32kib(self):
+        assert self.memory["tx_rings"] / KIB == pytest.approx(32, abs=1)
+
+    def test_tx_buffers_643kib(self):
+        assert self.memory["tx_buffers"] / KIB == pytest.approx(643, abs=2)
+
+    def test_rx_buffers_122kib(self):
+        assert self.memory["rx_buffers"] / KIB == pytest.approx(122, abs=1)
+
+    def test_cq_33_75kib(self):
+        assert self.memory["completion_queues"] / KIB == pytest.approx(
+            33.75, abs=0.1)
+
+    def test_rx_ring_zero_host_resident(self):
+        assert self.memory["rx_ring"] == 0
+
+    def test_total_832kib(self):
+        assert self.memory["total"] / KIB == pytest.approx(832.7, abs=2)
+
+    def test_translation_tables_under_33kib(self):
+        p = DriverParameters()
+        assert desc_translation_bytes(p) <= 33 * KIB
+        assert data_translation_bytes(p) <= 33 * KIB
+
+
+class TestShrinkRatios:
+    """The headline reductions of Table 3."""
+
+    def setup_method(self):
+        self.ratios = shrink_ratios(DriverParameters())
+
+    def test_tx_rings_2080x(self):
+        assert self.ratios["tx_rings"] == pytest.approx(2080, rel=0.01)
+
+    def test_tx_buffers_28x(self):
+        assert self.ratios["tx_buffers"] == pytest.approx(28.2, abs=0.2)
+
+    def test_rx_buffers_30x(self):
+        assert self.ratios["rx_buffers"] == pytest.approx(29.8, abs=0.2)
+
+    def test_cq_4_27x(self):
+        assert self.ratios["completion_queues"] == pytest.approx(4.27,
+                                                                 abs=0.01)
+
+    def test_total_105x(self):
+        assert self.ratios["total"] == pytest.approx(105, abs=1)
+
+
+class TestFigure4:
+    def test_fld_fits_on_chip_at_400g_2048_queues(self):
+        """The paper's scalability claim (§5.2.1)."""
+        p = DriverParameters(bandwidth_bps=400e9, num_tx_queues=2048)
+        assert fld_memory(p)["total"] < XCKU15P_ON_CHIP_BYTES
+
+    def test_software_exceeds_on_chip_everywhere(self):
+        for row in figure4_bandwidth_sweep():
+            assert row["software_bytes"] > XCKU15P_ON_CHIP_BYTES
+
+    def test_software_grows_with_queues_fld_nearly_flat(self):
+        rows = figure4_queue_sweep()
+        software_growth = rows[-1]["software_bytes"] / rows[0]["software_bytes"]
+        fld_growth = rows[-1]["fld_bytes"] / rows[0]["fld_bytes"]
+        assert software_growth > 8       # rings dominate at high Nq
+        assert fld_growth < 1.1          # only the PI array grows
+
+    def test_bandwidth_sweep_monotone(self):
+        rows = figure4_bandwidth_sweep()
+        software = [r["software_bytes"] for r in rows]
+        fld = [r["fld_bytes"] for r in rows]
+        assert software == sorted(software)
+        assert fld == sorted(fld)
+
+    def test_gap_is_orders_of_magnitude(self):
+        for row in figure4_bandwidth_sweep():
+            assert row["software_bytes"] / row["fld_bytes"] > 50

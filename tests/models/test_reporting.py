@@ -1,0 +1,73 @@
+"""Tests for the report CLI (python -m repro)."""
+
+import pytest
+
+from repro import reporting
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = reporting.format_table("T", [{"a": 1, "bb": 2.5},
+                                            {"a": 100, "bb": 0.1}])
+        lines = text.splitlines()
+        assert lines[0] == "\n=== T ===".strip("\n") or "=== T ===" in text
+        assert "100" in text and "2.50" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in reporting.format_table("T", [])
+
+    def test_column_selection(self):
+        text = reporting.format_table("T", [{"a": 1, "b": 2}],
+                                      columns=["b"])
+        assert "b" in text and "a" not in text.splitlines()[1]
+
+
+class TestAnalyticalRenderers:
+    """Every instant renderer produces its banner and key content."""
+
+    def test_table1(self):
+        text = reporting.render_table1()
+        assert "FlexDriver" in text and "NICA" in text
+
+    def test_table2(self):
+        assert "1133" in reporting.render_table2()
+
+    def test_table3(self):
+        text = reporting.render_table3()
+        assert "x105.0" in text
+        assert "832.7 KiB" in text
+
+    def test_table4(self):
+        assert "FLD runtime library" in reporting.render_table4()
+
+    def test_table5(self):
+        assert "PCIe core" in reporting.render_table5()
+
+    def test_fig4(self):
+        text = reporting.render_fig4()
+        assert "line rate" in text and "queues" in text
+
+    def test_fig7a(self):
+        assert "25G-eth/50G-pcie" in reporting.render_fig7a()
+
+
+class TestMain:
+    def test_default_prints_analytical(self, capsys):
+        assert reporting.main([]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "--full" in out  # the hint line
+
+    def test_named_section(self, capsys):
+        assert reporting.main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "Table 1" not in out
+
+    def test_unknown_section_errors(self, capsys):
+        assert reporting.main(["nonsense"]) == 2
+        assert "unknown sections" in capsys.readouterr().out
+
+    def test_simulated_section_runs(self, capsys):
+        assert reporting.main(["iot"]) == 0
+        out = capsys.readouterr().out
+        assert "tenant isolation" in out

@@ -1,0 +1,173 @@
+"""Unit tests for IP fragmentation and reassembly."""
+
+import pytest
+
+from repro.net import (
+    FLAG_DF,
+    Flow,
+    FragmentError,
+    Ipv4,
+    PROTO_TCP,
+    Reassembler,
+    Udp,
+    fragment_packet,
+    parse_l4,
+)
+
+
+def make_packet(payload_size=3000, proto=PROTO_TCP):
+    flow = Flow("02:00:00:00:00:01", "02:00:00:00:00:02",
+                "10.0.0.1", "10.0.0.2", 4000, 5201, proto=proto)
+    payload = (bytes(range(256)) * ((payload_size // 256) + 1))[:payload_size]
+    return flow.make_packet(payload)
+
+
+class TestFragmentation:
+    def test_small_packet_not_fragmented(self):
+        packet = make_packet(100)
+        fragments = fragment_packet(packet, mtu=1500)
+        assert fragments == [packet]
+
+    def test_fragment_sizes_respect_mtu(self):
+        packet = make_packet(3000)
+        fragments = fragment_packet(packet, mtu=1500)
+        assert len(fragments) == 3
+        for frag in fragments:
+            ip = frag.find(Ipv4)
+            assert ip.HEADER_LEN + len(frag.payload) <= 1500
+
+    def test_offsets_are_contiguous(self):
+        packet = make_packet(3000)
+        fragments = fragment_packet(packet, mtu=1500)
+        expected_offset = 0
+        for frag in fragments:
+            ip = frag.find(Ipv4)
+            assert ip.frag_offset * 8 == expected_offset
+            expected_offset += len(frag.payload)
+
+    def test_mf_flags_set_except_last(self):
+        fragments = fragment_packet(make_packet(3000), mtu=1500)
+        assert all(f.find(Ipv4).more_fragments for f in fragments[:-1])
+        assert not fragments[-1].find(Ipv4).more_fragments
+
+    def test_only_first_fragment_carries_l4_header(self):
+        packet = make_packet(3000)
+        tcp_bytes = packet.headers[-1].pack()
+        fragments = fragment_packet(packet, mtu=1500)
+        assert fragments[0].payload.startswith(tcp_bytes)
+        assert not fragments[1].payload.startswith(tcp_bytes)
+
+    def test_df_flag_blocks_fragmentation(self):
+        packet = make_packet(3000)
+        packet.find(Ipv4).flags |= FLAG_DF
+        with pytest.raises(FragmentError):
+            fragment_packet(packet, mtu=1500)
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(FragmentError):
+            fragment_packet(make_packet(3000), mtu=Ipv4.HEADER_LEN + 4)
+
+    def test_non_ip_packet_rejected(self):
+        from repro.net import Packet
+        with pytest.raises(FragmentError):
+            fragment_packet(Packet(payload=b"x" * 2000), mtu=100)
+
+    def test_paper_scenario_1500_over_1450(self):
+        """§8.2.2(b): 1500 B packets over a 1450 B MTU -> 2 fragments."""
+        flow = Flow("02:00:00:00:00:01", "02:00:00:00:00:02",
+                    "10.0.0.1", "10.0.0.2", 4000, 5201, proto=PROTO_TCP)
+        packet = flow.make_sized_packet(1500)
+        fragments = fragment_packet(packet, mtu=1450)
+        assert len(fragments) == 2
+
+
+class TestReassembly:
+    def test_roundtrip_preserves_payload(self):
+        packet = make_packet(3000)
+        original_l4 = packet.headers[-1].pack() + packet.payload
+        fragments = fragment_packet(packet, mtu=1500)
+        reassembler = Reassembler()
+        results = [reassembler.add(f) for f in fragments]
+        assert results[:-1] == [None, None]
+        whole = results[-1]
+        assert whole is not None
+        assert whole.payload == original_l4
+        assert whole.meta["reassembled"]
+
+    def test_out_of_order_fragments(self):
+        fragments = fragment_packet(make_packet(4500), mtu=1500)
+        reassembler = Reassembler()
+        order = [2, 0, 3, 1] if len(fragments) == 4 else list(
+            reversed(range(len(fragments))))
+        whole = None
+        for i in order[:len(fragments)]:
+            whole = reassembler.add(fragments[i]) or whole
+        assert whole is not None
+
+    def test_interleaved_datagrams(self):
+        a = fragment_packet(make_packet(3000), mtu=1500)
+        b = fragment_packet(make_packet(3000), mtu=1500)
+        reassembler = Reassembler()
+        outputs = []
+        for pair in zip(a, b):
+            for frag in pair:
+                result = reassembler.add(frag)
+                if result is not None:
+                    outputs.append(result)
+        assert len(outputs) == 2
+
+    def test_missing_fragment_never_completes(self):
+        fragments = fragment_packet(make_packet(4500), mtu=1500)
+        reassembler = Reassembler()
+        for frag in fragments[:-1]:
+            assert reassembler.add(frag) is None
+        assert len(reassembler) == 1
+
+    def test_non_fragment_passes_through(self):
+        packet = make_packet(100)
+        reassembler = Reassembler()
+        assert reassembler.add(packet) is packet
+
+    def test_timeout_expires_partials(self):
+        fragments = fragment_packet(make_packet(3000), mtu=1500)
+        reassembler = Reassembler(timeout=1.0)
+        reassembler.add(fragments[0], now=0.0)
+        # A later unrelated fragment triggers expiry scanning.
+        other = fragment_packet(make_packet(3000), mtu=1500)
+        reassembler.add(other[0], now=10.0)
+        assert reassembler.stats_expired == 1
+
+    def test_capacity_evicts_oldest(self):
+        reassembler = Reassembler(capacity=2)
+        for i in range(3):
+            packet = make_packet(3000)
+            packet.find(Ipv4).ident = i
+            frags = fragment_packet(packet, mtu=1500)
+            reassembler.add(frags[0], now=float(i))
+        assert len(reassembler) == 2
+        assert reassembler.stats_evicted == 1
+
+    def test_reassembled_l4_parses_and_checksums(self):
+        flow = Flow("02:00:00:00:00:01", "02:00:00:00:00:02",
+                    "10.0.0.1", "10.0.0.2", 4000, 5201, proto=PROTO_TCP)
+        payload = b"\xab" * 2500
+        packet = flow.make_packet(payload)
+        fragments = fragment_packet(packet, mtu=1500)
+        reassembler = Reassembler()
+        whole = None
+        for frag in fragments:
+            whole = reassembler.add(frag) or whole
+        l4, data = parse_l4(whole)
+        assert data == payload
+        ip = whole.find(Ipv4)
+        assert l4.verify(ip.src, ip.dst, data)
+
+    def test_udp_parse_l4(self):
+        packet = make_packet(2000, proto=17)
+        fragments = fragment_packet(packet, mtu=600)
+        reassembler = Reassembler()
+        whole = None
+        for frag in fragments:
+            whole = reassembler.add(frag) or whole
+        l4, _data = parse_l4(whole)
+        assert isinstance(l4, Udp)

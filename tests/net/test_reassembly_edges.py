@@ -1,0 +1,115 @@
+"""Reassembly edge cases: overlaps, duplicates, pathological fragments.
+
+Documents the reassembler's behaviour for inputs an attacker or a broken
+middlebox could produce — the situations a hardware defragmentation
+engine must survive without wedging.
+"""
+
+import pytest
+
+from repro.net import (
+    Flow,
+    Ipv4,
+    PROTO_UDP,
+    Reassembler,
+    fragment_packet,
+)
+
+
+def packet(payload_size=3000, ident=None):
+    flow = Flow("02:00:00:00:00:01", "02:00:00:00:00:02",
+                "10.0.0.1", "10.0.0.2", 1000, 2000, proto=PROTO_UDP)
+    result = flow.make_packet(
+        (bytes(range(256)) * ((payload_size // 256) + 1))[:payload_size])
+    if ident is not None:
+        result.find(Ipv4).ident = ident
+    return result
+
+
+class TestReassemblyEdges:
+    def test_duplicate_fragment_is_idempotent(self):
+        fragments = fragment_packet(packet(2900), mtu=1500)
+        reassembler = Reassembler()
+        reassembler.add(fragments[0])
+        reassembler.add(fragments[0])  # duplicate
+        whole = reassembler.add(fragments[1])
+        assert whole is not None
+        assert reassembler.stats_reassembled == 1
+
+    def test_overlapping_fragment_last_writer_wins(self):
+        """Overlaps resolve deterministically (later data overwrites),
+        so the engine can never emit a datagram with holes."""
+        fragments = fragment_packet(packet(2900), mtu=1500)
+        reassembler = Reassembler()
+        reassembler.add(fragments[0])
+        # Re-deliver fragment 0 with altered content before finishing.
+        altered = fragments[0].copy()
+        altered.payload = b"\xff" * len(altered.payload)
+        reassembler.add(altered)
+        whole = reassembler.add(fragments[1])
+        assert whole is not None
+        assert whole.payload[:len(altered.payload)] == altered.payload
+
+    def test_same_ident_different_protocols_do_not_mix(self):
+        from repro.net import PROTO_TCP
+        a = packet(3000, ident=7)
+        b_flow = Flow("02:00:00:00:00:01", "02:00:00:00:00:02",
+                      "10.0.0.1", "10.0.0.2", 1000, 2000, proto=PROTO_TCP)
+        b = b_flow.make_packet(bytes(3000))
+        b.find(Ipv4).ident = 7
+        reassembler = Reassembler()
+        for frag in fragment_packet(a, 1500)[:-1]:
+            assert reassembler.add(frag) is None
+        whole = None
+        for frag in fragment_packet(b, 1500):
+            whole = reassembler.add(frag) or whole
+        assert whole is not None
+        assert whole.find(Ipv4).proto == PROTO_TCP
+        assert len(reassembler) == 1  # datagram `a` still pending
+
+    def test_tiny_final_fragment(self):
+        """A datagram whose tail fragment is a few bytes reassembles."""
+        # 1480 payload fits the first fragment; 9 spill into the last.
+        result = packet(1480 + 9 - 8)
+        fragments = fragment_packet(result, mtu=1500)
+        assert len(fragments) == 2
+        assert len(fragments[1].payload) < 16
+        reassembler = Reassembler()
+        whole = None
+        for frag in fragments:
+            whole = reassembler.add(frag) or whole
+        assert whole is not None
+
+    def test_many_concurrent_datagrams(self):
+        reassembler = Reassembler(capacity=512, timeout=10_000.0)
+        pending = []
+        for i in range(200):
+            fragments = fragment_packet(packet(2900, ident=i), 1500)
+            reassembler.add(fragments[0], now=float(i))
+            pending.append(fragments[1])
+        assert len(reassembler) == 200
+        completed = 0
+        for frag in pending:
+            if reassembler.add(frag, now=300.0) is not None:
+                completed += 1
+        assert completed == 200
+        assert len(reassembler) == 0
+
+    def test_stats_track_lifecycle(self):
+        reassembler = Reassembler(timeout=1.0, capacity=2)
+        # One completed...
+        whole = None
+        for frag in fragment_packet(packet(3000, ident=1), 1500):
+            whole = reassembler.add(frag, now=0.0) or whole
+        assert whole is not None
+        # ...two partials exceeding capacity -> eviction...
+        for ident in (2, 3, 4):
+            reassembler.add(
+                fragment_packet(packet(3000, ident=ident), 1500)[0],
+                now=0.5)
+        assert reassembler.stats_evicted >= 1
+        # ...and the rest expiring.
+        reassembler.add(
+            fragment_packet(packet(3000, ident=9), 1500)[0], now=100.0)
+        assert reassembler.stats_expired >= 1
+        assert reassembler.stats_reassembled == 1

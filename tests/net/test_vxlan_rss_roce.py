@@ -1,0 +1,175 @@
+"""Unit tests for VXLAN, RSS and RoCE framing."""
+
+import pytest
+
+from repro.net import (
+    Bth,
+    DEFAULT_RSS_KEY,
+    Flow,
+    Ipv4,
+    PROTO_TCP,
+    PROTO_UDP,
+    Reth,
+    RssEngine,
+    Udp,
+    VXLAN_PORT,
+    Vxlan,
+    fragment_packet,
+    send_opcode,
+    toeplitz_hash,
+    vxlan_decapsulate,
+    vxlan_encapsulate,
+    write_opcode,
+)
+from repro.net.roce import (
+    Aeth,
+    OP_SEND_FIRST,
+    OP_SEND_LAST,
+    OP_SEND_MIDDLE,
+    OP_SEND_ONLY,
+    OP_RDMA_WRITE_ONLY,
+)
+
+
+def inner_frame(payload=b"x" * 100, proto=PROTO_TCP):
+    flow = Flow("02:00:00:00:00:01", "02:00:00:00:00:02",
+                "192.168.0.1", "192.168.0.2", 1234, 5678, proto=proto)
+    return flow.make_packet(payload)
+
+
+class TestVxlan:
+    def test_header_roundtrip(self):
+        header = Vxlan(vni=0xABCDE)
+        again = Vxlan.unpack(header.pack())
+        assert again.vni == 0xABCDE
+        assert again.flags == header.flags
+
+    def test_vni_range_checked(self):
+        with pytest.raises(ValueError):
+            Vxlan(1 << 24)
+
+    def test_encap_decap_roundtrip(self):
+        inner = inner_frame()
+        outer = vxlan_encapsulate(
+            inner, vni=42,
+            outer_src_mac="02:aa:00:00:00:01", outer_dst_mac="02:aa:00:00:00:02",
+            outer_src_ip="172.16.0.1", outer_dst_ip="172.16.0.2",
+        )
+        assert outer.find(Vxlan).vni == 42
+        assert outer.find(Udp).dst_port == VXLAN_PORT
+        # Overhead: 14 (eth) + 20 (ip) + 8 (udp) + 8 (vxlan) = 50 bytes.
+        assert outer.size() == inner.size() + 50
+
+        decapped = vxlan_decapsulate(outer)
+        assert decapped.meta["vxlan_vni"] == 42
+        assert decapped.size() == inner.size()
+        assert decapped.payload == inner.payload
+
+    def test_decap_of_plain_packet_raises(self):
+        with pytest.raises(ValueError):
+            vxlan_decapsulate(inner_frame())
+
+    def test_outer_udp_length_consistent(self):
+        inner = inner_frame()
+        outer = vxlan_encapsulate(
+            inner, 7, "02:aa:00:00:00:01", "02:aa:00:00:00:02",
+            "172.16.0.1", "172.16.0.2",
+        )
+        udp = outer.find(Udp)
+        assert udp.length == 8 + 8 + inner.size()
+
+
+class TestToeplitz:
+    def test_known_vector(self):
+        """Microsoft RSS verification vector: 66.9.149.187:2794 ->
+        161.142.100.80:1766 hashes to 0x51ccc178."""
+        import struct
+        data = (bytes([66, 9, 149, 187]) + bytes([161, 142, 100, 80])
+                + struct.pack("!HH", 2794, 1766))
+        assert toeplitz_hash(data, DEFAULT_RSS_KEY) == 0x51CCC178
+
+    def test_known_vector_2tuple(self):
+        """2-tuple variant of the Microsoft vector: 0x323e8fc2."""
+        data = bytes([66, 9, 149, 187]) + bytes([161, 142, 100, 80])
+        assert toeplitz_hash(data, DEFAULT_RSS_KEY) == 0x323E8FC2
+
+    def test_deterministic(self):
+        data = bytes(range(12))
+        assert toeplitz_hash(data) == toeplitz_hash(data)
+
+    def test_key_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            toeplitz_hash(bytes(12), key=bytes(8))
+
+
+class TestRssEngine:
+    def test_flows_spread_across_queues(self):
+        engine = RssEngine(queues=list(range(8)))
+        from repro.net import make_flows
+        queues = set()
+        for flow in make_flows(64, seed=1):
+            packet = flow.make_packet(b"x", fill_checksums=False)
+            queues.add(engine.queue_for(packet))
+        assert len(queues) >= 6  # good spread over 8 queues
+
+    def test_same_flow_same_queue(self):
+        engine = RssEngine(queues=list(range(8)))
+        flow = inner_frame().meta["flow"]
+        packets = [inner_frame() for _ in range(5)]
+        assert len({engine.queue_for(p) for p in packets}) == 1
+
+    def test_fragments_collapse_to_2tuple(self):
+        """All fragments of flows sharing src/dst IPs land on ONE queue."""
+        engine = RssEngine(queues=list(range(16)))
+        queues = set()
+        for port in range(100):
+            flow = Flow("02:00:00:00:00:01", "02:00:00:00:00:02",
+                        "10.0.0.1", "10.0.0.2", 10000 + port, 5201,
+                        proto=PROTO_TCP)
+            packet = flow.make_packet(bytes(2000))
+            for frag in fragment_packet(packet, mtu=1450):
+                queues.add(engine.queue_for(frag))
+        assert len(queues) == 1
+        assert engine.stats_no_ports > 0
+
+    def test_requires_queues(self):
+        with pytest.raises(ValueError):
+            RssEngine(queues=[])
+
+
+class TestRoce:
+    def test_bth_roundtrip(self):
+        bth = Bth(OP_SEND_ONLY, dest_qp=0x1234, psn=77, ack_request=True)
+        again = Bth.unpack(bth.pack())
+        assert again.opcode == OP_SEND_ONLY
+        assert again.dest_qp == 0x1234
+        assert again.psn == 77
+        assert again.ack_request
+
+    def test_opcode_classification(self):
+        assert Bth(OP_SEND_ONLY, 0, 0).is_send
+        assert Bth(OP_SEND_ONLY, 0, 0).is_first
+        assert Bth(OP_SEND_ONLY, 0, 0).is_last
+        assert Bth(OP_SEND_MIDDLE, 0, 0).is_send
+        assert not Bth(OP_SEND_MIDDLE, 0, 0).is_first
+        assert Bth(OP_RDMA_WRITE_ONLY, 0, 0).is_write
+
+    def test_send_opcode_selection(self):
+        assert send_opcode(True, True) == OP_SEND_ONLY
+        assert send_opcode(True, False) == OP_SEND_FIRST
+        assert send_opcode(False, False) == OP_SEND_MIDDLE
+        assert send_opcode(False, True) == OP_SEND_LAST
+
+    def test_write_opcode_selection(self):
+        assert write_opcode(True, True) == OP_RDMA_WRITE_ONLY
+
+    def test_aeth_roundtrip(self):
+        aeth = Aeth(msn=12345, syndrome=3)
+        again = Aeth.unpack(aeth.pack())
+        assert again.msn == 12345 and again.syndrome == 3
+
+    def test_reth_roundtrip(self):
+        reth = Reth(virtual_address=0xDEADBEEF, rkey=7, length=4096)
+        again = Reth.unpack(reth.pack())
+        assert (again.virtual_address, again.rkey, again.length) == (
+            0xDEADBEEF, 7, 4096)

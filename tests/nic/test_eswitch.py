@@ -1,0 +1,144 @@
+"""Unit tests for the eSwitch, vPorts and Ethernet ports."""
+
+import pytest
+
+from repro.net import Flow, Packet
+from repro.nic import (
+    Disposition,
+    ESwitch,
+    EthernetPort,
+    ForwardToQueue,
+    ForwardToVport,
+    MatchSpec,
+)
+from repro.sim import Simulator
+
+
+def frame(dst_mac="02:00:00:00:00:02"):
+    flow = Flow("02:00:00:00:00:01", dst_mac, "10.0.0.1", "10.0.0.2",
+                1, 2)
+    return flow.make_packet(b"x" * 64, fill_checksums=False)
+
+
+class TestEthernetPort:
+    def test_back_to_back_delivery(self):
+        sim = Simulator()
+        a = EthernetPort(sim, "a", rate_bps=25e9, latency=1e-6)
+        b = EthernetPort(sim, "b", rate_bps=25e9, latency=1e-6)
+        a.connect(b)
+        received = []
+        b.on_receive = received.append
+        packet = frame()
+        a.send(packet)
+        sim.run()
+        assert received == [packet]
+        assert a.stats_tx_packets == 1
+        assert b.stats_rx_packets == 1
+
+    def test_wire_serialization_paces_delivery(self):
+        sim = Simulator()
+        a = EthernetPort(sim, "a", rate_bps=1e9, latency=0.0)
+        b = EthernetPort(sim, "b", rate_bps=1e9, latency=0.0)
+        a.connect(b)
+        times = []
+        b.on_receive = lambda p: times.append(sim.now)
+        for _ in range(3):
+            a.send(frame())
+        sim.run()
+        wire_time = frame().wire_size() * 8 / 1e9
+        assert times[1] - times[0] == pytest.approx(wire_time)
+
+
+def build_eswitch(sim):
+    port = EthernetPort(sim, "uplink")
+    delivered = []
+    eswitch = ESwitch(sim, port,
+                      lambda vport, d: delivered.append((vport, d)))
+    return eswitch, port, delivered
+
+
+class TestESwitch:
+    def test_add_vport_twice_rejected(self):
+        sim = Simulator()
+        eswitch, _port, _d = build_eswitch(sim)
+        eswitch.add_vport(1)
+        with pytest.raises(ValueError):
+            eswitch.add_vport(1)
+
+    def test_ingress_routes_to_vport_queue(self):
+        sim = Simulator()
+        eswitch, _port, delivered = build_eswitch(sim)
+        vport = eswitch.add_vport(1)
+        marker = object()
+        eswitch.pipeline.table(ESwitch.FDB_ROOT).add_rule(
+            MatchSpec(dst_mac="02:00:00:00:00:02"), [ForwardToVport(1)],
+            priority=1)
+        eswitch.pipeline.table(vport.rx_root).default_actions = [
+            ForwardToQueue(marker)]
+        eswitch.ingress_from_wire(frame())
+        assert len(delivered) == 1
+        assert delivered[0][1].target is marker
+        assert vport.stats_rx == 1
+
+    def test_wire_miss_is_dropped_not_hairpinned(self):
+        sim = Simulator()
+        eswitch, port, _d = build_eswitch(sim)
+        peer = EthernetPort(sim, "peer")
+        port.connect(peer)
+        eswitch.ingress_from_wire(frame("02:00:00:00:99:99"))
+        sim.run()
+        assert port.stats_tx_packets == 0
+        assert eswitch.stats_fdb_drops == 1
+
+    def test_vport_to_vport_loopback(self):
+        sim = Simulator()
+        eswitch, _port, delivered = build_eswitch(sim)
+        eswitch.add_vport(1)
+        vport2 = eswitch.add_vport(2)
+        marker = object()
+        eswitch.pipeline.table(ESwitch.FDB_ROOT).add_rule(
+            MatchSpec(dst_mac="02:00:00:00:00:02"), [ForwardToVport(2)],
+            priority=1)
+        eswitch.pipeline.table(vport2.rx_root).default_actions = [
+            ForwardToQueue(marker)]
+        eswitch.egress_from_vport(1, frame())
+        assert eswitch.stats_loopback == 1
+        assert delivered and delivered[0][1].target is marker
+
+    def test_egress_default_goes_to_uplink(self):
+        sim = Simulator()
+        eswitch, port, _d = build_eswitch(sim)
+        eswitch.add_vport(1)
+        peer = EthernetPort(sim, "peer")
+        port.connect(peer)
+        received = []
+        peer.on_receive = received.append
+        eswitch.egress_from_vport(1, frame("02:00:00:00:99:99"))
+        sim.run()
+        assert len(received) == 1
+        assert eswitch.stats_to_uplink == 1
+
+    def test_pre_rx_hook_consumes(self):
+        sim = Simulator()
+        eswitch, _port, delivered = build_eswitch(sim)
+        eswitch.add_vport(1)
+        eswitch.pipeline.table(ESwitch.FDB_ROOT).add_rule(
+            MatchSpec(), [ForwardToVport(1)], priority=1)
+        eswitch.pre_rx_hook = lambda vport, packet: True
+        eswitch.ingress_from_wire(frame())
+        assert delivered == []  # the hook ate it
+
+    def test_guest_tx_table(self):
+        """A vPort's egress pipeline can override the FDB."""
+        sim = Simulator()
+        eswitch, _port, delivered = build_eswitch(sim)
+        vport = eswitch.add_vport(1)
+        vport2 = eswitch.add_vport(2)
+        marker = object()
+        vport.tx_root = "vport1.tx"
+        eswitch.pipeline.table("vport1.tx").default_actions = [
+            ForwardToVport(2)]
+        eswitch.pipeline.table(vport2.rx_root).default_actions = [
+            ForwardToQueue(marker)]
+        eswitch.egress_from_vport(1, frame("02:00:00:00:99:99"))
+        assert delivered and delivered[0][1].target is marker

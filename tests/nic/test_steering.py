@@ -1,0 +1,174 @@
+"""Unit tests for match-action steering."""
+
+import pytest
+
+from repro.net import Flow, PROTO_TCP, PROTO_UDP, fragment_packet, \
+    vxlan_encapsulate
+from repro.nic import (
+    DecapVxlan,
+    Disposition,
+    Drop,
+    ForwardToQueue,
+    ForwardToUplink,
+    ForwardToVport,
+    GotoTable,
+    MatchSpec,
+    Meter,
+    SetContextId,
+    SteeringError,
+    SteeringPipeline,
+    ToAccelerator,
+)
+
+
+def make_packet(src_ip="10.0.0.1", dst_ip="10.0.0.2", sport=100, dport=200,
+                proto=PROTO_UDP, dst_mac="02:00:00:00:00:02"):
+    flow = Flow("02:00:00:00:00:01", dst_mac, src_ip, dst_ip, sport, dport,
+                proto)
+    return flow.make_packet(b"payload", fill_checksums=False)
+
+
+class TestMatchSpec:
+    def test_wildcard_matches_everything(self):
+        assert MatchSpec().matches(make_packet())
+
+    def test_dst_mac(self):
+        spec = MatchSpec(dst_mac="02:00:00:00:00:02")
+        assert spec.matches(make_packet())
+        assert not spec.matches(make_packet(dst_mac="02:00:00:00:00:03"))
+
+    def test_ips(self):
+        assert MatchSpec(src_ip="10.0.0.1").matches(make_packet())
+        assert not MatchSpec(dst_ip="9.9.9.9").matches(make_packet())
+
+    def test_ports(self):
+        assert MatchSpec(dst_port=200).matches(make_packet())
+        assert not MatchSpec(src_port=999).matches(make_packet())
+
+    def test_proto(self):
+        assert MatchSpec(ip_proto=PROTO_UDP).matches(make_packet())
+        assert not MatchSpec(ip_proto=PROTO_TCP).matches(make_packet())
+
+    def test_is_fragment(self):
+        packet = make_packet(proto=PROTO_TCP)
+        packet.payload = bytes(3000)
+        fragments = fragment_packet(packet, mtu=1500)
+        assert MatchSpec(is_fragment=True).matches(fragments[0])
+        assert not MatchSpec(is_fragment=True).matches(make_packet())
+        assert MatchSpec(is_fragment=False).matches(make_packet())
+
+    def test_vni(self):
+        inner = make_packet()
+        outer = vxlan_encapsulate(inner, 55, "02:aa:00:00:00:01",
+                                  "02:aa:00:00:00:02", "1.1.1.1", "2.2.2.2")
+        assert MatchSpec(vni=55).matches(outer)
+        assert not MatchSpec(vni=56).matches(outer)
+
+    def test_port_match_requires_l4(self):
+        packet = make_packet(proto=PROTO_TCP)
+        packet.payload = bytes(3000)
+        tail = fragment_packet(packet, mtu=1500)[1]
+        assert not MatchSpec(dst_port=200).matches(tail)
+
+
+class TestPipeline:
+    def test_priority_ordering(self):
+        pipeline = SteeringPipeline()
+        table = pipeline.table("root")
+        table.add_rule(MatchSpec(), [ForwardToVport(1)], priority=1)
+        table.add_rule(MatchSpec(), [ForwardToVport(2)], priority=10)
+        result = pipeline.process(make_packet(), "root")
+        assert result.kind == Disposition.VPORT and result.target == 2
+
+    def test_default_action_on_miss(self):
+        pipeline = SteeringPipeline()
+        pipeline.table("root")  # default: drop
+        result = pipeline.process(make_packet(), "root")
+        assert result.kind == Disposition.DROP
+
+    def test_goto_table_chains(self):
+        pipeline = SteeringPipeline()
+        pipeline.table("second").add_rule(MatchSpec(),
+                                          [ForwardToUplink()])
+        pipeline.table("root").add_rule(MatchSpec(),
+                                        [GotoTable("second")])
+        result = pipeline.process(make_packet(), "root")
+        assert result.kind == Disposition.UPLINK
+
+    def test_goto_unknown_table_raises(self):
+        pipeline = SteeringPipeline()
+        pipeline.table("root").add_rule(MatchSpec(), [GotoTable("ghost")])
+        with pytest.raises(SteeringError):
+            pipeline.process(make_packet(), "root")
+
+    def test_loop_detection(self):
+        pipeline = SteeringPipeline()
+        pipeline.table("a").add_rule(MatchSpec(), [GotoTable("b")])
+        pipeline.table("b").add_rule(MatchSpec(), [GotoTable("a")])
+        with pytest.raises(SteeringError):
+            pipeline.process(make_packet(), "a")
+
+    def test_set_context_id_carried(self):
+        pipeline = SteeringPipeline()
+        pipeline.table("root").add_rule(
+            MatchSpec(), [SetContextId(42), ForwardToVport(1)])
+        result = pipeline.process(make_packet(), "root")
+        assert result.context_id == 42
+        assert result.packet.meta["context_id"] == 42
+
+    def test_meter_collected(self):
+        pipeline = SteeringPipeline()
+        pipeline.table("root").add_rule(
+            MatchSpec(), [Meter("tenant1"), Drop()])
+        result = pipeline.process(make_packet(), "root")
+        assert result.meters == ["tenant1"]
+
+    def test_decap_then_match_inner(self):
+        pipeline = SteeringPipeline()
+        pipeline.table("inner").add_rule(MatchSpec(dst_port=200),
+                                         [ForwardToVport(3)])
+        pipeline.table("root").add_rule(
+            MatchSpec(vni=9), [DecapVxlan(), GotoTable("inner")])
+        inner = make_packet()
+        outer = vxlan_encapsulate(inner, 9, "02:aa:00:00:00:01",
+                                  "02:aa:00:00:00:02", "1.1.1.1",
+                                  "2.2.2.2")
+        result = pipeline.process(outer, "root")
+        assert result.kind == Disposition.VPORT and result.target == 3
+        assert result.packet.meta["vxlan_vni"] == 9
+
+    def test_accelerator_action_carries_resume(self):
+        pipeline = SteeringPipeline()
+        marker = object()
+        pipeline.table("root").add_rule(
+            MatchSpec(), [ToAccelerator(marker, "resume-here", 7)])
+        result = pipeline.process(make_packet(), "root")
+        assert result.kind == Disposition.ACCELERATOR
+        assert result.target is marker
+        assert result.next_table == "resume-here"
+        assert result.context_id == 7
+
+    def test_queue_delivery(self):
+        pipeline = SteeringPipeline()
+        marker = object()
+        pipeline.table("root").add_rule(MatchSpec(),
+                                        [ForwardToQueue(marker)])
+        result = pipeline.process(make_packet(), "root")
+        assert result.kind == Disposition.DELIVER and result.target is marker
+
+    def test_rule_without_actions_rejected(self):
+        pipeline = SteeringPipeline()
+        with pytest.raises(SteeringError):
+            pipeline.table("root").add_rule(MatchSpec(), [])
+
+    def test_rule_removal(self):
+        pipeline = SteeringPipeline()
+        table = pipeline.table("root")
+        rule = table.add_rule(MatchSpec(), [ForwardToVport(1)])
+        table.remove_rule(rule)
+        assert pipeline.process(make_packet(), "root").kind == \
+            Disposition.DROP
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(SteeringError):
+            SteeringPipeline().process(make_packet(), "nope")

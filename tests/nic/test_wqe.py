@@ -1,0 +1,81 @@
+"""Unit tests for NIC descriptor formats."""
+
+import pytest
+
+from repro.nic import (
+    CQE_FLAG_L4_OK,
+    CQE_RECV_COMPLETION,
+    CQE_SIZE,
+    Cqe,
+    OP_ETH_SEND,
+    RX_DESC_SIZE,
+    RxDesc,
+    TxWqe,
+    WQE_FLAG_SIGNALED,
+    WQE_SIZE,
+)
+from repro.nic.wqe import CQE_ERROR
+
+
+class TestTxWqe:
+    def test_size_is_64(self):
+        wqe = TxWqe(OP_ETH_SEND, 1, 0, 0x1000, 100)
+        assert len(wqe.pack()) == WQE_SIZE == 64
+
+    def test_roundtrip(self):
+        wqe = TxWqe(OP_ETH_SEND, qpn=42, wqe_index=77,
+                    buffer_addr=0x1234_5678_9ABC, byte_count=1500,
+                    flags=WQE_FLAG_SIGNALED, lkey=3, context_id=0xBEEF,
+                    ack_req=False)
+        again = TxWqe.unpack(wqe.pack())
+        assert again.qpn == 42
+        assert again.wqe_index == 77
+        assert again.buffer_addr == 0x1234_5678_9ABC
+        assert again.byte_count == 1500
+        assert again.signaled
+        assert again.context_id == 0xBEEF
+        assert not again.ack_req
+
+    def test_wqe_index_wraps_16bit(self):
+        wqe = TxWqe(OP_ETH_SEND, 1, 0x12345, 0, 0)
+        assert wqe.wqe_index == 0x2345
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            TxWqe.unpack(b"\x00" * 8)
+
+
+class TestRxDesc:
+    def test_size_is_16(self):
+        desc = RxDesc(0xABCD, 2048)
+        assert len(desc.pack()) == RX_DESC_SIZE == 16
+
+    def test_roundtrip(self):
+        desc = RxDesc(0xDEAD_BEEF_0000, 4096, lkey=9)
+        again = RxDesc.unpack(desc.pack())
+        assert again.buffer_addr == 0xDEAD_BEEF_0000
+        assert again.byte_count == 4096
+        assert again.lkey == 9
+
+
+class TestCqe:
+    def test_size_is_64(self):
+        cqe = Cqe(CQE_RECV_COMPLETION, 1, 2, 3)
+        assert len(cqe.pack()) == CQE_SIZE == 64
+
+    def test_roundtrip(self):
+        cqe = Cqe(CQE_RECV_COMPLETION, qpn=5, wqe_counter=100,
+                  byte_count=1400, flags=CQE_FLAG_L4_OK, rss_hash=0xFACE,
+                  flow_tag=0x10002, stride_index=7, syndrome=0)
+        again = Cqe.unpack(cqe.pack())
+        assert again.qpn == 5
+        assert again.wqe_counter == 100
+        assert again.byte_count == 1400
+        assert again.l4_ok
+        assert again.rss_hash == 0xFACE
+        assert again.flow_tag == 0x10002
+        assert again.stride_index == 7
+
+    def test_error_detection(self):
+        assert Cqe(CQE_ERROR, 1, 0, 0, syndrome=4).is_error
+        assert not Cqe(CQE_RECV_COMPLETION, 1, 0, 0).is_error

@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BufferPool,
+    CompressedCqe,
+    CompressedTxDescriptor,
+    CuckooFullError,
+    CuckooHashTable,
+)
+from repro.nic import Cqe, RxDesc, TxWqe
+from repro.nic.wqe import OP_ETH_SEND, OP_RDMA_SEND
+
+
+class TestCuckooProperties:
+    @given(st.lists(st.integers(0, 10_000), unique=True, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_everything_inserted_is_found(self, keys):
+        table = CuckooHashTable(capacity=max(1, len(keys)), load_factor=0.5)
+        for key in keys:
+            table.insert(key, key * 2)
+        for key in keys:
+            assert table.lookup(key) == key * 2
+        assert len(table) == len(keys)
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 50)),
+                    max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_mixed_operations_match_dict(self, operations):
+        """The cuckoo table behaves exactly like a dict under churn."""
+        table = CuckooHashTable(capacity=64, load_factor=0.5)
+        model = {}
+        for is_insert, key in operations:
+            if is_insert and key not in model:
+                if len(model) < 64:
+                    table.insert(key, key)
+                    model[key] = key
+            elif not is_insert and key in model:
+                assert table.remove(key) == model.pop(key)
+        for key, value in model.items():
+            assert table.lookup(key) == value
+        assert len(table) == len(model)
+
+    @given(st.integers(1, 512))
+    @settings(max_examples=30, deadline=None)
+    def test_half_load_never_stalls(self, capacity):
+        """The paper's provisioning guarantee (§5.2)."""
+        table = CuckooHashTable(capacity=capacity, load_factor=0.5)
+        for i in range(capacity):
+            table.insert(("k", i), i)  # must not raise
+        assert len(table) == capacity
+
+
+class TestBufferPoolProperties:
+    @given(st.lists(st.integers(1, 4096), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_alloc_free_conserves_chunks(self, sizes):
+        pool = BufferPool(64 * 1024, chunk_size=256)
+        allocations = []
+        for size in sizes:
+            handles = pool.alloc(size)
+            if handles is not None:
+                allocations.append(handles)
+        for handles in allocations:
+            pool.release_all(handles)
+        assert pool.free_chunks == pool.num_chunks
+
+    @given(st.binary(min_size=1, max_size=4096))
+    @settings(max_examples=50, deadline=None)
+    def test_scattered_write_read_roundtrip(self, data):
+        pool = BufferPool(8 * 1024, chunk_size=256)
+        handles = pool.alloc(len(data))
+        pool.write_scattered(handles, data)
+        assert pool.read_scattered(handles, len(data)) == data
+
+    @given(st.integers(1, 8 * 1024))
+    @settings(max_examples=50, deadline=None)
+    def test_chunks_for_covers_size(self, nbytes):
+        pool = BufferPool(8 * 1024, chunk_size=256)
+        chunks = pool.chunks_for(nbytes)
+        assert chunks * 256 >= nbytes
+        assert (chunks - 1) * 256 < nbytes
+
+
+class TestDescriptorFormatProperties:
+    @given(handle=st.integers(0, 0xFFFF), length=st.integers(0, 0xFFFF),
+           context=st.integers(0, 0xFFFFFF),
+           opcode=st.sampled_from([OP_ETH_SEND, OP_RDMA_SEND]),
+           signaled=st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_compressed_descriptor_roundtrip(self, handle, length, context,
+                                             opcode, signaled):
+        desc = CompressedTxDescriptor(handle, length, context, opcode,
+                                      signaled)
+        again = CompressedTxDescriptor.unpack(desc.pack())
+        assert (again.handle, again.length, again.context_id, again.opcode,
+                again.signaled) == (handle, length, context, opcode,
+                                    signaled)
+
+    @given(opcode=st.integers(0, 255), qpn=st.integers(0, 0xFFFFFF),
+           counter=st.integers(0, 0xFFFF), count=st.integers(0, 0xFFFF),
+           flags=st.integers(0, 255), tag=st.integers(0, 0xFFFFFFFF),
+           stride=st.integers(0, 0xFFFF))
+    @settings(max_examples=100, deadline=None)
+    def test_compressed_cqe_roundtrip(self, opcode, qpn, counter, count,
+                                      flags, tag, stride):
+        cqe = CompressedCqe(opcode, qpn, counter, count, flags, tag, stride)
+        again = CompressedCqe.unpack(cqe.pack())
+        for field in CompressedCqe.__slots__:
+            assert getattr(again, field) == getattr(cqe, field)
+
+    @given(qpn=st.integers(0, 0xFFFFFF), counter=st.integers(0, 0xFFFF),
+           addr=st.integers(0, (1 << 64) - 1),
+           count=st.integers(0, 0xFFFFFFFF), flags=st.integers(0, 255),
+           context=st.integers(0, 0xFFFFFFFF))
+    @settings(max_examples=100, deadline=None)
+    def test_nic_wqe_roundtrip(self, qpn, counter, addr, count, flags,
+                               context):
+        wqe = TxWqe(OP_ETH_SEND, qpn, counter, addr, count, flags,
+                    context_id=context)
+        again = TxWqe.unpack(wqe.pack())
+        assert (again.qpn, again.wqe_index, again.buffer_addr,
+                again.byte_count, again.flags, again.context_id) == (
+            qpn, counter & 0xFFFF, addr, count, flags, context)
+
+    def test_compression_expansion_inverse(self):
+        """expand() then compress-relevant-fields is lossless."""
+        desc = CompressedTxDescriptor(7, 1200, context_id=0x1234,
+                                      opcode=OP_RDMA_SEND, signaled=True)
+        wqe = desc.expand(qpn=3, wqe_index=9, buffer_addr=0x5000)
+        assert wqe.opcode == OP_RDMA_SEND
+        assert wqe.byte_count == desc.length
+        assert wqe.context_id == desc.context_id
+        assert wqe.signaled == desc.signaled

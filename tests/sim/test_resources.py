@@ -1,0 +1,149 @@
+"""Unit tests for links and token buckets."""
+
+import pytest
+
+from repro.sim import DuplexLink, Link, Simulator, Store, TokenBucket
+
+
+class TestLink:
+    def test_serialization_delay(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=1000.0)  # 1000 bits/s
+        arrivals = []
+        link.connect(lambda msg: arrivals.append((sim.now, msg)))
+        link.send("m", bits=500)
+        sim.run()
+        assert arrivals == [(0.5, "m")]
+
+    def test_propagation_latency_added(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=1000.0, latency=0.25)
+        arrivals = []
+        link.connect(lambda msg: arrivals.append(sim.now))
+        link.send("m", bits=500)
+        sim.run()
+        assert arrivals == [0.75]
+
+    def test_back_to_back_messages_queue(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=1000.0)
+        arrivals = []
+        link.connect(lambda msg: arrivals.append((sim.now, msg)))
+        link.send("a", bits=1000)
+        link.send("b", bits=1000)
+        sim.run()
+        assert arrivals == [(1.0, "a"), (2.0, "b")]
+
+    def test_infinite_rate_link(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=None, latency=0.1)
+        arrivals = []
+        link.connect(lambda msg: arrivals.append(sim.now))
+        link.send("a", bits=1e9)
+        sim.run()
+        assert arrivals == [0.1]
+
+    def test_delivery_preserves_order(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=1e6)
+        arrivals = []
+        link.connect(arrivals.append)
+        for i in range(10):
+            link.send(i, bits=100)
+        sim.run()
+        assert arrivals == list(range(10))
+
+    def test_queue_delay_reports_backlog(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=1000.0)
+        link.connect(lambda m: None)
+        link.send("a", bits=2000)
+        assert link.queue_delay() == pytest.approx(2.0)
+
+    def test_send_without_sink_raises(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=1000.0)
+        with pytest.raises(RuntimeError):
+            link.send("a", bits=1)
+
+    def test_stats_accumulate(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=1e9)
+        link.connect(lambda m: None)
+        link.send("a", bits=100)
+        link.send("b", bits=200)
+        assert link.stats_bits == 300
+        assert link.stats_messages == 2
+
+    def test_idle_gap_resets_busy_window(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=1000.0)
+        arrivals = []
+        link.connect(lambda m: arrivals.append(sim.now))
+        link.send("a", bits=1000)
+
+        def later(sim):
+            yield sim.timeout(10.0)
+            link.send("b", bits=1000)
+
+        sim.spawn(later(sim))
+        sim.run()
+        assert arrivals == [1.0, 11.0]
+
+
+class TestDuplexLink:
+    def test_independent_directions(self):
+        sim = Simulator()
+        duplex = DuplexLink(sim, rate_bps=1000.0)
+        tx_arrivals, rx_arrivals = [], []
+        duplex.tx.connect(lambda m: tx_arrivals.append(sim.now))
+        duplex.rx.connect(lambda m: rx_arrivals.append(sim.now))
+        duplex.tx.send("a", bits=1000)
+        duplex.rx.send("b", bits=1000)
+        sim.run()
+        # Both finish at t=1: no contention between directions.
+        assert tx_arrivals == [1.0]
+        assert rx_arrivals == [1.0]
+
+
+class TestTokenBucket:
+    def test_initial_burst_available(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate_bps=1000.0, burst_bits=500.0)
+        assert bucket.try_consume(500.0)
+        assert not bucket.try_consume(1.0)
+
+    def test_refill_over_time(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate_bps=1000.0, burst_bits=500.0)
+        bucket.try_consume(500.0)
+
+        def check(sim):
+            yield sim.timeout(0.25)
+            assert bucket.tokens == pytest.approx(250.0)
+            assert bucket.try_consume(250.0)
+
+        sim.spawn(check(sim))
+        sim.run()
+
+    def test_delay_for_reports_wait(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate_bps=1000.0, burst_bits=100.0)
+        bucket.try_consume(100.0)
+        assert bucket.delay_for(500.0) == pytest.approx(0.5)
+
+    def test_tokens_capped_at_burst(self):
+        sim = Simulator()
+        bucket = TokenBucket(sim, rate_bps=1e9, burst_bits=100.0)
+
+        def check(sim):
+            yield sim.timeout(10.0)
+            assert bucket.tokens == pytest.approx(100.0)
+
+        sim.spawn(check(sim))
+        sim.run()
+
+    def test_invalid_rate_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            TokenBucket(sim, rate_bps=0.0, burst_bits=1.0)
