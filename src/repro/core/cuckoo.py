@@ -54,6 +54,7 @@ class CuckooHashTable:
         ]
         self._stash: List[Tuple[Hashable, Any]] = []
         self._count = 0
+        self.stats_lookups = 0
         self.stats_inserts = 0
         self.stats_kicks = 0
         self.stats_stash_peak = 0
@@ -77,6 +78,7 @@ class CuckooHashTable:
 
     def lookup(self, key: Hashable) -> Optional[Any]:
         """Constant-time lookup: probe all banks + the stash."""
+        self.stats_lookups += 1
         for bank in range(NUM_BANKS):
             entry = self._banks[bank][self._slot(bank, key)]
             if entry is not None and entry[0] == key:
@@ -159,6 +161,18 @@ class CuckooHashTable:
         raise KeyError(key)
 
     # -- accounting ---------------------------------------------------------
+
+    def stats_dict(self) -> dict:
+        """One flat snapshot of the table's counters (telemetry probe)."""
+        return {
+            "entries": self._count,
+            "lookups": self.stats_lookups,
+            "inserts": self.stats_inserts,
+            "kicks": self.stats_kicks,
+            "stash_depth": len(self._stash),
+            "stash_peak": self.stats_stash_peak,
+            "stalls": self.stats_stalls,
+        }
 
     @property
     def memory_bytes(self) -> int:

@@ -96,6 +96,30 @@ class FlexDriver(PcieEndpoint):
         self.stats_cqe_writes = 0
         self.stats_tx_packets = 0
         self.stats_tx_bytes = 0
+        # Counters are no-op singletons when telemetry is disabled;
+        # probes are sampled only at export time (§5.2's translation
+        # tables and pools cost nothing to watch).
+        tele = sim.telemetry
+        self._tracer = tele.tracer
+        self._ctr_tx_packets = tele.counter(f"fld.{name}.tx.packets")
+        self._ctr_tx_bytes = tele.counter(f"fld.{name}.tx.bytes")
+        self._ctr_cqe_writes = tele.counter(f"fld.{name}.cqe_writes")
+        self._ctr_rx_stream = tele.counter(f"fld.{name}.rx.stream_pushes")
+        if tele.enabled:
+            tele.register_probe(f"fld.{name}.xlt.descriptors",
+                                self.tx.descriptors.cuckoo_stats)
+            tele.register_probe(f"fld.{name}.xlt.data",
+                                self.tx.data_xlt.cuckoo_stats)
+            tele.register_probe(f"fld.{name}.tx", lambda: {
+                "wqe_reads": self.tx.stats_wqe_reads,
+                "data_read_bytes": self.tx.stats_data_read_bytes,
+                "free_chunks": self.tx.buffers.free_chunks,
+                "free_descriptor_slots": self.tx.descriptors.free_slots,
+            })
+            tele.register_probe(f"fld.{name}.rx", lambda: {
+                "cqes": self.rx.stats_cqes,
+                "sram_writes": self.rx.stats_sram_writes,
+            })
 
     # ------------------------------------------------------------------
     # Configuration (called by the FLD runtime library, §5.3)
@@ -176,6 +200,12 @@ class FlexDriver(PcieEndpoint):
         self.tx.submit(meta.queue_id, data, meta)
         self.stats_tx_packets += 1
         self.stats_tx_bytes += len(data)
+        self._ctr_tx_packets.inc()
+        self._ctr_tx_bytes.inc(len(data))
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.instant(f"fld.{self.name}", f"txq{meta.queue_id}",
+                           "submit", self.sim.now, {"bytes": len(data)})
 
     def credits_available(self, queue_id: int) -> int:
         return self.tx.credits.available(queue_id)
@@ -210,6 +240,7 @@ class FlexDriver(PcieEndpoint):
         if len(data) < CQE_SIZE:
             raise PcieError(f"{self.name}: short CQE write ({len(data)} B)")
         self.stats_cqe_writes += 1
+        self._ctr_cqe_writes.inc()
         cqe = Cqe.unpack(data)
         compressed = CompressedCqe.compress(cqe)
         route = self._cq_route.get(cq_index)
@@ -236,6 +267,7 @@ class FlexDriver(PcieEndpoint):
         self.fabric.post_write(self, address, data)
 
     def _emit_rx(self, data: bytes, meta: AxisMetadata) -> None:
+        self._ctr_rx_stream.inc()
         self.sim.schedule(
             self.config.pipeline_latency,
             lambda: self.rx_stream.push(data, meta),

@@ -81,6 +81,13 @@ class DescriptorPool:
         self._free.append(slot)
         return descriptor
 
+    def cuckoo_stats(self) -> dict:
+        """Translation-table counters (telemetry probe)."""
+        stats = self._xlt.stats_dict()
+        stats["stored"] = self.stats_stored
+        stats["failures"] = self.stats_failures
+        return stats
+
     @property
     def memory_bytes(self) -> int:
         """Pool SRAM + translation table SRAM."""
@@ -133,6 +140,13 @@ class DataTranslationTable:
             chunk = (start + i) % self.chunks_per_window()
             handles.append(self._xlt.remove((queue, chunk)))
         return handles
+
+    def cuckoo_stats(self) -> dict:
+        """Translation-table counters (telemetry probe)."""
+        stats = self._xlt.stats_dict()
+        stats["mappings"] = self.stats_mappings
+        stats["failures"] = self.stats_failures
+        return stats
 
     def resolve(self, queue: int, virt_offset: int) -> Tuple[int, int]:
         """(chunk handle, offset inside the chunk) for a virtual address."""

@@ -35,12 +35,15 @@ def _run_loadgen_throughput(sim, loadgen, size: int, count: int,
 
 
 def echo_throughput(mode: str, size: int, count: int = 2000,
-                    cal: Optional[Calibration] = None) -> Dict:
+                    cal: Optional[Calibration] = None,
+                    telemetry=None) -> Dict:
     """One point of Fig. 7b: echo goodput at ``size`` for a given mode.
 
-    Modes: ``flde-remote``, ``flde-local``, ``cpu-remote``.
+    Modes: ``flde-remote``, ``flde-local``, ``cpu-remote``.  Pass a
+    :class:`repro.telemetry.Telemetry` to record metrics and a trace of
+    the run (``python -m repro trace fig7b``).
     """
-    sim = Simulator()
+    sim = Simulator(telemetry=telemetry)
     cal = cal or Calibration()
     if mode == "flde-remote":
         setup = flde_echo_remote(sim, cal)
@@ -71,9 +74,10 @@ def figure7b(sizes: Optional[List[int]] = None, count: int = 1500,
 
 
 def echo_latency(mode: str, count: int = 3000, frame_size: int = 64,
-                 cal: Optional[Calibration] = None) -> Dict:
+                 cal: Optional[Calibration] = None,
+                 telemetry=None) -> Dict:
     """Table 6: closed-loop 64 B echo round-trip statistics."""
-    sim = Simulator()
+    sim = Simulator(telemetry=telemetry)
     cal = cal or Calibration()
     if mode == "flde":
         setup = flde_echo_remote(sim, cal)
@@ -105,12 +109,13 @@ def table6() -> List[Dict]:
 
 
 def trace_forwarding(mode: str, count: int = 6000, seed: int = 7,
-                     cal: Optional[Calibration] = None) -> Dict:
+                     cal: Optional[Calibration] = None,
+                     telemetry=None) -> Dict:
     """§8.1.1: forwarding the IMC-2010-like mixed-size trace.
 
     Reports Mpps — the paper's 12.7 (FLD-E) vs 9.6 (one CPU core).
     """
-    sim = Simulator()
+    sim = Simulator(telemetry=telemetry)
     cal = cal or Calibration()
     if mode == "flde":
         setup = flde_echo_remote(sim, cal, units=4)
@@ -199,13 +204,14 @@ def fldr_latency_vs_load(loads: Optional[List[float]] = None,
 
 def fldr_throughput(size: int, count: int = 400, window: int = 64,
                     local: bool = False,
-                    cal: Optional[Calibration] = None) -> Dict:
+                    cal: Optional[Calibration] = None,
+                    telemetry=None) -> Dict:
     """Fig. 7b's right column: FLD-R echo goodput at ``size``.
 
     Messages above the 1024 B RoCE MTU exercise the NIC's hardware
     segmentation — the transport offload FLD gets for free (§8.1.2).
     """
-    sim = Simulator()
+    sim = Simulator(telemetry=telemetry)
     setup = fldr_echo(sim, cal, local=local)
     connection = setup.connection
     # Application-layer flow control (§5.5): keep the outstanding bytes

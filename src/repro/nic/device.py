@@ -114,6 +114,7 @@ class Nic(PcieEndpoint):
             retransmit_timeout=self.config.retransmit_timeout,
             egress=self._rdma_egress, deliver_segment=self._rdma_deliver,
             complete_send=self._rdma_complete_send,
+            name=f"{name}.rdma",
         )
         self.sqs: Dict[int, SendQueue] = {}
         self.rqs: Dict[int, ReceiveQueue] = {}
@@ -130,6 +131,22 @@ class Nic(PcieEndpoint):
         self.stats_rx_dropped_inbox = 0
         self.stats_rx_dropped_no_desc = 0
         self.stats_meter_drops = 0
+        # No-op singletons when telemetry is disabled; the tracer is
+        # guarded by its ``enabled`` flag at every use site.
+        tele = sim.telemetry
+        self._tracer = tele.tracer
+        self._ctr_tx_wqes = tele.counter(f"nic.{name}.tx.wqes")
+        self._ctr_tx_bytes = tele.counter(f"nic.{name}.tx.bytes")
+        self._ctr_rx_packets = tele.counter(f"nic.{name}.rx.packets")
+        self._ctr_rx_bytes = tele.counter(f"nic.{name}.rx.bytes")
+        self._ctr_cqes = tele.counter(f"nic.{name}.cqes")
+        self._ctr_drop_inbox = tele.counter(
+            f"nic.{name}.rx.dropped_inbox")
+        self._ctr_drop_no_desc = tele.counter(
+            f"nic.{name}.rx.dropped_no_desc")
+        self._ctr_drop_meter = tele.counter(f"nic.{name}.meter_drops")
+        if tele.enabled:
+            tele.register_probe(f"nic.{name}.rdma", self._rdma_probe)
         fabric.attach(self, link_config)
         # Inbound RDMA WRITEs DMA straight to the target fabric address.
         self.rdma.dma_write = (
@@ -298,11 +315,15 @@ class Nic(PcieEndpoint):
 
     def _sq_tx_stage(self, sq: SendQueue, window: Store):
         """Transmit stage: consume fetched WQEs in order and send."""
+        tracer = self._tracer
         while True:
             index, wqe, data_event = yield window.get()
+            started = self.sim.now
             data = (yield data_event) if data_event is not None else b""
             yield self.sim.timeout(self.config.processing_delay)
             sq.stats_wqes += 1
+            self._ctr_tx_wqes.inc()
+            self._ctr_tx_bytes.inc(len(data))
             meter = getattr(sq, "meter", None)
             if meter is not None and self.shaper.has_limiter(meter):
                 delay = self.shaper.delay_for(meter, len(data) * 8)
@@ -322,6 +343,10 @@ class Nic(PcieEndpoint):
                         CQE_SEND_COMPLETION, sq.qpn, index,
                         wqe.byte_count,
                     ))
+            if tracer.enabled:
+                tracer.complete(f"nic.{self.name}", f"sq{sq.qpn}", "wqe",
+                                started, self.sim.now,
+                                {"index": index, "bytes": wqe.byte_count})
 
     def _transmit_eth(self, sq: SendQueue, wqe: TxWqe, data: bytes) -> None:
         packet = parse_frame(data)
@@ -359,6 +384,7 @@ class Nic(PcieEndpoint):
         for meter in disposition.meters:
             if not self.shaper.police(meter, packet.size() * 8):
                 self.stats_meter_drops += 1
+                self._ctr_drop_meter.inc()
                 return
         if disposition.kind == Disposition.RSS:
             rq = disposition.target.select(packet)
@@ -373,6 +399,7 @@ class Nic(PcieEndpoint):
                        packet.meta.get("rss_hash", 0))
         if not self._rx_inbox[rq.rqn].try_put(item):
             self.stats_rx_dropped_inbox += 1
+            self._ctr_drop_inbox.inc()
 
     def _resume_id_for(self, table_name: str) -> int:
         for resume_id, name in self._resume_tables.items():
@@ -382,13 +409,16 @@ class Nic(PcieEndpoint):
 
     def _rq_worker(self, rq: ReceiveQueue, inbox: Store):
         fabric = self.fabric
+        tracer = self._tracer
         while True:
             item = yield inbox.get()
+            started = self.sim.now
             yield self.sim.timeout(self.config.processing_delay)
             if isinstance(rq, MultiPacketReceiveQueue):
                 placement = rq.place(len(item.data))
                 if placement is None:
                     self.stats_rx_dropped_no_desc += 1
+                    self._ctr_drop_no_desc.inc()
                     continue
                 key = (rq.rqn, placement["desc_index"] % rq.entries)
                 if placement["stride_index"] == 0 or key not in self._cached_rx_desc:
@@ -406,6 +436,7 @@ class Nic(PcieEndpoint):
                 if rq.available == 0:
                     rq.stats_drops_no_desc += 1
                     self.stats_rx_dropped_no_desc += 1
+                    self._ctr_drop_no_desc.inc()
                     continue
                 index = rq.ci
                 rq.ci += 1
@@ -413,11 +444,18 @@ class Nic(PcieEndpoint):
                 desc = yield from self._fetch_rx_desc(rq, index)
                 if len(item.data) > desc.byte_count:
                     self.stats_rx_dropped_no_desc += 1
+                    self._ctr_drop_no_desc.inc()
                     continue
                 address = desc.buffer_addr
                 wqe_counter = index
                 stride_index = 0
+            self._ctr_rx_packets.inc()
+            self._ctr_rx_bytes.inc(len(item.data))
             write_done = fabric.post_write(self, address, item.data)
+            if tracer.enabled:
+                tracer.complete(f"nic.{self.name}", f"rq{rq.rqn}",
+                                "rx_packet", started, self.sim.now,
+                                {"bytes": len(item.data)})
             cqe = Cqe(
                 CQE_RECV_COMPLETION, item.qpn, wqe_counter, len(item.data),
                 flags=item.flags, rss_hash=item.rss_hash,
@@ -474,5 +512,24 @@ class Nic(PcieEndpoint):
     # ------------------------------------------------------------------
 
     def _post_cqe(self, cq: CompletionQueue, cqe: Cqe) -> None:
+        self._ctr_cqes.inc()
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.instant(f"nic.{self.name}", f"cq{cq.cqn}",
+                           f"cqe:{cqe.opcode}", self.sim.now)
         done = self.fabric.post_write(self, cq.next_slot(), cqe.pack())
         done.add_callback(lambda _event: cq.notify.try_put(cqe))
+
+    # ------------------------------------------------------------------
+    # Telemetry probes
+    # ------------------------------------------------------------------
+
+    def _rdma_probe(self) -> Dict[str, int]:
+        """Sampled at export time only — zero cost on the datapath."""
+        qps = list(self.rdma.qps.values())
+        return {
+            "qps": len(qps),
+            "outstanding_segments": sum(len(q.outstanding) for q in qps),
+            "write_protection_errors": sum(
+                q.stats_write_protection_errors for q in qps),
+        }

@@ -134,13 +134,15 @@ class RdmaEngine:
     def __init__(self, sim: Simulator, mtu: int = 1024,
                  retransmit_timeout: float = 2e-3,
                  egress: Callable[[RcQp, Packet], None] = None,
-                 deliver_segment=None, complete_send=None):
+                 deliver_segment=None, complete_send=None,
+                 name: str = "rdma"):
         self.sim = sim
         self.mtu = mtu
         self.retransmit_timeout = retransmit_timeout
         self.egress = egress
         self.deliver_segment = deliver_segment
         self.complete_send = complete_send
+        self.name = name
         self.qps: Dict[int, RcQp] = {}
         # Registered memory regions (one protection domain per engine).
         self._regions: Dict[int, MemoryRegion] = {}
@@ -148,8 +150,23 @@ class RdmaEngine:
         # Target for validated inbound RDMA WRITE data: callable
         # (virtual_address, data); typically the device's DMA engine.
         self.dma_write = None
+        # Fault injection: callable (qp, frame) -> bool; True drops the
+        # outgoing frame on the floor (models wire loss — exercises the
+        # retransmission machinery deterministically in tests).
+        self.drop_filter: Optional[Callable[[RcQp, Packet], bool]] = None
         self.stats_acks_sent = 0
         self.stats_acks_received = 0
+        self.stats_injected_drops = 0
+        # When telemetry is disabled these are shared no-op singletons.
+        tele = sim.telemetry
+        self._ctr_segments_sent = tele.counter(f"{name}.segments_sent")
+        self._ctr_segments_received = tele.counter(
+            f"{name}.segments_received")
+        self._ctr_retransmits = tele.counter(f"{name}.retransmits")
+        self._ctr_duplicates = tele.counter(f"{name}.duplicate_segments")
+        self._ctr_acks_sent = tele.counter(f"{name}.acks_sent")
+        self._ctr_acks_received = tele.counter(f"{name}.acks_received")
+        self._ctr_injected_drops = tele.counter(f"{name}.injected_drops")
 
     # -- memory registration ------------------------------------------------
 
@@ -169,6 +186,14 @@ class RdmaEngine:
         self.qps[qp.qpn] = qp
 
     # -- transmit ---------------------------------------------------------
+
+    def _egress_frame(self, qp: RcQp, frame: Packet) -> None:
+        """Single egress chokepoint: applies the fault-injection filter."""
+        if self.drop_filter is not None and self.drop_filter(qp, frame):
+            self.stats_injected_drops += 1
+            self._ctr_injected_drops.inc()
+            return
+        self.egress(qp, frame)
 
     def per_packet_overhead(self) -> int:
         """Wire header bytes around each segment's payload."""
@@ -199,7 +224,8 @@ class RdmaEngine:
             qp.outstanding[qp.next_psn] = segment
             qp.next_psn = (qp.next_psn + 1) & 0xFFFFFF
             qp.stats_sent_segments += 1
-            self.egress(qp, frame)
+            self._ctr_segments_sent.inc()
+            self._egress_frame(qp, frame)
             if len(qp.outstanding) == 1:
                 self._arm_retransmit_timer(qp)
             yield self.sim.timeout(0)  # pipeline one segment per pass
@@ -249,7 +275,8 @@ class RdmaEngine:
         for psn, segment in qp.outstanding.items():
             segment.sent_at = self.sim.now
             qp.stats_retransmits += 1
-            self.egress(qp, segment.frame.copy())
+            self._ctr_retransmits.inc()
+            self._egress_frame(qp, segment.frame.copy())
 
     # -- receive ----------------------------------------------------------
 
@@ -278,6 +305,7 @@ class RdmaEngine:
         """
         if bth.psn != qp.expected_psn:
             qp.stats_duplicate_segments += 1
+            self._ctr_duplicates.inc()
             self._send_ack(qp)
             return
         payload = (packet.payload[:-ICRC_SIZE]
@@ -304,6 +332,7 @@ class RdmaEngine:
             return
         qp.expected_psn = (qp.expected_psn + 1) & 0xFFFFFF
         qp.stats_received_segments += 1
+        self._ctr_segments_received.inc()
         qp.stats_writes_received += 1
         if self.dma_write is not None and payload:
             self.dma_write(qp.write_cursor, payload)
@@ -321,10 +350,12 @@ class RdmaEngine:
             # (a gap after loss).  Either way: re-ack the last good PSN
             # so the sender resynchronizes; do not deliver.
             qp.stats_duplicate_segments += 1
+            self._ctr_duplicates.inc()
             self._send_ack(qp)
             return
         qp.expected_psn = (qp.expected_psn + 1) & 0xFFFFFF
         qp.stats_received_segments += 1
+        self._ctr_segments_received.inc()
         if bth.is_last:
             qp.received_msn = (qp.received_msn + 1) & 0xFFFFFF
         payload = packet.payload[:-ICRC_SIZE] if len(packet.payload) >= ICRC_SIZE else b""
@@ -349,10 +380,12 @@ class RdmaEngine:
         packet.push(ip)
         packet.push(Ethernet(qp.local_mac, qp.remote_mac))
         self.stats_acks_sent += 1
-        self.egress(qp, packet)
+        self._ctr_acks_sent.inc()
+        self._egress_frame(qp, packet)
 
     def _handle_ack(self, qp: RcQp, packet: Packet, bth: Bth) -> None:
         self.stats_acks_received += 1
+        self._ctr_acks_received.inc()
         acked_psn = bth.psn
         while qp.outstanding:
             psn = next(iter(qp.outstanding))

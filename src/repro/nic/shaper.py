@@ -25,6 +25,9 @@ class Shaper:
         self._buckets: Dict[str, TokenBucket] = {}
         self.stats_dropped: Dict[str, int] = {}
         self.stats_passed: Dict[str, int] = {}
+        # Per-meter telemetry counters (no-op singletons when disabled).
+        self._ctr_dropped: Dict[str, object] = {}
+        self._ctr_passed: Dict[str, object] = {}
 
     def add_limiter(self, name: str, rate_bps: float,
                     burst_bits: Optional[float] = None) -> None:
@@ -39,6 +42,9 @@ class Shaper:
         self._buckets[name] = TokenBucket(self.sim, rate_bps, burst_bits)
         self.stats_dropped.setdefault(name, 0)
         self.stats_passed.setdefault(name, 0)
+        tele = self.sim.telemetry
+        self._ctr_dropped[name] = tele.counter(f"shaper.{name}.dropped")
+        self._ctr_passed[name] = tele.counter(f"shaper.{name}.passed")
 
     def remove_limiter(self, name: str) -> None:
         self._buckets.pop(name, None)
@@ -53,8 +59,10 @@ class Shaper:
             return True  # unknown meter: pass-through
         if bucket.try_consume(bits):
             self.stats_passed[name] += 1
+            self._ctr_passed[name].inc()
             return True
         self.stats_dropped[name] += 1
+        self._ctr_dropped[name].inc()
         return False
 
     def delay_for(self, name: str, bits: float) -> float:
@@ -69,3 +77,4 @@ class Shaper:
         if bucket is not None:
             bucket.consume(bits)
             self.stats_passed[name] += 1
+            self._ctr_passed[name].inc()

@@ -23,6 +23,28 @@ from .endpoint import Bar, PcieEndpoint, PcieError
 from .tlp import Tlp, TlpType, completion_chunks, split_write_bytes
 
 
+class _LaneCounters:
+    """Per-lane TLP accounting: count, header bytes, payload bytes.
+
+    The header/payload split is what makes Fig. 7a's claim — that small
+    packets drown in PCIe protocol overhead — directly observable from a
+    simulation run instead of only from the analytic model.
+    """
+
+    __slots__ = ("tlps", "header_bytes", "payload_bytes")
+
+    def __init__(self, telemetry, prefix: str):
+        self.tlps = telemetry.counter(f"{prefix}.tlps")
+        self.header_bytes = telemetry.counter(f"{prefix}.header_bytes")
+        self.payload_bytes = telemetry.counter(f"{prefix}.payload_bytes")
+
+    def count(self, tlp: Tlp) -> None:
+        self.tlps.inc()
+        payload = tlp.payload_wire_bytes()
+        self.header_bytes.inc(tlp.wire_bytes() - payload)
+        self.payload_bytes.inc(payload)
+
+
 class _Port:
     """A device's two lanes into the switch."""
 
@@ -35,6 +57,26 @@ class _Port:
         hop_latency = config.latency / 2
         self.up = Link(sim, rate, hop_latency, name=f"{endpoint.name}.up")
         self.down = Link(sim, rate, hop_latency, name=f"{endpoint.name}.down")
+        self.up.trace_process = "pcie"
+        self.down.trace_process = "pcie"
+        telemetry = sim.telemetry
+        if telemetry.enabled:
+            self.tele_up = _LaneCounters(
+                telemetry, f"pcie.{endpoint.name}.up")
+            self.tele_down = _LaneCounters(
+                telemetry, f"pcie.{endpoint.name}.down")
+            telemetry.register_probe(
+                f"pcie.{endpoint.name}",
+                lambda: {
+                    "up.bits": self.up.stats_bits,
+                    "up.messages": self.up.stats_messages,
+                    "down.bits": self.down.stats_bits,
+                    "down.messages": self.down.stats_messages,
+                },
+            )
+        else:
+            self.tele_up = None
+            self.tele_down = None
 
 
 class PcieFabric:
@@ -143,6 +185,8 @@ class PcieFabric:
 
     def _send(self, port: _Port, tlp: Tlp) -> None:
         self.stats_tlps[tlp.kind.value] = self.stats_tlps.get(tlp.kind.value, 0) + 1
+        if port.tele_up is not None:
+            port.tele_up.count(tlp)
         port.up.send(tlp, tlp.wire_bytes() * 8)
 
     def _route(self, tlp: Tlp) -> None:
@@ -153,6 +197,8 @@ class PcieFabric:
             bar = self.decode(tlp.address)
             target = self.port_of(bar.endpoint)
             tlp.meta["bar"] = bar
+        if target.tele_down is not None:
+            target.tele_down.count(tlp)
         target.down.send(tlp, tlp.wire_bytes() * 8)
 
     def _deliver(self, tlp: Tlp) -> None:

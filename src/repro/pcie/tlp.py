@@ -73,6 +73,16 @@ class Tlp:
             return COMPLETION_HEADER + DLLP_FRAMING + self.length
         return COMPLETION_HEADER + DLLP_FRAMING
 
+    def payload_wire_bytes(self) -> int:
+        """The useful-payload share of :meth:`wire_bytes`."""
+        if self.kind in (TlpType.MEM_WRITE, TlpType.COMPLETION_DATA):
+            return self.length
+        return 0
+
+    def header_wire_bytes(self) -> int:
+        """The protocol-overhead share (header + framing) of the TLP."""
+        return self.wire_bytes() - self.payload_wire_bytes()
+
     def __repr__(self) -> str:
         return (
             f"Tlp({self.kind.value}, addr={self.address:#x}, "

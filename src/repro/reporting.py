@@ -7,6 +7,7 @@ back the benchmark suite's output.
 
 from __future__ import annotations
 
+import argparse
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -200,8 +201,120 @@ SIMULATED = {
 }
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    argv = list(sys.argv[1:] if argv is None else argv)
+# ---------------------------------------------------------------------------
+# Command line
+# ---------------------------------------------------------------------------
+
+_TABLE_SECTIONS = ("table1", "table2", "table3", "table4", "table5",
+                   "table6")
+_FIGURE_SECTIONS = ("fig4", "fig7a", "fig7b", "fig8a", "defrag", "iot")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures, or "
+                    "record a telemetry trace of a simulated experiment.",
+    )
+    parser.add_argument("--list", action="store_true",
+                        help="list every section and traceable experiment")
+    sub = parser.add_subparsers(dest="command")
+
+    tables = sub.add_parser(
+        "tables", help="render the paper's tables (1-6)")
+    tables.add_argument("sections", nargs="*", metavar="SECTION",
+                        help=f"subset of: {', '.join(_TABLE_SECTIONS)}")
+    tables.add_argument("--full", action="store_true",
+                        help="include the simulated table (table6)")
+
+    figures = sub.add_parser(
+        "figures", help="render the paper's figures (4, 7a/b, 8a, ...)")
+    figures.add_argument("sections", nargs="*", metavar="SECTION",
+                         help=f"subset of: {', '.join(_FIGURE_SECTIONS)}")
+    figures.add_argument("--full", action="store_true",
+                         help="include the simulated figures")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment with telemetry on; write a Chrome trace")
+    trace.add_argument("experiment",
+                       help="experiment to trace (see --list)")
+    trace.add_argument("-o", "--output", required=True,
+                       help="path for the chrome://tracing JSON file")
+    trace.add_argument("--count", type=int, default=None,
+                       help="override the experiment's packet/message count")
+    trace.add_argument("--size", type=int, default=None,
+                       help="override the packet/message size in bytes")
+    trace.add_argument("--metrics", default=None, metavar="PATH",
+                       help="also dump the metrics registry as JSON")
+    return parser
+
+
+def _render_sections(names: Sequence[str]) -> int:
+    everything = {**ANALYTICAL, **SIMULATED}
+    unknown = [n for n in names if n not in everything]
+    if unknown:
+        print(f"unknown sections: {', '.join(unknown)}; "
+              f"choose from {', '.join(everything)}")
+        return 2
+    for name in names:
+        print(everything[name]())
+    return 0
+
+
+def _cmd_group(sections: Sequence[str], full: bool,
+               ordered: Sequence[str]) -> int:
+    if sections:
+        bad = [s for s in sections if s not in ordered]
+        if bad:
+            print(f"unknown sections: {', '.join(bad)}; "
+                  f"choose from {', '.join(ordered)}")
+            return 2
+        return _render_sections(sections)
+    chosen = [name for name in ordered
+              if name in ANALYTICAL or full]
+    code = _render_sections(chosen)
+    if not full:
+        simulated = [n for n in ordered if n in SIMULATED]
+        if simulated:
+            print(f"\n(add --full to also run: {', '.join(simulated)})")
+    return code
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry.runner import run_traced, traceable_experiments
+    try:
+        summary = run_traced(args.experiment, args.output,
+                             count=args.count, size=args.size,
+                             metrics_output=args.metrics)
+    except ValueError:
+        known = traceable_experiments()
+        print(f"unknown experiment {args.experiment!r}; choose from:")
+        for name, description in known.items():
+            print(f"  {name:12s} {description}")
+        return 2
+    print(f"traced {summary['experiment']}: "
+          f"{summary['trace_events']} events "
+          f"({summary['trace_dropped']} dropped), "
+          f"{summary['metrics']} metrics -> {summary['output']}")
+    for key, value in summary["result"].items():
+        print(f"  {key}: {_fmt(value)}")
+    if args.metrics:
+        print(f"  metrics json: {args.metrics}")
+    return 0
+
+
+def _print_listing() -> None:
+    from .telemetry.runner import traceable_experiments
+    print("analytical sections: " + ", ".join(ANALYTICAL))
+    print("simulated sections:  " + ", ".join(SIMULATED))
+    print("traceable experiments (python -m repro trace <name> -o t.json):")
+    for name, description in traceable_experiments().items():
+        print(f"  {name:12s} {description}")
+
+
+def _legacy_main(argv: List[str]) -> int:
+    """The original flat invocation: ``[--full] [section ...]``."""
     full = "--full" in argv
     requested = [a for a in argv if not a.startswith("-")]
     sections = dict(ANALYTICAL)
@@ -221,4 +334,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("\n(analytical tables only; add --full to re-run the "
               "simulated experiments, or name sections: "
               f"{', '.join(SIMULATED)})")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Pre-subcommand invocations (``python -m repro table3 --full``)
+    # keep working: anything that does not lead with a subcommand or a
+    # global flag takes the legacy flat path.
+    leading = argv[0] if argv else ""
+    if leading not in ("tables", "figures", "trace", "--list", "-h",
+                      "--help"):
+        return _legacy_main(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        _print_listing()
+        return 0
+    if args.command == "tables":
+        return _cmd_group(args.sections, args.full, _TABLE_SECTIONS)
+    if args.command == "figures":
+        return _cmd_group(args.sections, args.full, _FIGURE_SECTIONS)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    parser.print_help()
     return 0

@@ -6,12 +6,19 @@ every timed experiment in the reproduction is built on.
 
 from .engine import Event, Process, Resource, SimulationError, Simulator, Store
 from .resources import DuplexLink, Link, TokenBucket, drain_store_via_link
-from .stats import Counter, LatencyCollector, ThroughputMeter, percentile
+from .stats import (
+    Counter,
+    Histogram,
+    LatencyCollector,
+    ThroughputMeter,
+    percentile,
+)
 
 __all__ = [
     "Counter",
     "DuplexLink",
     "Event",
+    "Histogram",
     "LatencyCollector",
     "Link",
     "Process",

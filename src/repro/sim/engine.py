@@ -29,6 +29,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from ..telemetry import NULL_TELEMETRY
+
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation engine."""
@@ -111,6 +113,12 @@ class Process:
             try:
                 target = self._gen.send(value)
             except StopIteration as stop:
+                sim = self.sim
+                sim._ctr_proc_finished.inc()
+                tracer = sim.telemetry.tracer
+                if tracer.enabled:
+                    tracer.instant("sim", "processes", f"finish:{self.name}",
+                                   sim.now)
                 self._done.succeed(stop.value)
                 return
             if isinstance(target, Process):
@@ -130,10 +138,15 @@ class Process:
 class Simulator:
     """The event loop: a priority queue of (time, seq, action) entries."""
 
-    def __init__(self):
+    def __init__(self, telemetry=None):
         self._now = 0.0
         self._queue: List = []
         self._seq = itertools.count()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._ctr_proc_spawned = self.telemetry.counter("sim.processes.spawned")
+        self._ctr_proc_finished = self.telemetry.counter(
+            "sim.processes.finished")
+        self._ctr_events = self.telemetry.counter("sim.events.processed")
 
     @property
     def now(self) -> float:
@@ -161,6 +174,11 @@ class Simulator:
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start a generator as a process on the next event-loop pass."""
         process = Process(self, gen, name)
+        self._ctr_proc_spawned.inc()
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            tracer.instant("sim", "processes", f"spawn:{process.name}",
+                           self._now)
         self.schedule(0.0, process._step)
         return process
 
@@ -190,22 +208,27 @@ class Simulator:
         Returns the simulation time when execution stopped.
         """
         processed = 0
-        while self._queue:
-            time, _seq, action = self._queue[0]
-            if until is not None and time > until:
-                self._now = until
-                return self._now
-            heapq.heappop(self._queue)
-            self._now = time
-            action()
-            processed += 1
-            if processed > max_events:
-                raise SimulationError(
-                    f"exceeded {max_events} events; likely a livelock"
-                )
-        if until is not None:
-            self._now = max(self._now, until)
-        return self._now
+        try:
+            while self._queue:
+                time, _seq, action = self._queue[0]
+                if until is not None and time > until:
+                    self._now = until
+                    return self._now
+                heapq.heappop(self._queue)
+                self._now = time
+                action()
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; likely a livelock"
+                    )
+            if until is not None:
+                self._now = max(self._now, until)
+            return self._now
+        finally:
+            # One bulk add per run() call keeps the loop body clean of
+            # telemetry work.
+            self._ctr_events.inc(processed)
 
 
 class Store:
@@ -227,6 +250,12 @@ class Store:
         self.stats_put = 0
         self.stats_dropped = 0
         self.stats_max_depth = 0
+        # Depth gauge only exists when telemetry is live; disabled
+        # simulations pay a single None check per delivery.
+        self._depth_gauge = (
+            sim.telemetry.gauge(f"store.{name}.depth")
+            if (sim.telemetry.enabled and name) else None
+        )
 
     def __len__(self) -> int:
         return len(self._items)
@@ -259,6 +288,8 @@ class Store:
         if self._items:
             event.succeed(self._items.pop(0))
             self._admit_waiting_putter()
+            if self._depth_gauge is not None:
+                self._depth_gauge.set(len(self._items))
         else:
             self._getters.append(event)
         return event
@@ -269,6 +300,8 @@ class Store:
             return None
         item = self._items.pop(0)
         self._admit_waiting_putter()
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(len(self._items))
         return item
 
     def _deliver(self, item: Any) -> None:
@@ -278,6 +311,8 @@ class Store:
         else:
             self._items.append(item)
             self.stats_max_depth = max(self.stats_max_depth, len(self._items))
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(len(self._items))
 
     def _admit_waiting_putter(self) -> None:
         if self._putters and not self.is_full:

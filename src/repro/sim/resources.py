@@ -44,6 +44,17 @@ class Link:
         self._busy_until = 0.0
         self.stats_bits = 0
         self.stats_messages = 0
+        # The trace process this link's spans file under; owners (PCIe
+        # fabric, Ethernet port) override it to group their lanes.
+        self.trace_process = "links"
+        telemetry = sim.telemetry
+        if telemetry.enabled and name:
+            self._ctr_bits = telemetry.counter(f"link.{name}.bits")
+            self._ctr_messages = telemetry.counter(f"link.{name}.messages")
+            self._tracer = telemetry.tracer
+        else:
+            self._ctr_bits = None
+            self._tracer = None
 
     def connect(self, sink: Callable[[Any], None]) -> None:
         self.sink = sink
@@ -67,6 +78,14 @@ class Link:
         delivery = finish + self.latency
         self.stats_bits += bits
         self.stats_messages += 1
+        if self._ctr_bits is not None:
+            self._ctr_bits.inc(bits)
+            self._ctr_messages.inc()
+            tracer = self._tracer
+            if tracer.enabled and finish > start:
+                tracer.complete(self.trace_process, self.name,
+                                type(message).__name__, start, finish,
+                                {"bits": bits})
         sink = self.sink
         self.sim.schedule(delivery - self.sim.now, lambda: sink(message))
         return delivery

@@ -1,0 +1,70 @@
+"""Unified tracing + metrics for the simulated datapath.
+
+Three pieces:
+
+* :mod:`repro.telemetry.metrics` — the :class:`MetricsRegistry` of
+  hierarchically-named counters, gauges and log-bucketed histograms,
+  with JSON export and snapshot-diff;
+* :mod:`repro.telemetry.trace` — the :class:`Tracer` recording spans and
+  instants against the simulator clock, exported as Chrome
+  ``chrome://tracing`` / Perfetto JSON;
+* :mod:`repro.telemetry.sink` — the :class:`Telemetry` bundle and the
+  :data:`NULL_TELEMETRY` fast path used when telemetry is off.
+
+Usage: build a :class:`Telemetry`, hand it to the simulator, and every
+instrumented component lights up::
+
+    from repro.sim import Simulator
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    sim = Simulator(telemetry=telemetry)
+    ...  # build testbed, run experiment
+    telemetry.tracer.write("trace.json")       # open in ui.perfetto.dev
+    print(telemetry.metrics.to_json())
+
+(:mod:`repro.telemetry.runner`, which drives whole experiments under a
+tracer for ``python -m repro trace``, is deliberately not imported here:
+it depends on the experiment layer, while this package must stay
+importable from the simulation core.)
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    Snapshot,
+)
+from .sink import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_REGISTRY,
+    NULL_TELEMETRY,
+    NullRegistry,
+    NullTelemetry,
+    Telemetry,
+)
+from .trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_REGISTRY",
+    "NULL_TELEMETRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTelemetry",
+    "NullTracer",
+    "Snapshot",
+    "Telemetry",
+    "Tracer",
+]

@@ -1,0 +1,330 @@
+"""Hierarchically-named counters, gauges and log-bucketed histograms.
+
+Every observability claim in the reproduction (Fig. 7a's PCIe byte
+accounting, queue depths behind the throughput knees of Fig. 7b, the
+retransmit behaviour of the RoCE engine) bottoms out in a number some
+component increments.  The :class:`MetricsRegistry` is the single home
+for those numbers:
+
+* metrics are named hierarchically with dots (``pcie.server.nic.up.tlps``)
+  so exports can be grouped per component;
+* :class:`Histogram` buckets values at power-of-two boundaries — constant
+  memory regardless of sample count, cheap ``observe``, and mergeable
+  across experiment shards without copying samples;
+* ``snapshot()``/``Snapshot.diff`` bracket a workload phase and report
+  exactly what moved — the idiom the telemetry tests are written in;
+* *probes* let components with their own internal stats (cuckoo tables,
+  buffer pools, queue rings) publish them lazily: the callable is only
+  sampled at export time, so steady-state simulation pays nothing.
+
+The matching null implementations live in :mod:`repro.telemetry.sink`;
+this module has no dependencies on the simulator so every layer of the
+stack can import it freely.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class MetricsError(RuntimeError):
+    """Raised on metric name/type collisions and bad queries."""
+
+
+class Counter:
+    """A monotonically-increasing named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time level (queue depth, credits, occupancy).
+
+    Tracks the high-water mark alongside the current value because the
+    peak is what sizing arguments (ring depths, SRAM budgets) need.
+    """
+
+    __slots__ = ("name", "value", "peak")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.value = 0
+        self.peak = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value}, peak={self.peak})"
+
+
+class Histogram:
+    """A log2-bucketed histogram of positive samples.
+
+    Bucket ``e`` holds samples ``v`` with ``2**(e-1) < v <= 2**e`` (the
+    exponent returned by :func:`math.frexp`); non-positive samples land
+    in a dedicated underflow bucket.  The representation is a dict of
+    bucket -> count, so two histograms merge by adding bucket counts —
+    no sample buffers are kept or copied.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets",
+                 "underflow")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+        self.underflow = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0:
+            self.underflow += 1
+            return
+        exponent = math.frexp(value)[1]
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise MetricsError(f"histogram {self.name!r} has no samples")
+        return self.total / self.count
+
+    def percentile(self, pct: float) -> float:
+        """Estimate a percentile by linear interpolation within a bucket.
+
+        Resolution is the bucket width (a factor of two), which is the
+        usual trade histograms like HdrHistogram's coarse mode make.
+        """
+        if not 0.0 <= pct <= 100.0:
+            raise MetricsError(f"percentile {pct} outside [0, 100]")
+        if self.count == 0:
+            raise MetricsError(f"histogram {self.name!r} has no samples")
+        rank = pct / 100.0 * self.count
+        seen = self.underflow
+        if rank <= seen:
+            return min(0.0, self.min if self.min is not None else 0.0)
+        for exponent in sorted(self.buckets):
+            in_bucket = self.buckets[exponent]
+            if rank <= seen + in_bucket:
+                low = 2.0 ** (exponent - 1)
+                high = 2.0 ** exponent
+                frac = (rank - seen) / in_bucket
+                return low + (high - low) * frac
+            seen += in_bucket
+        return self.max if self.max is not None else 0.0
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s buckets into this histogram (in place)."""
+        if not isinstance(other, Histogram):
+            raise MetricsError(f"cannot merge {type(other).__name__}")
+        self.count += other.count
+        self.total += other.total
+        self.underflow += other.underflow
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        for exponent, count in other.buckets.items():
+            self.buckets[exponent] = self.buckets.get(exponent, 0) + count
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "underflow": self.underflow,
+            # JSON object keys must be strings; exponents round-trip.
+            "buckets": {str(e): c for e, c in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        histogram = cls(data.get("name", ""))
+        histogram.count = data["count"]
+        histogram.total = data["sum"]
+        histogram.min = data["min"]
+        histogram.max = data["max"]
+        histogram.underflow = data.get("underflow", 0)
+        histogram.buckets = {int(e): c
+                             for e, c in data.get("buckets", {}).items()}
+        return histogram
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class Snapshot:
+    """A frozen flat view of every scalar the registry knew at one instant."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Dict[str, float]):
+        self.values = dict(values)
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        return self.values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.values
+
+    def diff(self, earlier: "Snapshot") -> Dict[str, float]:
+        """What moved between ``earlier`` and this snapshot (delta != 0)."""
+        deltas: Dict[str, float] = {}
+        for name, value in self.values.items():
+            delta = value - earlier.get(name, 0.0)
+            if delta:
+                deltas[name] = delta
+        for name, value in earlier.values.items():
+            if name not in self.values and value:
+                deltas[name] = -value
+        return deltas
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.values)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics plus lazy probes."""
+
+    enabled = True
+
+    def __init__(self):
+        self._metrics: Dict[str, Any] = {}
+        self._probes: Dict[str, Callable[[], Dict[str, float]]] = {}
+
+    # -- creation ---------------------------------------------------------
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise MetricsError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def attach(self, name: str, metric) -> None:
+        """Adopt an externally-built metric (no copying) under ``name``.
+
+        This is how experiment-local collectors feed the registry: build
+        a :class:`Histogram` while the run owns it, then attach it.
+        """
+        existing = self._metrics.get(name)
+        if existing is not None and existing is not metric:
+            raise MetricsError(f"metric {name!r} already registered")
+        metric.name = name
+        self._metrics[name] = metric
+
+    def register_probe(self, name: str,
+                       probe: Callable[[], Dict[str, float]]) -> None:
+        """Register a callable sampled at export time.
+
+        ``probe()`` returns a flat dict; keys are published under
+        ``name.<key>``.  Probes make component-internal stats (cuckoo
+        kicks, pool occupancy, ring depths) visible with zero cost on
+        the simulation hot path.
+        """
+        self._probes[name] = probe
+
+    # -- export -----------------------------------------------------------
+
+    def sample_probes(self) -> Dict[str, float]:
+        sampled: Dict[str, float] = {}
+        for prefix, probe in self._probes.items():
+            for key, value in probe().items():
+                sampled[f"{prefix}.{key}"] = value
+        return sampled
+
+    def _flat_values(self, include_probes: bool = True) -> Dict[str, float]:
+        values: Dict[str, float] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Counter):
+                values[name] = metric.value
+            elif isinstance(metric, Gauge):
+                values[name] = metric.value
+                values[f"{name}.peak"] = metric.peak
+            elif isinstance(metric, Histogram):
+                values[f"{name}.count"] = metric.count
+                values[f"{name}.sum"] = metric.total
+        if include_probes:
+            values.update(self.sample_probes())
+        return values
+
+    def snapshot(self, include_probes: bool = True) -> Snapshot:
+        return Snapshot(self._flat_values(include_probes))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full structured export: metrics by kind, probes sampled now."""
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, Dict[str, float]] = {}
+        histograms: Dict[str, Dict[str, Any]] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = {"value": metric.value, "peak": metric.peak}
+            elif isinstance(metric, Histogram):
+                histograms[name] = metric.to_dict()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "probes": dict(sorted(self.sample_probes().items())),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)

@@ -1,0 +1,95 @@
+"""Run one experiment under full telemetry and export its trace.
+
+This is the implementation behind ``python -m repro trace <experiment>``:
+it builds an enabled :class:`~repro.telemetry.sink.Telemetry`, hands it
+to the experiment (which passes it into its :class:`repro.sim.Simulator`),
+and writes the recorded span/instant events as Chrome-trace JSON that
+``chrome://tracing`` or https://ui.perfetto.dev load directly.
+
+Kept out of :mod:`repro.telemetry`'s ``__init__`` on purpose: importing
+the experiments pulls in the whole simulated datapath, while the rest of
+the telemetry package stays dependency-free so :mod:`repro.sim` can
+import it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from .sink import Telemetry
+
+
+def _run_fig7b(telemetry: Telemetry, count: int, size: int) -> Dict:
+    from ..experiments.echo import echo_throughput
+    return echo_throughput("flde-remote", size, count=count,
+                           telemetry=telemetry)
+
+
+def _run_table6(telemetry: Telemetry, count: int, size: int) -> Dict:
+    from ..experiments.echo import echo_latency
+    return echo_latency("flde", count=count, frame_size=size,
+                        telemetry=telemetry)
+
+
+def _run_forwarding(telemetry: Telemetry, count: int, size: int) -> Dict:
+    from ..experiments.echo import trace_forwarding
+    return trace_forwarding("flde", count=count, telemetry=telemetry)
+
+
+def _run_fldr(telemetry: Telemetry, count: int, size: int) -> Dict:
+    from ..experiments.echo import fldr_throughput
+    return fldr_throughput(size, count=count, telemetry=telemetry)
+
+
+# experiment name -> (runner, default count, default size)
+TRACEABLE: Dict[str, Tuple[Callable[[Telemetry, int, int], Dict], int, int]] = {
+    "fig7b": (_run_fig7b, 700, 256),
+    "table6": (_run_table6, 300, 64),
+    "forwarding": (_run_forwarding, 2000, 0),
+    "fldr": (_run_fldr, 200, 1024),
+}
+
+
+def traceable_experiments() -> Dict[str, str]:
+    """Name -> short description, for ``--list`` and error messages."""
+    return {
+        "fig7b": "FLD-E remote echo throughput (one Fig. 7b point)",
+        "table6": "FLD-E closed-loop echo latency (Table 6)",
+        "forwarding": "mixed-size trace forwarding (§8.1.1)",
+        "fldr": "FLD-R RDMA echo throughput (§8.1.2)",
+    }
+
+
+def run_traced(experiment: str, output: str,
+               count: Optional[int] = None, size: Optional[int] = None,
+               metrics_output: Optional[str] = None,
+               max_trace_events: int = 1_000_000) -> Dict:
+    """Run ``experiment`` with telemetry on; write the Chrome trace.
+
+    Returns a summary dict: the experiment's own result row plus event
+    and metric counts.  ``metrics_output``, when given, receives the
+    registry's JSON export alongside the trace.
+    """
+    try:
+        runner, default_count, default_size = TRACEABLE[experiment]
+    except KeyError:
+        known = ", ".join(sorted(TRACEABLE))
+        raise ValueError(
+            f"unknown traceable experiment {experiment!r}; "
+            f"choose from: {known}") from None
+    telemetry = Telemetry(trace=True, max_trace_events=max_trace_events)
+    result = runner(telemetry,
+                    count if count is not None else default_count,
+                    size if size is not None else default_size)
+    telemetry.tracer.write(output)
+    if metrics_output is not None:
+        with open(metrics_output, "w", encoding="utf-8") as handle:
+            handle.write(telemetry.metrics.to_json())
+    return {
+        "experiment": experiment,
+        "result": result,
+        "trace_events": len(telemetry.tracer),
+        "trace_dropped": telemetry.tracer.dropped,
+        "metrics": len(telemetry.metrics),
+        "output": output,
+    }

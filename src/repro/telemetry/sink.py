@@ -1,0 +1,181 @@
+"""The telemetry bundle and its null fast path.
+
+A :class:`Telemetry` couples one :class:`~repro.telemetry.metrics.MetricsRegistry`
+with one :class:`~repro.telemetry.trace.Tracer`; it is handed to
+:class:`repro.sim.Simulator` and reached by every component through
+``sim.telemetry``.
+
+The default is :data:`NULL_TELEMETRY`: counters/gauges/histograms are
+shared no-op singletons and the tracer's ``enabled`` flag is False, so a
+simulation that never asked for telemetry pays only an attribute load
+and a no-op call on its hot paths.  Components that need to avoid even
+that check ``telemetry.enabled`` once at construction time and skip
+creating their instruments altogether.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Snapshot
+from .trace import NULL_TRACER, NullTracer, Tracer
+
+
+class _NullCounter:
+    """Shared inert counter; ``value`` stays 0 forever."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = ""
+    value = 0
+    peak = 0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = ""
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    underflow = 0
+    buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def merge(self, other) -> "_NullHistogram":
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """A registry that forgets everything it is told."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return NULL_HISTOGRAM
+
+    def attach(self, name: str, metric) -> None:
+        pass
+
+    def register_probe(self, name: str, probe) -> None:
+        pass
+
+    def sample_probes(self) -> Dict[str, float]:
+        return {}
+
+    def snapshot(self, include_probes: bool = True) -> Snapshot:
+        return Snapshot({})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {}
+
+    def to_json(self, indent: int = 2) -> str:
+        return "{}"
+
+    def names(self):
+        return []
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+class Telemetry:
+    """An enabled metrics + tracing bundle for one simulation."""
+
+    enabled = True
+
+    def __init__(self, trace: bool = True, max_trace_events: int = 1_000_000):
+        self.metrics = MetricsRegistry()
+        self.tracer: Tracer = (Tracer(max_trace_events) if trace
+                               else NULL_TRACER)
+
+    # Registry passthroughs, so call sites read `telemetry.counter(...)`.
+
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self.metrics.histogram(name)
+
+    def attach(self, name: str, metric) -> None:
+        self.metrics.attach(name, metric)
+
+    def register_probe(self, name: str,
+                       probe: Callable[[], Dict[str, float]]) -> None:
+        self.metrics.register_probe(name, probe)
+
+    def snapshot(self, include_probes: bool = True) -> Snapshot:
+        return self.metrics.snapshot(include_probes)
+
+
+class NullTelemetry:
+    """The disabled bundle — the NullSink fast path.
+
+    Every instrument it hands out is a shared no-op singleton, so
+    components can be written unconditionally against the telemetry API
+    and cost (almost) nothing when nobody is watching.
+    """
+
+    enabled = False
+    metrics = NULL_REGISTRY
+    tracer: NullTracer = NULL_TRACER
+
+    def counter(self, name: str) -> _NullCounter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str) -> _NullHistogram:
+        return NULL_HISTOGRAM
+
+    def attach(self, name: str, metric) -> None:
+        pass
+
+    def register_probe(self, name: str, probe) -> None:
+        pass
+
+    def snapshot(self, include_probes: bool = True) -> Snapshot:
+        return Snapshot({})
+
+
+NULL_TELEMETRY = NullTelemetry()

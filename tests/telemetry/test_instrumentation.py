@@ -1,0 +1,250 @@
+"""Telemetry wired into the datapath: PCIe byte accounting that matches
+the analytic model, engine/queue instrumentation, and the trace CLI."""
+
+import json
+
+from repro.pcie import MemoryRegion, PcieFabric, PcieLinkConfig
+from repro.pcie.tlp import read_wire_bytes, write_wire_bytes
+from repro.reporting import main
+from repro.sim import Simulator, Store
+from repro.telemetry import Telemetry
+
+
+def build_fabric(telemetry):
+    sim = Simulator(telemetry=telemetry)
+    fabric = PcieFabric(sim)
+    config = PcieLinkConfig()
+    host = MemoryRegion("host", 1 << 20)
+    device = MemoryRegion("device", 1 << 16)
+    fabric.attach(host, config)
+    fabric.attach(device, config)
+    fabric.map_window(0x0000_0000, 1 << 20, host)
+    fabric.map_window(0x1000_0000, 1 << 16, device)
+    return sim, fabric, host, device, config
+
+
+class TestPcieAccounting:
+    def test_write_bytes_match_analytic_model(self):
+        telemetry = Telemetry(trace=False)
+        sim, fabric, host, device, config = build_fabric(telemetry)
+        length = 1000
+
+        def proc(sim):
+            yield fabric.post_write(host, 0x1000_0000, bytes(length))
+
+        sim.spawn(proc(sim))
+        sim.run()
+        metrics = telemetry.metrics
+        up_hdr = metrics.counter("pcie.host.up.header_bytes").value
+        up_pay = metrics.counter("pcie.host.up.payload_bytes").value
+        expected_total = write_wire_bytes(length, config.max_payload_size)
+        assert up_pay == length
+        assert up_hdr == expected_total - length
+        # The switch forwards the same TLPs down the target's lane.
+        assert metrics.counter("pcie.device.down.header_bytes").value == up_hdr
+        assert metrics.counter("pcie.device.down.payload_bytes").value == up_pay
+
+    def test_read_bytes_match_analytic_model(self):
+        telemetry = Telemetry(trace=False)
+        sim, fabric, host, device, config = build_fabric(telemetry)
+        length = 1024
+
+        def proc(sim):
+            yield fabric.read(device, 0x0, length)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        # The fabric issues a single request TLP, so align the model's
+        # max_read_request with the read size; completion bytes are
+        # RCB-split identically either way.
+        request_bytes, completion_bytes = read_wire_bytes(
+            length, config.read_completion_boundary,
+            max_read_request=length)
+        metrics = telemetry.metrics
+        requester_up = (
+            metrics.counter("pcie.device.up.header_bytes").value
+            + metrics.counter("pcie.device.up.payload_bytes").value)
+        completer_up = (
+            metrics.counter("pcie.host.up.header_bytes").value
+            + metrics.counter("pcie.host.up.payload_bytes").value)
+        assert requester_up == request_bytes
+        assert completer_up == completion_bytes
+        assert metrics.counter("pcie.device.up.payload_bytes").value == 0
+        assert (metrics.counter("pcie.host.up.payload_bytes").value
+                == length)
+
+    def test_tlp_counts_per_lane(self):
+        telemetry = Telemetry(trace=False)
+        sim, fabric, host, device, config = build_fabric(telemetry)
+
+        def proc(sim):
+            yield fabric.post_write(host, 0x1000_0000, bytes(600))
+
+        sim.spawn(proc(sim))
+        sim.run()
+        # 600 B at MPS 256 -> 3 write TLPs.
+        assert telemetry.metrics.counter("pcie.host.up.tlps").value == 3
+        assert telemetry.metrics.counter("pcie.device.down.tlps").value == 3
+
+    def test_link_utilization_probe(self):
+        telemetry = Telemetry(trace=False)
+        sim, fabric, host, device, config = build_fabric(telemetry)
+
+        def proc(sim):
+            yield fabric.post_write(host, 0x1000_0000, bytes(100))
+
+        sim.spawn(proc(sim))
+        sim.run()
+        sampled = telemetry.metrics.sample_probes()
+        assert sampled["pcie.host.up.bits"] > 0
+        assert sampled["pcie.device.down.bits"] > 0
+
+    def test_pcie_spans_traced(self):
+        telemetry = Telemetry(trace=True)
+        sim, fabric, host, device, config = build_fabric(telemetry)
+
+        def proc(sim):
+            yield fabric.post_write(host, 0x1000_0000, bytes(512))
+
+        sim.spawn(proc(sim))
+        sim.run()
+        trace = telemetry.tracer.chrome_trace()["traceEvents"]
+        processes = {e["args"]["name"] for e in trace
+                     if e.get("ph") == "M" and e["name"] == "process_name"}
+        assert "pcie" in processes
+        assert any(e.get("ph") == "X" and e.get("name") == "Tlp"
+                   for e in trace)
+
+
+class TestEngineInstrumentation:
+    def test_process_and_event_counters(self):
+        telemetry = Telemetry(trace=False)
+        sim = Simulator(telemetry=telemetry)
+
+        def proc(sim):
+            yield sim.timeout(1.0)
+
+        sim.spawn(proc(sim), name="worker")
+        sim.run()
+        metrics = telemetry.metrics
+        assert metrics.counter("sim.processes.spawned").value == 1
+        assert metrics.counter("sim.processes.finished").value == 1
+        assert metrics.counter("sim.events.processed").value >= 1
+
+    def test_store_depth_gauge(self):
+        telemetry = Telemetry(trace=False)
+        sim = Simulator(telemetry=telemetry)
+        store = Store(sim, name="inbox")
+        store.try_put("a")
+        store.try_put("b")
+        gauge = telemetry.metrics.gauge("store.inbox.depth")
+        assert gauge.peak == 2
+
+    def test_spawn_instants_traced(self):
+        telemetry = Telemetry(trace=True)
+        sim = Simulator(telemetry=telemetry)
+
+        def proc(sim):
+            yield sim.timeout(0)
+
+        sim.spawn(proc(sim), name="p0")
+        sim.run()
+        names = {e.get("name") for e in telemetry.tracer.events}
+        assert "spawn:p0" in names
+        assert "finish:p0" in names
+
+    def test_disabled_telemetry_registers_nothing(self):
+        sim = Simulator()  # NULL_TELEMETRY
+        store = Store(sim, name="inbox")
+        store.try_put("x")
+        assert sim.telemetry.snapshot().as_dict() == {}
+
+
+class TestEchoRunCounters:
+    def test_nic_and_fld_metrics_populated(self):
+        from repro.experiments.echo import echo_throughput
+        telemetry = Telemetry(trace=False)
+        result = echo_throughput("flde-remote", 256, count=20,
+                                 telemetry=telemetry)
+        assert result["received"] == 20
+        metrics = telemetry.metrics
+        assert metrics.counter("nic.client.nic.tx.wqes").value >= 20
+        assert metrics.counter("nic.server.nic.rx.packets").value >= 20
+        assert metrics.counter("nic.client.nic.cqes").value > 0
+        # FLD counted every echoed packet it transmitted.
+        snap = metrics.snapshot()
+        fld_tx = [name for name in snap.as_dict()
+                  if name.startswith("fld.") and name.endswith("tx.packets")]
+        assert fld_tx and all(snap[name] >= 20 for name in fld_tx)
+        # Per-lane PCIe byte split is visible (Fig. 7a accounting).
+        assert metrics.counter("pcie.server.nic.up.header_bytes").value > 0
+        # Translation-table probes come back through the registry.
+        sampled = metrics.sample_probes()
+        assert any(".xlt." in name and name.endswith(".lookups")
+                   for name in sampled)
+
+
+class TestTraceCli:
+    def test_trace_fig7b_emits_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main(["trace", "fig7b", "-o", str(out), "--count", "30"])
+        assert rc == 0
+        trace = json.loads(out.read_text())
+        events = trace["traceEvents"]
+        processes = {e["args"]["name"] for e in events
+                     if e.get("ph") == "M" and e["name"] == "process_name"}
+        assert "pcie" in processes
+        assert any(p.startswith("nic.") for p in processes)
+        # PCIe link spans and NIC queue events are both present.
+        assert any(e.get("ph") == "X" and e.get("name") == "Tlp"
+                   for e in events)
+        threads = {e["args"]["name"] for e in events
+                   if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert any(t.startswith("sq") or t.startswith("rq")
+                   for t in threads)
+        assert "traced fig7b" in capsys.readouterr().out
+
+    def test_trace_with_metrics_dump(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        metrics_out = tmp_path / "m.json"
+        rc = main(["trace", "fig7b", "-o", str(out), "--count", "10",
+                   "--metrics", str(metrics_out)])
+        assert rc == 0
+        exported = json.loads(metrics_out.read_text())
+        assert exported["counters"]
+        assert any(name.startswith("pcie.") for name in exported["counters"])
+
+    def test_trace_unknown_experiment(self, tmp_path, capsys):
+        rc = main(["trace", "nope", "-o", str(tmp_path / "x.json")])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+
+class TestCliCompat:
+    def test_legacy_section_invocation(self, capsys):
+        assert main(["table4"]) == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_legacy_unknown_section(self, capsys):
+        assert main(["bogus"]) == 2
+
+    def test_legacy_default_prints_analytical(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "--full" in out
+
+    def test_tables_subcommand(self, capsys):
+        assert main(["tables", "table4"]) == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_figures_subcommand(self, capsys):
+        assert main(["figures", "fig7a"]) == 0
+        assert "Fig. 7a" in capsys.readouterr().out
+
+    def test_subcommand_rejects_wrong_group(self, capsys):
+        assert main(["tables", "fig7a"]) == 2
+
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7b" in out and "traceable" in out

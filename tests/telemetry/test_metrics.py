@@ -1,0 +1,193 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms,
+snapshots and probes."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    NULL_TELEMETRY,
+    Snapshot,
+    Telemetry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+
+class TestGauge:
+    def test_tracks_peak(self):
+        gauge = Gauge("depth")
+        gauge.set(3)
+        gauge.set(10)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.peak == 10
+
+
+class TestHistogram:
+    def test_log2_bucketing(self):
+        histogram = Histogram("lat")
+        for v in (1.0, 1.5, 2.0, 3.0, 100.0):
+            histogram.observe(v)
+        assert histogram.count == 5
+        # 1.0 -> exponent 1 via frexp(0.5, 1); 1.5, 2.0 -> exponent 1;
+        # 3.0 -> exponent 2; 100.0 -> exponent 7.
+        assert sum(histogram.buckets.values()) == 5
+        assert histogram.min == 1.0
+        assert histogram.max == 100.0
+        assert histogram.mean == pytest.approx(107.5 / 5)
+
+    def test_underflow_bucket(self):
+        histogram = Histogram()
+        histogram.observe(0.0)
+        histogram.observe(-5.0)
+        histogram.observe(2.0)
+        assert histogram.underflow == 2
+        assert sum(histogram.buckets.values()) == 1
+
+    def test_percentile_within_factor_of_two(self):
+        histogram = Histogram()
+        for _ in range(100):
+            histogram.observe(10.0)
+        p50 = histogram.percentile(50)
+        assert 8.0 <= p50 <= 16.0  # the bucket holding 10.0
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(MetricsError):
+            Histogram().percentile(50)
+
+    def test_merge_adds_buckets_without_copying_samples(self):
+        a, b = Histogram("a"), Histogram("b")
+        for v in (1.0, 4.0, 9.0):
+            a.observe(v)
+        for v in (9.0, 70.0):
+            b.observe(v)
+        merged = a.merge(b)
+        assert merged is a
+        assert a.count == 5
+        assert a.total == pytest.approx(93.0)
+        assert a.min == 1.0
+        assert a.max == 70.0
+
+    def test_merge_rejects_non_histogram(self):
+        with pytest.raises(MetricsError):
+            Histogram().merge(Counter("nope"))
+
+    def test_dict_round_trip(self):
+        histogram = Histogram("rtt")
+        for v in (0.5, 3.0, 3.5, 200.0, -1.0):
+            histogram.observe(v)
+        data = json.loads(json.dumps(histogram.to_dict()))
+        back = Histogram.from_dict(data)
+        assert back.count == histogram.count
+        assert back.total == pytest.approx(histogram.total)
+        assert back.buckets == histogram.buckets
+        assert back.underflow == histogram.underflow
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b") is registry.counter("a.b")
+
+    def test_type_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricsError):
+            registry.gauge("x")
+
+    def test_attach_adopts_external_histogram(self):
+        registry = MetricsRegistry()
+        histogram = Histogram()
+        histogram.observe(5.0)
+        registry.attach("echo.latency", histogram)
+        assert registry.histogram("echo.latency") is histogram
+        assert "echo.latency" in registry
+
+    def test_attach_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("taken")
+        with pytest.raises(MetricsError):
+            registry.attach("taken", Histogram())
+
+    def test_probes_sampled_lazily(self):
+        registry = MetricsRegistry()
+        state = {"calls": 0}
+
+        def probe():
+            state["calls"] += 1
+            return {"depth": 7}
+
+        registry.register_probe("queue", probe)
+        assert state["calls"] == 0
+        assert registry.sample_probes() == {"queue.depth": 7}
+        assert state["calls"] == 1
+
+    def test_snapshot_diff_reports_only_deltas(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("tlps")
+        registry.counter("idle")
+        before = registry.snapshot()
+        counter.inc(5)
+        after = registry.snapshot()
+        assert after.diff(before) == {"tlps": 5}
+
+    def test_snapshot_without_probes(self):
+        registry = MetricsRegistry()
+        registry.register_probe("p", lambda: {"x": 1})
+        snap = registry.snapshot(include_probes=False)
+        assert "p.x" not in snap
+
+    def test_to_dict_groups_by_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(3)
+        registry.histogram("h").observe(1.0)
+        registry.register_probe("p", lambda: {"k": 9})
+        data = registry.to_dict()
+        assert data["counters"] == {"c": 2}
+        assert data["gauges"]["g"] == {"value": 3, "peak": 3}
+        assert data["histograms"]["h"]["count"] == 1
+        assert data["probes"] == {"p.k": 9}
+        json.loads(registry.to_json())  # serializable
+
+
+class TestNullSink:
+    def test_null_telemetry_hands_out_shared_noops(self):
+        assert NULL_TELEMETRY.enabled is False
+        assert NULL_TELEMETRY.counter("any") is NULL_COUNTER
+        assert NULL_TELEMETRY.gauge("any") is NULL_GAUGE
+        assert NULL_TELEMETRY.histogram("any") is NULL_HISTOGRAM
+        NULL_COUNTER.inc(5)
+        assert NULL_COUNTER.value == 0
+        NULL_GAUGE.set(3)
+        assert NULL_GAUGE.peak == 0
+        NULL_HISTOGRAM.observe(1.0)
+        assert len(NULL_HISTOGRAM) == 0
+
+    def test_null_snapshot_is_empty(self):
+        snap = NULL_TELEMETRY.snapshot()
+        assert isinstance(snap, Snapshot)
+        assert snap.as_dict() == {}
+
+    def test_enabled_telemetry_records(self):
+        telemetry = Telemetry(trace=False)
+        assert telemetry.enabled is True
+        telemetry.counter("c").inc()
+        assert telemetry.metrics.counter("c").value == 1
+        assert telemetry.tracer.enabled is False  # trace=False
