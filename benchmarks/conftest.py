@@ -5,35 +5,57 @@ prints the rows in the paper's format (so `pytest benchmarks/
 --benchmark-only -s` reads like the evaluation section), asserts the
 reproduction's *shape* claims, and reports wall time via
 pytest-benchmark.
+
+Benches hold **no state at module scope**: each test builds its own
+:class:`~repro.experiments.setups.Calibration` (via the ``calibration``
+fixture) and its own testbed, so pool workers / parallel pytest runs
+cannot cross-contaminate.  Sweep-shaped benches execute through
+:func:`repro.sweep.run_sweep` via :func:`run_points`:
+
+* ``REPRO_JOBS=N``      runs each sweep across N worker processes
+                        (bit-identical results — CI diffs them);
+* ``REPRO_CACHE_DIR=d`` memoizes sweep points in ``d`` across runs
+                        (off by default: a benchmark that reads cached
+                        results would time nothing).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import os
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.experiments.setups import Calibration
+from repro.reporting import format_table
+from repro.sweep import SweepCache, SweepPoint, default_cache, run_sweep
+
+
+def sweep_jobs() -> int:
+    """Worker count for sweep-shaped benches (REPRO_JOBS, default 1)."""
+    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+
+
+def sweep_cache() -> Optional[SweepCache]:
+    """A shared result cache, only when REPRO_CACHE_DIR is set."""
+    directory = os.environ.get("REPRO_CACHE_DIR")
+    return default_cache(directory) if directory else None
+
+
+def run_points(points: Sequence[SweepPoint]) -> List:
+    """Execute a benchmark's sweep under the environment's knobs."""
+    return run_sweep(points, jobs=sweep_jobs(), cache=sweep_cache()).rows
+
+
+@pytest.fixture
+def calibration() -> Calibration:
+    """A fresh calibration per test — never share one across benches."""
+    return Calibration()
 
 
 def print_table(title: str, rows: List[Dict], columns=None) -> None:
     """Render rows as an aligned text table under a banner."""
-    print(f"\n=== {title} ===")
-    if not rows:
-        print("(no rows)")
-        return
-    columns = columns or list(rows[0].keys())
-    widths = {
-        c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in rows))
-        for c in columns
-    }
-    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
-    print(header)
-    print("-" * len(header))
-    for row in rows:
-        print("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
-
-
-def _fmt(value) -> str:
-    if isinstance(value, float):
-        return f"{value:.2f}"
-    return str(value)
+    print(format_table(title, rows, columns))
 
 
 def run_once(benchmark, fn):

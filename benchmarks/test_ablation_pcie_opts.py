@@ -5,16 +5,14 @@ the NIC's descriptor-fetch traffic; plus selective completion
 signalling's effect on the CQE write volume (host driver side).
 """
 
-from repro.experiments.echo import echo_throughput
-from repro.experiments.setups import Calibration, flde_echo_remote
+from repro.experiments.setups import flde_echo_remote
 from repro.sim import Simulator
 
 from .conftest import print_table, run_once
 
 
-def _echo_with(use_mmio: bool, size: int = 256, count: int = 800):
+def _echo_with(cal, use_mmio: bool, size: int = 256, count: int = 800):
     sim = Simulator()
-    cal = Calibration()
     setup = flde_echo_remote(sim, cal)
     # Rebind the FLD tx queue in the requested doorbell mode.
     setup.runtime.fld.tx.queue(0).use_mmio = use_mmio
@@ -35,9 +33,10 @@ def _echo_with(use_mmio: bool, size: int = 256, count: int = 800):
     }
 
 
-def test_ablation_wqe_by_mmio(benchmark):
+def test_ablation_wqe_by_mmio(benchmark, calibration):
     def run():
-        return [_echo_with(True), _echo_with(False)]
+        return [_echo_with(calibration, True),
+                _echo_with(calibration, False)]
 
     rows = run_once(benchmark, run)
     print_table("Ablation: WQE-by-MMIO on the FLD-E echo", rows)

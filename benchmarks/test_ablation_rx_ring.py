@@ -9,17 +9,16 @@ Two effects to quantify on the live stack:
   per *buffer* (64 packets), not per packet.
 """
 
-from repro.experiments.echo import echo_throughput
-from repro.experiments.setups import Calibration, flde_echo_remote
+from repro.experiments.setups import flde_echo_remote
 from repro.sim import Simulator
 
 from .conftest import print_table, run_once
 
 
-def test_ablation_rx_ring_host_memory(benchmark):
+def test_ablation_rx_ring_host_memory(benchmark, calibration):
     def run():
         sim = Simulator()
-        setup = flde_echo_remote(sim, Calibration())
+        setup = flde_echo_remote(sim, calibration)
         memory = setup.server.memory
         loadgen = setup.loadgen
         writes_before = memory.stats_writes

@@ -8,21 +8,19 @@ headers, 16-op batches) at small request sizes where per-message
 overhead dominates.
 """
 
-from repro.experiments.setups import Calibration
 from repro.sim import Simulator
 from repro.sw import BatchingZucCryptodev, CryptoOp, FldRZucCryptodev
 
 from .conftest import print_table, run_once
 
 
-def _service(sim, batched: bool):
+def _service(sim, cal, batched: bool):
     from repro.accelerators.zuc import CachedKeyZucAccelerator
     from repro.experiments.setups import (
         CLIENT_IP, CLIENT_MAC, FLD_MAC, SERVER_IP)
     from repro.sw import FldRClient, FldRControlPlane, FldRuntime
     from repro.testbed import make_remote_pair
 
-    cal = Calibration()
     client, server = make_remote_pair(sim, nic_config=cal.nic_config(),
                                       client_core=cal.client_core(sim))
     client.add_vport_for_mac(1, CLIENT_MAC)
@@ -40,12 +38,12 @@ def _service(sim, batched: bool):
     return FldRZucCryptodev(sim, connection)
 
 
-def _measure(batched: bool, size: int, count: int = 900,
+def _measure(cal, batched: bool, size: int, count: int = 900,
              window: int = 256):
     # Batching trades latency for throughput, so the closed loop needs a
     # deeper window (Little's law) to expose the gain.
     sim = Simulator()
-    dev = _service(sim, batched)
+    dev = _service(sim, cal, batched)
     key = bytes(range(16))
     state = {"done": 0, "first": None, "last": None}
 
@@ -75,12 +73,12 @@ def _measure(batched: bool, size: int, count: int = 900,
     }
 
 
-def test_ablation_zuc_batching(benchmark):
+def test_ablation_zuc_batching(benchmark, calibration):
     def run():
         rows = []
         for size in (64, 128, 256, 512):
-            rows.append(_measure(False, size))
-            rows.append(_measure(True, size))
+            rows.append(_measure(calibration, False, size))
+            rows.append(_measure(calibration, True, size))
         return rows
 
     rows = run_once(benchmark, run)

@@ -8,16 +8,16 @@ defrag 3.2 (RSS broken, one core); fragmented + hardware defrag 22.4
 
 import pytest
 
-from repro.experiments.defrag import run as run_config
+from repro.experiments.defrag import CONFIGS, experiment_points
 
-from .conftest import print_table, run_once
+from .conftest import print_table, run_once, run_points
 
 
 def test_defrag_experiment(benchmark):
     def run():
-        return {c: run_config(c) for c in
-                ("nofrag", "sw-defrag", "hw-defrag", "vxlan-sw",
-                 "vxlan-hw")}
+        return {r["config"]: r
+                for r in run_points(experiment_points(rounds=40,
+                                                      configs=CONFIGS))}
 
     results = run_once(benchmark, run)
     rows = [

@@ -6,18 +6,16 @@ and compares the conventional driver against FLD against the XCKU15P's
 at 400 Gbps with 2048 queues; software blows past it everywhere.
 """
 
-from repro.models.memory import (
-    MIB,
-    XCKU15P_ON_CHIP_BYTES,
-    figure4_bandwidth_sweep,
-    figure4_queue_sweep,
-)
+from repro.models.memory import MIB, XCKU15P_ON_CHIP_BYTES
+from repro.sweep import SweepPoint
 
-from .conftest import print_table, run_once
+from .conftest import print_table, run_once, run_points
 
 
 def test_fig4_bandwidth_sweep(benchmark):
-    rows = run_once(benchmark, figure4_bandwidth_sweep)
+    point = SweepPoint("fig4",
+                       "repro.models.memory:figure4_bandwidth_sweep")
+    rows = run_once(benchmark, lambda: run_points([point])[0])
     display = [
         {"bandwidth_gbps": r["bandwidth_gbps"],
          "software_mib": r["software_bytes"] / MIB,
@@ -35,7 +33,8 @@ def test_fig4_bandwidth_sweep(benchmark):
 
 
 def test_fig4_queue_sweep(benchmark):
-    rows = run_once(benchmark, figure4_queue_sweep)
+    point = SweepPoint("fig4", "repro.models.memory:figure4_queue_sweep")
+    rows = run_once(benchmark, lambda: run_points([point])[0])
     display = [
         {"tx_queues": r["num_tx_queues"],
          "software_mib": r["software_bytes"] / MIB,

@@ -7,13 +7,15 @@ but the smallest packets; equal-rate configurations converge toward the
 Ethernet line as packets grow (the PCIe per-packet overhead amortizes).
 """
 
-from repro.models.perf import FldPerfModel, figure7a
+from repro.models.perf import FldPerfModel
+from repro.sweep import SweepPoint
 
-from .conftest import print_table, run_once
+from .conftest import print_table, run_once, run_points
 
 
 def test_fig7a(benchmark):
-    rows = run_once(benchmark, figure7a)
+    point = SweepPoint("fig7a", "repro.models.perf:figure7a")
+    rows = run_once(benchmark, lambda: run_points([point])[0])
     print_table("Fig. 7a: FLD-over-PCIe vs raw Ethernet (Gbps)", rows,
                 columns=["config", "size", "ethernet_gbps", "fld_gbps",
                          "fraction_of_ethernet"])

@@ -9,20 +9,18 @@ configuration exceeds the 25 GbE remote ceiling for large frames.
 
 import pytest
 
-from repro.experiments.echo import echo_throughput
+from repro.experiments.echo import fig7b_points
 
-from .conftest import print_table, run_once
+from .conftest import print_table, run_once, run_points
 
 SIZES = [64, 128, 256, 512, 1024, 1500]
 
 
 def test_fig7b(benchmark):
     def run():
-        rows = []
-        for mode in ("flde-remote", "cpu-remote", "flde-local"):
-            for size in SIZES:
-                rows.append(echo_throughput(mode, size, count=900))
-        return rows
+        return run_points(fig7b_points(
+            sizes=SIZES, count=900,
+            modes=["flde-remote", "cpu-remote", "flde-local"]))
 
     rows = run_once(benchmark, run)
     print_table("Fig. 7b: echo throughput (Gbps)", rows,
@@ -64,11 +62,11 @@ def test_fig7b_fldr_column(benchmark):
     for messages >= 512 B, and messages beyond the 1024 B RoCE MTU ride
     the NIC's hardware segmentation.
     """
-    from repro.experiments.echo import fldr_throughput
+    from repro.experiments.echo import fldr_points
 
     def run():
-        return [fldr_throughput(size, count=300)
-                for size in (64, 256, 512, 1024, 4096, 8192)]
+        return run_points(fldr_points(
+            sizes=[64, 256, 512, 1024, 4096, 8192], count=300))
 
     rows = run_once(benchmark, run)
     print_table("Fig. 7b (right): FLD-R echo throughput", rows,

@@ -6,14 +6,14 @@ up with offered load well past half of line rate (the paper reports a
 knee near 82% of the expected bandwidth).
 """
 
-from repro.experiments.echo import fldr_latency_vs_load
+from repro.experiments.echo import fig7c_points
 
-from .conftest import print_table, run_once
+from .conftest import print_table, run_once, run_points
 
 
 def test_fig7c(benchmark):
     rows = run_once(benchmark,
-                    lambda: fldr_latency_vs_load(per_point=500))
+                    lambda: run_points(fig7c_points(per_point=500)))
     display = [
         {"offered_kmps": r["offered_mps"] / 1e3,
          "achieved_gbps": r["achieved_gbps"],

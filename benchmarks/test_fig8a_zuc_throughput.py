@@ -8,21 +8,17 @@ Real ciphertext flows end to end: requests are encrypted by the real
 
 import pytest
 
-from repro.experiments.zuc import cpu_throughput, fld_throughput
+from repro.experiments.zuc import fig8a_points
 from repro.models.perf import zuc_model_gbps
 
-from .conftest import print_table, run_once
+from .conftest import print_table, run_once, run_points
 
 SIZES = [64, 256, 512, 1024, 2048]
 
 
 def test_fig8a(benchmark):
     def run():
-        rows = []
-        for size in SIZES:
-            rows.append(fld_throughput(size, count=250))
-            rows.append(cpu_throughput(size, count=250))
-        return rows
+        return run_points(fig8a_points(sizes=SIZES, count=250))
 
     rows = run_once(benchmark, run)
     print_table("Fig. 8a: ZUC encryption throughput (Gbps)", rows,

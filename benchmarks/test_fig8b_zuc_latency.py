@@ -6,14 +6,14 @@ it sustains far higher bandwidth; the CPU saturates early and its
 latency explodes with load while FLD's grows gently until its knee.
 """
 
-from repro.experiments.zuc import figure8b
+from repro.experiments.zuc import fig8b_points
 
-from .conftest import print_table, run_once
+from .conftest import print_table, run_once, run_points
 
 
 def test_fig8b(benchmark):
-    rows = run_once(benchmark, lambda: figure8b(loads=[1, 4, 16, 64],
-                                                count=250))
+    rows = run_once(benchmark, lambda: run_points(
+        fig8b_points(loads=[1, 4, 16, 64], count=250)))
     print_table("Fig. 8b: ZUC latency vs load (512 B requests)", rows,
                 columns=["mode", "window", "gbps", "median_latency_us",
                          "p99_latency_us"])

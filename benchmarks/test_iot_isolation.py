@@ -14,15 +14,16 @@ import pytest
 
 from repro.experiments.iot import (
     drop_invalid_tokens,
-    isolation,
-    line_rate_sweep,
+    isolation_points,
+    line_rate_points,
 )
 
-from .conftest import print_table, run_once
+from .conftest import print_table, run_once, run_points
 
 
 def test_iot_line_rate(benchmark):
-    rows = run_once(benchmark, lambda: line_rate_sweep([256, 512, 1024]))
+    rows = run_once(benchmark,
+                    lambda: run_points(line_rate_points([256, 512, 1024])))
     print_table("§8.2.3: IoT auth line-rate sweep", rows)
     for row in rows:
         assert row["validated_gbps"] >= 0.95 * row["offered_gbps"]
@@ -39,8 +40,8 @@ def test_iot_drops_forged_tokens(benchmark):
 
 def test_iot_isolation(benchmark):
     def run():
-        return {"unshaped": isolation(shaped=False),
-                "shaped": isolation(shaped=True)}
+        unshaped, shaped = run_points(isolation_points())
+        return {"unshaped": unshaped, "shaped": shaped}
 
     results = run_once(benchmark, run)
     rows = [dict(name=k, **v) for k, v in results.items()]

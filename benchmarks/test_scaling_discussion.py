@@ -11,14 +11,15 @@ behind one NIC RSS group.
 
 import pytest
 
-from repro.experiments.scaling import throughput
+from repro.experiments.scaling import core_sweep_points
 
-from .conftest import print_table, run_once
+from .conftest import print_table, run_once, run_points
 
 
 def test_fld_core_scaling(benchmark):
     def run():
-        return [throughput(cores, count=2000) for cores in (1, 2, 4)]
+        return run_points(core_sweep_points(core_counts=(1, 2, 4),
+                                            count=2000))
 
     rows = run_once(benchmark, run)
     display = [

@@ -7,14 +7,15 @@ them against the paper's printed values.
 
 import pytest
 
-from repro.models.memory import DriverParameters, KIB
+from repro.models.memory import KIB
+from repro.sweep import SweepPoint
 
-from .conftest import print_table, run_once
+from .conftest import print_table, run_once, run_points
 
 
 def test_table2a(benchmark):
-    p = DriverParameters()
-    derived = run_once(benchmark, p.table2a)
+    point = SweepPoint("table2", "repro.models.memory:table2a")
+    derived = run_once(benchmark, lambda: run_points([point])[0])
     rows = [
         {"parameter": "Max. packet rate R", "value": f"{derived['packet_rate_mpps']:.0f} Mpps", "paper": "45 Mpps"},
         {"parameter": "Min. TX descriptors", "value": derived["n_txdesc"], "paper": 1133},

@@ -9,18 +9,15 @@ instance's on-die accounting.
 
 import pytest
 
-from repro.models.memory import (
-    DriverParameters,
-    KIB,
-    MIB,
-    table3,
-)
+from repro.models.memory import KIB, MIB
+from repro.sweep import SweepPoint
 
-from .conftest import print_table, run_once
+from .conftest import print_table, run_once, run_points
 
 
 def test_table3(benchmark):
-    result = run_once(benchmark, lambda: table3(DriverParameters()))
+    point = SweepPoint("table3", "repro.models.memory:table3")
+    result = run_once(benchmark, lambda: run_points([point])[0])
     software, fld, ratios = (result["software"], result["fld"],
                              result["ratios"])
     rows = []

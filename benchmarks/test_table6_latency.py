@@ -10,15 +10,14 @@ because no OS ever interferes with the FLD data path.  Absolute values
 depend on the calibrated PCIe/wire latencies (EXPERIMENTS.md).
 """
 
-from repro.experiments.echo import echo_latency
+from repro.experiments.echo import table6_points
 
-from .conftest import print_table, run_once
+from .conftest import print_table, run_once, run_points
 
 
 def test_table6(benchmark):
     def run():
-        return [echo_latency("flde", count=2500),
-                echo_latency("cpu", count=2500)]
+        return run_points(table6_points(count=2500))
 
     rows = run_once(benchmark, run)
     display = [

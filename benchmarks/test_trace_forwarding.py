@@ -8,10 +8,10 @@ the CPU lands near its calibrated per-packet budget.
 
 import pytest
 
-from repro.experiments.echo import trace_forwarding
+from repro.experiments.echo import forwarding_points
 from repro.net import ImcDatacenterSizes
 
-from .conftest import print_table, run_once
+from .conftest import print_table, run_once, run_points
 
 
 def test_trace_distribution_shape(benchmark):
@@ -33,8 +33,7 @@ def test_trace_distribution_shape(benchmark):
 
 def test_trace_forwarding(benchmark):
     def run():
-        return [trace_forwarding("flde", count=6000),
-                trace_forwarding("cpu", count=6000)]
+        return run_points(forwarding_points(count=6000))
 
     rows = run_once(benchmark, run)
     print_table("§8.1.1: mixed-size trace forwarding", rows,

@@ -14,25 +14,28 @@ in anything a functional simulation can time — Table 1's published
 utilization covers them.)
 """
 
-from repro.experiments.cpu_mediated import echo_throughput as mediated
-from repro.experiments.echo import echo_throughput as fld_echo
+from repro.experiments.cpu_mediated import sweep_points as mediated_points
+from repro.experiments.echo import fig7b_points
 
-from .conftest import print_table, run_once
+from .conftest import print_table, run_once, run_points
 
 
 def test_tradeoff_cpu_mediated_vs_fld(benchmark):
+    sizes = (64, 256, 1024)
+
     def run():
+        mediated = run_points(mediated_points(sizes=sizes, count=700))
+        fld = run_points(fig7b_points(sizes=list(sizes), count=700,
+                                      modes=["flde-remote"]))
         rows = []
-        for size in (64, 256, 1024):
-            m = mediated(size, count=700)
-            f = fld_echo("flde-remote", size, count=700)
+        for m, f in zip(mediated, fld):
             rows.append({
-                "architecture": "cpu-mediated", "size": size,
+                "architecture": "cpu-mediated", "size": m["size"],
                 "gbps": m["gbps"], "mpps": m["mpps"],
                 "host_cpu": f"{m['host_cpu_utilization']:.0%}",
             })
             rows.append({
-                "architecture": "flexdriver", "size": size,
+                "architecture": "flexdriver", "size": f["size"],
                 "gbps": f["gbps"], "mpps": f["mpps"],
                 "host_cpu": "0% (control plane only)",
             })

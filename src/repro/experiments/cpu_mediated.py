@@ -15,12 +15,13 @@ ceiling and host-CPU consumption against FLD's.
 from __future__ import annotations
 
 from types import SimpleNamespace
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..host import CpuCore, LoadGenerator
 from ..net import Flow
 from ..pcie import MemoryRegion
 from ..sim import Simulator, Store
+from ..sweep import SweepCache, SweepPoint, run_sweep
 from ..testbed import make_remote_pair
 from .setups import CLIENT_MAC, CLIENT_IP, Calibration, SERVER_IP, SERVER_MAC
 
@@ -144,3 +145,20 @@ def echo_throughput(size: int, count: int = 1200,
         # rx path, which FLD also avoids).
         "host_cpu_utilization": setup.echo.stats_cpu_seconds / duration,
     }
+
+
+def sweep_points(sizes=(64, 256, 1024, 1500),
+                 count: int = 1200) -> List[SweepPoint]:
+    """The mediated architecture's throughput curve, one point/size."""
+    return [
+        SweepPoint("cpu-mediated",
+                   "repro.experiments.cpu_mediated:echo_throughput",
+                   {"size": size, "count": count})
+        for size in sizes
+    ]
+
+
+def sweep(sizes=(64, 256, 1024, 1500), count: int = 1200, jobs: int = 1,
+          cache: Optional[SweepCache] = None) -> List[Dict]:
+    return run_sweep(sweep_points(sizes, count),
+                     jobs=jobs, cache=cache).rows

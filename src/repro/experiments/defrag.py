@@ -48,6 +48,7 @@ from ..nic import (
 )
 from ..sim import Simulator, ThroughputMeter
 from ..sw import FldRuntime
+from ..sweep import SweepCache, SweepPoint, run_sweep
 from ..testbed import make_remote_pair
 from .setups import CLIENT_MAC, CLIENT_IP, Calibration, SERVER_IP, SERVER_MAC
 
@@ -234,7 +235,21 @@ def run(config: str, rounds: int = 40,
     }
 
 
-def experiment(rounds: int = 30) -> List[Dict]:
+CONFIGS = ("nofrag", "sw-defrag", "hw-defrag", "vxlan-sw", "vxlan-hw")
+
+
+def experiment_points(rounds: int = 30,
+                      configs=CONFIGS) -> List[SweepPoint]:
+    """The §8.2.2 comparison as one sweep point per configuration."""
+    return [
+        SweepPoint("defrag", "repro.experiments.defrag:run",
+                   {"config": config, "rounds": rounds})
+        for config in configs
+    ]
+
+
+def experiment(rounds: int = 30, jobs: int = 1,
+               cache: Optional[SweepCache] = None) -> List[Dict]:
     """The full §8.2.2 comparison."""
-    return [run(c, rounds) for c in
-            ("nofrag", "sw-defrag", "hw-defrag", "vxlan-sw", "vxlan-hw")]
+    return run_sweep(experiment_points(rounds),
+                     jobs=jobs, cache=cache).rows

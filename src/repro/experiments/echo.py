@@ -8,6 +8,7 @@ from typing import Dict, List, Optional
 from ..models.perf import expected_echo_gbps
 from ..net import ImcDatacenterSizes
 from ..sim import LatencyCollector, Simulator
+from ..sweep import SweepCache, SweepPoint, run_sweep
 from .setups import Calibration, cpu_echo_remote, flde_echo_local, \
     flde_echo_remote, fldr_echo
 
@@ -61,16 +62,26 @@ def echo_throughput(mode: str, size: int, count: int = 2000,
     return result
 
 
-def figure7b(sizes: Optional[List[int]] = None, count: int = 1500,
-             modes: Optional[List[str]] = None) -> List[Dict]:
-    """The Fig. 7b sweep: bandwidth vs packet size per mode."""
+def fig7b_points(sizes: Optional[List[int]] = None, count: int = 1500,
+                 modes: Optional[List[str]] = None,
+                 telemetry: bool = False) -> List[SweepPoint]:
+    """The Fig. 7b sweep as independent points: one per (mode, size)."""
     sizes = sizes or [64, 128, 256, 512, 1024, 1500]
     modes = modes or ["flde-remote", "flde-local", "cpu-remote"]
-    rows = []
-    for mode in modes:
-        for size in sizes:
-            rows.append(echo_throughput(mode, size, count))
-    return rows
+    return [
+        SweepPoint("fig7b", "repro.experiments.echo:echo_throughput",
+                   {"mode": mode, "size": size, "count": count},
+                   telemetry=telemetry)
+        for mode in modes for size in sizes
+    ]
+
+
+def figure7b(sizes: Optional[List[int]] = None, count: int = 1500,
+             modes: Optional[List[str]] = None, jobs: int = 1,
+             cache: Optional[SweepCache] = None) -> List[Dict]:
+    """The Fig. 7b sweep: bandwidth vs packet size per mode."""
+    return run_sweep(fig7b_points(sizes, count, modes),
+                     jobs=jobs, cache=cache).rows
 
 
 def echo_latency(mode: str, count: int = 3000, frame_size: int = 64,
@@ -104,8 +115,32 @@ def echo_latency(mode: str, count: int = 3000, frame_size: int = 64,
     }
 
 
-def table6() -> List[Dict]:
-    return [echo_latency("flde"), echo_latency("cpu")]
+def table6_points(count: int = 3000, frame_size: int = 64,
+                  telemetry: bool = False) -> List[SweepPoint]:
+    return [
+        SweepPoint("table6", "repro.experiments.echo:echo_latency",
+                   {"mode": mode, "count": count,
+                    "frame_size": frame_size},
+                   telemetry=telemetry)
+        for mode in ("flde", "cpu")
+    ]
+
+
+def table6(count: int = 3000, jobs: int = 1,
+           cache: Optional[SweepCache] = None) -> List[Dict]:
+    return run_sweep(table6_points(count), jobs=jobs, cache=cache).rows
+
+
+def forwarding_points(count: int = 6000, seed: int = 7,
+                      telemetry: bool = False) -> List[SweepPoint]:
+    """§8.1.1 mixed-size trace forwarding, FLD-E vs one CPU core."""
+    return [
+        SweepPoint("forwarding",
+                   "repro.experiments.echo:trace_forwarding",
+                   {"mode": mode, "count": count, "seed": seed},
+                   telemetry=telemetry)
+        for mode in ("flde", "cpu")
+    ]
 
 
 def trace_forwarding(mode: str, count: int = 6000, seed: int = 7,
@@ -141,65 +176,87 @@ def trace_forwarding(mode: str, count: int = 6000, seed: int = 7,
     }
 
 
-def fldr_latency_vs_load(loads: Optional[List[float]] = None,
-                         message_size: int = 1024, local: bool = False,
-                         per_point: int = 800,
-                         cal: Optional[Calibration] = None) -> List[Dict]:
-    """Fig. 7c: FLD-R 1 KiB message latency as load increases.
+def fldr_load_point(rate: float, message_size: int = 1024,
+                    local: bool = False, per_point: int = 800,
+                    cal: Optional[Calibration] = None) -> Dict:
+    """One Fig. 7c point: FLD-R latency at one offered request rate.
 
-    ``loads`` are request rates in messages/second; each point runs an
-    open-loop Poisson-ish arrival (fixed gap) and reports median latency
-    and achieved throughput.
+    Runs an open-loop Poisson-ish arrival (fixed gap) and reports
+    median latency and achieved throughput.
     """
+    sim = Simulator()
+    setup = fldr_echo(sim, cal, local=local)
+    connection = setup.connection
+    latency = LatencyCollector()
+    sent_times: List[float] = []
+    state = {"received": 0, "first_rx": None, "last_rx": None}
+
+    def receiver(sim):
+        # RC QPs are FIFO: response i answers request i.
+        while True:
+            _message, _cqe = yield connection.responses.get()
+            index = state["received"]
+            state["received"] += 1
+            if index < len(sent_times):
+                latency.add(sim.now - sent_times[index])
+            if state["first_rx"] is None:
+                state["first_rx"] = sim.now
+            state["last_rx"] = sim.now
+
+    def sender(sim):
+        gap = 1.0 / rate
+        for _ in range(per_point):
+            sent_times.append(sim.now)
+            connection.post(bytes(message_size))
+            yield sim.timeout(gap)
+
+    sim.spawn(receiver(sim))
+    sim.spawn(sender(sim))
+    sim.run(until=per_point / rate + 0.05)
+    duration = ((state["last_rx"] or 0.0) - (state["first_rx"] or 0.0))
+    achieved = state["received"] / duration if duration > 0 else 0.0
+    return {
+        "offered_mps": rate,
+        "received": state["received"],
+        "achieved_mps": achieved,
+        "achieved_gbps": achieved * message_size * 8 / 1e9,
+        "median_latency_us": (latency.median * 1e6
+                              if len(latency) else None),
+        "p99_latency_us": (latency.pct(99) * 1e6
+                           if len(latency) else None),
+    }
+
+
+def fig7c_points(loads: Optional[List[float]] = None,
+                 message_size: int = 1024, local: bool = False,
+                 per_point: int = 800) -> List[SweepPoint]:
     if loads is None:
         peak = 25e9 / ((message_size + 150) * 8)  # rough saturation rate
         loads = [peak * f for f in (0.1, 0.3, 0.5, 0.7, 0.8, 0.9)]
-    rows = []
-    for rate in loads:
-        sim = Simulator()
-        setup = fldr_echo(sim, cal, local=local)
-        connection = setup.connection
-        latency = LatencyCollector()
-        sent_times: List[float] = []
-        state = {"received": 0, "first_rx": None, "last_rx": None}
+    return [
+        SweepPoint("fig7c", "repro.experiments.echo:fldr_load_point",
+                   {"rate": rate, "message_size": message_size,
+                    "local": local, "per_point": per_point})
+        for rate in loads
+    ]
 
-        def receiver(sim, connection=connection, latency=latency,
-                     sent_times=sent_times, state=state):
-            # RC QPs are FIFO: response i answers request i.
-            while True:
-                _message, _cqe = yield connection.responses.get()
-                index = state["received"]
-                state["received"] += 1
-                if index < len(sent_times):
-                    latency.add(sim.now - sent_times[index])
-                if state["first_rx"] is None:
-                    state["first_rx"] = sim.now
-                state["last_rx"] = sim.now
 
-        def sender(sim, connection=connection, sent_times=sent_times,
-                   rate=rate):
-            gap = 1.0 / rate
-            for _ in range(per_point):
-                sent_times.append(sim.now)
-                connection.post(bytes(message_size))
-                yield sim.timeout(gap)
-
-        sim.spawn(receiver(sim))
-        sim.spawn(sender(sim))
-        sim.run(until=per_point / rate + 0.05)
-        duration = ((state["last_rx"] or 0.0) - (state["first_rx"] or 0.0))
-        achieved = state["received"] / duration if duration > 0 else 0.0
-        rows.append({
-            "offered_mps": rate,
-            "received": state["received"],
-            "achieved_mps": achieved,
-            "achieved_gbps": achieved * message_size * 8 / 1e9,
-            "median_latency_us": (latency.median * 1e6
-                                  if len(latency) else None),
-            "p99_latency_us": (latency.pct(99) * 1e6
-                               if len(latency) else None),
-        })
-    return rows
+def fldr_latency_vs_load(loads: Optional[List[float]] = None,
+                         message_size: int = 1024, local: bool = False,
+                         per_point: int = 800,
+                         cal: Optional[Calibration] = None,
+                         jobs: int = 1,
+                         cache: Optional[SweepCache] = None) -> List[Dict]:
+    """Fig. 7c: FLD-R 1 KiB message latency as load increases."""
+    if cal is not None:
+        # A custom calibration is not JSON-addressable; run directly.
+        if loads is None:
+            peak = 25e9 / ((message_size + 150) * 8)
+            loads = [peak * f for f in (0.1, 0.3, 0.5, 0.7, 0.8, 0.9)]
+        return [fldr_load_point(rate, message_size, local, per_point, cal)
+                for rate in loads]
+    return run_sweep(fig7c_points(loads, message_size, local, per_point),
+                     jobs=jobs, cache=cache).rows
 
 
 def fldr_throughput(size: int, count: int = 400, window: int = 64,
@@ -247,3 +304,18 @@ def fldr_throughput(size: int, count: int = 400, window: int = 64,
         "gbps": gbps,
         "segments_per_message": segments,
     }
+
+
+def fldr_points(sizes: Optional[List[int]] = None, count: int = 400,
+                window: int = 64, local: bool = False,
+                telemetry: bool = False) -> List[SweepPoint]:
+    """Fig. 7b's FLD-R column: RDMA echo goodput per message size."""
+    sizes = sizes or [64, 256, 512, 1024, 4096, 8192]
+    return [
+        SweepPoint("fig7b-fldr",
+                   "repro.experiments.echo:fldr_throughput",
+                   {"size": size, "count": count, "window": window,
+                    "local": local},
+                   telemetry=telemetry)
+        for size in sizes
+    ]

@@ -22,6 +22,7 @@ from ..net import Flow, MacAddress
 from ..nic import ForwardToQueue, MatchSpec
 from ..sim import Simulator
 from ..sw import FldEControlPlane, FldRuntime
+from ..sweep import SweepCache, SweepPoint, run_sweep
 from ..testbed import make_remote_pair
 from .setups import CLIENT_MAC, CLIENT_IP, Calibration, SERVER_IP, SERVER_MAC
 
@@ -102,26 +103,40 @@ def _paced_sender(sim, qp, frame: bytes, rate_bps: float, duration: float):
         yield sim.timeout(gap)
 
 
-def line_rate_sweep(sizes: Optional[List[int]] = None,
-                    duration: float = 0.4e-3) -> List[Dict]:
-    """§8.2.3: the offload meets line rate for packets >= 256 B."""
+def line_rate_point(size: int, duration: float = 0.4e-3) -> Dict:
+    """One §8.2.3 line-rate point: valid-token traffic at one size."""
+    setup = build()
+    sim = setup.sim
+    frame = make_iot_frame(setup.flow_a, KEY_A, size)
+    sim.spawn(_paced_sender(sim, setup.client_qp, frame, 25e9,
+                            duration))
+    sim.run(until=duration + 0.2e-3)
+    valid_bytes = setup.accel.stats_tenant_valid_bytes.get(TENANT_A, 0)
+    return {
+        "size": len(frame),
+        "validated_gbps": valid_bytes * 8 / duration / 1e9,
+        "offered_gbps": 25.0,
+        "invalid": setup.accel.stats_invalid,
+    }
+
+
+def line_rate_points(sizes: Optional[List[int]] = None,
+                     duration: float = 0.4e-3) -> List[SweepPoint]:
     sizes = sizes or [256, 512, 1024, 1500]
-    rows = []
-    for size in sizes:
-        setup = build()
-        sim = setup.sim
-        frame = make_iot_frame(setup.flow_a, KEY_A, size)
-        sim.spawn(_paced_sender(sim, setup.client_qp, frame, 25e9,
-                                duration))
-        sim.run(until=duration + 0.2e-3)
-        valid_bytes = setup.accel.stats_tenant_valid_bytes.get(TENANT_A, 0)
-        rows.append({
-            "size": len(frame),
-            "validated_gbps": valid_bytes * 8 / duration / 1e9,
-            "offered_gbps": 25.0,
-            "invalid": setup.accel.stats_invalid,
-        })
-    return rows
+    return [
+        SweepPoint("iot-line-rate",
+                   "repro.experiments.iot:line_rate_point",
+                   {"size": size, "duration": duration})
+        for size in sizes
+    ]
+
+
+def line_rate_sweep(sizes: Optional[List[int]] = None,
+                    duration: float = 0.4e-3, jobs: int = 1,
+                    cache: Optional[SweepCache] = None) -> List[Dict]:
+    """§8.2.3: the offload meets line rate for packets >= 256 B."""
+    return run_sweep(line_rate_points(sizes, duration),
+                     jobs=jobs, cache=cache).rows
 
 
 def isolation(shaped: bool, duration: float = 4e-3,
@@ -144,6 +159,17 @@ def isolation(shaped: bool, duration: float = 4e-3,
         "dropped": setup.accel.stats_dropped,
         "meter_drops": setup.server.nic.stats_meter_drops,
     }
+
+
+def isolation_points(duration: float = 4e-3,
+                     frame_size: int = 1024) -> List[SweepPoint]:
+    """§8.2.3 isolation, unshaped vs shaped, as two sweep points."""
+    return [
+        SweepPoint("iot", "repro.experiments.iot:isolation",
+                   {"shaped": shaped, "duration": duration,
+                    "frame_size": frame_size})
+        for shaped in (False, True)
+    ]
 
 
 def drop_invalid_tokens(count: int = 200, frame_size: int = 512) -> Dict:

@@ -20,6 +20,7 @@ from ..net import Flow, RssEngine
 from ..nic import ForwardToRss, NicConfig, RssGroup
 from ..sim import Simulator
 from ..sw import FldRuntime
+from ..sweep import SweepCache, SweepPoint, run_sweep
 from ..testbed import FLD_BAR_BASE, make_remote_pair
 from .setups import CLIENT_MAC, CLIENT_IP, Calibration, FLD_MAC, SERVER_IP
 
@@ -115,6 +116,19 @@ def throughput(cores: int, frame_size: int = 1500, count: int = 2000,
     }
 
 
+def core_sweep_points(core_counts=(1, 2, 4), frame_size: int = 1500,
+                      count: int = 1500) -> List[SweepPoint]:
+    """§9 scaling: one point per FLD-core count."""
+    return [
+        SweepPoint("scaling", "repro.experiments.scaling:throughput",
+                   {"cores": cores, "frame_size": frame_size,
+                    "count": count})
+        for cores in core_counts
+    ]
+
+
 def core_sweep(core_counts=(1, 2, 4), frame_size: int = 1500,
-               count: int = 1500) -> List[Dict]:
-    return [throughput(c, frame_size, count) for c in core_counts]
+               count: int = 1500, jobs: int = 1,
+               cache: Optional[SweepCache] = None) -> List[Dict]:
+    return run_sweep(core_sweep_points(core_counts, frame_size, count),
+                     jobs=jobs, cache=cache).rows

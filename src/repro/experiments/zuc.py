@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 from ..host import CpuComputeCost, CpuCore
 from ..models.perf import zuc_model_gbps
 from ..sim import LatencyCollector, Simulator
+from ..sweep import SweepCache, SweepPoint, run_sweep
 from ..sw import CryptoOp, FldRZucCryptodev, SwZucCryptodev
 from .setups import Calibration, zuc_service
 
@@ -70,11 +71,12 @@ def fld_throughput(size: int, count: int = 400, window: int = 64,
     result = _measure_throughput(sim, dev, bytes(range(16)), size, count,
                                  window, deadline=5.0)
     result["mode"] = "fld"
+    result["window"] = window
     result["model_gbps"] = zuc_model_gbps(size)
     return result
 
 
-def cpu_throughput(size: int, count: int = 400,
+def cpu_throughput(size: int, count: int = 400, window: int = 16,
                    cal: Optional[Calibration] = None) -> Dict:
     """One Fig. 8a point for the single-core software baseline."""
     sim = Simulator()
@@ -83,52 +85,58 @@ def cpu_throughput(size: int, count: int = 400,
     compute = CpuComputeCost(core, SW_CYCLES_PER_BYTE, SW_CYCLES_PER_OP)
     dev = SwZucCryptodev(sim, compute)
     result = _measure_throughput(sim, dev, bytes(range(16)), size, count,
-                                 window=16, deadline=5.0)
+                                 window=window, deadline=5.0)
     result["mode"] = "cpu"
+    result["window"] = window
     result["model_gbps"] = zuc_model_gbps(size)
     return result
 
 
-def figure8a(sizes: Optional[List[int]] = None,
-             count: int = 300) -> List[Dict]:
-    """Fig. 8a: encryption throughput vs request size, FLD vs CPU."""
+def fig8a_points(sizes: Optional[List[int]] = None,
+                 count: int = 300) -> List[SweepPoint]:
+    """Fig. 8a as independent points: (implementation, request size)."""
     sizes = sizes or [64, 128, 256, 512, 1024, 2048, 4096]
-    rows = []
+    points = []
     for size in sizes:
-        rows.append(fld_throughput(size, count))
-        rows.append(cpu_throughput(size, count))
-    return rows
+        points.append(SweepPoint(
+            "fig8a", "repro.experiments.zuc:fld_throughput",
+            {"size": size, "count": count}))
+        points.append(SweepPoint(
+            "fig8a", "repro.experiments.zuc:cpu_throughput",
+            {"size": size, "count": count}))
+    return points
 
 
-def figure8b(loads: Optional[List[int]] = None, size: int = 512,
-             count: int = 300,
-             cal: Optional[Calibration] = None) -> List[Dict]:
-    """Fig. 8b: latency vs offered load for both implementations.
+def figure8a(sizes: Optional[List[int]] = None, count: int = 300,
+             jobs: int = 1,
+             cache: Optional[SweepCache] = None) -> List[Dict]:
+    """Fig. 8a: encryption throughput vs request size, FLD vs CPU."""
+    return run_sweep(fig8a_points(sizes, count),
+                     jobs=jobs, cache=cache).rows
+
+
+def fig8b_points(loads: Optional[List[int]] = None, size: int = 512,
+                 count: int = 300) -> List[SweepPoint]:
+    """Fig. 8b as independent points: one per (implementation, window).
 
     ``loads`` are window sizes (outstanding requests) — the knob
     test-crypto-perf uses to raise utilization.
     """
     loads = loads or [1, 2, 4, 8, 16, 32, 64]
-    rows = []
+    points = []
     for window in loads:
-        sim = Simulator()
-        setup = zuc_service(sim, cal)
-        dev = FldRZucCryptodev(sim, setup.connection)
-        result = _measure_throughput(sim, dev, bytes(range(16)), size,
-                                     count, window, deadline=5.0)
-        result["mode"] = "fld"
-        result["window"] = window
-        rows.append(result)
+        points.append(SweepPoint(
+            "fig8b", "repro.experiments.zuc:fld_throughput",
+            {"size": size, "count": count, "window": window}))
+        points.append(SweepPoint(
+            "fig8b", "repro.experiments.zuc:cpu_throughput",
+            {"size": size, "count": count, "window": window}))
+    return points
 
-        sim = Simulator()
-        cal2 = cal or Calibration()
-        core = CpuCore(sim, cal2.cpu_frequency_hz,
-                       os_jitter_probability=0.0)
-        compute = CpuComputeCost(core, SW_CYCLES_PER_BYTE, SW_CYCLES_PER_OP)
-        cpu_dev = SwZucCryptodev(sim, compute)
-        cpu_result = _measure_throughput(sim, cpu_dev, bytes(range(16)),
-                                         size, count, window, deadline=5.0)
-        cpu_result["mode"] = "cpu"
-        cpu_result["window"] = window
-        rows.append(cpu_result)
-    return rows
+
+def figure8b(loads: Optional[List[int]] = None, size: int = 512,
+             count: int = 300, jobs: int = 1,
+             cache: Optional[SweepCache] = None) -> List[Dict]:
+    """Fig. 8b: latency vs offered load for both implementations."""
+    return run_sweep(fig8b_points(loads, size, count),
+                     jobs=jobs, cache=cache).rows

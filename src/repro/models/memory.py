@@ -90,6 +90,11 @@ class DriverParameters:
         }
 
 
+def table2a(**overrides) -> Dict[str, float]:
+    """Module-level Table 2a entry point (sweep-addressable)."""
+    return DriverParameters(**overrides).table2a()
+
+
 def software_memory(p: DriverParameters) -> Dict[str, int]:
     """Table 3, 'Software' column: a conventional driver's footprint."""
     txq = p.num_tx_queues * round_pow2(p.n_txdesc) * S_TXDESC_SW

@@ -3,12 +3,18 @@
 ``python -m repro`` prints the analytical tables (instant) and, with
 ``--full``, re-runs the simulated experiments too.  The same renderers
 back the benchmark suite's output.
+
+Simulated sections execute through :mod:`repro.sweep`: ``--jobs N``
+fans their sweep points across a process pool (bit-identical output to
+``--jobs 1``), and results are memoized under ``.repro-cache/`` unless
+``--no-cache`` is given, so a re-run re-simulates nothing.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from .models import area, loc
@@ -21,6 +27,40 @@ from .models.memory import (
     table3,
 )
 from .models.perf import figure7a
+from .sweep import SweepCache, SweepPoint, default_cache, run_sweep
+
+
+@dataclass
+class RenderContext:
+    """How simulated renderers execute their sweeps.
+
+    Carries the parallelism/caching knobs from the CLI into each
+    renderer and accumulates where the work actually happened, for the
+    end-of-run summary (printed to stderr — stdout stays byte-identical
+    across ``--jobs`` values and cache states).
+    """
+
+    jobs: int = 1
+    cache: Optional[SweepCache] = None
+    points: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+
+    def sweep(self, points: Sequence[SweepPoint]) -> List:
+        outcome = run_sweep(points, jobs=self.jobs, cache=self.cache)
+        self.points += outcome.points
+        self.computed += outcome.computed
+        self.cache_hits += outcome.cache_hits
+        return outcome.rows
+
+    def summary(self) -> Optional[str]:
+        if not self.points:
+            return None
+        where = (self.cache.directory if self.cache is not None
+                 else "disabled")
+        return (f"sweep: {self.points} points, {self.computed} simulated, "
+                f"{self.cache_hits} cached (jobs={self.jobs}, "
+                f"cache={where})")
 
 
 def format_table(title: str, rows: List[Dict], columns=None) -> str:
@@ -61,7 +101,7 @@ def _human(nbytes: float) -> str:
 # Section renderers
 # ---------------------------------------------------------------------------
 
-def render_table1() -> str:
+def render_table1(ctx: Optional[RenderContext] = None) -> str:
     rows = [
         {"category": a.category, "solution": a.solution,
          "LUT": a.utilization.lut, "FF": a.utilization.ff,
@@ -73,14 +113,14 @@ def render_table1() -> str:
                         rows)
 
 
-def render_table2() -> str:
+def render_table2(ctx: Optional[RenderContext] = None) -> str:
     derived = DriverParameters().table2a()
     rows = [{"parameter": k, "value": round(v, 2)}
             for k, v in derived.items()]
     return format_table("Table 2a: driver memory parameters", rows)
 
 
-def render_table3() -> str:
+def render_table3(ctx: Optional[RenderContext] = None) -> str:
     result = table3()
     rows = []
     for key in ("tx_rings", "tx_buffers", "rx_buffers",
@@ -96,13 +136,13 @@ def render_table3() -> str:
     return format_table("Table 3: memory, software vs FLD", rows)
 
 
-def render_table4() -> str:
+def render_table4(ctx: Optional[RenderContext] = None) -> str:
     rows = [{"component": k, "python loc": v}
             for k, v in loc.table4().items()]
     return format_table("Table 4: software LOC (this reproduction)", rows)
 
 
-def render_table5() -> str:
+def render_table5(ctx: Optional[RenderContext] = None) -> str:
     rows = [
         {"module": m.name, "clk MHz": m.clock_mhz,
          "LUT": m.utilization.lut, "FF": m.utilization.ff,
@@ -112,7 +152,7 @@ def render_table5() -> str:
     return format_table("Table 5: prototype resource utilization", rows)
 
 
-def render_fig4() -> str:
+def render_fig4(ctx: Optional[RenderContext] = None) -> str:
     bandwidth = [
         {"line_rate_gbps": r["bandwidth_gbps"],
          "software": _human(r["software_bytes"]),
@@ -130,53 +170,53 @@ def render_fig4() -> str:
                                   queues))
 
 
-def render_fig7a() -> str:
+def render_fig7a(ctx: Optional[RenderContext] = None) -> str:
     rows = figure7a(sizes=[64, 128, 256, 512, 1024, 1500])
     return format_table("Fig. 7a: PCIe model vs raw Ethernet (Gbps)", rows)
 
 
-def render_table6() -> str:
-    from .experiments.echo import echo_latency
-    rows = [echo_latency("flde", count=1500),
-            echo_latency("cpu", count=1500)]
+def render_table6(ctx: Optional[RenderContext] = None) -> str:
+    from .experiments.echo import table6_points
+    ctx = ctx or RenderContext()
+    rows = ctx.sweep(table6_points(count=1500))
     return format_table("Table 6: 64 B echo RTT (simulated)", rows)
 
 
-def render_fig7b() -> str:
-    from .experiments.echo import echo_throughput
-    rows = []
-    for mode in ("flde-remote", "cpu-remote", "flde-local"):
-        for size in (64, 256, 1024, 1500):
-            rows.append(echo_throughput(mode, size, count=700))
+def render_fig7b(ctx: Optional[RenderContext] = None) -> str:
+    from .experiments.echo import fig7b_points
+    ctx = ctx or RenderContext()
+    rows = ctx.sweep(fig7b_points(
+        sizes=[64, 256, 1024, 1500], count=700,
+        modes=["flde-remote", "cpu-remote", "flde-local"]))
     return format_table(
         "Fig. 7b: echo throughput (simulated, Gbps)", rows,
         columns=["mode", "size", "gbps", "model_gbps", "mpps"])
 
 
-def render_fig8a() -> str:
-    from .experiments.zuc import cpu_throughput, fld_throughput
-    rows = []
-    for size in (64, 256, 512, 1024):
-        rows.append(fld_throughput(size, count=200))
-        rows.append(cpu_throughput(size, count=200))
+def render_fig8a(ctx: Optional[RenderContext] = None) -> str:
+    from .experiments.zuc import fig8a_points
+    ctx = ctx or RenderContext()
+    rows = ctx.sweep(fig8a_points(sizes=[64, 256, 512, 1024], count=200))
     return format_table(
         "Fig. 8a: ZUC throughput (simulated, Gbps)", rows,
         columns=["mode", "size", "gbps", "model_gbps"])
 
 
-def render_defrag() -> str:
-    from .experiments.defrag import run
-    rows = [run(config) for config in
-            ("nofrag", "sw-defrag", "hw-defrag", "vxlan-sw", "vxlan-hw")]
+def render_defrag(ctx: Optional[RenderContext] = None) -> str:
+    from .experiments.defrag import experiment_points
+    ctx = ctx or RenderContext()
+    rows = ctx.sweep(experiment_points(rounds=40))
     return format_table(
         "§8.2.2: IP defragmentation (simulated)", rows,
         columns=["config", "goodput_gbps", "active_cores"])
 
 
-def render_iot() -> str:
-    from .experiments.iot import isolation
-    rows = [dict(name="unshaped", **isolation(shaped=False)),
-            dict(name="shaped 6G+6G", **isolation(shaped=True))]
+def render_iot(ctx: Optional[RenderContext] = None) -> str:
+    from .experiments.iot import isolation_points
+    ctx = ctx or RenderContext()
+    unshaped, shaped = ctx.sweep(isolation_points())
+    rows = [dict(name="unshaped", **unshaped),
+            dict(name="shaped 6G+6G", **shaped)]
     return format_table(
         "§8.2.3: IoT tenant isolation (simulated)", rows,
         columns=["name", "tenant_a_gbps", "tenant_b_gbps", "meter_drops"])
@@ -210,6 +250,28 @@ _TABLE_SECTIONS = ("table1", "table2", "table3", "table4", "table5",
 _FIGURE_SECTIONS = ("fig4", "fig7a", "fig7b", "fig8a", "defrag", "iot")
 
 
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    """The sweep-execution knobs shared by every subcommand."""
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="run simulated sweep points across N worker processes "
+             "(output is bit-identical to --jobs 1)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the sweep result cache")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="sweep cache location (default: .repro-cache/, or "
+             "$REPRO_CACHE_DIR)")
+
+
+def _make_context(args: argparse.Namespace) -> RenderContext:
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache = default_cache(getattr(args, "cache_dir", None))
+    return RenderContext(jobs=getattr(args, "jobs", 1), cache=cache)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -226,6 +288,7 @@ def _build_parser() -> argparse.ArgumentParser:
                         help=f"subset of: {', '.join(_TABLE_SECTIONS)}")
     tables.add_argument("--full", action="store_true",
                         help="include the simulated table (table6)")
+    _add_sweep_options(tables)
 
     figures = sub.add_parser(
         "figures", help="render the paper's figures (4, 7a/b, 8a, ...)")
@@ -233,6 +296,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help=f"subset of: {', '.join(_FIGURE_SECTIONS)}")
     figures.add_argument("--full", action="store_true",
                          help="include the simulated figures")
+    _add_sweep_options(figures)
 
     trace = sub.add_parser(
         "trace",
@@ -247,42 +311,55 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="override the packet/message size in bytes")
     trace.add_argument("--metrics", default=None, metavar="PATH",
                        help="also dump the metrics registry as JSON")
+    _add_sweep_options(trace)
     return parser
 
 
-def _render_sections(names: Sequence[str]) -> int:
+def _render_sections(names: Sequence[str],
+                     ctx: Optional[RenderContext] = None) -> int:
     everything = {**ANALYTICAL, **SIMULATED}
     unknown = [n for n in names if n not in everything]
     if unknown:
         print(f"unknown sections: {', '.join(unknown)}; "
               f"choose from {', '.join(everything)}")
         return 2
+    ctx = ctx or RenderContext()
     for name in names:
-        print(everything[name]())
+        print(everything[name](ctx))
     return 0
 
 
 def _cmd_group(sections: Sequence[str], full: bool,
-               ordered: Sequence[str]) -> int:
+               ordered: Sequence[str],
+               ctx: Optional[RenderContext] = None) -> int:
+    ctx = ctx or RenderContext()
     if sections:
         bad = [s for s in sections if s not in ordered]
         if bad:
             print(f"unknown sections: {', '.join(bad)}; "
                   f"choose from {', '.join(ordered)}")
             return 2
-        return _render_sections(sections)
-    chosen = [name for name in ordered
-              if name in ANALYTICAL or full]
-    code = _render_sections(chosen)
-    if not full:
-        simulated = [n for n in ordered if n in SIMULATED]
-        if simulated:
-            print(f"\n(add --full to also run: {', '.join(simulated)})")
+        code = _render_sections(sections, ctx)
+    else:
+        chosen = [name for name in ordered
+                  if name in ANALYTICAL or full]
+        code = _render_sections(chosen, ctx)
+        if not full:
+            simulated = [n for n in ordered if n in SIMULATED]
+            if simulated:
+                print(f"\n(add --full to also run: "
+                      f"{', '.join(simulated)})")
+    summary = ctx.summary()
+    if summary:
+        print(summary, file=sys.stderr)
     return code
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .telemetry.runner import run_traced, traceable_experiments
+    if getattr(args, "jobs", 1) > 1:
+        print("note: trace records one instrumented run; "
+              "--jobs does not apply", file=sys.stderr)
     try:
         summary = run_traced(args.experiment, args.output,
                              count=args.count, size=args.size,
@@ -352,9 +429,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _print_listing()
         return 0
     if args.command == "tables":
-        return _cmd_group(args.sections, args.full, _TABLE_SECTIONS)
+        return _cmd_group(args.sections, args.full, _TABLE_SECTIONS,
+                          _make_context(args))
     if args.command == "figures":
-        return _cmd_group(args.sections, args.full, _FIGURE_SECTIONS)
+        return _cmd_group(args.sections, args.full, _FIGURE_SECTIONS,
+                          _make_context(args))
     if args.command == "trace":
         return _cmd_trace(args)
     parser.print_help()

@@ -1,0 +1,49 @@
+"""Parallel sweep execution with a deterministic result cache.
+
+Every figure and table in the reproduction is an aggregation over
+*sweep points*: independent (experiment, parameters, seed) simulations
+that share no state.  This package exploits that structure three ways:
+
+* :func:`run_sweep` fans points out across a ``multiprocessing`` pool
+  (``jobs=N``) — results are bit-identical to a serial run because each
+  point is seeded deterministically from its own identity, never from
+  global interpreter state;
+* :class:`SweepCache` memoizes results on disk under ``.repro-cache/``,
+  content-addressed by (experiment name, canonicalized params, repro
+  version), so unchanged points are never re-simulated;
+* per-point telemetry exports are merged back into one
+  :class:`~repro.telemetry.metrics.MetricsRegistry` via
+  ``Histogram.merge``/``MetricsRegistry.merge_from``.
+
+Experiment modules declare their sweeps as picklable
+:class:`SweepPoint` lists (see ``repro.experiments.*``); the CLI
+(``python -m repro figures --jobs 4``), the benchmark suite and the
+regression tests all consume the same lists through the same runner.
+"""
+
+from .cache import CacheEntry, SweepCache, default_cache
+from .points import (
+    SWEEP_SCHEMA_VERSION,
+    SweepError,
+    SweepPoint,
+    cache_key,
+    canonical_params,
+    point_seed,
+    resolve_target,
+)
+from .runner import SweepResult, run_sweep
+
+__all__ = [
+    "CacheEntry",
+    "SweepCache",
+    "SweepError",
+    "SweepPoint",
+    "SweepResult",
+    "SWEEP_SCHEMA_VERSION",
+    "cache_key",
+    "canonical_params",
+    "default_cache",
+    "point_seed",
+    "resolve_target",
+    "run_sweep",
+]

@@ -1,0 +1,176 @@
+"""The content-addressed on-disk result cache.
+
+Entries live under ``.repro-cache/<key[:2]>/<key>.json`` — one JSON
+file per sweep point, named by the point's sha256 content address
+(:func:`repro.sweep.points.cache_key`).  The layout is deliberately
+dumb: no index, no locking, no eviction policy.  Writers are atomic
+(temp file + ``os.replace``) so concurrent workers and concurrent CI
+jobs can share a cache directory; a corrupted or truncated entry is
+indistinguishable from a miss and is recomputed and overwritten.
+
+``rm -rf .repro-cache`` is the documented invalidation story; version
+bumps (either the package version or the sweep schema version) change
+every key, which retires a stale cache without touching it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional
+
+#: Default cache location, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Format marker inside each entry; entries with a different marker
+#: are treated as corrupt (→ miss, recompute, overwrite).
+ENTRY_FORMAT = "repro-sweep-entry-v1"
+
+
+@dataclass
+class CacheEntry:
+    """One memoized sweep-point result."""
+
+    key: str
+    experiment: str
+    target: str
+    params: Dict[str, Any]
+    seed: int
+    result: Any
+    metrics: Optional[Dict[str, Any]] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "format": ENTRY_FORMAT,
+            "key": self.key,
+            "experiment": self.experiment,
+            "target": self.target,
+            "params": self.params,
+            "seed": self.seed,
+            "result": self.result,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "CacheEntry":
+        if not isinstance(data, dict):
+            raise ValueError(f"cache entry must be a JSON object, "
+                             f"got {type(data).__name__}")
+        if data.get("format") != ENTRY_FORMAT:
+            raise ValueError(f"unknown cache entry format "
+                             f"{data.get('format')!r}")
+        return cls(
+            key=data["key"],
+            experiment=data["experiment"],
+            target=data["target"],
+            params=data["params"],
+            seed=data["seed"],
+            result=data["result"],
+            metrics=data.get("metrics"),
+        )
+
+
+class SweepCache:
+    """A directory of :class:`CacheEntry` JSON files, keyed by content.
+
+    ``load`` returns None on *any* failure — missing file, unparsable
+    JSON, wrong format marker, key mismatch — so callers need exactly
+    one code path: hit or recompute.
+    """
+
+    def __init__(self, directory: str = DEFAULT_CACHE_DIR):
+        self.directory = str(directory)
+        self.stats_hits = 0
+        self.stats_misses = 0
+        self.stats_corrupt = 0
+        self.stats_stores = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key[:2], key + ".json")
+
+    def load(self, key: str) -> Optional[CacheEntry]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            entry = CacheEntry.from_json(data)
+            if entry.key != key:
+                raise ValueError("entry key does not match its address")
+        except FileNotFoundError:
+            self.stats_misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Truncated write, bit rot, hand-edited file: treat as a
+            # miss; the recompute path overwrites it.
+            self.stats_corrupt += 1
+            self.stats_misses += 1
+            return None
+        self.stats_hits += 1
+        return entry
+
+    def store(self, entry: CacheEntry) -> None:
+        path = self._path(entry.key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        # Atomic publish: never leave a half-written entry at the final
+        # path, even with concurrent writers (last writer wins; both
+        # wrote identical bytes by construction).
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry.to_json(), handle, sort_keys=True,
+                          separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats_stores += 1
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def keys(self) -> Iterator[str]:
+        if not os.path.isdir(self.directory):
+            return
+        for shard in sorted(os.listdir(self.directory)):
+            shard_dir = os.path.join(self.directory, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json") and not name.startswith("."):
+                    yield name[:-len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                os.unlink(self._path(key))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.stats_hits,
+            "misses": self.stats_misses,
+            "corrupt": self.stats_corrupt,
+            "stores": self.stats_stores,
+        }
+
+
+def default_cache(directory: Optional[str] = None) -> SweepCache:
+    """The conventional cache: ``.repro-cache/`` in the working tree,
+    overridable with the ``REPRO_CACHE_DIR`` environment variable."""
+    if directory is None:
+        directory = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    return SweepCache(directory)

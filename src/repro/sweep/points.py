@@ -1,0 +1,134 @@
+"""Sweep points: picklable units of work with content-addressed keys.
+
+A :class:`SweepPoint` names a module-level callable (``target``,
+written ``"package.module:function"``) and the keyword arguments to
+call it with.  Everything about the point — its cache key, its RNG
+seed — derives from that identity, so two processes that agree on the
+point agree on the result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+#: Bump when the meaning of cached results changes (result schema,
+#: seeding scheme, calibration defaults).  Combined with the package
+#: version so releases invalidate stale caches automatically.
+SWEEP_SCHEMA_VERSION = 1
+
+
+class SweepError(RuntimeError):
+    """Raised for malformed points, targets or parameters."""
+
+
+def _repro_version() -> str:
+    from .. import __version__
+    return __version__
+
+
+def canonical_params(params: Dict[str, Any]) -> str:
+    """A canonical JSON encoding of ``params``.
+
+    Key order never matters: ``{"a": 1, "b": 2}`` and the same dict
+    built in the opposite insertion order produce the same string
+    (``sort_keys`` applies recursively).  Only JSON-representable
+    values are allowed — a param that cannot round-trip through JSON
+    would make the cache key ambiguous.
+    """
+    try:
+        return json.dumps(params, sort_keys=True,
+                          separators=(",", ":"), allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise SweepError(
+            f"sweep params must be JSON-representable: {exc}") from exc
+
+
+def cache_key(experiment: str, target: str, params: Dict[str, Any],
+              version: Optional[str] = None) -> str:
+    """The content address of one sweep point.
+
+    sha256 over (experiment, target, canonical params, repro version,
+    sweep schema version).  Any change to the parameters or to the code
+    version yields a new key; reordering the params dict does not.
+    """
+    version = version if version is not None else _repro_version()
+    payload = "\x00".join([
+        experiment,
+        target,
+        canonical_params(params),
+        str(version),
+        str(SWEEP_SCHEMA_VERSION),
+    ])
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def point_seed(key: str) -> int:
+    """Derive the point's RNG seed from its cache key.
+
+    Seeding from the key (not from wall clock, worker id or submission
+    order) is what makes ``--jobs N`` bit-identical to ``--jobs 1``:
+    whichever process runs the point, the global ``random`` module is
+    reset to the same state first.
+    """
+    return int(key[:16], 16)
+
+
+def resolve_target(target: str) -> Callable[..., Any]:
+    """Import ``"package.module:function"`` and return the callable."""
+    module_name, _, func_name = target.partition(":")
+    if not module_name or not func_name:
+        raise SweepError(
+            f"target {target!r} must look like 'package.module:function'")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise SweepError(f"cannot import target module "
+                         f"{module_name!r}: {exc}") from exc
+    func = getattr(module, func_name, None)
+    if not callable(func):
+        raise SweepError(f"target {target!r} does not name a callable")
+    return func
+
+
+@dataclass
+class SweepPoint:
+    """One independent simulation in a sweep.
+
+    ``experiment``
+        The figure/table this point belongs to (``"fig7b"``); part of
+        the cache key and of progress reporting.
+    ``target``
+        Dotted path of a module-level callable,
+        ``"repro.experiments.echo:echo_throughput"``.  Referencing by
+        path keeps points picklable and keeps the cache key independent
+        of pickle details.
+    ``params``
+        Keyword arguments for the target; must round-trip through JSON.
+    ``telemetry``
+        When True the runner constructs a metrics-only
+        :class:`~repro.telemetry.sink.Telemetry`, passes it as the
+        ``telemetry=`` kwarg, and merges the export into the sweep's
+        registry (cached alongside the result, so warm runs merge too).
+    """
+
+    experiment: str
+    target: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    telemetry: bool = False
+
+    def key(self, version: Optional[str] = None) -> str:
+        return cache_key(self.experiment, self.target, self.params,
+                         version)
+
+    def seed(self, version: Optional[str] = None) -> int:
+        return point_seed(self.key(version))
+
+    def label(self) -> str:
+        """A short human-readable identity for progress/errors."""
+        parts = ", ".join(f"{k}={v!r}" for k, v in
+                          sorted(self.params.items()))
+        return f"{self.experiment}({parts})"

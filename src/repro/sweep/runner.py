@@ -1,0 +1,176 @@
+"""Execute sweep points serially or across a process pool.
+
+The contract that everything else leans on: **the output is a pure
+function of the point list**.  Guarantees, in order of load-bearing:
+
+* results come back in point order, regardless of completion order;
+* each point runs with the global ``random`` module seeded from the
+  point's own content address (:func:`repro.sweep.points.point_seed`),
+  so a worker process and an in-process run produce identical bytes;
+* results are canonicalized through a JSON round-trip before anyone
+  sees them, so a cache hit (JSON from disk) and a fresh computation
+  (live Python objects) are indistinguishable;
+* telemetry exports merge in point order, keeping float accumulation
+  deterministic even though workers finish in arbitrary order.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..telemetry.metrics import MetricsRegistry
+from .cache import CacheEntry, SweepCache
+from .points import SweepPoint, resolve_target
+
+
+def _execute_point(point: SweepPoint) -> Tuple[Any, Optional[Dict]]:
+    """Run one point: seed, call the target, canonicalize the result.
+
+    This is the single choke point both the serial path and the pool
+    workers go through — tests monkeypatch or count it, and any future
+    instrumentation belongs here.
+    """
+    func = resolve_target(point.target)
+    kwargs = dict(point.params)
+    metrics_export: Optional[Dict] = None
+    telemetry = None
+    if point.telemetry:
+        from ..telemetry.sink import Telemetry
+        telemetry = Telemetry(trace=False)
+        kwargs["telemetry"] = telemetry
+    # Deterministic per-point seeding: the global RNG is the only
+    # simulator-visible nondeterminism (e.g. Flow IP idents), and it is
+    # reset from the point's identity so serial == parallel == cached.
+    random.seed(point.seed())
+    result = func(**kwargs)
+    if telemetry is not None:
+        metrics_export = telemetry.metrics.to_dict()
+    # JSON round-trip: tuples become lists, NaN is rejected — exactly
+    # what a later cache hit would return.
+    try:
+        result = json.loads(json.dumps(result, allow_nan=False))
+    except (TypeError, ValueError) as exc:
+        raise RuntimeError(
+            f"sweep point {point.label()} returned a result that does "
+            f"not round-trip through JSON: {exc}") from exc
+    return result, metrics_export
+
+
+def _pool_worker(payload: Tuple[int, SweepPoint]
+                 ) -> Tuple[int, Any, Optional[Dict]]:
+    index, point = payload
+    result, metrics = _execute_point(point)
+    return index, result, metrics
+
+
+@dataclass
+class SweepResult:
+    """What a sweep produced, plus where the work actually happened."""
+
+    rows: List[Any] = field(default_factory=list)
+    computed: int = 0
+    cache_hits: int = 0
+    jobs: int = 1
+    metrics: Optional[MetricsRegistry] = None
+
+    @property
+    def points(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __getitem__(self, index):
+        return self.rows[index]
+
+
+def _pool_context():
+    """Prefer fork (fast, inherits sys.path/imports); fall back to the
+    platform default where fork does not exist."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_sweep(points: Sequence[SweepPoint], jobs: int = 1,
+              cache: Optional[SweepCache] = None,
+              registry: Optional[MetricsRegistry] = None,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> SweepResult:
+    """Run ``points``, returning results in point order.
+
+    ``jobs``
+        1 runs in-process; N > 1 fans cache misses out over a
+        ``multiprocessing`` pool of N workers.  The output is
+        bit-identical either way.
+    ``cache``
+        A :class:`SweepCache`; hits skip simulation entirely, misses
+        are stored after computing.  None disables caching.
+    ``registry``
+        Destination for merged per-point telemetry.  When None and at
+        least one point exports metrics, a fresh registry is created;
+        either way it is returned as ``SweepResult.metrics``.
+    """
+    points = list(points)
+    jobs = max(1, int(jobs))
+    result = SweepResult(rows=[None] * len(points), jobs=jobs)
+    metric_exports: List[Optional[Dict]] = [None] * len(points)
+
+    # Phase 1: satisfy what we can from the cache (in the parent, so
+    # `computed` is exact and workers only ever see real work).
+    pending: List[Tuple[int, SweepPoint]] = []
+    for index, point in enumerate(points):
+        entry = cache.load(point.key()) if cache is not None else None
+        if entry is not None:
+            result.rows[index] = entry.result
+            metric_exports[index] = entry.metrics
+            result.cache_hits += 1
+            if progress is not None:
+                progress(f"cache hit: {point.label()}")
+        else:
+            pending.append((index, point))
+
+    # Phase 2: compute the misses, serially or across the pool.
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            computed = (_pool_worker(item) for item in pending)
+        else:
+            ctx = _pool_context()
+            pool = ctx.Pool(processes=min(jobs, len(pending)))
+            try:
+                computed = pool.imap_unordered(_pool_worker, pending,
+                                               chunksize=1)
+                computed = list(computed)
+            finally:
+                pool.close()
+                pool.join()
+        for index, row, metrics in computed:
+            point = points[index]
+            result.rows[index] = row
+            metric_exports[index] = metrics
+            result.computed += 1
+            if cache is not None:
+                cache.store(CacheEntry(
+                    key=point.key(), experiment=point.experiment,
+                    target=point.target, params=dict(point.params),
+                    seed=point.seed(), result=row, metrics=metrics))
+            if progress is not None:
+                progress(f"computed: {point.label()}")
+
+    # Phase 3: merge telemetry in point order (commutative counters,
+    # but float addition order still matters for bit-identity).
+    if any(export for export in metric_exports):
+        registry = registry if registry is not None else MetricsRegistry()
+        for export in metric_exports:
+            if export:
+                registry.merge_from(export)
+    result.metrics = registry
+    return result

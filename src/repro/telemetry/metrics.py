@@ -320,6 +320,30 @@ class MetricsRegistry:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    def merge_from(self, data: Dict[str, Any]) -> "MetricsRegistry":
+        """Fold another registry's :meth:`to_dict` export into this one.
+
+        The aggregation story for sharded experiments (sweep workers,
+        per-process benchmark shards): counters add, gauges keep the
+        last value but the maximum peak, histograms merge bucket-wise
+        via :meth:`Histogram.merge`.  Probe samples are point-in-time
+        readings of live objects in the exporting process and have no
+        meaningful aggregate, so they are ignored.
+        """
+        for name, value in data.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, gauge_data in data.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            gauge.set(gauge_data.get("value", 0))
+            peak = gauge_data.get("peak", 0)
+            if peak > gauge.peak:
+                gauge.peak = peak
+        for name, histogram_data in data.get("histograms", {}).items():
+            if histogram_data:
+                self.histogram(name).merge(
+                    Histogram.from_dict(histogram_data))
+        return self
+
     def names(self) -> List[str]:
         return sorted(self._metrics)
 

@@ -1,0 +1,57 @@
+"""The golden-snapshot cases: what gets frozen, and how to compute it.
+
+Every case runs through :func:`repro.sweep.run_sweep` so the
+content-addressed seeding applies — that is what makes "exact match
+against a committed fixture" a meaningful assertion for the simulated
+cases (Table 6) and not just for the analytic ones (Tables 2/3,
+Figs. 4/7a).
+
+Regenerate fixtures after an intentional model change with::
+
+    PYTHONPATH=src python tests/golden/regen.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict
+
+from repro.sweep import SweepPoint, run_sweep
+
+FIXTURE_DIR = os.path.dirname(os.path.abspath(__file__))
+
+#: Keep the simulated case small: golden tests run in tier-1.
+TABLE6_COUNT = 400
+
+
+def _single(experiment: str, target: str) -> Any:
+    return run_sweep([SweepPoint(experiment, target)]).rows[0]
+
+
+def _table6() -> Any:
+    from repro.experiments.echo import table6_points
+    return run_sweep(table6_points(count=TABLE6_COUNT)).rows
+
+
+CASES: Dict[str, Any] = {
+    "table2a": lambda: _single("table2",
+                               "repro.models.memory:table2a"),
+    "table3": lambda: _single("table3", "repro.models.memory:table3"),
+    "table6": _table6,
+    "fig4_bandwidth": lambda: _single(
+        "fig4", "repro.models.memory:figure4_bandwidth_sweep"),
+    "fig4_queues": lambda: _single(
+        "fig4", "repro.models.memory:figure4_queue_sweep"),
+    "fig7a": lambda: _single("fig7a", "repro.models.perf:figure7a"),
+}
+
+
+def canonical(value: Any) -> str:
+    """The byte-exact form fixtures are stored and compared in."""
+    return json.dumps(value, sort_keys=True, indent=2,
+                      allow_nan=False) + "\n"
+
+
+def fixture_path(name: str) -> str:
+    return os.path.join(FIXTURE_DIR, f"{name}.json")

@@ -1,0 +1,35 @@
+"""Regenerate the golden fixtures after an intentional model change.
+
+Usage::
+
+    PYTHONPATH=src python tests/golden/regen.py [case ...]
+
+With no arguments every case is rewritten.  Review the diff before
+committing — a fixture change IS a results change.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv) -> int:
+    from tests.golden.cases import CASES, canonical, fixture_path
+
+    names = argv or sorted(CASES)
+    unknown = [n for n in names if n not in CASES]
+    if unknown:
+        print(f"unknown case(s): {', '.join(unknown)}; "
+              f"available: {', '.join(sorted(CASES))}")
+        return 2
+    for name in names:
+        text = canonical(CASES[name]())
+        with open(fixture_path(name), "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {fixture_path(name)} ({len(text)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, ".")
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,35 @@
+"""Golden-value regression tests.
+
+Each committed fixture under ``tests/golden/`` is the canonical JSON of
+one table/figure.  The assertion is *exact textual match* — not
+approximate — because the sweep runner's content-addressed seeding
+makes even the simulated cases bit-reproducible.  A failure here means
+the reproduction's numbers moved: either fix the regression or, for an
+intentional model change, regenerate with::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+and review the fixture diff like any other results change.
+"""
+
+import os
+
+import pytest
+
+from .cases import CASES, canonical, fixture_path
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden(name):
+    path = fixture_path(name)
+    assert os.path.exists(path), (
+        f"missing fixture {path}; generate it with "
+        f"'PYTHONPATH=src python tests/golden/regen.py {name}'")
+    with open(path, encoding="utf-8") as fh:
+        expected = fh.read()
+    actual = canonical(CASES[name]())
+    assert actual == expected, (
+        f"golden mismatch for {name}: the reproduction's numbers "
+        f"changed. If intentional, regenerate via "
+        f"'PYTHONPATH=src python tests/golden/regen.py {name}' and "
+        f"commit the fixture diff.")

@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for the sweep cache keys and the
+corrupt-entry fallback."""
+
+import json
+import os
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sweep import (
+    CacheEntry,
+    SweepCache,
+    SweepPoint,
+    cache_key,
+    canonical_params,
+    point_seed,
+    run_sweep,
+)
+
+# JSON-representable param values, one level of nesting deep — the
+# shapes experiment drivers actually pass.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2 ** 40), 2 ** 40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+values = st.one_of(scalars, st.lists(scalars, max_size=4),
+                   st.dictionaries(st.text(max_size=8), scalars,
+                                   max_size=4))
+params_st = st.dictionaries(st.text(min_size=1, max_size=12), values,
+                            max_size=6)
+
+
+class TestKeyStability:
+    @given(params=params_st, order=st.randoms())
+    @settings(max_examples=60, deadline=None)
+    def test_key_is_independent_of_insertion_order(self, params, order):
+        keys = list(params)
+        order.shuffle(keys)
+        reordered = {k: params[k] for k in keys}
+        assert (cache_key("exp", "m:f", params)
+                == cache_key("exp", "m:f", reordered))
+        assert canonical_params(params) == canonical_params(reordered)
+
+    @given(params=params_st)
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_params_round_trips(self, params):
+        assert json.loads(canonical_params(params)) == params
+
+    @given(params=params_st, extra=st.integers())
+    @settings(max_examples=60, deadline=None)
+    def test_key_changes_when_params_change(self, params, extra):
+        changed = dict(params)
+        changed["__extra__"] = extra
+        assert (cache_key("exp", "m:f", params)
+                != cache_key("exp", "m:f", changed))
+
+    @given(params=params_st,
+           versions=st.lists(st.text(min_size=1, max_size=10),
+                             min_size=2, max_size=2, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_key_changes_when_version_changes(self, params, versions):
+        assert (cache_key("exp", "m:f", params, version=versions[0])
+                != cache_key("exp", "m:f", params, version=versions[1]))
+
+    @given(params=params_st)
+    @settings(max_examples=60, deadline=None)
+    def test_seed_is_a_valid_64_bit_int(self, params):
+        seed = point_seed(cache_key("exp", "m:f", params))
+        assert 0 <= seed < 2 ** 64
+
+
+class TestCorruptEntries:
+    @given(garbage=st.binary(max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_bytes_never_crash_load(self, garbage):
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = SweepCache(os.path.join(tmp, "cache"))
+            point = SweepPoint("exp", "tests.sweep.targets:add",
+                               {"a": 1, "b": 2})
+            path = cache._path(point.key())
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "wb") as fh:
+                fh.write(garbage)
+            loaded = cache.load(point.key())
+            # Only the exact entry JSON (format marker + matching key)
+            # may load; everything else is a miss.
+            if loaded is not None:
+                assert loaded.key == point.key()
+
+    @given(damage=st.integers(0, 2))
+    @settings(max_examples=15, deadline=None)
+    def test_corrupted_entry_falls_back_to_recompute(self, damage):
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = SweepCache(os.path.join(tmp, "cache"))
+            point = SweepPoint("exp", "tests.sweep.targets:add",
+                               {"a": 3, "b": 4})
+            cold = run_sweep([point], cache=cache)
+            path = cache._path(point.key())
+            if damage == 0:      # truncate mid-JSON
+                with open(path, "w") as fh:
+                    fh.write('{"format": "repro-sweep-entry-v1", "key')
+            elif damage == 1:    # valid JSON, wrong format marker
+                with open(path, "w") as fh:
+                    json.dump({"format": "elsewhere-v9"}, fh)
+            else:                # valid entry shape, key mismatch
+                entry = CacheEntry(key="0" * 64, experiment="exp",
+                                   target="tests.sweep.targets:add",
+                                   params={}, seed=0, result=None)
+                with open(path, "w") as fh:
+                    json.dump(entry.to_json(), fh)
+
+            warm = run_sweep([point], cache=cache)
+            assert warm.computed == 1 and warm.cache_hits == 0
+            assert warm.rows == cold.rows
+            # The recompute overwrote the damaged entry: next run hits.
+            again = run_sweep([point], cache=cache)
+            assert again.cache_hits == 1
+            assert again.rows == cold.rows

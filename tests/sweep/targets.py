@@ -1,0 +1,67 @@
+"""Sweep targets for the runner/cache tests.
+
+These must live in an importable module (not a test body) because the
+runner addresses targets by dotted path and pool workers re-import
+them.  Invocations are counted through a file named by the
+``REPRO_TEST_COUNTER`` environment variable: an append per call works
+from any worker process, so tests can assert *how many times a
+simulation actually ran* regardless of ``jobs``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Dict
+
+COUNTER_ENV = "REPRO_TEST_COUNTER"
+
+
+def _bump() -> None:
+    path = os.environ.get(COUNTER_ENV)
+    if path:
+        with open(path, "a") as fh:
+            fh.write("1\n")
+
+
+def invocations() -> int:
+    """How many counted targets have run since the counter was set."""
+    path = os.environ[COUNTER_ENV]
+    try:
+        with open(path) as fh:
+            return sum(1 for _ in fh)
+    except FileNotFoundError:
+        return 0
+
+
+def add(a: int, b: int) -> Dict:
+    """A trivial target whose result also exposes the seeded RNG."""
+    _bump()
+    return {"sum": a + b, "noise": random.random()}
+
+
+def echo_point(size: int, count: int = 80) -> Dict:
+    """A real (tiny) simulation: runs the FLD-E echo end to end."""
+    _bump()
+    from repro.experiments.echo import echo_throughput
+    return echo_throughput("flde-remote", size, count=count)
+
+
+def boom() -> Dict:
+    """A target that always fails."""
+    raise RuntimeError("sweep target exploded")
+
+
+def not_json() -> object:
+    """A target whose result cannot be cached."""
+    return object()
+
+
+def with_telemetry(n: int, telemetry=None) -> Dict:
+    """A target that records into the injected telemetry."""
+    if telemetry is not None:
+        telemetry.metrics.counter("test.calls").inc()
+        hist = telemetry.metrics.histogram("test.values")
+        for i in range(n):
+            hist.observe(float(i))
+    return {"n": n}

@@ -1,0 +1,126 @@
+"""The acceptance-criterion cache tests.
+
+The load-bearing one: a warm-cache re-run re-simulates **zero** sweep
+points.  Simulator invocations are counted through a file-append
+counter that works across pool worker processes, so the assertion holds
+for parallel runs too, not just the in-process path.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.sweep import CacheEntry, SweepCache, SweepPoint, run_sweep
+
+from . import targets
+
+ECHO = "tests.sweep.targets:echo_point"
+
+
+@pytest.fixture
+def counter(tmp_path, monkeypatch):
+    monkeypatch.setenv(targets.COUNTER_ENV,
+                       str(tmp_path / "invocations"))
+
+
+def _echo_points():
+    return [SweepPoint("cache-test", ECHO, {"size": size, "count": 60})
+            for size in (64, 512)]
+
+
+class TestWarmCache:
+    def test_warm_rerun_simulates_zero_points(self, tmp_path, counter):
+        cache = SweepCache(str(tmp_path / "cache"))
+
+        cold = run_sweep(_echo_points(), jobs=1, cache=cache)
+        assert targets.invocations() == 2
+        assert cold.computed == 2 and cold.cache_hits == 0
+
+        warm = run_sweep(_echo_points(), jobs=1, cache=cache)
+        # Zero new simulator invocations: every point came from disk.
+        assert targets.invocations() == 2
+        assert warm.computed == 0 and warm.cache_hits == 2
+        assert (json.dumps(warm.rows, sort_keys=True)
+                == json.dumps(cold.rows, sort_keys=True))
+
+    def test_warm_rerun_parallel_also_simulates_nothing(
+            self, tmp_path, counter):
+        cache = SweepCache(str(tmp_path / "cache"))
+        cold = run_sweep(_echo_points(), jobs=2, cache=cache)
+        invocations_after_cold = targets.invocations()
+        assert invocations_after_cold == 2
+
+        warm = run_sweep(_echo_points(), jobs=2, cache=cache)
+        assert targets.invocations() == invocations_after_cold
+        assert warm.computed == 0 and warm.cache_hits == 2
+        assert warm.rows == cold.rows
+
+    def test_param_change_misses(self, tmp_path, counter):
+        cache = SweepCache(str(tmp_path / "cache"))
+        run_sweep(_echo_points(), cache=cache)
+        changed = [SweepPoint("cache-test", ECHO,
+                              {"size": 64, "count": 61})]
+        result = run_sweep(changed, cache=cache)
+        assert result.computed == 1
+        assert targets.invocations() == 3
+
+
+class TestCacheStore:
+    def test_entry_round_trips(self, tmp_path):
+        cache = SweepCache(str(tmp_path / "cache"))
+        point = SweepPoint("e", "m:f", {"a": 1})
+        entry = CacheEntry(key=point.key(), experiment="e", target="m:f",
+                           params={"a": 1}, seed=point.seed(),
+                           result={"x": [1, 2]}, metrics=None)
+        cache.store(entry)
+        loaded = cache.load(point.key())
+        assert loaded is not None
+        assert loaded.result == {"x": [1, 2]}
+        assert loaded.seed == point.seed()
+        assert point.key() in cache
+        assert list(cache.keys()) == [point.key()]
+        assert len(cache) == 1
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        cache = SweepCache(str(tmp_path / "cache"))
+        assert cache.load("0" * 64) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SweepCache(str(tmp_path / "cache"))
+        point = SweepPoint("e", "m:f", {"a": 1})
+        path = cache._path(point.key())
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write('{"truncated')
+        assert cache.load(point.key()) is None
+        assert cache.stats()["corrupt"] == 1
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        cache = SweepCache(str(tmp_path / "cache"))
+        point = SweepPoint("e", "m:f", {"a": 1})
+        entry = CacheEntry(key=point.key(), experiment="e", target="m:f",
+                           params={"a": 1}, seed=0, result=1)
+        cache.store(entry)
+        # Copy the entry to a different address: the self-describing key
+        # no longer matches the file name.
+        other = SweepPoint("e", "m:f", {"a": 2}).key()
+        other_path = cache._path(other)
+        os.makedirs(os.path.dirname(other_path), exist_ok=True)
+        with open(cache._path(point.key())) as src:
+            data = src.read()
+        with open(other_path, "w") as dst:
+            dst.write(data)
+        assert cache.load(other) is None
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = SweepCache(str(tmp_path / "cache"))
+        for i in range(3):
+            point = SweepPoint("e", "m:f", {"a": i})
+            cache.store(CacheEntry(key=point.key(), experiment="e",
+                                   target="m:f", params={"a": i},
+                                   seed=0, result=i))
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0

@@ -1,0 +1,146 @@
+"""Unit tests for the sweep runner: ordering, seeding, caching,
+telemetry merging and error behavior."""
+
+import json
+import os
+
+import pytest
+
+from repro.sweep import (
+    SweepCache,
+    SweepError,
+    SweepPoint,
+    cache_key,
+    point_seed,
+    resolve_target,
+    run_sweep,
+)
+
+from . import targets
+
+ADD = "tests.sweep.targets:add"
+
+
+@pytest.fixture
+def counter(tmp_path, monkeypatch):
+    path = str(tmp_path / "invocations")
+    monkeypatch.setenv(targets.COUNTER_ENV, path)
+    return path
+
+
+def _add_points(n=6):
+    return [SweepPoint("unit", ADD, {"a": i, "b": i * 10})
+            for i in range(n)]
+
+
+class TestRunSweep:
+    def test_results_come_back_in_point_order(self, counter):
+        result = run_sweep(_add_points(), jobs=1)
+        assert [row["sum"] for row in result.rows] == [
+            0, 11, 22, 33, 44, 55]
+        assert result.computed == 6
+        assert result.cache_hits == 0
+        assert result.points == len(result) == 6
+
+    def test_parallel_matches_serial_bitwise(self, counter):
+        serial = run_sweep(_add_points(), jobs=1)
+        parallel = run_sweep(_add_points(), jobs=4)
+        assert (json.dumps(serial.rows, sort_keys=True)
+                == json.dumps(parallel.rows, sort_keys=True))
+        # The per-point "noise" value proves the RNG was seeded the
+        # same way in the workers as in-process.
+        assert all("noise" in row for row in serial.rows)
+
+    def test_per_point_seeding_is_content_addressed(self, counter):
+        point = SweepPoint("unit", ADD, {"a": 1, "b": 2})
+        first = run_sweep([point], jobs=1).rows[0]
+        again = run_sweep([point], jobs=1).rows[0]
+        assert first == again
+        other = run_sweep(
+            [SweepPoint("unit", ADD, {"a": 1, "b": 3})], jobs=1).rows[0]
+        assert other["noise"] != first["noise"]
+
+    def test_sweep_result_is_sequence_like(self, counter):
+        result = run_sweep(_add_points(3), jobs=1)
+        assert list(result)[0] == result[0]
+        assert len(result) == 3
+
+    def test_failing_target_propagates(self):
+        with pytest.raises(RuntimeError, match="exploded"):
+            run_sweep([SweepPoint("unit", "tests.sweep.targets:boom")])
+
+    def test_non_json_result_is_rejected(self):
+        with pytest.raises(RuntimeError, match="round-trip"):
+            run_sweep([SweepPoint("unit",
+                                  "tests.sweep.targets:not_json")])
+
+    def test_telemetry_exports_merge_across_points(self, counter):
+        points = [SweepPoint("unit", "tests.sweep.targets:with_telemetry",
+                             {"n": n}, telemetry=True)
+                  for n in (3, 5)]
+        result = run_sweep(points, jobs=1)
+        assert result.metrics is not None
+        exported = result.metrics.to_dict()
+        assert exported["counters"]["test.calls"] == 2
+        assert exported["histograms"]["test.values"]["count"] == 8
+
+    def test_cache_round_trip(self, tmp_path, counter):
+        cache = SweepCache(str(tmp_path / "cache"))
+        cold = run_sweep(_add_points(), jobs=1, cache=cache)
+        assert cold.computed == 6 and cold.cache_hits == 0
+        warm = run_sweep(_add_points(), jobs=1, cache=cache)
+        assert warm.computed == 0 and warm.cache_hits == 6
+        assert warm.rows == cold.rows
+
+    def test_cached_telemetry_merges_on_warm_runs(self, tmp_path):
+        cache = SweepCache(str(tmp_path / "cache"))
+        points = [SweepPoint("unit", "tests.sweep.targets:with_telemetry",
+                             {"n": 4}, telemetry=True)]
+        cold = run_sweep(points, cache=cache)
+        warm = run_sweep(points, cache=cache)
+        assert warm.computed == 0
+        assert (warm.metrics.to_dict()["histograms"]["test.values"]
+                == cold.metrics.to_dict()["histograms"]["test.values"])
+
+    def test_progress_callback_sees_both_paths(self, tmp_path, counter):
+        cache = SweepCache(str(tmp_path / "cache"))
+        events = []
+        run_sweep(_add_points(2), cache=cache, progress=events.append)
+        run_sweep(_add_points(2), cache=cache, progress=events.append)
+        assert sum(1 for e in events if e.startswith("computed")) == 2
+        assert sum(1 for e in events if e.startswith("cache hit")) == 2
+
+
+class TestPoints:
+    def test_key_ignores_param_order(self):
+        assert (cache_key("e", "m:f", {"a": 1, "b": 2})
+                == cache_key("e", "m:f", {"b": 2, "a": 1}))
+
+    def test_key_changes_with_params_and_version(self):
+        base = cache_key("e", "m:f", {"a": 1})
+        assert cache_key("e", "m:f", {"a": 2}) != base
+        assert cache_key("e", "m:f", {"a": 1}, version="0.0.0") != base
+        assert cache_key("other", "m:f", {"a": 1}) != base
+        assert cache_key("e", "m:g", {"a": 1}) != base
+
+    def test_seed_derives_from_key(self):
+        point = SweepPoint("e", ADD, {"a": 1})
+        assert point.seed() == point_seed(point.key())
+        assert 0 <= point.seed() < 2 ** 64
+
+    def test_non_json_params_are_rejected(self):
+        with pytest.raises(SweepError, match="JSON"):
+            cache_key("e", "m:f", {"bad": object()})
+
+    def test_resolve_target_validates(self):
+        assert resolve_target(ADD) is targets.add
+        with pytest.raises(SweepError, match="look like"):
+            resolve_target("no-colon")
+        with pytest.raises(SweepError, match="cannot import"):
+            resolve_target("no.such.module:f")
+        with pytest.raises(SweepError, match="callable"):
+            resolve_target("tests.sweep.targets:COUNTER_ENV")
+
+    def test_label_is_stable(self):
+        point = SweepPoint("fig", ADD, {"b": 2, "a": 1})
+        assert point.label() == "fig(a=1, b=2)"
