@@ -37,6 +37,7 @@ class Accelerator:
         self.stats_emitted = 0
         self.stats_dropped = 0
         self.stats_errors = 0
+        self._spans = sim.telemetry.spans
         if reassemble:
             # Front-end load balancer (the paper's ZUC/IoT designs): a
             # single stage reassembles multi-segment messages — required
@@ -77,9 +78,26 @@ class Accelerator:
 
     # -- the engine ------------------------------------------------------------
 
+    def _trace_dequeue(self, meta: AxisMetadata) -> None:
+        """Attribute the wait on the input stream as accel queueing."""
+        if meta.trace_ctx is not None and self.sim.now > meta.trace_enqueued:
+            self._spans.record(meta.trace_ctx, "accel", meta.trace_enqueued,
+                               self.sim.now, kind="queue")
+
+    def _trace_service(self, meta: AxisMetadata, started: float,
+                       outputs: List[Output]) -> None:
+        if meta.trace_ctx is None:
+            return
+        self._spans.record(meta.trace_ctx, "accel", started, self.sim.now)
+        for _data, out_meta in outputs:
+            if out_meta.trace_ctx is None:
+                out_meta.trace_ctx = meta.trace_ctx
+
     def _unit_worker(self, unit: int):
         while True:
             data, meta = yield self._source()
+            self._trace_dequeue(meta)
+            started = self.sim.now
             yield self.sim.timeout(self.processing_time(data, meta))
             try:
                 outputs = list(self.process(data, meta))
@@ -87,6 +105,7 @@ class Accelerator:
                 self.stats_errors += 1
                 continue
             self.stats_processed += 1
+            self._trace_service(meta, started, outputs)
             for out_data, out_meta in outputs:
                 if out_meta.queue_id is None:
                     out_meta.queue_id = self.tx_queue
@@ -101,6 +120,7 @@ class Accelerator:
         return AxisMetadata(
             queue_id=self.tx_queue if queue_id is None else queue_id,
             context_id=meta.context_id,
+            trace_ctx=meta.trace_ctx,
         )
 
 
@@ -115,6 +135,8 @@ class DroppingAccelerator(Accelerator):
     def _unit_worker(self, unit: int):
         while True:
             data, meta = yield self._source()
+            self._trace_dequeue(meta)
+            started = self.sim.now
             yield self.sim.timeout(self.processing_time(data, meta))
             try:
                 outputs = list(self.process(data, meta))
@@ -122,6 +144,7 @@ class DroppingAccelerator(Accelerator):
                 self.stats_errors += 1
                 continue
             self.stats_processed += 1
+            self._trace_service(meta, started, outputs)
             for out_data, out_meta in outputs:
                 if out_meta.queue_id is None:
                     out_meta.queue_id = self.tx_queue

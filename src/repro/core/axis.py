@@ -30,12 +30,13 @@ class AxisMetadata:
     """
 
     __slots__ = ("queue_id", "context_id", "flags", "rss_hash", "msg_first",
-                 "msg_last", "signaled", "src_qpn")
+                 "msg_last", "signaled", "src_qpn", "trace_ctx",
+                 "trace_enqueued")
 
     def __init__(self, queue_id: int = 0, context_id: int = 0,
                  flags: int = 0, rss_hash: int = 0, msg_first: bool = True,
                  msg_last: bool = True, signaled: bool = True,
-                 src_qpn: int = 0):
+                 src_qpn: int = 0, trace_ctx=None):
         self.queue_id = queue_id
         self.context_id = context_id
         self.flags = flags
@@ -47,6 +48,11 @@ class AxisMetadata:
         # field; FLD-R accelerators route replies by it when several QPs
         # share one receive queue (§6).
         self.src_qpn = src_qpn
+        # Sim-only span sideband (repro.telemetry.spans): the packet's
+        # trace handle and the time it entered the stream it rides on
+        # (lets the consumer split queueing from service time).
+        self.trace_ctx = trace_ctx
+        self.trace_enqueued = 0.0
 
     def __repr__(self) -> str:
         return (

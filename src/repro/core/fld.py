@@ -101,6 +101,7 @@ class FlexDriver(PcieEndpoint):
         # tables and pools cost nothing to watch).
         tele = sim.telemetry
         self._tracer = tele.tracer
+        self._spans = tele.spans
         self._ctr_tx_packets = tele.counter(f"fld.{name}.tx.packets")
         self._ctr_tx_bytes = tele.counter(f"fld.{name}.tx.bytes")
         self._ctr_cqe_writes = tele.counter(f"fld.{name}.cqe_writes")
@@ -171,6 +172,7 @@ class FlexDriver(PcieEndpoint):
         figure); the pipeline *latency* to the doorbell is modelled
         without blocking, so back-to-back sends stream at line rate.
         """
+        wait_started = self.sim.now
         yield self.tx.credits.acquire(meta.queue_id)
         needed = self.tx.buffers.chunks_for(len(data))
         while not (
@@ -178,25 +180,34 @@ class FlexDriver(PcieEndpoint):
             and self.tx.descriptors.free_slots > self._pending_chunks
         ):
             yield self.sim.timeout(self.config.cycles(16))
+        if meta.trace_ctx is not None and self.sim.now > wait_started:
+            self._spans.record(meta.trace_ctx, "fld.tx", wait_started,
+                               self.sim.now, kind="queue")
+        service_started = self.sim.now
         self._pending_chunks += needed
         yield self.sim.timeout(self.config.cycles(max(1, len(data) // 64)))
         self.sim.schedule(
             self.config.pipeline_latency,
-            lambda: self._submit_now(data, meta, needed),
+            lambda: self._submit_now(data, meta, needed, service_started),
         )
 
     def _submit(self, data: bytes, meta: AxisMetadata) -> None:
         self.tx.credits.try_consume(meta.queue_id, 1)
         self._pending_chunks += self.tx.buffers.chunks_for(len(data))
+        started = self.sim.now
         self.sim.schedule(
             self.config.pipeline_latency,
             lambda: self._submit_now(
-                data, meta, self.tx.buffers.chunks_for(len(data))),
+                data, meta, self.tx.buffers.chunks_for(len(data)), started),
         )
 
     def _submit_now(self, data: bytes, meta: AxisMetadata,
-                    reserved_chunks: int = 0) -> None:
+                    reserved_chunks: int = 0,
+                    trace_started: Optional[float] = None) -> None:
         self._pending_chunks -= reserved_chunks
+        if trace_started is not None and meta.trace_ctx is not None:
+            self._spans.record(meta.trace_ctx, "fld.tx", trace_started,
+                               self.sim.now)
         self.tx.submit(meta.queue_id, data, meta)
         self.stats_tx_packets += 1
         self.stats_tx_bytes += len(data)
@@ -241,6 +252,10 @@ class FlexDriver(PcieEndpoint):
             raise PcieError(f"{self.name}: short CQE write ({len(data)} B)")
         self.stats_cqe_writes += 1
         self._ctr_cqe_writes.inc()
+        # Claim the trace context riding the CQE's write TLP — the 64 B
+        # on the wire carry no room for it (object identity dies at the
+        # byte boundary).
+        trace_ctx = self.fabric.inbound_trace_ctx()
         cqe = Cqe.unpack(data)
         compressed = CompressedCqe.compress(cqe)
         route = self._cq_route.get(cq_index)
@@ -257,21 +272,37 @@ class FlexDriver(PcieEndpoint):
                 self.tx.on_send_completion(cqe.qpn, cqe.wqe_counter)
         else:
             if cqe.opcode == CQE_RECV_COMPLETION:
-                self.rx.on_recv_completion(binding, compressed)
+                self.rx.on_recv_completion(binding, compressed,
+                                           trace_ctx=trace_ctx)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
     def _mmio_write(self, address: int, data: bytes) -> None:
-        self.fabric.post_write(self, address, data)
+        # The tx manager parks the submission's trace context out-of-band
+        # (the writer signature is frozen); rx recycle doorbells leave it
+        # None and go untraced.
+        self.fabric.post_write(self, address, data,
+                               trace_ctx=self.tx.outbound_trace_ctx,
+                               trace_stage="pcie.doorbell")
 
     def _emit_rx(self, data: bytes, meta: AxisMetadata) -> None:
         self._ctr_rx_stream.inc()
-        self.sim.schedule(
-            self.config.pipeline_latency,
-            lambda: self.rx_stream.push(data, meta),
-        )
+        if meta.trace_ctx is not None:
+            started = self.sim.now
+
+            def push(ctx=meta.trace_ctx):
+                self._spans.record(ctx, "fld.rx", started, self.sim.now)
+                meta.trace_enqueued = self.sim.now
+                self.rx_stream.push(data, meta)
+
+            self.sim.schedule(self.config.pipeline_latency, push)
+        else:
+            self.sim.schedule(
+                self.config.pipeline_latency,
+                lambda: self.rx_stream.push(data, meta),
+            )
 
     # ------------------------------------------------------------------
     # Accounting

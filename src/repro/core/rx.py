@@ -118,7 +118,8 @@ class RxRingManager:
         self._sram[offset:offset + len(data)] = data
         self.stats_sram_writes += 1
 
-    def on_recv_completion(self, binding_id: int, cqe: CompressedCqe) -> None:
+    def on_recv_completion(self, binding_id: int, cqe: CompressedCqe,
+                           trace_ctx=None) -> None:
         """Decode a receive CQE: stream the packet out, recycle buffers."""
         binding = self.binding(binding_id)
         self.stats_cqes += 1
@@ -136,6 +137,7 @@ class RxRingManager:
                 flags=cqe.flags,
                 msg_last=bool(cqe.flags & CQE_FLAG_MSG_LAST),
                 src_qpn=cqe.qpn,
+                trace_ctx=trace_ctx,
             )
             self.emit(data, meta)
         self._recycle_before(binding, desc_index)

@@ -80,6 +80,16 @@ class TxRingManager:
         self._qpn_to_queue: Dict[int, int] = {}
         self.stats_wqe_reads = 0
         self.stats_data_read_bytes = 0
+        self._spans = sim.telemetry.spans
+        # ``mmio_writer`` has a frozen (addr, bytes) signature, so the
+        # trace context of the submission being rung travels out-of-band:
+        # set around the call for the writer to read.
+        self.outbound_trace_ctx = None
+        # Stash-key scope for doorbell-mode submissions — the *NIC's*
+        # endpoint name, so the NIC's ring fetch can claim the context
+        # under the same ("wqe", scope, qpn, index) key.  Set by the FLD
+        # runtime; None leaves doorbell-mode WQEs untraced past the ring.
+        self.trace_scope: Optional[str] = None
 
     # -- configuration -------------------------------------------------------
 
@@ -152,11 +162,13 @@ class TxRingManager:
             raise TxQueueError("descriptor pool exhausted")
         state.outstanding[index] = (handles, virt_chunk, len(handles))
         state.stats_submitted += 1
-        self._ring_nic(state, index, descriptor, virt_offset)
+        self._ring_nic(state, index, descriptor, virt_offset,
+                       trace_ctx=meta.trace_ctx)
         return index
 
     def _ring_nic(self, state: _TxQueueState, index: int,
-                  descriptor: CompressedTxDescriptor, virt_offset: int) -> None:
+                  descriptor: CompressedTxDescriptor, virt_offset: int,
+                  trace_ctx=None) -> None:
         if self.mmio_writer is None:
             return  # standalone/unit-test mode
         if state.use_mmio:
@@ -164,10 +176,23 @@ class TxRingManager:
                 state.qpn, index,
                 self.bar_base + tx_data_address(state.queue_id, virt_offset),
             )
-            self.mmio_writer(state.mmio_addr, wqe.pack())
+            self.outbound_trace_ctx = trace_ctx
+            try:
+                self.mmio_writer(state.mmio_addr, wqe.pack())
+            finally:
+                self.outbound_trace_ctx = None
         else:
-            self.mmio_writer(state.doorbell_addr,
-                             (index + 1).to_bytes(4, "big"))
+            if trace_ctx is not None and self.trace_scope is not None:
+                # The NIC will fetch this WQE from the virtual ring later;
+                # park the context where its fetch loop can claim it.
+                self._spans.stash(
+                    ("wqe", self.trace_scope, state.qpn, index), trace_ctx)
+            self.outbound_trace_ctx = trace_ctx
+            try:
+                self.mmio_writer(state.doorbell_addr,
+                                 (index + 1).to_bytes(4, "big"))
+            finally:
+                self.outbound_trace_ctx = None
 
     # -- the NIC-facing PCIe handlers ------------------------------------------
 

@@ -64,7 +64,7 @@ def echo_throughput(mode: str, size: int, count: int = 2000,
 
 def fig7b_points(sizes: Optional[List[int]] = None, count: int = 1500,
                  modes: Optional[List[str]] = None,
-                 telemetry: bool = False) -> List[SweepPoint]:
+                 telemetry=False) -> List[SweepPoint]:
     """The Fig. 7b sweep as independent points: one per (mode, size)."""
     sizes = sizes or [64, 128, 256, 512, 1024, 1500]
     modes = modes or ["flde-remote", "flde-local", "cpu-remote"]
@@ -116,7 +116,7 @@ def echo_latency(mode: str, count: int = 3000, frame_size: int = 64,
 
 
 def table6_points(count: int = 3000, frame_size: int = 64,
-                  telemetry: bool = False) -> List[SweepPoint]:
+                  telemetry=False) -> List[SweepPoint]:
     return [
         SweepPoint("table6", "repro.experiments.echo:echo_latency",
                    {"mode": mode, "count": count,
@@ -132,7 +132,7 @@ def table6(count: int = 3000, jobs: int = 1,
 
 
 def forwarding_points(count: int = 6000, seed: int = 7,
-                      telemetry: bool = False) -> List[SweepPoint]:
+                      telemetry=False) -> List[SweepPoint]:
     """§8.1.1 mixed-size trace forwarding, FLD-E vs one CPU core."""
     return [
         SweepPoint("forwarding",
@@ -308,7 +308,7 @@ def fldr_throughput(size: int, count: int = 400, window: int = 64,
 
 def fldr_points(sizes: Optional[List[int]] = None, count: int = 400,
                 window: int = 64, local: bool = False,
-                telemetry: bool = False) -> List[SweepPoint]:
+                telemetry=False) -> List[SweepPoint]:
     """Fig. 7b's FLD-R column: RDMA echo goodput per message size."""
     sizes = sizes or [64, 256, 512, 1024, 4096, 8192]
     return [

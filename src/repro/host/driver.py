@@ -83,6 +83,7 @@ class EthQueuePair:
         self._pi = 0
         self.stats_tx = 0
         self.stats_rx = 0
+        self._spans = self.sim.telemetry.spans
         self.sim.spawn(self._rx_dispatcher(), name=f"ethqp{self.sq.qpn}.rx")
         self.sim.spawn(self._tx_retire(), name=f"ethqp{self.sq.qpn}.txc")
 
@@ -118,12 +119,13 @@ class EthQueuePair:
         self._post(frame, signaled,
                    extra_flags=WQE_FLAG_LSO | WQE_FLAG_CSUM_L4, mss=mss)
 
-    def send(self, frame: bytes, signaled: bool = False) -> None:
+    def send(self, frame: bytes, signaled: bool = False,
+             trace_ctx=None) -> None:
         """Queue one frame for transmission (CPU side, non-blocking)."""
-        self._post(frame, signaled)
+        self._post(frame, signaled, trace_ctx=trace_ctx)
 
     def _post(self, frame: bytes, signaled: bool,
-              extra_flags: int = 0, mss: int = 0) -> None:
+              extra_flags: int = 0, mss: int = 0, trace_ctx=None) -> None:
         if self.tx_space() < 1:
             raise QueueFullError(
                 f"SQ {self.sq.qpn} full: use wait_for_tx_space()"
@@ -149,13 +151,19 @@ class EthQueuePair:
             driver.mmio_write(
                 driver.nic_bar_base + WQE_MMIO_BASE
                 + self.sq.qpn * WQE_MMIO_STRIDE,
-                wqe.pack(),
+                wqe.pack(), trace_ctx=trace_ctx,
             )
         else:
+            if trace_ctx is not None:
+                # The NIC fetches this WQE from host memory later; park
+                # the context for its fetch loop to claim.
+                self._spans.stash(
+                    ("wqe", driver.nic.name, self.sq.qpn, index), trace_ctx)
             driver.memory.write_local(
                 self.sq.slot_addr(index) - driver.mem_base, wqe.pack()
             )
-            driver.ring_doorbell(self.sq.qpn, index + 1)
+            driver.ring_doorbell(self.sq.qpn, index + 1,
+                                 trace_ctx=trace_ctx)
         self.stats_tx += 1
 
     # -- receive -----------------------------------------------------------
@@ -188,6 +196,7 @@ class EthQueuePair:
         driver = self.driver
         while True:
             cqe = yield self.rx_cq.notify.get()
+            started = self.sim.now
             if self.core is not None:
                 yield self.sim.timeout(self.core.packet_cost())
             slot = cqe.wqe_counter % self.rq.entries
@@ -197,6 +206,9 @@ class EthQueuePair:
             )
             self._repost(cqe.wqe_counter)
             self.stats_rx += 1
+            if cqe.trace_ctx is not None:
+                self._spans.record(cqe.trace_ctx, "host.rx", started,
+                                   self.sim.now)
             if self.on_receive is not None:
                 self.on_receive(data, cqe)
             else:
@@ -231,6 +243,7 @@ class RcEndpoint:
         self._assembly: List[bytes] = []
         self.stats_messages_sent = 0
         self.stats_messages_received = 0
+        self._spans = self.sim.telemetry.spans
         self.sim.spawn(self._rx_dispatcher(), name=f"rc{self.qp.qpn}.rx")
         self.sim.spawn(self._tx_completions(), name=f"rc{self.qp.qpn}.txc")
 
@@ -270,7 +283,7 @@ class RcEndpoint:
         return base, region.rkey, read
 
     def post_write(self, data: bytes, remote_addr: int, rkey: int,
-                   signaled: bool = True) -> Event:
+                   signaled: bool = True, trace_ctx=None) -> Event:
         """One-sided RDMA WRITE of ``data`` to (remote_addr, rkey)."""
         index = self._pi
         self._pi += 1
@@ -281,10 +294,13 @@ class RcEndpoint:
         flags = WQE_FLAG_SIGNALED if signaled else 0
         wqe = TxWqe(OP_RDMA_WRITE, self.qp.qpn, index, buffer_addr,
                     len(data), flags, remote_addr=remote_addr, rkey=rkey)
+        if trace_ctx is not None:
+            self._spans.stash(
+                ("wqe", driver.nic.name, self.qp.qpn, index), trace_ctx)
         driver.memory.write_local(
             self.qp.sq.slot_addr(index) - driver.mem_base, wqe.pack()
         )
-        driver.ring_doorbell(self.qp.qpn, index + 1)
+        driver.ring_doorbell(self.qp.qpn, index + 1, trace_ctx=trace_ctx)
         done = Event(self.sim)
         if signaled:
             self._send_waiters[index & 0xFFFF] = done
@@ -292,7 +308,8 @@ class RcEndpoint:
             done.succeed()
         return done
 
-    def post_send(self, message: bytes, signaled: bool = True) -> Event:
+    def post_send(self, message: bytes, signaled: bool = True,
+                  trace_ctx=None) -> Event:
         """Send a message; the returned event fires on the remote ack."""
         index = self._pi
         self._pi += 1
@@ -303,10 +320,13 @@ class RcEndpoint:
         flags = WQE_FLAG_SIGNALED if signaled else 0
         wqe = TxWqe(OP_RDMA_SEND, self.qp.qpn, index, buffer_addr,
                     len(message), flags)
+        if trace_ctx is not None:
+            self._spans.stash(
+                ("wqe", driver.nic.name, self.qp.qpn, index), trace_ctx)
         driver.memory.write_local(
             self.qp.sq.slot_addr(index) - driver.mem_base, wqe.pack()
         )
-        driver.ring_doorbell(self.qp.qpn, index + 1)
+        driver.ring_doorbell(self.qp.qpn, index + 1, trace_ctx=trace_ctx)
         done = Event(self.sim)
         if signaled:
             self._send_waiters[index & 0xFFFF] = done
@@ -326,6 +346,7 @@ class RcEndpoint:
         driver = self.driver
         while True:
             cqe = yield self.rx_cq.notify.get()
+            started = self.sim.now
             if driver.core is not None:
                 yield self.sim.timeout(driver.core.packet_cost())
             slot = cqe.wqe_counter % self.rq.entries
@@ -333,6 +354,9 @@ class RcEndpoint:
             data = driver.memory.read_local(
                 buffer_addr - driver.mem_base, cqe.byte_count
             )
+            if cqe.trace_ctx is not None:
+                self._spans.record(cqe.trace_ctx, "host.rx", started,
+                                   self.sim.now)
             self._recycle(cqe.wqe_counter)
             self._assembly.append(data)
             if cqe.flags & CQE_FLAG_MSG_LAST:
@@ -372,14 +396,17 @@ class SoftwareDriver:
 
     # -- PCIe initiators ---------------------------------------------------
 
-    def ring_doorbell(self, qpn: int, pi: int) -> None:
+    def ring_doorbell(self, qpn: int, pi: int, trace_ctx=None) -> None:
         self.fabric.post_write(
             self.cpu_port, self.nic_bar_base + qpn * DOORBELL_STRIDE,
             pi.to_bytes(4, "big"),
+            trace_ctx=trace_ctx, trace_stage="pcie.doorbell",
         )
 
-    def mmio_write(self, address: int, data: bytes) -> None:
-        self.fabric.post_write(self.cpu_port, address, data)
+    def mmio_write(self, address: int, data: bytes, trace_ctx=None) -> None:
+        self.fabric.post_write(self.cpu_port, address, data,
+                               trace_ctx=trace_ctx,
+                               trace_stage="pcie.doorbell")
 
     # -- factories ----------------------------------------------------------
 

@@ -43,6 +43,7 @@ class EchoApp:
         # Bounded app queue: a real run-to-completion PMD would stop
         # polling the RQ instead, with the same drop-at-overrun effect.
         self._pending = Store(qp.sim, capacity=4096, name="echo.pending")
+        self._spans = qp.sim.telemetry.spans
         self.stats_echoed = 0
         qp.sim.spawn(self._worker(), name="echo.tx")
 
@@ -51,14 +52,24 @@ class EchoApp:
         return self._pending.stats_dropped
 
     def _on_receive(self, data: bytes, cqe) -> None:
-        self._pending.try_put(data)
+        # Thread the trace context through the app queue alongside the
+        # enqueue time, so the worker can split app-queueing from the
+        # echo turnaround itself.
+        self._pending.try_put((data, cqe.trace_ctx, self.qp.sim.now))
 
     def _worker(self):
+        sim = self.qp.sim
         while True:
-            data = yield self._pending.get()
+            data, ctx, enqueued = yield self._pending.get()
+            started = sim.now
+            if ctx is not None and started > enqueued:
+                self._spans.record(ctx, "host.tx", enqueued, started,
+                                   kind="queue")
             packet = swap_directions(parse_frame(data))
             yield from self.qp.wait_for_tx_space()
-            self.qp.send(packet.to_bytes())
+            self.qp.send(packet.to_bytes(), trace_ctx=ctx)
+            if ctx is not None:
+                self._spans.record(ctx, "host.tx", started, sim.now)
             self.stats_echoed += 1
 
 
@@ -76,6 +87,7 @@ class LoadGenerator:
         self._seq = 0
         self.stats_sent = 0
         self.stats_received = 0
+        self._spans = sim.telemetry.spans
 
     def _make_frame(self, frame_size: int) -> bytes:
         packet = self.flow.make_sized_packet(frame_size)
@@ -88,6 +100,17 @@ class LoadGenerator:
         self._seq += 1
         return packet.to_bytes()
 
+    def _send_frame(self, frame_size: int) -> None:
+        """Build one stamped frame, start its trace and hand it to the QP."""
+        spans = self._spans
+        started = self.sim.now
+        ctx = (spans.start_trace(f"echo.seq{self._seq}", started)
+               if spans.enabled else None)
+        frame = self._make_frame(frame_size)
+        self.qp.send(frame, trace_ctx=ctx)
+        if ctx is not None:
+            spans.record(ctx, "host.tx", started, self.sim.now)
+
     def _on_receive(self, data: bytes, cqe) -> None:
         packet = parse_frame(data)
         if len(packet.payload) >= _SEQ_SIZE:
@@ -97,6 +120,8 @@ class LoadGenerator:
                 self.latency.add(self.sim.now - sent)
         self.stats_received += 1
         self.rx_meter.record(self.sim.now, len(data))
+        if cqe.trace_ctx is not None:
+            self._spans.end_trace(cqe.trace_ctx, self.sim.now)
 
     # -- traffic patterns --------------------------------------------------
 
@@ -108,7 +133,7 @@ class LoadGenerator:
         while sent < count:
             while outstanding < window and sent < count:
                 yield from self.qp.wait_for_tx_space()
-                self.qp.send(self._make_frame(frame_size))
+                self._send_frame(frame_size)
                 self.stats_sent += 1
                 sent += 1
                 outstanding += 1
@@ -133,7 +158,7 @@ class LoadGenerator:
         )
         for size in sizes:
             yield from self.qp.wait_for_tx_space()
-            self.qp.send(self._make_frame(size))
+            self._send_frame(size)
             self.stats_sent += 1
             if interval > 0:
                 yield self.sim.timeout(interval)

@@ -76,15 +76,18 @@ class NicConfig:
 class _RxItem:
     """One unit of work for a receive-queue worker."""
 
-    __slots__ = ("data", "flags", "context_id", "qpn", "rss_hash")
+    __slots__ = ("data", "flags", "context_id", "qpn", "rss_hash",
+                 "trace_ctx", "enqueued")
 
     def __init__(self, data: bytes, flags: int, context_id: int, qpn: int,
-                 rss_hash: int = 0):
+                 rss_hash: int = 0, trace_ctx=None, enqueued: float = 0.0):
         self.data = data
         self.flags = flags
         self.context_id = context_id
         self.qpn = qpn
         self.rss_hash = rss_hash
+        self.trace_ctx = trace_ctx
+        self.enqueued = enqueued
 
 
 class Nic(PcieEndpoint):
@@ -135,6 +138,7 @@ class Nic(PcieEndpoint):
         # guarded by its ``enabled`` flag at every use site.
         tele = sim.telemetry
         self._tracer = tele.tracer
+        self._spans = tele.spans
         self._ctr_tx_wqes = tele.counter(f"nic.{name}.tx.wqes")
         self._ctr_tx_bytes = tele.counter(f"nic.{name}.tx.bytes")
         self._ctr_rx_packets = tele.counter(f"nic.{name}.rx.packets")
@@ -150,7 +154,10 @@ class Nic(PcieEndpoint):
         fabric.attach(self, link_config)
         # Inbound RDMA WRITEs DMA straight to the target fabric address.
         self.rdma.dma_write = (
-            lambda va, data: self.fabric.post_write(self, va, data))
+            lambda va, data: self.fabric.post_write(
+                self, va, data,
+                trace_ctx=self.rdma.inbound_trace_ctx,
+                trace_stage="pcie.dma_write"))
 
     # ------------------------------------------------------------------
     # Control interface (firmware commands)
@@ -245,6 +252,9 @@ class Nic(PcieEndpoint):
             if sq is None:
                 raise PcieError(f"{self.name}: MMIO WQE for unknown SQ {qpn}")
             wqe = TxWqe.unpack(data)
+            # Re-attach the packet's trace context across the pack()
+            # boundary: the MMIO write TLP carried it side-band.
+            wqe.trace_ctx = self.fabric.inbound_trace_ctx()
             sq.push_mmio_wqe(wqe)
             sq.ring_doorbell(wqe.wqe_index + 1)
             return
@@ -297,29 +307,49 @@ class Nic(PcieEndpoint):
                     slot = index % sq.entries
                     burst = min(self.config.wqe_fetch_batch, sq.pi - index,
                                 sq.entries - slot)
+                    fetch_started = self.sim.now
                     raw = yield fabric.read(self, sq.slot_addr(index),
                                             burst * WQE_SIZE)
                     sq.stats_wqe_fetches += burst
+                    spans = self._spans
                     for i in range(burst):
-                        wqe_batch[index + i] = TxWqe.unpack(
+                        fetched = TxWqe.unpack(
                             raw[i * WQE_SIZE:(i + 1) * WQE_SIZE]
                         )
+                        if spans.enabled:
+                            # Ring-mode WQEs lose their context at
+                            # pack time; the producer stashed it under
+                            # the (nic, qpn, index) it rang for.
+                            fetched.trace_ctx = spans.claim(
+                                ("wqe", self.name, sq.qpn, index + i))
+                            spans.record(fetched.trace_ctx,
+                                         "pcie.wqe_fetch",
+                                         fetch_started, self.sim.now)
+                        wqe_batch[index + i] = fetched
                     wqe = wqe_batch.pop(index)
                 if wqe.byte_count > 0:
                     data_event = fabric.read(self, wqe.buffer_addr,
-                                             wqe.byte_count)
+                                             wqe.byte_count,
+                                             trace_ctx=wqe.trace_ctx,
+                                             trace_stage="pcie.dma_read")
                 else:
                     data_event = None
                 # Blocks when the pipeline window is full.
-                yield window.put((index, wqe, data_event))
+                yield window.put((index, wqe, data_event, self.sim.now))
 
     def _sq_tx_stage(self, sq: SendQueue, window: Store):
         """Transmit stage: consume fetched WQEs in order and send."""
         tracer = self._tracer
+        spans = self._spans
         while True:
-            index, wqe, data_event = yield window.get()
+            index, wqe, data_event, enqueued = yield window.get()
             started = self.sim.now
+            ctx = wqe.trace_ctx
+            if ctx is not None:
+                spans.record(ctx, "nic.tx", enqueued, started,
+                             kind="queue")
             data = (yield data_event) if data_event is not None else b""
+            service_started = self.sim.now
             yield self.sim.timeout(self.config.processing_delay)
             sq.stats_wqes += 1
             self._ctr_tx_wqes.inc()
@@ -328,6 +358,9 @@ class Nic(PcieEndpoint):
             if meter is not None and self.shaper.has_limiter(meter):
                 delay = self.shaper.delay_for(meter, len(data) * 8)
                 if delay > 0:
+                    if ctx is not None:
+                        spans.record(ctx, "nic.shaper", self.sim.now,
+                                     self.sim.now + delay, kind="queue")
                     yield self.sim.timeout(delay)
                 self.shaper.consume(meter, len(data) * 8)
             if sq.transport == SendQueue.TRANSPORT_RC:
@@ -339,10 +372,14 @@ class Nic(PcieEndpoint):
             else:
                 self._transmit_eth(sq, wqe, data)
                 if wqe.signaled:
-                    self._post_cqe(sq.cq, Cqe(
+                    completion = Cqe(
                         CQE_SEND_COMPLETION, sq.qpn, index,
                         wqe.byte_count,
-                    ))
+                    )
+                    completion.trace_ctx = ctx
+                    self._post_cqe(sq.cq, completion)
+            if ctx is not None:
+                spans.record(ctx, "nic.tx", service_started, self.sim.now)
             if tracer.enabled:
                 tracer.complete(f"nic.{self.name}", f"sq{sq.qpn}", "wqe",
                                 started, self.sim.now,
@@ -360,6 +397,8 @@ class Nic(PcieEndpoint):
         resume_id = wqe.context_id >> 16
         for packet in packets:
             packet.meta["context_id"] = wqe.context_id & 0xFFFF
+            if wqe.trace_ctx is not None:
+                packet.meta["trace_ctx"] = wqe.trace_ctx
             if resume_id and resume_id in self._resume_tables:
                 # FLD-E return path: resume steering mid-pipeline (§5.3).
                 table = self._resume_tables[resume_id]
@@ -396,7 +435,9 @@ class Nic(PcieEndpoint):
             resume_id = self._resume_id_for(disposition.next_table)
             context |= resume_id << 16
         item = _RxItem(packet.to_bytes(), flags, context, rq.rqn,
-                       packet.meta.get("rss_hash", 0))
+                       packet.meta.get("rss_hash", 0),
+                       trace_ctx=packet.meta.get("trace_ctx"),
+                       enqueued=self.sim.now)
         if not self._rx_inbox[rq.rqn].try_put(item):
             self.stats_rx_dropped_inbox += 1
             self._ctr_drop_inbox.inc()
@@ -410,9 +451,14 @@ class Nic(PcieEndpoint):
     def _rq_worker(self, rq: ReceiveQueue, inbox: Store):
         fabric = self.fabric
         tracer = self._tracer
+        spans = self._spans
         while True:
             item = yield inbox.get()
             started = self.sim.now
+            ctx = item.trace_ctx
+            if ctx is not None:
+                spans.record(ctx, "nic.rx", item.enqueued, started,
+                             kind="queue")
             yield self.sim.timeout(self.config.processing_delay)
             if isinstance(rq, MultiPacketReceiveQueue):
                 placement = rq.place(len(item.data))
@@ -451,7 +497,11 @@ class Nic(PcieEndpoint):
                 stride_index = 0
             self._ctr_rx_packets.inc()
             self._ctr_rx_bytes.inc(len(item.data))
-            write_done = fabric.post_write(self, address, item.data)
+            if ctx is not None:
+                spans.record(ctx, "nic.rx", started, self.sim.now)
+            write_done = fabric.post_write(self, address, item.data,
+                                           trace_ctx=ctx,
+                                           trace_stage="pcie.dma_write")
             if tracer.enabled:
                 tracer.complete(f"nic.{self.name}", f"rq{rq.rqn}",
                                 "rx_packet", started, self.sim.now,
@@ -461,6 +511,7 @@ class Nic(PcieEndpoint):
                 flags=item.flags, rss_hash=item.rss_hash,
                 flow_tag=item.context_id, stride_index=stride_index,
             )
+            cqe.trace_ctx = ctx
             # The CQE is ordered after the data write (PCIe posted-write
             # ordering) but the worker moves on — writes pipeline.
             write_done.add_callback(
@@ -497,15 +548,22 @@ class Nic(PcieEndpoint):
 
     def _rdma_deliver(self, qp: RcQp, payload: bytes, flags: int,
                       context: int, first: bool, last: bool) -> None:
-        item = _RxItem(payload, flags, context, qp.qpn)
+        # The deliver callback's signature is frozen (tests construct
+        # plain 6-arg callables), so the engine exposes the delivered
+        # segment's trace context as a transient attribute instead.
+        item = _RxItem(payload, flags, context, qp.qpn,
+                       trace_ctx=self.rdma.inbound_trace_ctx,
+                       enqueued=self.sim.now)
         if not self._rx_inbox[qp.rq.rqn].try_put(item):
             self.stats_rx_dropped_inbox += 1
 
     def _rdma_complete_send(self, qp: RcQp, wqe: TxWqe) -> None:
         if wqe.signaled:
-            self._post_cqe(qp.sq.cq, Cqe(
+            completion = Cqe(
                 CQE_SEND_COMPLETION, qp.qpn, wqe.wqe_index, wqe.byte_count,
-            ))
+            )
+            completion.trace_ctx = wqe.trace_ctx
+            self._post_cqe(qp.sq.cq, completion)
 
     # ------------------------------------------------------------------
     # Completion writes
@@ -517,7 +575,9 @@ class Nic(PcieEndpoint):
         if tracer.enabled:
             tracer.instant(f"nic.{self.name}", f"cq{cq.cqn}",
                            f"cqe:{cqe.opcode}", self.sim.now)
-        done = self.fabric.post_write(self, cq.next_slot(), cqe.pack())
+        done = self.fabric.post_write(self, cq.next_slot(), cqe.pack(),
+                                      trace_ctx=cqe.trace_ctx,
+                                      trace_stage="pcie.cqe_write")
         done.add_callback(lambda _event: cq.notify.try_put(cqe))
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ class EthernetPort:
         self.on_receive: Optional[Callable[[Packet], None]] = None
         self.stats_tx_packets = 0
         self.stats_rx_packets = 0
+        self._spans = sim.telemetry.spans
 
     def connect(self, peer: "EthernetPort") -> None:
         """Connect both directions of a back-to-back cable."""
@@ -37,10 +38,21 @@ class EthernetPort:
 
     def send(self, packet: Packet) -> None:
         self.stats_tx_packets += 1
+        if self._spans.enabled and "trace_ctx" in packet.meta:
+            # Stamp serialization start; the receiving port closes the
+            # span.  Retransmitted copies carry their own stamp (meta is
+            # copied per frame), so every wire crossing is recorded.
+            packet.meta["trace_wire_t0"] = self.sim.now
         self.link.send(packet, packet.wire_size() * 8)
 
     def _receive(self, packet: Packet) -> None:
         self.stats_rx_packets += 1
+        if self._spans.enabled:
+            ctx = packet.meta.get("trace_ctx")
+            if ctx is not None:
+                t0 = packet.meta.pop("trace_wire_t0", None)
+                if t0 is not None:
+                    self._spans.record(ctx, "wire", t0, self.sim.now)
         if self.on_receive is not None:
             self.on_receive(packet)
 

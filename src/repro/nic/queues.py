@@ -72,6 +72,10 @@ class SendQueue:
         self.pi = 0            # producer index, advanced by doorbells
         self.ci = 0            # consumer index, advanced by the NIC
         self.doorbell = Store(sim, name=f"sq{qpn}.doorbell")
+        # Peak outstanding-WQE depth (the gauge records its high-water
+        # mark); refreshed at each doorbell, the producer-side event.
+        self._depth_gauge = (sim.telemetry.gauge(f"sq{qpn}.outstanding")
+                             if sim.telemetry.enabled else None)
         # WQEs pushed by MMIO (WQE-by-MMIO / BlueFlame): index -> WQE.
         self.mmio_wqes: Dict[int, TxWqe] = {}
         self.stats_doorbells = 0
@@ -92,6 +96,8 @@ class SendQueue:
             raise QueueError(f"SQ {self.qpn} overflow: pi={new_pi} ci={self.ci}")
         self.pi = new_pi
         self.stats_doorbells += 1
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(self.outstanding)
         self.doorbell.try_put(new_pi)
 
     def push_mmio_wqe(self, wqe: TxWqe) -> None:
@@ -125,6 +131,8 @@ class ReceiveQueue:
         self.ci = 0
         self.stats_packets = 0
         self.stats_drops_no_desc = 0
+        self._avail_gauge = (sim.telemetry.gauge(f"rq{rqn}.posted")
+                             if sim.telemetry.enabled else None)
 
     def slot_addr(self, index: int) -> int:
         return self.ring_addr + (index % self.entries) * RX_DESC_SIZE
@@ -134,6 +142,8 @@ class ReceiveQueue:
         if self.pi + count - self.ci > self.entries:
             raise QueueError(f"RQ {self.rqn} overposted")
         self.pi += count
+        if self._avail_gauge is not None:
+            self._avail_gauge.set(self.available)
 
     @property
     def available(self) -> int:

@@ -69,7 +69,7 @@ class RdmaError(RuntimeError):
 class _Segment:
     """One outstanding (unacked) transmit segment."""
 
-    __slots__ = ("frame", "wqe", "is_last", "sent_at")
+    __slots__ = ("frame", "wqe", "is_last", "sent_at", "span_id")
 
     def __init__(self, frame: Packet, wqe: TxWqe, is_last: bool,
                  sent_at: float):
@@ -77,6 +77,8 @@ class _Segment:
         self.wqe = wqe
         self.is_last = is_last
         self.sent_at = sent_at
+        # Open "rdma" span handle, closed when the last segment is acked.
+        self.span_id = None
 
 
 class RcQp:
@@ -167,6 +169,12 @@ class RdmaEngine:
         self._ctr_acks_sent = tele.counter(f"{name}.acks_sent")
         self._ctr_acks_received = tele.counter(f"{name}.acks_received")
         self._ctr_injected_drops = tele.counter(f"{name}.injected_drops")
+        self._spans = tele.spans
+        # Trace context of the inbound segment currently being delivered.
+        # ``deliver_segment`` and ``dma_write`` have frozen signatures
+        # (tests install plain lambdas), so the context travels out-of-band:
+        # the owning device reads this attribute inside those callbacks.
+        self.inbound_trace_ctx = None
 
     # -- memory registration ------------------------------------------------
 
@@ -176,6 +184,16 @@ class RdmaEngine:
         self._regions[region.rkey] = region
         self._next_rkey += 1
         return region
+
+    # -- aggregate transport stats (the invariant auditor reads these) ------
+
+    @property
+    def segments_sent(self) -> int:
+        return sum(qp.stats_sent_segments for qp in self.qps.values())
+
+    @property
+    def retransmits(self) -> int:
+        return sum(qp.stats_retransmits for qp in self.qps.values())
 
     def deregister_mr(self, rkey: int) -> None:
         self._regions.pop(rkey, None)
@@ -213,6 +231,8 @@ class RdmaEngine:
         if not chunks:
             chunks = [b""]
         total = len(chunks)
+        ctx = wqe.trace_ctx if wqe is not None else None
+        rdma_span = self._spans.enter(ctx, "rdma", self.sim.now)
         for index, chunk in enumerate(chunks):
             first, last = index == 0, index == total - 1
             frame = self._build_frame(
@@ -221,6 +241,8 @@ class RdmaEngine:
                 total_length=len(data),
             )
             segment = _Segment(frame, wqe, last, self.sim.now)
+            if last:
+                segment.span_id = rdma_span
             qp.outstanding[qp.next_psn] = segment
             qp.next_psn = (qp.next_psn + 1) & 0xFFFFFF
             qp.stats_sent_segments += 1
@@ -253,6 +275,10 @@ class RdmaEngine:
         packet.push(Ethernet(qp.local_mac, qp.remote_mac))
         if wqe is not None:
             packet.meta["context_id"] = wqe.context_id
+            if wqe.trace_ctx is not None:
+                # Ride the frame's metadata so retransmitted copies
+                # (Packet.copy preserves meta) stay on the original trace.
+                packet.meta["trace_ctx"] = wqe.trace_ctx
         return packet
 
     def _arm_retransmit_timer(self, qp: RcQp) -> None:
@@ -272,10 +298,14 @@ class RdmaEngine:
 
     def _retransmit(self, qp: RcQp) -> None:
         """Go-back-N: resend every outstanding segment."""
+        spans = self._spans
         for psn, segment in qp.outstanding.items():
             segment.sent_at = self.sim.now
             qp.stats_retransmits += 1
             self._ctr_retransmits.inc()
+            ctx = segment.frame.meta.get("trace_ctx")
+            if ctx is not None:
+                spans.event(ctx, f"rdma.retransmit:psn={psn}", self.sim.now)
             self._egress_frame(qp, segment.frame.copy())
 
     # -- receive ----------------------------------------------------------
@@ -335,7 +365,11 @@ class RdmaEngine:
         self._ctr_segments_received.inc()
         qp.stats_writes_received += 1
         if self.dma_write is not None and payload:
-            self.dma_write(qp.write_cursor, payload)
+            self.inbound_trace_ctx = packet.meta.get("trace_ctx")
+            try:
+                self.dma_write(qp.write_cursor, payload)
+            finally:
+                self.inbound_trace_ctx = None
         qp.write_cursor += len(payload)
         if bth.is_last:
             qp.received_msn = (qp.received_msn + 1) & 0xFFFFFF
@@ -361,8 +395,12 @@ class RdmaEngine:
         payload = packet.payload[:-ICRC_SIZE] if len(packet.payload) >= ICRC_SIZE else b""
         flags = CQE_FLAG_MSG_LAST if bth.is_last else 0
         context = packet.meta.get("context_id", 0)
-        self.deliver_segment(qp, payload, flags, context,
-                             first=bth.is_first, last=bth.is_last)
+        self.inbound_trace_ctx = packet.meta.get("trace_ctx")
+        try:
+            self.deliver_segment(qp, payload, flags, context,
+                                 first=bth.is_first, last=bth.is_last)
+        finally:
+            self.inbound_trace_ctx = None
         if bth.ack_request or bth.is_last:
             self._send_ack(qp)
 
@@ -394,5 +432,7 @@ class RdmaEngine:
             if delta >= (1 << 23):
                 break  # psn is after acked_psn
             segment = qp.outstanding.pop(psn)
+            if segment.span_id is not None:
+                self._spans.exit(segment.span_id, self.sim.now)
             if segment.is_last and segment.wqe is not None:
                 self.complete_send(qp, segment.wqe)

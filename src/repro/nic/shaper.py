@@ -28,6 +28,9 @@ class Shaper:
         # Per-meter telemetry counters (no-op singletons when disabled).
         self._ctr_dropped: Dict[str, object] = {}
         self._ctr_passed: Dict[str, object] = {}
+        # Per-meter shaping-delay histograms: the distribution of how long
+        # conforming traffic had to wait for tokens (0 = admitted at once).
+        self._hist_delay: Dict[str, object] = {}
 
     def add_limiter(self, name: str, rate_bps: float,
                     burst_bits: Optional[float] = None) -> None:
@@ -45,6 +48,7 @@ class Shaper:
         tele = self.sim.telemetry
         self._ctr_dropped[name] = tele.counter(f"shaper.{name}.dropped")
         self._ctr_passed[name] = tele.counter(f"shaper.{name}.passed")
+        self._hist_delay[name] = tele.histogram(f"shaper.{name}.delay")
 
     def remove_limiter(self, name: str) -> None:
         self._buckets.pop(name, None)
@@ -70,7 +74,9 @@ class Shaper:
         bucket = self._buckets.get(name)
         if bucket is None:
             return 0.0
-        return bucket.delay_for(bits)
+        delay = bucket.delay_for(bits)
+        self._hist_delay[name].observe(delay)
+        return delay
 
     def consume(self, name: str, bits: float) -> None:
         bucket = self._buckets.get(name)

@@ -68,7 +68,7 @@ class TxWqe:
 
     __slots__ = ("opcode", "flags", "wqe_index", "qpn", "buffer_addr",
                  "byte_count", "lkey", "context_id", "ack_req",
-                 "remote_addr", "rkey", "mss")
+                 "remote_addr", "rkey", "mss", "trace_ctx")
 
     def __init__(self, opcode: int, qpn: int, wqe_index: int,
                  buffer_addr: int, byte_count: int, flags: int = 0,
@@ -88,6 +88,10 @@ class TxWqe:
         self.rkey = rkey
         # Maximum segment size for LSO/TSO work requests.
         self.mss = mss
+        # Span trace context (sim-only side band, never serialized):
+        # re-attached after pack()/unpack() via the PCIe inbound-context
+        # bridge or the span recorder's stash/claim registry.
+        self.trace_ctx = None
 
     @property
     def signaled(self) -> bool:
@@ -168,7 +172,8 @@ class Cqe:
     _PACKED = struct.calcsize(_FORMAT)
 
     __slots__ = ("opcode", "flags", "wqe_counter", "qpn", "byte_count",
-                 "rss_hash", "flow_tag", "stride_index", "owner", "syndrome")
+                 "rss_hash", "flow_tag", "stride_index", "owner", "syndrome",
+                 "trace_ctx")
 
     def __init__(self, opcode: int, qpn: int, wqe_counter: int,
                  byte_count: int, flags: int = 0, rss_hash: int = 0,
@@ -184,6 +189,9 @@ class Cqe:
         self.stride_index = stride_index
         self.owner = owner
         self.syndrome = syndrome
+        # Sim-only span trace context; lost by pack(), re-attached by
+        # whoever unpacks (see repro.telemetry.spans).
+        self.trace_ctx = None
 
     @property
     def l4_ok(self) -> bool:

@@ -88,6 +88,16 @@ class PcieFabric:
         self._bars: List[Bar] = []
         self._pending_reads: Dict[int, dict] = {}
         self.stats_tlps: Dict[str, int] = {}
+        self._spans = sim.telemetry.spans
+        # The trace context of the MEM_WRITE currently being delivered;
+        # endpoints may claim it inside handle_write to re-associate a
+        # packed descriptor with its packet (object identity dies at
+        # the byte boundary).
+        self._inbound_ctx = None
+
+    def inbound_trace_ctx(self):
+        """Context of the write TLP being delivered right now (or None)."""
+        return self._inbound_ctx
 
     # -- topology ---------------------------------------------------------
 
@@ -131,11 +141,15 @@ class PcieFabric:
     # -- transactions -------------------------------------------------------
 
     def post_write(self, requester: PcieEndpoint, address: int,
-                   data: bytes = None, length: int = None) -> Event:
+                   data: bytes = None, length: int = None,
+                   trace_ctx=None, trace_stage: str = "pcie.write") -> Event:
         """A posted memory write; the event fires when the last TLP lands.
 
         Pass ``data`` for functional writes or just ``length`` for
-        timing-only traffic.
+        timing-only traffic.  With ``trace_ctx`` the write is recorded
+        as a ``trace_stage`` span on the packet's trace, and the
+        context rides the TLPs so the receiving endpoint can claim it
+        (``inbound_trace_ctx``) across the byte boundary.
         """
         port = self.port_of(requester)
         if data is None and length is None:
@@ -146,17 +160,21 @@ class PcieFabric:
         cursor = 0
         chunks = split_write_bytes(total, mps) or [0]
         remaining = len(chunks)
+        span_id = self._spans.enter(trace_ctx, trace_stage, self.sim.now)
 
         for chunk in chunks:
             payload = data[cursor:cursor + chunk] if data is not None else None
             tlp = Tlp(TlpType.MEM_WRITE, address + cursor, chunk, payload,
                       requester=requester.name)
+            tlp.trace_ctx = trace_ctx
             cursor += chunk
 
             def finish(_=None):
                 nonlocal remaining
                 remaining -= 1
                 if remaining == 0:
+                    if span_id is not None:
+                        self._spans.exit(span_id, self.sim.now)
                     done.succeed()
 
             tlp.meta["on_delivered"] = finish
@@ -164,7 +182,8 @@ class PcieFabric:
         return done
 
     def read(self, requester: PcieEndpoint, address: int,
-             length: int) -> Event:
+             length: int, trace_ctx=None,
+             trace_stage: str = "pcie.read") -> Event:
         """A memory read; the event fires with the data bytes."""
         if length <= 0:
             raise PcieError("read length must be positive")
@@ -172,12 +191,18 @@ class PcieFabric:
         done = Event(self.sim)
         request = Tlp(TlpType.MEM_READ, address, length,
                       requester=requester.name)
+        request.trace_ctx = trace_ctx
         self._pending_reads[request.tag] = {
             "event": done,
             "requester": requester.name,
             "chunks": [],
             "remaining": None,
         }
+        if trace_ctx is not None:
+            span_id = self._spans.enter(trace_ctx, trace_stage,
+                                        self.sim.now)
+            done.add_callback(
+                lambda _event: self._spans.exit(span_id, self.sim.now))
         self._send(port, request)
         return done
 
@@ -207,7 +232,14 @@ class PcieFabric:
             bar = tlp.meta["bar"]
             offset = tlp.address - bar.base
             if tlp.data is not None:
-                bar.endpoint.handle_write(offset, tlp.data)
+                # Expose the TLP's trace context for the duration of the
+                # handler so the endpoint can re-attach it to whatever
+                # object it unpacks from the payload bytes.
+                self._inbound_ctx = tlp.meta.get("trace_ctx")
+                try:
+                    bar.endpoint.handle_write(offset, tlp.data)
+                finally:
+                    self._inbound_ctx = None
             on_delivered = tlp.meta.get("on_delivered")
             if on_delivered:
                 on_delivered()

@@ -63,6 +63,16 @@ class Tlp:
         self.completer = completer
         self.meta = {}
 
+    @property
+    def trace_ctx(self):
+        """Span trace context riding this TLP (None when untraced)."""
+        return self.meta.get("trace_ctx")
+
+    @trace_ctx.setter
+    def trace_ctx(self, ctx) -> None:
+        if ctx is not None:
+            self.meta["trace_ctx"] = ctx
+
     def wire_bytes(self) -> int:
         """Bytes this single TLP occupies on the link."""
         if self.kind is TlpType.MEM_READ:

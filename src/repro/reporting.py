@@ -312,6 +312,28 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--metrics", default=None, metavar="PATH",
                        help="also dump the metrics registry as JSON")
     _add_sweep_options(trace)
+
+    latency = sub.add_parser(
+        "latency",
+        help="run one experiment with span tracing; print the "
+             "per-stage latency attribution (Table-6 style)")
+    latency.add_argument("experiment",
+                         help="experiment to attribute (see --list)")
+    latency.add_argument("-o", "--json", default=None, metavar="PATH",
+                         help="also write the report, violations and "
+                              "span trees as JSON")
+    latency.add_argument("--count", type=int, default=None,
+                         help="override the experiment's packet count")
+    latency.add_argument("--size", type=int, default=None,
+                         help="override the frame size in bytes")
+    latency.add_argument("--sample-rate", type=int, default=1,
+                         metavar="N", help="trace one in every N packets "
+                                           "(default: every packet)")
+    latency.add_argument("--sweep", action="store_true",
+                         help="merge attribution across the experiment's "
+                              "standard sweep via the result cache "
+                              "(approximate log2-bucket percentiles)")
+    _add_sweep_options(latency)
     return parser
 
 
@@ -381,12 +403,69 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from .telemetry.latency import render_report
+    from .telemetry.runner import (
+        latency_experiments,
+        run_latency,
+        run_latency_sweep,
+    )
+    if args.sweep:
+        cache_dir = None
+        if not args.no_cache:
+            cache_dir = default_cache(args.cache_dir).directory
+        try:
+            summary = run_latency_sweep(args.experiment, jobs=args.jobs,
+                                        cache_dir=cache_dir,
+                                        count=args.count)
+        except ValueError as exc:
+            print(exc)
+            return 2
+        print(render_report(
+            summary["report"],
+            title=f"Latency attribution: {args.experiment} sweep "
+                  f"(merged across {summary['points']} points)"))
+        print(f"sweep: {summary['points']} points, "
+              f"{summary['computed']} simulated, "
+              f"{summary['cache_hits']} cached", file=sys.stderr)
+        return 0
+    try:
+        summary = run_latency(args.experiment, count=args.count,
+                              size=args.size,
+                              sample_rate=args.sample_rate,
+                              json_output=args.json)
+    except ValueError:
+        known = latency_experiments()
+        print(f"unknown experiment {args.experiment!r}; choose from:")
+        for name, description in known.items():
+            print(f"  {name:12s} {description}")
+        return 2
+    print(render_report(
+        summary["report"],
+        title=f"Latency attribution: {args.experiment}"))
+    violations = summary["violations"]
+    if violations:
+        print(f"\n{len(violations)} invariant violation(s):")
+        for violation in violations:
+            print(f"  [{violation['rule']}] {violation['subject']}: "
+                  f"{violation['detail']}")
+    else:
+        print("\ninvariant audit: clean")
+    if args.json:
+        print(f"json report: {args.json}")
+    return 1 if violations else 0
+
+
 def _print_listing() -> None:
-    from .telemetry.runner import traceable_experiments
+    from .telemetry.runner import latency_experiments, \
+        traceable_experiments
     print("analytical sections: " + ", ".join(ANALYTICAL))
     print("simulated sections:  " + ", ".join(SIMULATED))
     print("traceable experiments (python -m repro trace <name> -o t.json):")
     for name, description in traceable_experiments().items():
+        print(f"  {name:12s} {description}")
+    print("latency attribution (python -m repro latency <name>):")
+    for name, description in latency_experiments().items():
         print(f"  {name:12s} {description}")
 
 
@@ -420,8 +499,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # keep working: anything that does not lead with a subcommand or a
     # global flag takes the legacy flat path.
     leading = argv[0] if argv else ""
-    if leading not in ("tables", "figures", "trace", "--list", "-h",
-                      "--help"):
+    if leading not in ("tables", "figures", "trace", "latency", "--list",
+                       "-h", "--help"):
         return _legacy_main(argv)
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -436,5 +515,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                           _make_context(args))
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "latency":
+        return _cmd_latency(args)
     parser.print_help()
     return 0

@@ -250,12 +250,17 @@ class Store:
         self.stats_put = 0
         self.stats_dropped = 0
         self.stats_max_depth = 0
-        # Depth gauge only exists when telemetry is live; disabled
-        # simulations pay a single None check per delivery.
-        self._depth_gauge = (
-            sim.telemetry.gauge(f"store.{name}.depth")
-            if (sim.telemetry.enabled and name) else None
-        )
+        # Depth gauge and queue-wait histogram only exist when telemetry
+        # is live; disabled simulations pay a single None check per
+        # delivery.  The wait histogram is what splits queueing from
+        # service time in latency attribution reports.
+        if sim.telemetry.enabled and name:
+            self._depth_gauge = sim.telemetry.gauge(f"store.{name}.depth")
+            self._wait_hist = sim.telemetry.histogram(f"store.{name}.wait")
+            self._enqueued: List[float] = []
+        else:
+            self._depth_gauge = None
+            self._wait_hist = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -287,6 +292,9 @@ class Store:
         event = Event(self.sim)
         if self._items:
             event.succeed(self._items.pop(0))
+            if self._wait_hist is not None:
+                self._wait_hist.observe(
+                    self.sim.now - self._enqueued.pop(0))
             self._admit_waiting_putter()
             if self._depth_gauge is not None:
                 self._depth_gauge.set(len(self._items))
@@ -299,6 +307,8 @@ class Store:
         if not self._items:
             return None
         item = self._items.pop(0)
+        if self._wait_hist is not None:
+            self._wait_hist.observe(self.sim.now - self._enqueued.pop(0))
         self._admit_waiting_putter()
         if self._depth_gauge is not None:
             self._depth_gauge.set(len(self._items))
@@ -308,9 +318,13 @@ class Store:
         self.stats_put += 1
         if self._getters:
             self._getters.pop(0).succeed(item)
+            if self._wait_hist is not None:
+                self._wait_hist.observe(0.0)
         else:
             self._items.append(item)
             self.stats_max_depth = max(self.stats_max_depth, len(self._items))
+            if self._wait_hist is not None:
+                self._enqueued.append(self.sim.now)
         if self._depth_gauge is not None:
             self._depth_gauge.set(len(self._items))
 

@@ -65,6 +65,9 @@ class FldRuntime:
                 lanes=8, latency=getattr(node, "pcie_latency", 300e-9)),
         )
         node.fabric.map_window(fld_bar_base, fld_bar.FLD_BAR_SIZE, self.fld)
+        # Doorbell-mode span contexts are stashed under the NIC's name so
+        # its WQE fetch loop can claim them (see repro.telemetry.spans).
+        self.fld.tx.trace_scope = self.nic.name
         self._next_tx_queue = 0
         self._next_rx_binding = 0
 

@@ -18,7 +18,9 @@ from typing import Any, Callable, Dict, Optional
 #: Bump when the meaning of cached results changes (result schema,
 #: seeding scheme, calibration defaults).  Combined with the package
 #: version so releases invalidate stale caches automatically.
-SWEEP_SCHEMA_VERSION = 1
+#: v2: telemetry mode joined the cache key (a metrics-only entry no
+#: longer satisfies a span-instrumented request).
+SWEEP_SCHEMA_VERSION = 2
 
 
 class SweepError(RuntimeError):
@@ -48,12 +50,17 @@ def canonical_params(params: Dict[str, Any]) -> str:
 
 
 def cache_key(experiment: str, target: str, params: Dict[str, Any],
-              version: Optional[str] = None) -> str:
+              version: Optional[str] = None,
+              telemetry: Any = False) -> str:
     """The content address of one sweep point.
 
     sha256 over (experiment, target, canonical params, repro version,
-    sweep schema version).  Any change to the parameters or to the code
-    version yields a new key; reordering the params dict does not.
+    sweep schema version, telemetry mode).  Any change to the
+    parameters or to the code version yields a new key; reordering the
+    params dict does not.  The telemetry mode is part of the key
+    because it changes what the cached entry *contains*: a point run
+    without span tracing must not satisfy a ``telemetry="spans"``
+    request whose merged report depends on the ``spans.*`` histograms.
     """
     version = version if version is not None else _repro_version()
     payload = "\x00".join([
@@ -62,6 +69,7 @@ def cache_key(experiment: str, target: str, params: Dict[str, Any],
         canonical_params(params),
         str(version),
         str(SWEEP_SCHEMA_VERSION),
+        str(telemetry),
     ])
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -109,20 +117,23 @@ class SweepPoint:
     ``params``
         Keyword arguments for the target; must round-trip through JSON.
     ``telemetry``
-        When True the runner constructs a metrics-only
+        When truthy the runner constructs a metrics-only
         :class:`~repro.telemetry.sink.Telemetry`, passes it as the
         ``telemetry=`` kwarg, and merges the export into the sweep's
         registry (cached alongside the result, so warm runs merge too).
+        The string ``"spans"`` additionally turns on per-packet span
+        tracing, so the export carries the ``spans.stage.*``
+        attribution histograms (``python -m repro latency --sweep``).
     """
 
     experiment: str
     target: str
     params: Dict[str, Any] = field(default_factory=dict)
-    telemetry: bool = False
+    telemetry: Any = False
 
     def key(self, version: Optional[str] = None) -> str:
         return cache_key(self.experiment, self.target, self.params,
-                         version)
+                         version, telemetry=self.telemetry)
 
     def seed(self, version: Optional[str] = None) -> int:
         return point_seed(self.key(version))

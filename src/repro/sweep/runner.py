@@ -40,7 +40,11 @@ def _execute_point(point: SweepPoint) -> Tuple[Any, Optional[Dict]]:
     telemetry = None
     if point.telemetry:
         from ..telemetry.sink import Telemetry
-        telemetry = Telemetry(trace=False)
+        # "spans" turns on per-packet span trees; finished traces feed
+        # spans.* histograms in the registry, so the export (and hence
+        # the cache entry) carries the latency attribution.
+        telemetry = Telemetry(trace=False,
+                              spans=(point.telemetry == "spans"))
         kwargs["telemetry"] = telemetry
     # Deterministic per-point seeding: the global RNG is the only
     # simulator-visible nondeterminism (e.g. Flow IP idents), and it is

@@ -9,7 +9,12 @@ Three pieces:
   instants against the simulator clock, exported as Chrome
   ``chrome://tracing`` / Perfetto JSON;
 * :mod:`repro.telemetry.sink` — the :class:`Telemetry` bundle and the
-  :data:`NULL_TELEMETRY` fast path used when telemetry is off.
+  :data:`NULL_TELEMETRY` fast path used when telemetry is off;
+* :mod:`repro.telemetry.spans` — causal per-packet span trees
+  (:class:`SpanRecorder`) for latency attribution, with
+  :mod:`repro.telemetry.latency` building Table-6-style per-stage
+  reports and :mod:`repro.telemetry.audit` checking runtime invariants
+  (orphaned spans, credit/buffer leaks, retransmit storms).
 
 Usage: build a :class:`Telemetry`, hand it to the simulator, and every
 instrumented component lights up::
@@ -29,6 +34,16 @@ it depends on the experiment layer, while this package must stay
 importable from the simulation core.)
 """
 
+from .audit import (
+    AuditError,
+    Violation,
+    assert_clean,
+    audit_all,
+    audit_fld,
+    audit_nic,
+    audit_spans,
+)
+from .latency import build_report, render_report, report_from_registry
 from .metrics import (
     Counter,
     Gauge,
@@ -36,6 +51,15 @@ from .metrics import (
     MetricsError,
     MetricsRegistry,
     Snapshot,
+)
+from .spans import (
+    NULL_SPANS,
+    NullSpanRecorder,
+    Span,
+    SpanRecorder,
+    Trace,
+    TraceContext,
+    attribute_trace,
 )
 from .sink import (
     NULL_COUNTER,
@@ -50,6 +74,7 @@ from .sink import (
 from .trace import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
+    "AuditError",
     "Counter",
     "Gauge",
     "Histogram",
@@ -59,12 +84,28 @@ __all__ = [
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "NULL_REGISTRY",
+    "NULL_SPANS",
     "NULL_TELEMETRY",
     "NULL_TRACER",
     "NullRegistry",
+    "NullSpanRecorder",
     "NullTelemetry",
     "NullTracer",
     "Snapshot",
+    "Span",
+    "SpanRecorder",
     "Telemetry",
+    "Trace",
+    "TraceContext",
     "Tracer",
+    "Violation",
+    "assert_clean",
+    "attribute_trace",
+    "audit_all",
+    "audit_fld",
+    "audit_nic",
+    "audit_spans",
+    "build_report",
+    "render_report",
+    "report_from_registry",
 ]

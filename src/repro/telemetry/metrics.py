@@ -118,6 +118,9 @@ class Histogram:
 
         Resolution is the bucket width (a factor of two), which is the
         usual trade histograms like HdrHistogram's coarse mode make.
+        The estimate is clamped to the observed ``[min, max]`` range so
+        degenerate cases (one sample, all samples equal) come back
+        exact, and extreme percentiles never escape the data.
         """
         if not 0.0 <= pct <= 100.0:
             raise MetricsError(f"percentile {pct} outside [0, 100]")
@@ -126,14 +129,18 @@ class Histogram:
         rank = pct / 100.0 * self.count
         seen = self.underflow
         if rank <= seen:
-            return min(0.0, self.min if self.min is not None else 0.0)
+            if self.underflow:
+                return min(0.0, self.min)
+            # pct == 0 of an all-positive histogram: the observed min.
+            return self.min
         for exponent in sorted(self.buckets):
             in_bucket = self.buckets[exponent]
             if rank <= seen + in_bucket:
                 low = 2.0 ** (exponent - 1)
                 high = 2.0 ** exponent
                 frac = (rank - seen) / in_bucket
-                return low + (high - low) * frac
+                estimate = low + (high - low) * frac
+                return min(max(estimate, self.min), self.max)
             seen += in_bucket
         return self.max if self.max is not None else 0.0
 

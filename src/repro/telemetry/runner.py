@@ -14,7 +14,7 @@ import it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .sink import Telemetry
 
@@ -92,4 +92,212 @@ def run_traced(experiment: str, output: str,
         "trace_dropped": telemetry.tracer.dropped,
         "metrics": len(telemetry.metrics),
         "output": output,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Latency attribution (``python -m repro latency <experiment>``)
+# ---------------------------------------------------------------------------
+#
+# Unlike ``run_traced``, these runners build the experiment setup
+# themselves instead of calling :mod:`repro.experiments.echo`'s entry
+# points: the invariant auditor needs live handles on the FLD cores and
+# NICs after quiesce, and the experiment functions only return result
+# rows.  The simulation driven here is the same one those entry points
+# run.
+
+
+def _drive(sim, process, until: float) -> None:
+    sim.spawn(process)
+    sim.run(until=until)
+
+
+def _echo_setup(telemetry: Telemetry, mode: str):
+    from ..experiments.setups import Calibration, cpu_echo_remote, \
+        flde_echo_remote
+    from ..sim import Simulator
+    sim = Simulator(telemetry=telemetry)
+    cal = Calibration()
+    if mode == "flde":
+        setup = flde_echo_remote(sim, cal)
+        flds = [setup.runtime.fld]
+    elif mode == "flde-forwarding":
+        setup = flde_echo_remote(sim, cal, units=4)
+        flds = [setup.runtime.fld]
+    else:
+        setup = cpu_echo_remote(sim, cal, jitter=True)
+        flds = []
+    nics = [setup.client.nic]
+    if setup.server is not setup.client:
+        nics.append(setup.server.nic)
+    return sim, setup, flds, nics
+
+
+def _lat_closed_loop(telemetry: Telemetry, count: int, size: int,
+                     mode: str):
+    sim, setup, flds, nics = _echo_setup(telemetry, mode)
+    loadgen = setup.loadgen
+
+    def run(sim):
+        yield from loadgen.run_closed_loop(size, count, window=1)
+        yield from loadgen.drain()
+
+    _drive(sim, run(sim), until=10.0)
+    summary = loadgen.latency.summary()
+    result = {
+        "mode": mode,
+        "count": len(loadgen.latency),
+        "mean_us": summary["mean"] * 1e6,
+        "median_us": summary["median"] * 1e6,
+        "p99_us": summary["p99"] * 1e6,
+    }
+    return result, flds, nics
+
+
+def _lat_echo_flde(telemetry: Telemetry, count: int, size: int):
+    return _lat_closed_loop(telemetry, count, size, "flde")
+
+
+def _lat_echo_cpu(telemetry: Telemetry, count: int, size: int):
+    return _lat_closed_loop(telemetry, count, size, "cpu")
+
+
+def _lat_forwarding(telemetry: Telemetry, count: int, size: int):
+    from ..net import ImcDatacenterSizes
+    sim, setup, flds, nics = _echo_setup(telemetry, "flde-forwarding")
+    loadgen = setup.loadgen
+    sizes = ImcDatacenterSizes(seed=7).sizes(count)
+
+    def run(sim):
+        yield from loadgen.run_open_loop(sizes)
+        yield from loadgen.drain()
+
+    _drive(sim, run(sim), until=5.0)
+    result = {
+        "mode": "flde",
+        "sent": loadgen.stats_sent,
+        "received": loadgen.stats_received,
+        "mpps": loadgen.rx_meter.mpps(),
+    }
+    return result, flds, nics
+
+
+# experiment name -> (runner, default count, default size,
+#                     expect fully-drained traces)
+LATENCY_TRACEABLE: Dict[str, Tuple[Callable, int, int, bool]] = {
+    "echo": (_lat_echo_flde, 300, 64, True),
+    "cpu-echo": (_lat_echo_cpu, 300, 64, True),
+    "forwarding": (_lat_forwarding, 800, 0, False),
+}
+
+
+def latency_experiments() -> Dict[str, str]:
+    """Name -> short description, for ``--list`` and error messages."""
+    return {
+        "echo": "FLD-E closed-loop echo, per-stage breakdown (Table 6)",
+        "cpu-echo": "CPU-baseline closed-loop echo breakdown",
+        "forwarding": "mixed-size trace forwarding breakdown (open loop)",
+    }
+
+
+def run_latency(experiment: str, count: Optional[int] = None,
+                size: Optional[int] = None, sample_rate: int = 1,
+                json_output: Optional[str] = None,
+                max_traces: int = 200_000) -> Dict:
+    """Run ``experiment`` with span tracing; build the attribution report.
+
+    Returns ``{"experiment", "result", "report", "violations", ...}``.
+    The report is the exact-attribution kind (:func:`build_report`): for
+    every traced packet the per-stage sums reconcile with its end-to-end
+    latency.  ``violations`` comes from the invariant auditor run over
+    the span stream, the FLD cores and the NICs after quiesce.  With
+    ``json_output`` the report, the violations and the full span trees
+    are written as one JSON document.
+    """
+    try:
+        runner, default_count, default_size, expect_complete = \
+            LATENCY_TRACEABLE[experiment]
+    except KeyError:
+        known = ", ".join(sorted(LATENCY_TRACEABLE))
+        raise ValueError(
+            f"unknown latency experiment {experiment!r}; "
+            f"choose from: {known}") from None
+    telemetry = Telemetry(trace=False, spans=True,
+                          span_sample_rate=sample_rate,
+                          max_traces=max_traces)
+    result, flds, nics = runner(
+        telemetry,
+        count if count is not None else default_count,
+        size if size is not None else default_size)
+
+    from .audit import audit_all
+    from .latency import build_report
+    # Open-loop runs may legitimately quiesce with dropped (hence
+    # unfinished) traces; closed-loop runs must drain completely.
+    violations = audit_all(spans=telemetry.spans, flds=flds, nics=nics,
+                           expect_complete=expect_complete)
+    report = build_report(telemetry.spans, registry=telemetry.metrics)
+    summary = {
+        "experiment": experiment,
+        "sample_rate": sample_rate,
+        "result": result,
+        "report": report,
+        "violations": [v.to_dict() for v in violations],
+        "traces": len(telemetry.spans),
+    }
+    if json_output is not None:
+        import json
+        document = dict(summary)
+        document["spans"] = telemetry.spans.to_dict()
+        with open(json_output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+        summary["json_output"] = json_output
+    return summary
+
+
+def run_latency_sweep(experiment: str = "table6",
+                      jobs: int = 1, cache_dir: Optional[str] = None,
+                      count: Optional[int] = None) -> Dict:
+    """Merged attribution across sweep points, via the result cache.
+
+    Runs the experiment's standard sweep with ``telemetry="spans"``;
+    each point feeds its ``spans.stage.*`` histograms into the cached
+    metrics export, and the merged registry is folded back into an
+    approximate report (:func:`report_from_registry`).  Warm runs merge
+    entirely from cache without simulating.
+    """
+    from ..experiments.echo import fig7b_points, forwarding_points, \
+        table6_points
+    from ..sweep import SweepCache, run_sweep
+    from .latency import report_from_registry
+    builders: Dict[str, Callable[[], List]] = {
+        "table6": lambda: table6_points(
+            count=count if count is not None else 600,
+            telemetry="spans"),
+        "fig7b": lambda: fig7b_points(
+            count=count if count is not None else 700,
+            telemetry="spans"),
+        "forwarding": lambda: forwarding_points(
+            count=count if count is not None else 2000,
+            telemetry="spans"),
+    }
+    try:
+        points = builders[experiment]()
+    except KeyError:
+        known = ", ".join(sorted(builders))
+        raise ValueError(
+            f"unknown latency sweep {experiment!r}; "
+            f"choose from: {known}") from None
+    cache = SweepCache(cache_dir) if cache_dir is not None else None
+    sweep = run_sweep(points, jobs=jobs, cache=cache)
+    if sweep.metrics is None:
+        raise RuntimeError("sweep produced no telemetry to merge")
+    report = report_from_registry(sweep.metrics)
+    return {
+        "experiment": experiment,
+        "points": sweep.points,
+        "computed": sweep.computed,
+        "cache_hits": sweep.cache_hits,
+        "rows": sweep.rows,
+        "report": report,
     }

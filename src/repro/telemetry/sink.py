@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Snapshot
+from .spans import NULL_SPANS, NullSpanRecorder, SpanRecorder
 from .trace import NULL_TRACER, NullTracer, Tracer
 
 
@@ -116,14 +117,27 @@ NULL_REGISTRY = NullRegistry()
 
 
 class Telemetry:
-    """An enabled metrics + tracing bundle for one simulation."""
+    """An enabled metrics + tracing bundle for one simulation.
+
+    ``spans=True`` additionally records causal per-packet span trees
+    (:mod:`repro.telemetry.spans`); ``span_sample_rate`` traces one in
+    every N packets.  Finished traces feed ``spans.*`` histograms in
+    :attr:`metrics`, so span-derived latency attribution merges across
+    sweep points like any other metric.
+    """
 
     enabled = True
 
-    def __init__(self, trace: bool = True, max_trace_events: int = 1_000_000):
+    def __init__(self, trace: bool = True, max_trace_events: int = 1_000_000,
+                 spans: bool = False, span_sample_rate: int = 1,
+                 max_traces: int = 100_000):
         self.metrics = MetricsRegistry()
         self.tracer: Tracer = (Tracer(max_trace_events) if trace
                                else NULL_TRACER)
+        self.spans: SpanRecorder = (
+            SpanRecorder(sample_rate=span_sample_rate,
+                         max_traces=max_traces, registry=self.metrics)
+            if spans else NULL_SPANS)
 
     # Registry passthroughs, so call sites read `telemetry.counter(...)`.
 
@@ -158,6 +172,7 @@ class NullTelemetry:
     enabled = False
     metrics = NULL_REGISTRY
     tracer: NullTracer = NULL_TRACER
+    spans: NullSpanRecorder = NULL_SPANS
 
     def counter(self, name: str) -> _NullCounter:
         return NULL_COUNTER

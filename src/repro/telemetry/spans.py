@@ -1,0 +1,452 @@
+"""Causal per-packet span trees for latency attribution.
+
+The paper's latency story (Table 6, Fig. 7c) is an *attribution* claim:
+end-to-end latency decomposes into doorbell, descriptor fetch, DMA,
+wire, and completion stages.  This module provides the mechanism for
+making that decomposition observable in the simulator: each sampled
+packet carries a :class:`TraceContext` through the datapath, and every
+stage it crosses records a :class:`Span` (enter/exit timestamps) into
+the packet's trace.
+
+Design notes
+------------
+
+* A context is a tiny value-object handle.  Components propagate it
+  side-band — in ``Packet.meta``, on live ``TxWqe``/``Cqe`` objects, in
+  TLP metadata — and hand it back to the recorder together with
+  timestamps.  Stages never mutate the trace directly.
+* The datapath crosses two byte-serialization boundaries where object
+  identity dies (WQEs packed into MMIO/host-memory rings, CQEs DMA-ed
+  as bytes).  Two bridges survive them:
+
+  - a *stash/claim* registry keyed by ``(kind, scope, qpn, index)`` for
+    descriptors fetched from host-memory rings, and
+  - the PCIe fabric's *inbound context* — the context attached to the
+    TLP currently being delivered — which the receiving endpoint may
+    claim inside ``handle_write``.
+
+* Sampling is deterministic: the ``sample_rate``-th, ``2×sample_rate``-th,
+  ... calls to :meth:`SpanRecorder.start_trace` return a context; the
+  rest return ``None``.  Every instrumentation site guards on
+  ``ctx is not None``, so an unsampled packet costs one attribute read
+  per stage.  With spans disabled entirely, :data:`NULL_SPANS` keeps
+  ``start_trace`` returning ``None`` and the fast path identical to the
+  PR 1 NullSink baseline.
+
+* When a trace's root ends, the recorder attributes the root interval
+  across its spans (see :func:`attribute_trace`) and feeds per-stage
+  log2 histograms in the attached metrics registry under
+  ``spans.stage.<stage>.<kind>`` — which makes stage latencies merge
+  across sweep points through the PR 2 result cache for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "Trace",
+    "TraceContext",
+    "SpanRecorder",
+    "NullSpanRecorder",
+    "NULL_SPANS",
+    "attribute_trace",
+    "SPAN_SCHEMA_VERSION",
+]
+
+#: Version stamp embedded in exported span JSON (see DESIGN.md).
+SPAN_SCHEMA_VERSION = 1
+
+KIND_SERVICE = "service"
+KIND_QUEUE = "queue"
+
+
+class TraceContext:
+    """Opaque handle carried by one packet through the datapath."""
+
+    __slots__ = ("trace_id",)
+
+    def __init__(self, trace_id: int):
+        self.trace_id = trace_id
+
+    def __repr__(self) -> str:
+        return f"TraceContext({self.trace_id})"
+
+
+class Span:
+    """One stage crossing: ``[start, end)`` at ``stage``.
+
+    ``end`` is ``None`` while the packet is inside the stage; a span
+    whose trace has ended but whose ``end`` is still ``None`` is an
+    *orphan* — the invariant auditor reports it.
+    """
+
+    __slots__ = ("span_id", "trace_id", "stage", "kind", "start", "end")
+
+    def __init__(self, span_id: int, trace_id: int, stage: str,
+                 kind: str, start: float, end: Optional[float] = None):
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.stage = stage
+        self.kind = kind
+        self.start = start
+        self.end = end
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "stage": self.stage,
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Span({self.stage!r}, kind={self.kind}, "
+                f"[{self.start}, {self.end}])")
+
+
+class Trace:
+    """The span tree of one packet: a root interval plus stage spans."""
+
+    __slots__ = ("trace_id", "name", "start", "end", "spans", "events")
+
+    def __init__(self, trace_id: int, name: str, start: float):
+        self.trace_id = trace_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.spans: List[Span] = []
+        self.events: List[Tuple[float, str]] = []
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def orphan_spans(self) -> List[Span]:
+        """Spans never exited although the root interval has ended."""
+        if self.end is None:
+            return []
+        return [span for span in self.spans if span.end is None]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "spans": [span.to_dict() for span in self.spans],
+            "events": [{"time": t, "name": n} for t, n in self.events],
+        }
+
+
+def attribute_trace(trace: Trace) -> Tuple[Dict[Tuple[str, str], float],
+                                           float]:
+    """Partition the root interval among its spans.
+
+    Every instant of ``[trace.start, trace.end)`` is attributed to the
+    *innermost* span open at that instant — the open span that entered
+    last — so overlapping spans (a DMA read prefetched behind a
+    pipeline stage, a queue wait nested in an engine span) are never
+    double-counted.  Instants covered by no span fall into the
+    ``unattributed`` residue.  By construction the per-stage sums plus
+    the residue equal the end-to-end duration (up to float rounding),
+    which is what lets the latency report reconcile exactly.
+
+    Returns ``({(stage, kind): seconds}, unattributed_seconds)``.
+    Spans are clamped to the root interval; an unfinished span is
+    treated as ending at the root's end (the auditor reports it
+    separately).
+    """
+    if trace.end is None:
+        raise ValueError(f"trace {trace.trace_id} has not ended")
+    root_start, root_end = trace.start, trace.end
+    clamped: List[Tuple[float, float, Span]] = []
+    for span in trace.spans:
+        end = span.end if span.end is not None else root_end
+        start = max(span.start, root_start)
+        end = min(end, root_end)
+        if end > start:
+            clamped.append((start, end, span))
+
+    totals: Dict[Tuple[str, str], float] = {}
+    unattributed = 0.0
+    boundaries = {root_start, root_end}
+    for start, end, _span in clamped:
+        boundaries.add(start)
+        boundaries.add(end)
+    cuts = sorted(boundaries)
+    for left, right in zip(cuts, cuts[1:]):
+        # The innermost open span: latest entry wins; ties broken by
+        # creation order so back-to-back stages partition cleanly.
+        innermost: Optional[Span] = None
+        innermost_key = None
+        for start, end, span in clamped:
+            if start <= left and end >= right:
+                key = (start, span.span_id)
+                if innermost_key is None or key > innermost_key:
+                    innermost_key = key
+                    innermost = span
+        width = right - left
+        if innermost is None:
+            unattributed += width
+        else:
+            stage_key = (innermost.stage, innermost.kind)
+            totals[stage_key] = totals.get(stage_key, 0.0) + width
+    return totals, unattributed
+
+
+class SpanRecorder:
+    """Records per-packet span trees with deterministic sampling.
+
+    Parameters
+    ----------
+    sample_rate:
+        Trace one in every ``sample_rate`` packets (1 = every packet).
+    max_traces:
+        Hard cap on retained traces; once reached, ``start_trace``
+        returns ``None`` and bumps :attr:`dropped`.
+    registry:
+        Optional :class:`~repro.telemetry.metrics.MetricsRegistry`.
+        When set, finished traces feed ``spans.stage.<stage>.<kind>``,
+        ``spans.e2e`` and ``spans.unattributed`` histograms — the
+        mergeable aggregate view used by sweeps.
+    """
+
+    enabled = True
+
+    def __init__(self, sample_rate: int = 1, max_traces: int = 100_000,
+                 registry=None):
+        if sample_rate < 1:
+            raise ValueError("sample_rate must be >= 1")
+        self.sample_rate = sample_rate
+        self.max_traces = max_traces
+        self.registry = registry
+        self.dropped = 0
+        self._seen = 0           # packets offered to start_trace
+        self._next_trace = 1
+        self._next_span = 1
+        self._traces: Dict[int, Trace] = {}
+        self._spans: Dict[int, Span] = {}
+        self._stash: Dict[Any, TraceContext] = {}
+
+    # -- trace lifecycle -------------------------------------------------
+    def start_trace(self, name: str, now: float) -> Optional[TraceContext]:
+        """Begin a trace for this packet, or ``None`` if unsampled."""
+        self._seen += 1
+        if (self._seen - 1) % self.sample_rate != 0:
+            return None
+        if len(self._traces) >= self.max_traces:
+            self.dropped += 1
+            return None
+        trace_id = self._next_trace
+        self._next_trace += 1
+        self._traces[trace_id] = Trace(trace_id, name, now)
+        return TraceContext(trace_id)
+
+    def end_trace(self, ctx: Optional[TraceContext], now: float) -> None:
+        if ctx is None:
+            return
+        trace = self._traces.get(ctx.trace_id)
+        if trace is None or trace.end is not None:
+            return
+        trace.end = now
+        if self.registry is not None:
+            self._observe(trace)
+
+    # -- span recording --------------------------------------------------
+    def enter(self, ctx: Optional[TraceContext], stage: str, now: float,
+              kind: str = KIND_SERVICE) -> Optional[int]:
+        """Open a span; returns a handle for :meth:`exit` (or None)."""
+        if ctx is None:
+            return None
+        trace = self._traces.get(ctx.trace_id)
+        if trace is None:
+            return None
+        span_id = self._next_span
+        self._next_span += 1
+        span = Span(span_id, trace.trace_id, stage, kind, now)
+        trace.spans.append(span)
+        self._spans[span_id] = span
+        return span_id
+
+    def exit(self, span_id: Optional[int], now: float) -> None:
+        if span_id is None:
+            return
+        span = self._spans.pop(span_id, None)
+        if span is not None and span.end is None:
+            span.end = now
+
+    def record(self, ctx: Optional[TraceContext], stage: str,
+               start: float, end: float,
+               kind: str = KIND_SERVICE) -> None:
+        """Record a closed span retroactively (start/end both known)."""
+        if ctx is None:
+            return
+        trace = self._traces.get(ctx.trace_id)
+        if trace is None:
+            return
+        span_id = self._next_span
+        self._next_span += 1
+        trace.spans.append(
+            Span(span_id, trace.trace_id, stage, kind, start, end))
+
+    def event(self, ctx: Optional[TraceContext], name: str,
+              now: float) -> None:
+        """Attach a point annotation (e.g. ``rdma.retransmit``)."""
+        if ctx is None:
+            return
+        trace = self._traces.get(ctx.trace_id)
+        if trace is not None:
+            trace.events.append((now, name))
+
+    # -- serialization-boundary bridges ----------------------------------
+    def stash(self, key: Any, ctx: Optional[TraceContext]) -> None:
+        """Park a context under ``key`` across a byte boundary.
+
+        Keys must be scoped to the consuming device (e.g.
+        ``("wqe", nic_name, qpn, index)``) — the two NICs of a remote
+        setup share a qpn space.
+        """
+        if ctx is None:
+            return
+        self._stash[key] = ctx
+
+    def claim(self, key: Any) -> Optional[TraceContext]:
+        """Retrieve-and-remove a stashed context (None if absent)."""
+        return self._stash.pop(key, None)
+
+    def pending_stashes(self) -> List[Any]:
+        """Stash keys never claimed — a propagation leak indicator."""
+        return list(self._stash)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def traces(self) -> List[Trace]:
+        return list(self._traces.values())
+
+    def get_trace(self, ctx_or_id) -> Optional[Trace]:
+        trace_id = getattr(ctx_or_id, "trace_id", ctx_or_id)
+        return self._traces.get(trace_id)
+
+    def finished_traces(self) -> List[Trace]:
+        return [t for t in self._traces.values() if t.end is not None]
+
+    def unfinished_traces(self) -> List[Trace]:
+        return [t for t in self._traces.values() if t.end is None]
+
+    def orphan_spans(self) -> List[Span]:
+        orphans: List[Span] = []
+        for trace in self._traces.values():
+            orphans.extend(trace.orphan_spans())
+        return orphans
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Export all traces (the span JSON schema in DESIGN.md)."""
+        return {
+            "schema": SPAN_SCHEMA_VERSION,
+            "sample_rate": self.sample_rate,
+            "seen": self._seen,
+            "dropped": self.dropped,
+            "traces": [t.to_dict()
+                       for t in sorted(self._traces.values(),
+                                       key=lambda t: t.trace_id)],
+        }
+
+    # -- aggregation -----------------------------------------------------
+    def _observe(self, trace: Trace) -> None:
+        """Feed a finished trace into the metrics registry."""
+        totals, unattributed = attribute_trace(trace)
+        registry = self.registry
+        registry.histogram("spans.e2e").observe(trace.end - trace.start)
+        registry.histogram("spans.unattributed").observe(unattributed)
+        for (stage, kind), seconds in totals.items():
+            registry.histogram(f"spans.stage.{stage}.{kind}") \
+                .observe(seconds)
+
+
+class NullSpanRecorder:
+    """No-op twin of :class:`SpanRecorder` — the disabled fast path.
+
+    ``start_trace`` returns ``None``, so every downstream guard
+    (``ctx is not None``) short-circuits and no per-packet state is
+    kept.  Mirrors the full public API (see the shared-interface test).
+    """
+
+    enabled = False
+    sample_rate = 0
+    max_traces = 0
+    registry = None
+    dropped = 0
+
+    def start_trace(self, name: str, now: float) -> Optional[TraceContext]:
+        return None
+
+    def end_trace(self, ctx, now: float) -> None:
+        return None
+
+    def enter(self, ctx, stage: str, now: float,
+              kind: str = KIND_SERVICE) -> Optional[int]:
+        return None
+
+    def exit(self, span_id, now: float) -> None:
+        return None
+
+    def record(self, ctx, stage: str, start: float, end: float,
+               kind: str = KIND_SERVICE) -> None:
+        return None
+
+    def event(self, ctx, name: str, now: float) -> None:
+        return None
+
+    def stash(self, key, ctx) -> None:
+        return None
+
+    def claim(self, key) -> Optional[TraceContext]:
+        return None
+
+    def pending_stashes(self) -> List[Any]:
+        return []
+
+    @property
+    def traces(self) -> List[Trace]:
+        return []
+
+    def get_trace(self, ctx_or_id) -> Optional[Trace]:
+        return None
+
+    def finished_traces(self) -> List[Trace]:
+        return []
+
+    def unfinished_traces(self) -> List[Trace]:
+        return []
+
+    def orphan_spans(self) -> List[Span]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"schema": SPAN_SCHEMA_VERSION, "sample_rate": 0,
+                "seen": 0, "dropped": 0, "traces": []}
+
+
+#: Shared no-op recorder used when span tracing is disabled.
+NULL_SPANS = NullSpanRecorder()

@@ -156,9 +156,16 @@ class NullTracer:
 
         if tracer.enabled:
             tracer.complete(...)
+
+    Mirrors the full public surface of :class:`Tracer` — including the
+    ``max_events``/``dropped`` bookkeeping attributes — so code written
+    against either class never needs an ``isinstance`` check (the
+    shared-interface test enforces this).
     """
 
     enabled = False
+    max_events = 0
+    dropped = 0
 
     def complete(self, process, thread, name, start, end, args=None) -> None:
         pass
@@ -170,7 +177,8 @@ class NullTracer:
         pass
 
     def chrome_trace(self) -> Dict[str, Any]:
-        return {"traceEvents": [], "displayTimeUnit": "ns"}
+        return {"traceEvents": [], "displayTimeUnit": "ns",
+                "otherData": {"droppedEvents": 0}}
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.chrome_trace(), indent=indent)

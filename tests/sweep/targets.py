@@ -65,3 +65,14 @@ def with_telemetry(n: int, telemetry=None) -> Dict:
         for i in range(n):
             hist.observe(float(i))
     return {"n": n}
+
+
+def with_spans(n: int, telemetry=None) -> Dict:
+    """A target that records span traces into the injected telemetry."""
+    if telemetry is not None:
+        spans = telemetry.spans
+        for i in range(n):
+            ctx = spans.start_trace(f"t{i}", 0.0)
+            spans.record(ctx, "wire", 0.0, 1e-6)
+            spans.end_trace(ctx, 2e-6)
+    return {"n": n}

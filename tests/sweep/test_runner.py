@@ -144,3 +144,36 @@ class TestPoints:
     def test_label_is_stable(self):
         point = SweepPoint("fig", ADD, {"b": 2, "a": 1})
         assert point.label() == "fig(a=1, b=2)"
+
+
+class TestSpansTelemetryMode:
+    def test_spans_mode_exports_stage_histograms(self):
+        points = [SweepPoint("unit", "tests.sweep.targets:with_spans",
+                             {"n": 3}, telemetry="spans")]
+        outcome = run_sweep(points)
+        hist = outcome.metrics.histogram("spans.stage.wire.service")
+        assert hist.count == 3
+        assert outcome.metrics.histogram("spans.e2e").count == 3
+
+    def test_plain_telemetry_mode_records_no_spans(self):
+        points = [SweepPoint("unit", "tests.sweep.targets:with_spans",
+                             {"n": 3}, telemetry=True)]
+        outcome = run_sweep(points)
+        assert "spans.e2e" not in outcome.metrics
+
+    def test_telemetry_mode_is_part_of_the_cache_key(self):
+        plain = SweepPoint("e", "m:f", {"x": 1})
+        metrics = SweepPoint("e", "m:f", {"x": 1}, telemetry=True)
+        spans = SweepPoint("e", "m:f", {"x": 1}, telemetry="spans")
+        assert len({plain.key(), metrics.key(), spans.key()}) == 3
+
+    def test_spans_mode_merges_from_warm_cache(self, tmp_path):
+        cache = SweepCache(str(tmp_path))
+        points = [SweepPoint("unit", "tests.sweep.targets:with_spans",
+                             {"n": 4}, telemetry="spans")]
+        cold = run_sweep(points, cache=cache)
+        warm = run_sweep(points, cache=cache)
+        assert warm.computed == 0 and warm.cache_hits == 1
+        for outcome in (cold, warm):
+            hist = outcome.metrics.histogram("spans.stage.wire.service")
+            assert hist.count == 4

@@ -1,0 +1,125 @@
+"""Latency attribution reports: exact (from traces) and approximate
+(from merged registry histograms)."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, SpanRecorder
+from repro.telemetry.latency import (
+    STAGE_ORDER,
+    build_report,
+    render_report,
+    report_from_registry,
+)
+
+
+def _record_trace(spans, stages, start=0.0):
+    """One trace whose spans tile [start, start+sum) back to back."""
+    ctx = spans.start_trace("pkt", start)
+    at = start
+    for stage, seconds, kind in stages:
+        spans.record(ctx, stage, at, at + seconds, kind=kind)
+        at += seconds
+    spans.end_trace(ctx, at)
+    return at - start
+
+
+class TestBuildReport:
+    def test_stage_rows_and_reconciliation(self):
+        spans = SpanRecorder()
+        for _ in range(4):
+            _record_trace(spans, [
+                ("pcie.doorbell", 1e-6, "service"),
+                ("wire", 2e-6, "service"),
+                ("host.rx", 0.5e-6, "service"),
+            ])
+        report = build_report(spans)
+        assert report["traces"] == 4
+        assert report["orphaned_spans"] == 0
+        assert report["reconciliation"]["within_1pct"]
+        by_stage = {(r["stage"], r["kind"]): r for r in report["stages"]}
+        assert by_stage[("wire", "service")]["mean_us"] == \
+            pytest.approx(2.0)
+        assert report["e2e"]["mean_us"] == pytest.approx(3.5)
+
+    def test_rows_follow_datapath_order(self):
+        spans = SpanRecorder()
+        _record_trace(spans, [
+            ("host.rx", 1e-6, "service"),
+            ("pcie.doorbell", 1e-6, "service"),
+            ("nic.tx", 1e-6, "queue"),
+            ("nic.tx", 1e-6, "service"),
+        ])
+        report = build_report(spans)
+        stages = [(r["stage"], r["kind"]) for r in report["stages"]]
+        # Datapath order, queue before service within a stage.
+        assert stages == [("pcie.doorbell", "service"),
+                          ("nic.tx", "queue"), ("nic.tx", "service"),
+                          ("host.rx", "service")]
+        assert all(s in STAGE_ORDER for s, _ in stages)
+
+    def test_residue_appears_as_unattributed_row(self):
+        spans = SpanRecorder()
+        ctx = spans.start_trace("pkt", 0.0)
+        spans.record(ctx, "wire", 0.0, 4e-6)
+        spans.end_trace(ctx, 10e-6)  # 6 us uncovered
+        report = build_report(spans)
+        residue = [r for r in report["stages"]
+                   if r["stage"] == "(unattributed)"]
+        assert len(residue) == 1
+        assert residue[0]["mean_us"] == pytest.approx(6.0)
+        assert report["reconciliation"]["within_1pct"]
+
+    def test_empty_recorder_is_harmless(self):
+        report = build_report(SpanRecorder())
+        assert report["traces"] == 0
+        assert report["stages"] == []
+
+
+class TestRegistryReport:
+    def test_roundtrip_through_registry(self):
+        registry = MetricsRegistry()
+        spans = SpanRecorder(registry=registry)
+        for _ in range(8):
+            _record_trace(spans, [
+                ("pcie.doorbell", 1e-6, "service"),
+                ("wire", 2e-6, "service"),
+            ])
+        report = report_from_registry(registry)
+        assert report["source"] == "registry"
+        by_stage = {(r["stage"], r["kind"]): r for r in report["stages"]}
+        assert by_stage[("wire", "service")]["count"] == 8
+        # log2 buckets: estimate within a factor of two of the truth.
+        assert 1e-6 <= by_stage[("wire", "service")]["p50_us"] * 1e-6 \
+            <= 4e-6
+        assert report["e2e"]["count"] == 8
+
+    def test_merged_registries_accumulate(self):
+        # Two independent runs (sweep points) merged through the
+        # registry export — the PR 2 cache path.
+        merged = MetricsRegistry()
+        for _ in range(2):
+            registry = MetricsRegistry()
+            spans = SpanRecorder(registry=registry)
+            _record_trace(spans, [("wire", 2e-6, "service")])
+            merged.merge_from(registry.to_dict())
+        report = report_from_registry(merged)
+        (row,) = [r for r in report["stages"] if r["stage"] == "wire"]
+        assert row["count"] == 2
+
+
+class TestRendering:
+    def test_render_mentions_reconciliation(self):
+        spans = SpanRecorder()
+        _record_trace(spans, [("wire", 2e-6, "service")])
+        text = render_report(build_report(spans))
+        assert "wire" in text
+        assert "reconciliation" in text
+        assert "OK" in text
+
+    def test_render_registry_report_has_no_reconciliation_line(self):
+        registry = MetricsRegistry()
+        spans = SpanRecorder(registry=registry)
+        _record_trace(spans, [("wire", 2e-6, "service")])
+        text = render_report(report_from_registry(registry))
+        assert "wire" in text
+        assert "reconciliation" not in text

@@ -191,3 +191,70 @@ class TestNullSink:
         telemetry.counter("c").inc()
         assert telemetry.metrics.counter("c").value == 1
         assert telemetry.tracer.enabled is False  # trace=False
+
+
+class TestPercentileKnownDistributions:
+    """Histogram.percentile against distributions with known answers.
+
+    log2 buckets bound the error to a factor of two inside a bucket;
+    interpolation plus min/max clamping makes the common cases exact.
+    """
+
+    def test_constant_distribution_is_exact(self):
+        histogram = Histogram()
+        for _ in range(1000):
+            histogram.observe(3.7)
+        for pct in (0, 1, 50, 99, 100):
+            assert histogram.percentile(pct) == pytest.approx(3.7)
+
+    def test_single_sample_is_exact(self):
+        histogram = Histogram()
+        histogram.observe(42.0)
+        assert histogram.percentile(0) == 42.0
+        assert histogram.percentile(50) == 42.0
+        assert histogram.percentile(100) == 42.0
+
+    def test_uniform_distribution_within_bucket_resolution(self):
+        # U(0, 1000]: true p-th percentile is 10*p.
+        histogram = Histogram()
+        for i in range(1, 1001):
+            histogram.observe(float(i))
+        for pct, truth in ((10, 100.0), (50, 500.0), (90, 900.0),
+                           (99, 990.0)):
+            estimate = histogram.percentile(pct)
+            assert truth / 2 <= estimate <= truth * 2, \
+                f"p{pct}: {estimate} vs {truth}"
+
+    def test_bimodal_distribution_separates_modes(self):
+        # 90% fast (1 us), 10% slow (1 ms): p50 must sit near the fast
+        # mode and p99 near the slow one — three orders apart.
+        histogram = Histogram()
+        for _ in range(900):
+            histogram.observe(1e-6)
+        for _ in range(100):
+            histogram.observe(1e-3)
+        assert histogram.percentile(50) <= 2e-6
+        assert histogram.percentile(99) >= 0.5e-3
+
+    def test_extremes_clamp_to_observed_range(self):
+        histogram = Histogram()
+        for v in (2.0, 3.0, 5.0, 9.0):
+            histogram.observe(v)
+        assert histogram.percentile(0) == 2.0
+        assert histogram.percentile(100) == 9.0
+
+    def test_monotone_in_pct(self):
+        histogram = Histogram()
+        for i in range(1, 513):
+            histogram.observe(float(i))
+        estimates = [histogram.percentile(p) for p in range(0, 101, 5)]
+        assert estimates == sorted(estimates)
+
+    def test_underflow_dominated_percentiles(self):
+        histogram = Histogram()
+        histogram.observe(-1.0)
+        histogram.observe(-2.0)
+        histogram.observe(8.0)
+        # Two thirds of the mass is non-positive.
+        assert histogram.percentile(50) <= 0.0
+        assert histogram.percentile(100) == 8.0

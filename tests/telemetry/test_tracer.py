@@ -92,3 +92,30 @@ class TestNullTracer:
         path = tmp_path / "null.json"
         NULL_TRACER.write(str(path))
         assert json.loads(path.read_text())["traceEvents"] == []
+
+
+class TestTracerApiParity:
+    def test_null_tracer_mirrors_tracer_interface(self):
+        """Introspective shared-interface check: every public method of
+        the real tracer exists on the null twin with the same parameter
+        names, so call sites can hold either without branching."""
+        import inspect
+
+        from repro.telemetry.trace import NullTracer
+
+        for name, member in inspect.getmembers(Tracer):
+            if name.startswith("_") or not callable(member):
+                continue
+            twin = getattr(NullTracer, name, None)
+            assert twin is not None, f"NullTracer missing {name!r}"
+            real = [p for p in inspect.signature(member).parameters]
+            null = [p for p in inspect.signature(twin).parameters]
+            assert real == null, f"signature drift on {name!r}"
+
+    def test_null_tracer_mirrors_properties(self):
+        from repro.telemetry.trace import NullTracer
+
+        tracer, null = Tracer(), NullTracer()
+        assert hasattr(null, "events")
+        assert hasattr(null, "enabled")
+        assert type(len(null)) is type(len(tracer))
