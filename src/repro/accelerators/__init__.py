@@ -4,6 +4,7 @@ from .base import Accelerator, DroppingAccelerator
 from .defrag import IpDefragAccelerator
 from .echo import EchoAccelerator, RdmaEchoAccelerator
 from .iot import IotAuthAccelerator
+from .tenant import IotEchoAccelerator, ZucEchoAccelerator
 from .zuc import ZucAccelerator
 
 __all__ = [
@@ -11,7 +12,9 @@ __all__ = [
     "DroppingAccelerator",
     "EchoAccelerator",
     "IotAuthAccelerator",
+    "IotEchoAccelerator",
     "IpDefragAccelerator",
     "RdmaEchoAccelerator",
     "ZucAccelerator",
+    "ZucEchoAccelerator",
 ]

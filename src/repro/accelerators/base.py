@@ -25,7 +25,7 @@ class Accelerator:
 
     def __init__(self, sim: Simulator, fld: FlexDriver, units: int = 1,
                  name: str = "accel", tx_queue: int = 0,
-                 reassemble: bool = False):
+                 reassemble: bool = False, source=None):
         if units < 1:
             raise ValueError("need at least one processing unit")
         self.sim = sim
@@ -38,6 +38,16 @@ class Accelerator:
         self.stats_dropped = 0
         self.stats_errors = 0
         self._spans = sim.telemetry.spans
+        # Per-function throughput accounting: the component name flows
+        # into the metric labels, so an N-tenant testbed reads one
+        # counter pair per accelerator function.
+        self._ctr_packets = sim.telemetry.counter(
+            f"accel.{name}.packets")
+        self._ctr_bytes = sim.telemetry.counter(f"accel.{name}.bytes")
+        # ``source`` overrides the input stream: a per-function Store a
+        # demultiplexer fills when several functions share one FLD
+        # (see repro.topology.build).  Default: FLD's raw rx stream.
+        self._upstream = source if source is not None else fld.rx_stream
         if reassemble:
             # Front-end load balancer (the paper's ZUC/IoT designs): a
             # single stage reassembles multi-segment messages — required
@@ -47,16 +57,15 @@ class Accelerator:
             self._messages = Store(sim, name=f"{name}.frontend")
             self._assembly = {}
             sim.spawn(self._front_end(), name=f"{name}.fe")
-            source = self._messages.get
+            self._source = self._messages.get
         else:
-            source = fld.rx_stream.get
-        self._source = source
+            self._source = self._upstream.get
         for unit in range(units):
             sim.spawn(self._unit_worker(unit), name=f"{name}.unit{unit}")
 
     def _front_end(self):
         while True:
-            data, meta = yield self.fld.rx_stream.get()
+            data, meta = yield self._upstream.get()
             key = (meta.queue_id, meta.src_qpn, meta.context_id)
             parts = self._assembly.setdefault(key, [])
             parts.append(data)
@@ -105,6 +114,8 @@ class Accelerator:
                 self.stats_errors += 1
                 continue
             self.stats_processed += 1
+            self._ctr_packets.inc()
+            self._ctr_bytes.inc(len(data))
             self._trace_service(meta, started, outputs)
             for out_data, out_meta in outputs:
                 if out_meta.queue_id is None:
@@ -144,6 +155,8 @@ class DroppingAccelerator(Accelerator):
                 self.stats_errors += 1
                 continue
             self.stats_processed += 1
+            self._ctr_packets.inc()
+            self._ctr_bytes.inc(len(data))
             self._trace_service(meta, started, outputs)
             for out_data, out_meta in outputs:
                 if out_meta.queue_id is None:

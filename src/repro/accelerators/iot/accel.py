@@ -35,8 +35,8 @@ class IotAuthAccelerator(DroppingAccelerator):
     MAX_TENANTS = 1024
 
     def __init__(self, sim, fld, units: int = 8, tx_queue: int = 0,
-                 **kwargs):
-        super().__init__(sim, fld, units=units, name="iot-auth",
+                 name: str = "iot-auth", **kwargs):
+        super().__init__(sim, fld, units=units, name=name,
                          tx_queue=tx_queue, **kwargs)
         # The linear key table, indexed by the NIC-provided tenant tag.
         self._keys: List[Optional[bytes]] = [None] * self.MAX_TENANTS

@@ -22,11 +22,16 @@ from ..net import Flow
 from ..pcie import MemoryRegion
 from ..sim import Simulator, Store
 from ..sweep import SweepCache, SweepPoint, run_sweep
-from ..testbed import make_remote_pair
+from ..topology import (
+    ACCEL_BAR_BASE,
+    HostQpSpec,
+    LinkSpec,
+    NodeSpec,
+    TopologySpec,
+    VportSpec,
+)
+from ..topology import build as build_topology
 from .setups import CLIENT_MAC, CLIENT_IP, Calibration, SERVER_IP, SERVER_MAC
-
-#: Fabric window for the dumb accelerator's staging BAR.
-ACCEL_BAR_BASE = 0x20_0000_0000
 
 
 class DumbAccelerator(MemoryRegion):
@@ -64,7 +69,9 @@ class CpuMediatedEcho:
         self.core = core
         self.accel = DumbAccelerator(sim)
         node.fabric.attach(self.accel)
-        node.fabric.map_window(ACCEL_BAR_BASE, self.accel.size, self.accel)
+        # Overlap-checked against the node's other BAR windows.
+        node.map_window("dumb-accel", ACCEL_BAR_BASE, self.accel.size,
+                        self.accel)
         self._pending = Store(sim, capacity=4096, name="mediated.pending")
         self.stats_echoed = 0
         self.stats_cpu_seconds = 0.0
@@ -101,22 +108,26 @@ class CpuMediatedEcho:
 def build(sim: Simulator, cal: Optional[Calibration] = None):
     """Client + CPU-mediated echo server."""
     cal = cal or Calibration()
-    client, server = make_remote_pair(
-        sim, nic_config=cal.nic_config(),
-        client_core=cal.client_core(sim),
-        server_core=cal.server_core(sim, jitter=False),
+    spec = TopologySpec(
+        name="cpu-mediated-echo",
+        nodes=[NodeSpec(name="client", core="loadgen"),
+               NodeSpec(name="server", core="app-nojitter")],
+        links=[LinkSpec(a="client", b="server")],
+        vports=[VportSpec(node="client", vport=1, mac=CLIENT_MAC),
+                VportSpec(node="server", vport=1, mac=SERVER_MAC)],
+        host_qps=[HostQpSpec(name="client", node="client", vport=1,
+                             use_mmio_wqe=True, post_rx=1024),
+                  HostQpSpec(name="server", node="server", vport=1,
+                             use_mmio_wqe=True, post_rx=1024)],
     )
-    client.add_vport_for_mac(1, CLIENT_MAC)
-    server.add_vport_for_mac(1, SERVER_MAC)
-    client_qp = client.driver.create_eth_qp(vport=1, use_mmio_wqe=True)
-    client_qp.post_rx_buffers(1024)
-    server_qp = server.driver.create_eth_qp(vport=1, use_mmio_wqe=True)
-    server_qp.post_rx_buffers(1024)
+    testbed = build_topology(sim, spec, cal=cal)
+    client, server = testbed.node("client"), testbed.node("server")
+    server_qp = testbed.host_qp("server")
     echo = CpuMediatedEcho(sim, server, server_qp, server.core)
     flow = Flow(CLIENT_MAC, SERVER_MAC, CLIENT_IP, SERVER_IP, 7000, 7001)
-    loadgen = LoadGenerator(sim, client_qp, flow)
+    loadgen = LoadGenerator(sim, testbed.host_qp("client"), flow)
     return SimpleNamespace(client=client, server=server, echo=echo,
-                           loadgen=loadgen)
+                           loadgen=loadgen, testbed=testbed)
 
 
 def echo_throughput(size: int, count: int = 1200,

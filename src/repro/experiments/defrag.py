@@ -49,7 +49,13 @@ from ..nic import (
 from ..sim import Simulator, ThroughputMeter
 from ..sw import FldRuntime
 from ..sweep import SweepCache, SweepPoint, run_sweep
-from ..testbed import make_remote_pair
+from ..topology import (
+    LinkSpec,
+    NodeSpec,
+    TopologySpec,
+    VportSpec,
+)
+from ..topology import build as build_topology
 from .setups import CLIENT_MAC, CLIENT_IP, Calibration, SERVER_IP, SERVER_MAC
 
 NUM_CORES = 8
@@ -116,10 +122,20 @@ def build(config: str, cal: Optional[DefragCalibration] = None):
         raise ValueError(f"unknown defrag config {config!r}")
     cal = cal or DefragCalibration()
     sim = Simulator()
-    client, server = make_remote_pair(sim, nic_config=cal.nic_config(),
-                                      client_core=cal.client_core(sim))
-    client.add_vport_for_mac(1, CLIENT_MAC)
-    server.add_vport_for_mac(1, SERVER_MAC)
+    # The spec covers the static topology; the 8 per-core receive QPs
+    # (each with its own kernel CpuCore) and the conditional FLD must
+    # keep their historical interleaved construction, so they stay
+    # imperative below.
+    spec = TopologySpec(
+        name=f"defrag-{config}",
+        nodes=[NodeSpec(name="client", core="loadgen"),
+               NodeSpec(name="server")],
+        links=[LinkSpec(a="client", b="server")],
+        vports=[VportSpec(node="client", vport=1, mac=CLIENT_MAC),
+                VportSpec(node="server", vport=1, mac=SERVER_MAC)],
+    )
+    testbed = build_topology(sim, spec, cal=cal)
+    client, server = testbed.node("client"), testbed.node("server")
 
     # 8 receive queues, each with its own kernel core.
     software_defrag = config in ("sw-defrag", "vxlan-sw")

@@ -16,14 +16,22 @@ from __future__ import annotations
 from types import SimpleNamespace
 from typing import Dict, List, Optional
 
-from ..accelerators import IotAuthAccelerator
 from ..accelerators.iot import CoapMessage, POST, sign_token
 from ..net import Flow, MacAddress
 from ..nic import ForwardToQueue, MatchSpec
 from ..sim import Simulator
-from ..sw import FldEControlPlane, FldRuntime
+from ..sw import FldEControlPlane
 from ..sweep import SweepCache, SweepPoint, run_sweep
-from ..testbed import make_remote_pair
+from ..topology import (
+    AccelFnSpec,
+    FldSpec,
+    HostQpSpec,
+    LinkSpec,
+    NodeSpec,
+    TopologySpec,
+    VportSpec,
+)
+from ..topology import build as build_topology
 from .setups import CLIENT_MAC, CLIENT_IP, Calibration, SERVER_IP, SERVER_MAC
 
 TENANT_A, TENANT_B = 1, 2
@@ -51,24 +59,32 @@ def build(cal: Optional[Calibration] = None,
     """Server with the IoT offload; tenants classified by source IP."""
     cal = cal or Calibration()
     sim = Simulator()
-    client, server = make_remote_pair(sim, nic_config=cal.nic_config(),
-                                      client_core=cal.client_core(sim))
-    client.add_vport_for_mac(1, CLIENT_MAC)
-    server.add_vport_for_mac(1, SERVER_MAC)
-
-    runtime = FldRuntime(server, fld_config=cal.fld_config())
-    fld_rq = runtime.create_rx_queue(vport=1, set_default=False)
-    txq = runtime.create_eth_tx_queue(vport=1)
-    accel = IotAuthAccelerator(sim, runtime.fld, units=8, tx_queue=txq)
+    spec = TopologySpec(
+        name="iot-auth",
+        nodes=[NodeSpec(name="client", core="loadgen"),
+               NodeSpec(name="server")],
+        links=[LinkSpec(a="client", b="server")],
+        vports=[VportSpec(node="client", vport=1, mac=CLIENT_MAC),
+                VportSpec(node="server", vport=1, mac=SERVER_MAC)],
+        flds=[FldSpec(node="server")],
+        accel_fns=[AccelFnSpec(name="iot-auth", fld="server.fld",
+                               kind="iot-auth", vport=1, units=8,
+                               rx_default=False)],
+        # Post-auth delivery: validated packets land in a host queue.
+        host_qps=[HostQpSpec(name="host", node="server", vport=1,
+                             register_default=False, rq_entries=4096,
+                             post_rx=4096)],
+    )
+    testbed = build_topology(sim, spec, cal=cal)
+    client, server = testbed.node("client"), testbed.node("server")
+    fn = testbed.accel("iot-auth")
+    runtime, fld_rq, accel = fn.runtime, fn.rq, fn.accel
     accel.set_tenant_key(TENANT_A, KEY_A)
     accel.set_tenant_key(TENANT_B, KEY_B)
     if capacity_gbps is not None:
         accel.capacity_bps = capacity_gbps * 1e9
 
-    # Post-auth delivery: validated packets land in a host queue.
-    host_qp = server.driver.create_eth_qp(vport=1, register_default=False,
-                                          rq_entries=4096)
-    host_qp.post_rx_buffers(4096)
+    host_qp = testbed.host_qp("host")
     control = FldEControlPlane(runtime, vport=1)
     limits = tenant_limits_gbps or {}
     control.add_tenant(
@@ -90,7 +106,7 @@ def build(cal: Optional[Calibration] = None,
     return SimpleNamespace(sim=sim, client=client, server=server,
                            accel=accel, client_qp=client_qp,
                            flow_a=flow_a, flow_b=flow_b, host_qp=host_qp,
-                           control=control)
+                           control=control, testbed=testbed)
 
 
 def _paced_sender(sim, qp, frame: bytes, rate_bps: float, duration: float):

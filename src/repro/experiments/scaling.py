@@ -13,63 +13,75 @@ from __future__ import annotations
 from types import SimpleNamespace
 from typing import Dict, List, Optional
 
-from ..accelerators import EchoAccelerator
-from ..core import bar as fld_bar
 from ..host import LoadGenerator
 from ..net import Flow, RssEngine
 from ..nic import ForwardToRss, NicConfig, RssGroup
 from ..sim import Simulator
-from ..sw import FldRuntime
 from ..sweep import SweepCache, SweepPoint, run_sweep
-from ..testbed import FLD_BAR_BASE, make_remote_pair
+from ..topology import (
+    AccelFnSpec,
+    FldSpec,
+    HostQpSpec,
+    LinkSpec,
+    NodeSpec,
+    TopologySpec,
+    VportSpec,
+)
+from ..topology import build as build_topology
 from .setups import CLIENT_MAC, CLIENT_IP, Calibration, FLD_MAC, SERVER_IP
+
+
+def scaling_spec(cores: int) -> TopologySpec:
+    """``cores`` FLD instances (one BAR window each) on one server."""
+    return TopologySpec(
+        name=f"scaling-{cores}cores",
+        # A 100 GbE-era testbed: hosts attach at PCIe x16 so the
+        # traffic generator is not the bottleneck under test.
+        nodes=[NodeSpec(name="client", core="loadgen", host_lanes=16),
+               NodeSpec(name="server", host_lanes=16)],
+        links=[LinkSpec(a="client", b="server")],
+        vports=[VportSpec(node="client", vport=1, mac=CLIENT_MAC),
+                VportSpec(node="server", vport=2, mac=FLD_MAC)],
+        flds=[FldSpec(node="server", index=core,
+                      name=f"server.fld{core}")
+              for core in range(cores)],
+        accel_fns=[AccelFnSpec(name=f"echo{core}",
+                               fld=f"server.fld{core}", kind="echo",
+                               vport=2, units=2, rx_default=False)
+                   for core in range(cores)],
+        host_qps=[HostQpSpec(name="client", node="client", vport=1,
+                             use_mmio_wqe=True, sq_entries=2048,
+                             rq_entries=2048, post_rx=2048)],
+    )
 
 
 def build(cores: int, port_rate_bps: float = 100e9,
           cal: Optional[Calibration] = None) -> SimpleNamespace:
     """A server with ``cores`` FLD instances behind one RSS group."""
     cal = cal or Calibration()
+    sim = Simulator()
     nic_config = NicConfig(port_rate_bps=port_rate_bps,
                            port_latency=cal.wire_latency,
                            processing_delay=cal.nic_processing)
-    # A 100 GbE-era testbed: hosts attach at PCIe x16 so the traffic
-    # generator is not the bottleneck under test.
-    client, server = make_remote_pair(sim := Simulator(),
-                                      nic_config=nic_config,
-                                      client_core=cal.client_core(sim),
-                                      host_lanes=16)
-    client.add_vport_for_mac(1, CLIENT_MAC)
-    server.add_vport_for_mac(2, FLD_MAC)
-
-    runtimes: List[FldRuntime] = []
-    accelerators: List[EchoAccelerator] = []
-    rqs = []
-    for core in range(cores):
-        runtime = FldRuntime(
-            server, fld_config=cal.fld_config(),
-            fld_bar_base=FLD_BAR_BASE + core * fld_bar.FLD_BAR_SIZE,
-            fld_name=f"{server.name}.fld{core}",
-        )
-        rq = runtime.create_rx_queue(vport=2, set_default=False)
-        txq = runtime.create_eth_tx_queue(vport=2)
-        accelerators.append(
-            EchoAccelerator(sim, runtime.fld, units=2, tx_queue=txq))
-        runtimes.append(runtime)
-        rqs.append(rq)
+    testbed = build_topology(
+        sim, scaling_spec(cores), cal=cal,
+        nic_configs={"client": nic_config, "server": nic_config},
+    )
+    client, server = testbed.node("client"), testbed.node("server")
+    fns = [testbed.accel(f"echo{core}") for core in range(cores)]
 
     # NIC RSS spreads flows across the FLD cores' receive queues (§9).
-    group = RssGroup("fld-cores", rqs, RssEngine(queues=list(range(cores))))
+    group = RssGroup("fld-cores", [fn.rq for fn in fns],
+                     RssEngine(queues=list(range(cores))))
     vport = server.nic.eswitch.vports[2]
     server.nic.steering.table(vport.rx_root).default_actions = [
         ForwardToRss(group)]
 
-    client_qp = client.driver.create_eth_qp(vport=1, use_mmio_wqe=True,
-                                            sq_entries=2048,
-                                            rq_entries=2048)
-    client_qp.post_rx_buffers(2048)
     return SimpleNamespace(sim=sim, client=client, server=server,
-                           runtimes=runtimes, accelerators=accelerators,
-                           client_qp=client_qp)
+                           runtimes=[fn.runtime for fn in fns],
+                           accelerators=[fn.accel for fn in fns],
+                           client_qp=testbed.host_qp("client"),
+                           testbed=testbed)
 
 
 def throughput(cores: int, frame_size: int = 1500, count: int = 2000,

@@ -7,24 +7,37 @@ Two kinds of experiments:
   stressing the PCIe path (ceiling ~50 Gbps);
 * **remote** — a client node and a server node back-to-back over 25 GbE.
 
-Builders return small namespace objects with the pieces each experiment
-needs; all calibration constants live in :class:`Calibration`.
+Each builder declares its testbed as a :class:`repro.topology.TopologySpec`
+and elaborates it with :func:`repro.topology.build`; only the
+application wiring (flows, load generators, control planes) stays
+imperative.  Builders return small namespace objects with the pieces
+each experiment needs; all calibration constants live in
+:class:`Calibration`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from types import SimpleNamespace
 from typing import Optional
 
-from ..accelerators import EchoAccelerator, RdmaEchoAccelerator, ZucAccelerator
+from ..accelerators import RdmaEchoAccelerator, ZucAccelerator
 from ..core.fld import FldConfig
 from ..host import CpuCore, EchoApp, LoadGenerator
 from ..net import Flow
 from ..nic import NicConfig
 from ..sim import Simulator
-from ..sw import FldRClient, FldRControlPlane, FldRuntime
-from ..testbed import Node, connect, make_local_node, make_remote_pair
+from ..sw import FldRClient, FldRControlPlane
+from ..topology import (
+    AccelFnSpec,
+    FldSpec,
+    HostQpSpec,
+    LinkSpec,
+    NodeSpec,
+    TopologySpec,
+    VportSpec,
+    build,
+)
 
 CLIENT_MAC = "02:00:00:00:00:01"
 SERVER_MAC = "02:00:00:00:00:02"
@@ -81,66 +94,90 @@ class Calibration:
         return FldConfig(pipeline_latency=self.fld_pipeline_latency)
 
 
+def flde_echo_remote_spec(units: int = 2) -> TopologySpec:
+    """The remote FLD-E echo testbed, as data."""
+    return TopologySpec(
+        name="flde-echo-remote",
+        nodes=[NodeSpec(name="client", core="loadgen"),
+               NodeSpec(name="server")],
+        links=[LinkSpec(a="client", b="server")],
+        vports=[VportSpec(node="client", vport=1, mac=CLIENT_MAC),
+                VportSpec(node="server", vport=2, mac=FLD_MAC)],
+        flds=[FldSpec(node="server")],
+        accel_fns=[AccelFnSpec(name="echo", fld="server.fld", kind="echo",
+                               vport=2, units=units)],
+        host_qps=[HostQpSpec(name="client", node="client", vport=1,
+                             use_mmio_wqe=True, post_rx=1024)],
+    )
+
+
 def flde_echo_remote(sim: Simulator, cal: Optional[Calibration] = None,
                      units: int = 2) -> SimpleNamespace:
     """Remote FLD-E echo: client testpmd -> wire -> NIC -> FLD -> echo."""
     cal = cal or Calibration()
-    client, server = make_remote_pair(sim, nic_config=cal.nic_config(),
-                                      client_core=cal.client_core(sim))
-    client.add_vport_for_mac(1, CLIENT_MAC)
-    server.add_vport_for_mac(2, FLD_MAC)
-    runtime = FldRuntime(server, fld_config=cal.fld_config())
-    rq = runtime.create_rx_queue(vport=2)
-    txq = runtime.create_eth_tx_queue(vport=2)
-    accel = EchoAccelerator(sim, runtime.fld, units=units, tx_queue=txq)
-    client_qp = client.driver.create_eth_qp(vport=1, use_mmio_wqe=True)
-    client_qp.post_rx_buffers(1024)
+    spec = flde_echo_remote_spec(units)
+    testbed = build(sim, spec, cal=cal)
+    fn = testbed.accel("echo")
+    client_qp = testbed.host_qp("client")
     flow = Flow(CLIENT_MAC, FLD_MAC, CLIENT_IP, SERVER_IP, 7000, 7001)
     loadgen = LoadGenerator(sim, client_qp, flow)
-    return SimpleNamespace(client=client, server=server, runtime=runtime,
-                           accel=accel, loadgen=loadgen, rq=rq)
+    return SimpleNamespace(client=testbed.node("client"),
+                           server=testbed.node("server"),
+                           runtime=fn.runtime, accel=fn.accel,
+                           loadgen=loadgen, rq=fn.rq, testbed=testbed)
 
 
 def flde_echo_local(sim: Simulator, cal: Optional[Calibration] = None,
                     units: int = 2) -> SimpleNamespace:
     """Local FLD-E echo: one node, eSwitch loopback between vPorts."""
     cal = cal or Calibration()
-    node = make_local_node(sim, nic_config=cal.nic_config(),
-                           core=cal.client_core(sim))
-    node.add_vport_for_mac(1, CLIENT_MAC)
-    node.add_vport_for_mac(2, FLD_MAC)
-    runtime = FldRuntime(node, fld_config=cal.fld_config())
-    rq = runtime.create_rx_queue(vport=2)
-    txq = runtime.create_eth_tx_queue(vport=2)
-    accel = EchoAccelerator(sim, runtime.fld, units=units, tx_queue=txq)
-    qp = node.driver.create_eth_qp(vport=1, use_mmio_wqe=True)
-    qp.post_rx_buffers(1024)
+    spec = TopologySpec(
+        name="flde-echo-local",
+        nodes=[NodeSpec(name="local", core="loadgen")],
+        vports=[VportSpec(node="local", vport=1, mac=CLIENT_MAC),
+                VportSpec(node="local", vport=2, mac=FLD_MAC)],
+        flds=[FldSpec(node="local")],
+        accel_fns=[AccelFnSpec(name="echo", fld="local.fld", kind="echo",
+                               vport=2, units=units)],
+        host_qps=[HostQpSpec(name="loadgen", node="local", vport=1,
+                             use_mmio_wqe=True, post_rx=1024)],
+    )
+    testbed = build(sim, spec, cal=cal)
+    fn = testbed.accel("echo")
+    qp = testbed.host_qp("loadgen")
     flow = Flow(CLIENT_MAC, FLD_MAC, CLIENT_IP, SERVER_IP, 7000, 7001)
     loadgen = LoadGenerator(sim, qp, flow)
-    return SimpleNamespace(client=node, server=node, runtime=runtime,
-                           accel=accel, loadgen=loadgen, rq=rq)
+    node = testbed.node("local")
+    return SimpleNamespace(client=node, server=node, runtime=fn.runtime,
+                           accel=fn.accel, loadgen=loadgen, rq=fn.rq,
+                           testbed=testbed)
 
 
 def cpu_echo_remote(sim: Simulator, cal: Optional[Calibration] = None,
                     jitter: bool = True) -> SimpleNamespace:
     """The CPU baseline: DPDK testpmd echoing on the server host."""
     cal = cal or Calibration()
-    client, server = make_remote_pair(
-        sim, nic_config=cal.nic_config(),
-        client_core=cal.client_core(sim),
-        server_core=cal.server_core(sim, jitter=jitter),
+    spec = TopologySpec(
+        name="cpu-echo-remote",
+        nodes=[NodeSpec(name="client", core="loadgen"),
+               NodeSpec(name="server",
+                        core="app" if jitter else "app-nojitter")],
+        links=[LinkSpec(a="client", b="server")],
+        vports=[VportSpec(node="client", vport=1, mac=CLIENT_MAC),
+                VportSpec(node="server", vport=1, mac=SERVER_MAC)],
+        host_qps=[HostQpSpec(name="client", node="client", vport=1,
+                             use_mmio_wqe=True, post_rx=1024),
+                  HostQpSpec(name="server", node="server", vport=1,
+                             use_mmio_wqe=True, post_rx=1024)],
     )
-    client.add_vport_for_mac(1, CLIENT_MAC)
-    server.add_vport_for_mac(1, SERVER_MAC)
-    client_qp = client.driver.create_eth_qp(vport=1, use_mmio_wqe=True)
-    client_qp.post_rx_buffers(1024)
-    server_qp = server.driver.create_eth_qp(vport=1, use_mmio_wqe=True)
-    server_qp.post_rx_buffers(1024)
+    testbed = build(sim, spec, cal=cal)
+    server_qp = testbed.host_qp("server")
     echo = EchoApp(server_qp)
     flow = Flow(CLIENT_MAC, SERVER_MAC, CLIENT_IP, SERVER_IP, 7000, 7001)
-    loadgen = LoadGenerator(sim, client_qp, flow)
-    return SimpleNamespace(client=client, server=server, echo=echo,
-                           loadgen=loadgen)
+    loadgen = LoadGenerator(sim, testbed.host_qp("client"), flow)
+    return SimpleNamespace(client=testbed.node("client"),
+                           server=testbed.node("server"), echo=echo,
+                           loadgen=loadgen, testbed=testbed)
 
 
 def fldr_echo(sim: Simulator, cal: Optional[Calibration] = None,
@@ -148,17 +185,30 @@ def fldr_echo(sim: Simulator, cal: Optional[Calibration] = None,
     """FLD-R echo: a host RDMA client against an FLD echo accelerator."""
     cal = cal or Calibration()
     if local:
-        node = make_local_node(sim, nic_config=cal.nic_config(),
-                               core=cal.client_core(sim))
-        client = server = node
-        client.add_vport_for_mac(1, CLIENT_MAC)
-        server.add_vport_for_mac(2, FLD_MAC)
+        spec = TopologySpec(
+            name="fldr-echo-local",
+            nodes=[NodeSpec(name="local", core="loadgen")],
+            vports=[VportSpec(node="local", vport=1, mac=CLIENT_MAC),
+                    VportSpec(node="local", vport=2, mac=FLD_MAC)],
+            flds=[FldSpec(node="local")],
+        )
     else:
-        client, server = make_remote_pair(sim, nic_config=cal.nic_config(),
-                                          client_core=cal.client_core(sim))
-        client.add_vport_for_mac(1, CLIENT_MAC)
-        server.add_vport_for_mac(2, FLD_MAC)
-    runtime = FldRuntime(server, fld_config=cal.fld_config())
+        spec = TopologySpec(
+            name="fldr-echo-remote",
+            nodes=[NodeSpec(name="client", core="loadgen"),
+                   NodeSpec(name="server")],
+            links=[LinkSpec(a="client", b="server")],
+            vports=[VportSpec(node="client", vport=1, mac=CLIENT_MAC),
+                    VportSpec(node="server", vport=2, mac=FLD_MAC)],
+            flds=[FldSpec(node="server")],
+        )
+    testbed = build(sim, spec, cal=cal)
+    if local:
+        client = server = testbed.node("local")
+        runtime = testbed.fld("local.fld")
+    else:
+        client, server = testbed.node("client"), testbed.node("server")
+        runtime = testbed.fld("server.fld")
     control = FldRControlPlane(runtime, vport=2, mac=FLD_MAC, ip=SERVER_IP)
     accel = RdmaEchoAccelerator(sim, runtime.fld, units=units)
     fld_client = FldRClient(client.driver, vport=1, mac=CLIENT_MAC,
@@ -168,18 +218,25 @@ def fldr_echo(sim: Simulator, cal: Optional[Calibration] = None,
     accel.tx_queue = connection.info.queue_id
     return SimpleNamespace(client=client, server=server, runtime=runtime,
                            accel=accel, connection=connection,
-                           control=control)
+                           control=control, testbed=testbed)
 
 
 def zuc_service(sim: Simulator, cal: Optional[Calibration] = None,
                 units: int = 8) -> SimpleNamespace:
     """The disaggregated ZUC accelerator behind FLD-R (§8.2.1)."""
     cal = cal or Calibration()
-    client, server = make_remote_pair(sim, nic_config=cal.nic_config(),
-                                      client_core=cal.client_core(sim))
-    client.add_vport_for_mac(1, CLIENT_MAC)
-    server.add_vport_for_mac(2, FLD_MAC)
-    runtime = FldRuntime(server, fld_config=cal.fld_config())
+    spec = TopologySpec(
+        name="zuc-service",
+        nodes=[NodeSpec(name="client", core="loadgen"),
+               NodeSpec(name="server")],
+        links=[LinkSpec(a="client", b="server")],
+        vports=[VportSpec(node="client", vport=1, mac=CLIENT_MAC),
+                VportSpec(node="server", vport=2, mac=FLD_MAC)],
+        flds=[FldSpec(node="server")],
+    )
+    testbed = build(sim, spec, cal=cal)
+    client, server = testbed.node("client"), testbed.node("server")
+    runtime = testbed.fld("server.fld")
     control = FldRControlPlane(runtime, vport=2, mac=FLD_MAC, ip=SERVER_IP)
     accel = ZucAccelerator(sim, runtime.fld, units=units,
                            queue_map=control.queue_map)
@@ -188,4 +245,5 @@ def zuc_service(sim: Simulator, cal: Optional[Calibration] = None,
     connection = fld_client.connect(control)
     return SimpleNamespace(client=client, server=server, runtime=runtime,
                            accel=accel, connection=connection,
-                           control=control, calibration=cal)
+                           control=control, calibration=cal,
+                           testbed=testbed)

@@ -88,6 +88,10 @@ class LoadGenerator:
         self.stats_sent = 0
         self.stats_received = 0
         self._spans = sim.telemetry.spans
+        #: Prefix for per-packet trace names (``<label>.seq<n>``); the
+        #: N-tenant experiment swaps it per flow so the tenant's name
+        #: flows into the span layer.
+        self.trace_label = "echo"
 
     def _make_frame(self, frame_size: int) -> bytes:
         packet = self.flow.make_sized_packet(frame_size)
@@ -104,7 +108,8 @@ class LoadGenerator:
         """Build one stamped frame, start its trace and hand it to the QP."""
         spans = self._spans
         started = self.sim.now
-        ctx = (spans.start_trace(f"echo.seq{self._seq}", started)
+        ctx = (spans.start_trace(f"{self.trace_label}.seq{self._seq}",
+                                 started)
                if spans.enabled else None)
         frame = self._make_frame(frame_size)
         self.qp.send(frame, trace_ctx=ctx)
@@ -165,6 +170,34 @@ class LoadGenerator:
             else:
                 # Back-to-back, but don't outrun the simulated wire by an
                 # unbounded queue: yield to the event loop each packet.
+                yield self.sim.timeout(1e-9)
+
+    def run_open_loop_flows(self, flows: List[Flow], sizes: List[int],
+                            rate_pps: Optional[float] = None,
+                            gap: Optional[float] = None,
+                            labels: Optional[List[str]] = None):
+        """Generator process: like :meth:`run_open_loop`, cycling frame
+        ``i`` onto ``flows[i % len(flows)]``.
+
+        With one flow this is event-for-event identical to
+        :meth:`run_open_loop` — the N-tenant scaling experiment leans on
+        that for its N=1 equivalence to the single-tenant echo.
+        ``labels`` (parallel to ``flows``) names each flow's traces.
+        """
+        self.rx_meter.start(self.sim.now)
+        interval = gap if gap is not None else (
+            1.0 / rate_pps if rate_pps else 0.0
+        )
+        for i, size in enumerate(sizes):
+            self.flow = flows[i % len(flows)]
+            if labels is not None:
+                self.trace_label = labels[i % len(flows)]
+            yield from self.qp.wait_for_tx_space()
+            self._send_frame(size)
+            self.stats_sent += 1
+            if interval > 0:
+                yield self.sim.timeout(interval)
+            else:
                 yield self.sim.timeout(1e-9)
 
     def drain(self, quiet_period: float = 50e-6, limit: float = 1.0):

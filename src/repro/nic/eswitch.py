@@ -26,15 +26,28 @@ class EthernetPort:
         self.sim = sim
         self.name = name
         self.link = Link(sim, rate_bps, latency, name=f"{name}.wire")
+        self.peer: Optional["EthernetPort"] = None
         self.on_receive: Optional[Callable[[Packet], None]] = None
         self.stats_tx_packets = 0
         self.stats_rx_packets = 0
         self._spans = sim.telemetry.spans
 
     def connect(self, peer: "EthernetPort") -> None:
-        """Connect both directions of a back-to-back cable."""
+        """Connect both directions of a back-to-back cable.
+
+        A port takes exactly one cable: re-connecting an already-wired
+        port (either end) raises instead of silently re-pointing the
+        link's receive callback at the new peer.
+        """
+        for port in (self, peer):
+            if port.peer is not None:
+                raise ValueError(
+                    f"port {port.name} is already connected to "
+                    f"{port.peer.name}; disconnect is not supported")
         self.link.connect(peer._receive)
         peer.link.connect(self._receive)
+        self.peer = peer
+        peer.peer = self
 
     def send(self, packet: Packet) -> None:
         self.stats_tx_packets += 1

@@ -334,6 +334,20 @@ def _build_parser() -> argparse.ArgumentParser:
                               "standard sweep via the result cache "
                               "(approximate log2-bucket percentiles)")
     _add_sweep_options(latency)
+
+    scale = sub.add_parser(
+        "scale-tenants",
+        help="N accelerator functions multiplexed on one FLD: "
+             "per-tenant throughput/latency + invariant audit")
+    scale.add_argument("--tenants", type=int, nargs="+", default=[4],
+                       metavar="N",
+                       help="tenant count(s) to run (default: 4)")
+    scale.add_argument("--size", type=int, default=256,
+                       help="frame size in bytes (default: 256)")
+    scale.add_argument("--count", type=int, default=400,
+                       help="frames dealt round-robin across tenants "
+                            "(default: 400)")
+    _add_sweep_options(scale)
     return parser
 
 
@@ -456,6 +470,32 @@ def _cmd_latency(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _cmd_scale_tenants(args: argparse.Namespace) -> int:
+    from .experiments import scale_tenants
+    ctx = _make_context(args)
+    rows = ctx.sweep(scale_tenants.sweep_points(
+        tuple(args.tenants), size=args.size, count=args.count))
+    print(format_table(
+        "Scale-tenants: aggregate echo (25 Gbps offered, one FLD)",
+        [{key: row[key] for key in ("tenants", "size", "sent",
+                                    "received", "gbps", "mpps",
+                                    "violations")}
+         for row in rows]))
+    for row in rows:
+        print(format_table(
+            f"Per-tenant breakdown ({row['tenants']} tenant(s))",
+            row["per_tenant"]))
+    summary = ctx.summary()
+    if summary:
+        print(summary, file=sys.stderr)
+    dirty = sum(row["violations"] for row in rows)
+    if dirty:
+        print(f"\ninvariant audit: {dirty} violation(s)")
+        return 1
+    print("\ninvariant audit: clean")
+    return 0
+
+
 def _print_listing() -> None:
     from .telemetry.runner import latency_experiments, \
         traceable_experiments
@@ -467,6 +507,8 @@ def _print_listing() -> None:
     print("latency attribution (python -m repro latency <name>):")
     for name, description in latency_experiments().items():
         print(f"  {name:12s} {description}")
+    print("multi-tenant scaling (python -m repro scale-tenants "
+          "--tenants N): per-tenant throughput/latency on one FLD")
 
 
 def _legacy_main(argv: List[str]) -> int:
@@ -499,8 +541,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # keep working: anything that does not lead with a subcommand or a
     # global flag takes the legacy flat path.
     leading = argv[0] if argv else ""
-    if leading not in ("tables", "figures", "trace", "latency", "--list",
-                       "-h", "--help"):
+    if leading not in ("tables", "figures", "trace", "latency",
+                       "scale-tenants", "--list", "-h", "--help"):
         return _legacy_main(argv)
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -517,5 +559,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "latency":
         return _cmd_latency(args)
+    if args.command == "scale-tenants":
+        return _cmd_scale_tenants(args)
     parser.print_help()
     return 0

@@ -33,7 +33,7 @@ from ..nic.device import (
     WQE_MMIO_BASE,
     WQE_MMIO_STRIDE,
 )
-from ..testbed import FLD_BAR_BASE, NIC_BAR_BASE, Node
+from ..topology import FLD_BAR_BASE, NIC_BAR_BASE, Node
 
 
 class FldRuntimeError(RuntimeError):
@@ -64,7 +64,14 @@ class FldRuntime:
             link_config=PcieLinkConfig(
                 lanes=8, latency=getattr(node, "pcie_latency", 300e-9)),
         )
-        node.fabric.map_window(fld_bar_base, fld_bar.FLD_BAR_SIZE, self.fld)
+        map_window = getattr(node, "map_window", None)
+        if map_window is not None:
+            # Overlap-checked reservation in the node's address map.
+            map_window(fld_name, fld_bar_base, fld_bar.FLD_BAR_SIZE,
+                       self.fld)
+        else:  # bare fabric holders (tests wiring a minimal stand-in)
+            node.fabric.map_window(fld_bar_base, fld_bar.FLD_BAR_SIZE,
+                                   self.fld)
         # Doorbell-mode span contexts are stashed under the NIC's name so
         # its WQE fetch loop can claim them (see repro.telemetry.spans).
         self.fld.tx.trace_scope = self.nic.name

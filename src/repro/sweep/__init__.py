@@ -23,6 +23,7 @@ regression tests all consume the same lists through the same runner.
 
 from .cache import CacheEntry, SweepCache, default_cache
 from .points import (
+    SEED_SCHEMA_VERSION,
     SWEEP_SCHEMA_VERSION,
     SweepError,
     SweepPoint,
@@ -30,6 +31,7 @@ from .points import (
     canonical_params,
     point_seed,
     resolve_target,
+    seed_payload_key,
 )
 from .runner import SweepResult, run_sweep
 
@@ -39,6 +41,7 @@ __all__ = [
     "SweepError",
     "SweepPoint",
     "SweepResult",
+    "SEED_SCHEMA_VERSION",
     "SWEEP_SCHEMA_VERSION",
     "cache_key",
     "canonical_params",
@@ -46,4 +49,5 @@ __all__ = [
     "point_seed",
     "resolve_target",
     "run_sweep",
+    "seed_payload_key",
 ]

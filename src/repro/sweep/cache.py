@@ -40,6 +40,7 @@ class CacheEntry:
     seed: int
     result: Any
     metrics: Optional[Dict[str, Any]] = None
+    topology: Optional[Dict[str, Any]] = None
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -51,6 +52,7 @@ class CacheEntry:
             "seed": self.seed,
             "result": self.result,
             "metrics": self.metrics,
+            "topology": self.topology,
         }
 
     @classmethod
@@ -69,6 +71,7 @@ class CacheEntry:
             seed=data["seed"],
             result=data["result"],
             metrics=data.get("metrics"),
+            topology=data.get("topology"),
         )
 
 

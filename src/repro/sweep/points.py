@@ -20,7 +20,15 @@ from typing import Any, Callable, Dict, Optional
 #: version so releases invalidate stale caches automatically.
 #: v2: telemetry mode joined the cache key (a metrics-only entry no
 #: longer satisfies a span-instrumented request).
-SWEEP_SCHEMA_VERSION = 2
+#: v3: the serialized topology spec joined the cache key, so cached
+#: points are addressed by the testbed shape they ran on.
+SWEEP_SCHEMA_VERSION = 3
+
+#: The schema the RNG *seed* derivation is frozen at.  Seeds must stay
+#: stable across cache-schema bumps — they define the simulated bytes,
+#: and the golden fixtures (tests/golden/) pin results produced under
+#: schema 2.  Cache addressing evolves; the seed payload does not.
+SEED_SCHEMA_VERSION = 2
 
 
 class SweepError(RuntimeError):
@@ -51,16 +59,47 @@ def canonical_params(params: Dict[str, Any]) -> str:
 
 def cache_key(experiment: str, target: str, params: Dict[str, Any],
               version: Optional[str] = None,
-              telemetry: Any = False) -> str:
+              telemetry: Any = False,
+              topology: Optional[Dict[str, Any]] = None) -> str:
     """The content address of one sweep point.
 
     sha256 over (experiment, target, canonical params, repro version,
-    sweep schema version, telemetry mode).  Any change to the
+    sweep schema version, telemetry mode, and — when the point declares
+    one — the canonical serialized topology).  Any change to the
     parameters or to the code version yields a new key; reordering the
     params dict does not.  The telemetry mode is part of the key
     because it changes what the cached entry *contains*: a point run
     without span tracing must not satisfy a ``telemetry="spans"``
     request whose merged report depends on the ``spans.*`` histograms.
+    The topology is part of the key because the same target + params
+    can elaborate different testbed shapes (``scale-tenants`` tenant
+    mixes): a cached result is only valid for the shape it ran on.
+    """
+    version = version if version is not None else _repro_version()
+    parts = [
+        experiment,
+        target,
+        canonical_params(params),
+        str(version),
+        str(SWEEP_SCHEMA_VERSION),
+        str(telemetry),
+    ]
+    if topology is not None:
+        parts.append(canonical_params(topology))
+    return hashlib.sha256("\x00".join(parts).encode("utf-8")).hexdigest()
+
+
+def seed_payload_key(experiment: str, target: str, params: Dict[str, Any],
+                     version: Optional[str] = None,
+                     telemetry: Any = False) -> str:
+    """The digest the per-point RNG seed derives from.
+
+    Identical to the schema-2 :func:`cache_key` payload and frozen
+    there on purpose: the seed determines the simulated bytes, so it
+    must not move when cache *addressing* evolves (schema bumps, the
+    topology joining the key).  The topology is deliberately excluded —
+    it is derived from the params, so including it would change every
+    seed the moment a builder adds a field to its spec.
     """
     version = version if version is not None else _repro_version()
     payload = "\x00".join([
@@ -68,7 +107,7 @@ def cache_key(experiment: str, target: str, params: Dict[str, Any],
         target,
         canonical_params(params),
         str(version),
-        str(SWEEP_SCHEMA_VERSION),
+        str(SEED_SCHEMA_VERSION),
         str(telemetry),
     ])
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -124,19 +163,30 @@ class SweepPoint:
         The string ``"spans"`` additionally turns on per-packet span
         tracing, so the export carries the ``spans.stage.*``
         attribution histograms (``python -m repro latency --sweep``).
+    ``topology``
+        The serialized :class:`repro.topology.TopologySpec` the target
+        elaborates (``spec.to_dict()``), when the experiment builds
+        through the topology layer.  Joins the cache key — cached
+        results are addressed by the shape they ran on — but not the
+        seed (the seed payload is frozen at schema 2; see
+        :func:`seed_payload_key`).
     """
 
     experiment: str
     target: str
     params: Dict[str, Any] = field(default_factory=dict)
     telemetry: Any = False
+    topology: Optional[Dict[str, Any]] = None
 
     def key(self, version: Optional[str] = None) -> str:
         return cache_key(self.experiment, self.target, self.params,
-                         version, telemetry=self.telemetry)
+                         version, telemetry=self.telemetry,
+                         topology=self.topology)
 
     def seed(self, version: Optional[str] = None) -> int:
-        return point_seed(self.key(version))
+        return point_seed(seed_payload_key(
+            self.experiment, self.target, self.params, version,
+            telemetry=self.telemetry))
 
     def label(self) -> str:
         """A short human-readable identity for progress/errors."""

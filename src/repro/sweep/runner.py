@@ -165,7 +165,8 @@ def run_sweep(points: Sequence[SweepPoint], jobs: int = 1,
                 cache.store(CacheEntry(
                     key=point.key(), experiment=point.experiment,
                     target=point.target, params=dict(point.params),
-                    seed=point.seed(), result=row, metrics=metrics))
+                    seed=point.seed(), result=row, metrics=metrics,
+                    topology=point.topology))
             if progress is not None:
                 progress(f"computed: {point.label()}")
 

@@ -6,63 +6,43 @@ Mirrors the paper's two setups (§8 Setup):
   the embedded switch (stressing the PCIe path);
 * **remote** — two nodes back-to-back over a 25 GbE wire.
 
-FLD-equipped nodes add the FPGA module via :func:`repro.sw.runtime`
-helpers; this module only knows about the vanilla host/NIC plumbing so
-the baselines can exist without FLD.
+This module is now a thin compatibility layer over
+:mod:`repro.topology`: :class:`Node`, :func:`connect` and the address
+constants live there, and the two helpers below elaborate one-line
+:class:`~repro.topology.TopologySpec` descriptions.  New code should
+write specs directly and call :func:`repro.topology.build`.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from .host import CpuCore, HostMemory, SoftwareDriver
-from .nic import BAR_SIZE, ForwardToVport, MatchSpec, Nic, NicConfig
-from .pcie import PcieFabric, PcieLinkConfig
+from .host import CpuCore
+from .nic import NicConfig
 from .sim import Simulator
+from .topology import (
+    FLD_BAR_BASE,
+    HOST_MEM_BASE,
+    HOST_MEM_SIZE,
+    LinkSpec,
+    NIC_BAR_BASE,
+    Node,
+    NodeSpec,
+    TopologySpec,
+    build,
+    connect,
+)
 
-HOST_MEM_BASE = 0x0
-HOST_MEM_SIZE = 1 << 34
-NIC_BAR_BASE = 0x10_0000_0000
-FLD_BAR_BASE = 0x18_0000_0000
-
-
-class Node:
-    """One server: PCIe fabric, host memory, NIC, software driver."""
-
-    def __init__(self, sim: Simulator, name: str,
-                 nic_config: Optional[NicConfig] = None,
-                 core: Optional[CpuCore] = None,
-                 pcie_latency: float = 300e-9, host_lanes: int = 8):
-        self.sim = sim
-        self.name = name
-        self.pcie_latency = pcie_latency
-        self.fabric = PcieFabric(sim)
-        self.memory = HostMemory(f"{name}.mem", HOST_MEM_SIZE)
-        self.fabric.attach(self.memory,
-                           PcieLinkConfig(lanes=host_lanes,
-                                          latency=pcie_latency))
-        self.fabric.map_window(HOST_MEM_BASE, HOST_MEM_SIZE, self.memory)
-        self.nic = Nic(sim, self.fabric, f"{name}.nic", nic_config,
-                       PcieLinkConfig(lanes=16, latency=pcie_latency))
-        self.fabric.map_window(NIC_BAR_BASE, BAR_SIZE, self.nic)
-        self.core = core if core is not None else CpuCore(sim)
-        self.driver = SoftwareDriver(
-            sim, self.fabric, self.nic, self.memory, HOST_MEM_BASE,
-            NIC_BAR_BASE, core=self.core, name=f"{name}.cpu",
-        )
-
-    def add_vport_for_mac(self, vport: int, mac) -> None:
-        """Create a vPort and steer frames for ``mac`` to it (FDB rule)."""
-        if vport not in self.nic.eswitch.vports:
-            self.nic.eswitch.add_vport(vport)
-        self.nic.steering.table("fdb").add_rule(
-            MatchSpec(dst_mac=mac), [ForwardToVport(vport)], priority=10,
-        )
-
-
-def connect(a: Node, b: Node) -> None:
-    """Cable two nodes' Ethernet ports back-to-back."""
-    a.nic.port.connect(b.nic.port)
+__all__ = [
+    "FLD_BAR_BASE",
+    "HOST_MEM_BASE",
+    "HOST_MEM_SIZE",
+    "NIC_BAR_BASE",
+    "Node",
+    "connect",
+    "make_local_node",
+    "make_remote_pair",
+]
 
 
 def make_local_node(sim: Simulator, name: str = "local",
@@ -70,7 +50,13 @@ def make_local_node(sim: Simulator, name: str = "local",
                     core: Optional[CpuCore] = None,
                     pcie_latency: float = 300e-9) -> Node:
     """A single node for local (PCIe-stressing) experiments."""
-    return Node(sim, name, nic_config, core, pcie_latency)
+    spec = TopologySpec(
+        name=f"local:{name}",
+        nodes=[NodeSpec(name=name, pcie_latency=pcie_latency)],
+    )
+    testbed = build(sim, spec, cores={name: core},
+                    nic_configs={name: nic_config})
+    return testbed.node(name)
 
 
 def make_remote_pair(sim: Simulator,
@@ -80,9 +66,19 @@ def make_remote_pair(sim: Simulator,
                      pcie_latency: float = 300e-9,
                      host_lanes: int = 8):
     """Client + server nodes connected by a 25 GbE wire."""
-    client = Node(sim, "client", nic_config, client_core, pcie_latency,
-                  host_lanes)
-    server = Node(sim, "server", nic_config, server_core, pcie_latency,
-                  host_lanes)
-    connect(client, server)
-    return client, server
+    spec = TopologySpec(
+        name="remote-pair",
+        nodes=[
+            NodeSpec(name="client", host_lanes=host_lanes,
+                     pcie_latency=pcie_latency),
+            NodeSpec(name="server", host_lanes=host_lanes,
+                     pcie_latency=pcie_latency),
+        ],
+        links=[LinkSpec(a="client", b="server")],
+    )
+    testbed = build(
+        sim, spec,
+        cores={"client": client_core, "server": server_core},
+        nic_configs={"client": nic_config, "server": nic_config},
+    )
+    return testbed.node("client"), testbed.node("server")

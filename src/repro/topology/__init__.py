@@ -1,0 +1,61 @@
+"""Declarative topology layer: compose testbeds from one spec.
+
+``TopologySpec`` describes a testbed as data (nodes, links, vPorts,
+FLDs, accelerator functions, host QPs); :func:`build` elaborates it
+into a live, queryable :class:`Testbed` in a fixed order so identical
+specs schedule identically.  :mod:`repro.topology.addrmap` is the one
+home of the physical address constants.
+"""
+
+from .addrmap import (
+    ACCEL_BAR_BASE,
+    AddressMap,
+    AddressMapError,
+    FLD_BAR_BASE,
+    HOST_MEM_BASE,
+    HOST_MEM_SIZE,
+    NIC_BAR_BASE,
+    Window,
+)
+from .build import AccelFn, Testbed, build
+from .functions import accel_kinds, make_accelerator, register_kind
+from .node import Node, connect
+from .spec import (
+    AccelFnSpec,
+    CORE_ROLES,
+    FldSpec,
+    HostQpSpec,
+    LinkSpec,
+    NodeSpec,
+    SpecError,
+    TopologySpec,
+    VportSpec,
+)
+
+__all__ = [
+    "ACCEL_BAR_BASE",
+    "AccelFn",
+    "AccelFnSpec",
+    "AddressMap",
+    "AddressMapError",
+    "CORE_ROLES",
+    "FLD_BAR_BASE",
+    "FldSpec",
+    "HOST_MEM_BASE",
+    "HOST_MEM_SIZE",
+    "HostQpSpec",
+    "LinkSpec",
+    "NIC_BAR_BASE",
+    "Node",
+    "NodeSpec",
+    "SpecError",
+    "Testbed",
+    "TopologySpec",
+    "VportSpec",
+    "Window",
+    "accel_kinds",
+    "build",
+    "connect",
+    "make_accelerator",
+    "register_kind",
+]

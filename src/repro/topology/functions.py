@@ -1,0 +1,62 @@
+"""The accelerator-function registry: spec ``kind`` -> live engine.
+
+Each factory builds one accelerator function behind an already-bound
+FLD transmit queue.  Kinds registered here are the vocabulary of
+:class:`~repro.topology.spec.AccelFnSpec`; the N-tenant scaling
+experiment mixes ``echo`` / ``zuc-echo`` / ``iot-echo`` tenants on one
+FLD, and the single-function experiments use ``echo`` / ``iot-auth`` /
+``rdma-echo``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from ..accelerators import (
+    EchoAccelerator,
+    IotAuthAccelerator,
+    IotEchoAccelerator,
+    RdmaEchoAccelerator,
+    ZucEchoAccelerator,
+)
+
+#: factory(sim, fld, units, tx_queue, name, params) -> Accelerator
+Factory = Callable[..., Any]
+
+_REGISTRY: Dict[str, Factory] = {}
+
+
+def register_kind(kind: str, factory: Factory) -> None:
+    """Add (or replace) an accelerator-function kind."""
+    _REGISTRY[kind] = factory
+
+
+def accel_kinds() -> tuple:
+    return tuple(sorted(_REGISTRY))
+
+
+def make_accelerator(kind: str, sim, fld, *, units: int, tx_queue: int,
+                     name: str, params: Dict[str, Any], source=None):
+    """Instantiate a registered accelerator function.
+
+    ``source`` (a Store) replaces the FLD's shared rx stream as the
+    function's input — the demultiplexer feed when several functions
+    share one FLD.
+    """
+    factory = _REGISTRY.get(kind)
+    if factory is None:
+        raise ValueError(
+            f"unknown accelerator kind {kind!r}; registered: "
+            f"{', '.join(accel_kinds())}")
+    kwargs = dict(params)
+    if source is not None:
+        kwargs["source"] = source
+    return factory(sim, fld, units=units, tx_queue=tx_queue, name=name,
+                   **kwargs)
+
+
+register_kind("echo", EchoAccelerator)
+register_kind("zuc-echo", ZucEchoAccelerator)
+register_kind("iot-echo", IotEchoAccelerator)
+register_kind("iot-auth", IotAuthAccelerator)
+register_kind("rdma-echo", RdmaEchoAccelerator)

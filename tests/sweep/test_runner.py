@@ -14,6 +14,7 @@ from repro.sweep import (
     point_seed,
     resolve_target,
     run_sweep,
+    seed_payload_key,
 )
 
 from . import targets
@@ -123,10 +124,23 @@ class TestPoints:
         assert cache_key("other", "m:f", {"a": 1}) != base
         assert cache_key("e", "m:g", {"a": 1}) != base
 
-    def test_seed_derives_from_key(self):
+    def test_seed_derives_from_frozen_payload(self):
         point = SweepPoint("e", ADD, {"a": 1})
-        assert point.seed() == point_seed(point.key())
+        assert point.seed() == point_seed(
+            seed_payload_key("e", ADD, {"a": 1}))
         assert 0 <= point.seed() < 2 ** 64
+
+    def test_topology_readdresses_cache_but_never_reseeds(self):
+        plain = SweepPoint("e", ADD, {"a": 1})
+        shaped = SweepPoint("e", ADD, {"a": 1},
+                            topology={"nodes": [{"name": "n0"}]})
+        other = SweepPoint("e", ADD, {"a": 1},
+                           topology={"nodes": [{"name": "n1"}]})
+        assert shaped.key() != plain.key()
+        assert shaped.key() != other.key()
+        # The seed defines the simulated bytes; it is frozen at the
+        # schema-2 payload so golden fixtures survive schema bumps.
+        assert shaped.seed() == plain.seed() == other.seed()
 
     def test_non_json_params_are_rejected(self):
         with pytest.raises(SweepError, match="JSON"):

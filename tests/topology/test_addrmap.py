@@ -1,0 +1,81 @@
+"""Unit tests for the per-node address map allocator."""
+
+import pytest
+
+from repro.core import bar as fld_bar
+from repro.topology import (
+    ACCEL_BAR_BASE,
+    AddressMap,
+    AddressMapError,
+    FLD_BAR_BASE,
+    HOST_MEM_BASE,
+    HOST_MEM_SIZE,
+    NIC_BAR_BASE,
+    Window,
+)
+
+
+class TestWindow:
+    def test_end_and_overlap(self):
+        a = Window("a", 0x1000, 0x100)
+        assert a.end == 0x1100
+        assert a.overlaps(Window("b", 0x10ff, 0x10))
+        assert not a.overlaps(Window("c", 0x1100, 0x10))
+        assert not a.overlaps(Window("d", 0x0, 0x1000))
+
+
+class TestAddressMap:
+    def test_reserve_disjoint_windows(self):
+        amap = AddressMap("node")
+        amap.reserve("dram", 0x0, 0x1000)
+        amap.reserve("bar", 0x1000, 0x1000)
+        assert "dram" in amap and "bar" in amap
+        assert [w.name for w in amap.windows()] == ["dram", "bar"]
+        assert amap.lookup("bar").base == 0x1000
+
+    def test_overlap_rejected_with_both_names(self):
+        amap = AddressMap("node")
+        amap.reserve("dram", 0x0, 0x2000)
+        with pytest.raises(AddressMapError) as excinfo:
+            amap.reserve("bar", 0x1fff, 0x10)
+        message = str(excinfo.value)
+        assert "bar" in message and "dram" in message
+
+    def test_duplicate_name_rejected(self):
+        amap = AddressMap("node")
+        amap.reserve("dram", 0x0, 0x1000)
+        with pytest.raises(AddressMapError, match="already mapped"):
+            amap.reserve("dram", 0x10000, 0x1000)
+
+    def test_non_positive_size_rejected(self):
+        amap = AddressMap("node")
+        with pytest.raises(AddressMapError):
+            amap.reserve("empty", 0x0, 0)
+
+    def test_fld_bar_stacking(self):
+        amap = AddressMap("node")
+        assert amap.fld_bar(0) == FLD_BAR_BASE
+        assert amap.fld_bar(1) == FLD_BAR_BASE + fld_bar.FLD_BAR_SIZE
+        assert amap.fld_bar(3) == FLD_BAR_BASE + 3 * fld_bar.FLD_BAR_SIZE
+        with pytest.raises(AddressMapError):
+            amap.fld_bar(-1)
+
+
+class TestHistoricalConstants:
+    """The windows keep their historical values: address-derived
+    behaviour (and therefore simulated results) must not move."""
+
+    def test_values_pinned(self):
+        assert HOST_MEM_BASE == 0x0
+        assert HOST_MEM_SIZE == 1 << 34
+        assert NIC_BAR_BASE == 0x10_0000_0000
+        assert FLD_BAR_BASE == 0x18_0000_0000
+        assert ACCEL_BAR_BASE == 0x20_0000_0000
+
+    def test_standard_windows_disjoint(self):
+        amap = AddressMap("node")
+        amap.reserve("dram", HOST_MEM_BASE, HOST_MEM_SIZE)
+        amap.reserve("nic-bar", NIC_BAR_BASE, 1 << 20)
+        amap.reserve("fld-bar", FLD_BAR_BASE, fld_bar.FLD_BAR_SIZE)
+        amap.reserve("accel-bar", ACCEL_BAR_BASE, 1 << 20)
+        assert len(amap.windows()) == 4

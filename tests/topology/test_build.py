@@ -1,0 +1,100 @@
+"""Elaborator tests: spec -> Testbed, lifecycle, demux wiring."""
+
+import pytest
+
+from repro.experiments.scale_tenants import scale_tenants_spec
+from repro.experiments.setups import flde_echo_remote_spec
+from repro.sim import Simulator, Store
+from repro.topology import (
+    HostQpSpec,
+    NodeSpec,
+    SpecError,
+    TopologySpec,
+    accel_kinds,
+    build,
+)
+
+
+class TestBuildQueries:
+    def setup_method(self):
+        self.sim = Simulator()
+        self.testbed = build(self.sim, flde_echo_remote_spec())
+
+    def test_components_addressable_by_spec_name(self):
+        assert self.testbed.node("server").name == "server"
+        assert self.testbed.fld("server.fld").fld.name == "server.fld"
+        fn = self.testbed.accel("echo")
+        assert fn.spec.kind == "echo"
+        assert fn.runtime is self.testbed.fld("server.fld")
+        assert self.testbed.host_qp("client") is not None
+
+    def test_link_and_vports_elaborated(self):
+        client, server = (self.testbed.node("client"),
+                          self.testbed.node("server"))
+        assert client.nic.port.peer is server.nic.port
+        assert 1 in client.nic.eswitch.vports
+        assert 2 in server.nic.eswitch.vports
+
+    def test_single_function_taps_fld_rx_stream_directly(self):
+        fn = self.testbed.accel("echo")
+        assert fn.accel._upstream is fn.runtime.fld.rx_stream
+
+    def test_reset_zeroes_measurement_stats(self):
+        fn = self.testbed.accel("echo")
+        fn.accel.stats_processed = 7
+        port = self.testbed.node("server").nic.port
+        port.stats_rx_packets = 9
+        self.testbed.reset()
+        assert fn.accel.stats_processed == 0
+        assert port.stats_rx_packets == 0
+
+    def test_quiesce_clean_on_idle_testbed(self):
+        assert self.testbed.quiesce() == []
+        self.testbed.assert_quiesced()
+
+
+class TestMultiFunctionDemux:
+    def test_each_function_gets_private_bounded_store(self):
+        sim = Simulator()
+        testbed = build(sim, scale_tenants_spec(3))
+        runtime = testbed.fld("server.fld")
+        upstreams = [testbed.accel(f"tenant{i}").accel._upstream
+                     for i in range(3)]
+        for upstream in upstreams:
+            assert upstream is not runtime.fld.rx_stream
+            assert isinstance(upstream, Store)
+        assert len({id(u) for u in upstreams}) == 3
+
+    def test_rx_sram_carved_across_tenants(self):
+        sim = Simulator()
+        testbed = build(sim, scale_tenants_spec(4))
+        for i in range(4):
+            assert testbed.accel(f"tenant{i}").spec.rx_strides == 16
+
+
+class TestBuildErrors:
+    def test_host_qp_without_vport_spec(self):
+        spec = TopologySpec(
+            name="t", nodes=[NodeSpec(name="n")],
+            host_qps=[HostQpSpec(name="q", node="n", vport=5)])
+        with pytest.raises(SpecError, match="vport"):
+            build(Simulator(), spec)
+
+    def test_invalid_spec_rejected_before_elaboration(self):
+        spec = TopologySpec(name="t", nodes=[NodeSpec(name="n"),
+                                             NodeSpec(name="n")])
+        with pytest.raises(SpecError):
+            build(Simulator(), spec)
+
+
+class TestNodeOverrides:
+    def test_port_rate_override(self):
+        spec = TopologySpec(
+            name="t", nodes=[NodeSpec(name="n", port_rate_bps=100e9)])
+        testbed = build(Simulator(), spec)
+        assert testbed.node("n").nic.config.port_rate_bps == 100e9
+
+
+def test_registered_accelerator_kinds():
+    assert set(accel_kinds()) >= {"echo", "zuc-echo", "iot-echo",
+                                  "iot-auth", "rdma-echo"}

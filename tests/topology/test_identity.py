@@ -1,0 +1,44 @@
+"""Bit-identity of the spec-built testbeds to the pre-refactor path.
+
+``tests/golden/topology_identity.json`` pins the exact numbers the
+hand-wired ``flde_echo_remote`` / ``flde_echo_local`` testbeds produced
+before experiments were rebuilt on the declarative topology layer.
+The comparison is exact (``==`` on floats): the elaborator must
+construct the same objects in the same order, so every simulated event
+— and therefore every digit — is unchanged.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.experiments.echo import echo_latency, echo_throughput
+
+FIXTURE = os.path.join(os.path.dirname(__file__), os.pardir, "golden",
+                       "topology_identity.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(FIXTURE, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_flde_echo_remote_bit_identical(golden):
+    random.seed(1234)
+    result = echo_throughput("flde-remote", 256, count=400)
+    assert result == golden["flde_echo_remote"]
+
+
+def test_flde_echo_local_bit_identical(golden):
+    random.seed(1234)
+    result = echo_throughput("flde-local", 256, count=400)
+    assert result == golden["flde_echo_local"]
+
+
+def test_flde_latency_bit_identical(golden):
+    random.seed(99)
+    result = echo_latency("flde", count=300)
+    assert result == golden["flde_latency"]

@@ -1,0 +1,90 @@
+"""Node-level wiring: FDB steering, idempotent vPorts, cabling."""
+
+import pytest
+
+from repro.net import Flow
+from repro.nic import Drop, ForwardToVport, MatchSpec
+from repro.sim import Simulator
+from repro.topology import Node, connect
+
+MAC_A = "02:00:00:00:00:0a"
+MAC_B = "02:00:00:00:00:0b"
+
+
+def make_packet(dst_mac):
+    flow = Flow("02:00:00:00:00:01", dst_mac, "10.0.0.1", "10.0.0.2",
+                100, 200)
+    return flow.make_packet(b"payload", fill_checksums=False)
+
+
+class TestAddVportForMac:
+    def test_creates_vport_and_fdb_rule(self):
+        node = Node(Simulator(), "n")
+        node.add_vport_for_mac(2, MAC_A)
+        assert 2 in node.nic.eswitch.vports
+        table = node.nic.steering.table("fdb")
+        disposition = node.nic.steering.process(make_packet(MAC_A), "fdb")
+        assert disposition.kind == disposition.VPORT
+        assert disposition.target == 2
+        assert len(table.rules) == 1
+
+    def test_idempotent_same_pair(self):
+        node = Node(Simulator(), "n")
+        node.add_vport_for_mac(2, MAC_A)
+        node.add_vport_for_mac(2, MAC_A)          # no-op
+        node.add_vport_for_mac(2, MAC_A.upper())  # case-insensitive no-op
+        assert len(node.nic.steering.table("fdb").rules) == 1
+
+    def test_resteer_to_other_vport_rejected(self):
+        node = Node(Simulator(), "n")
+        node.add_vport_for_mac(2, MAC_A)
+        with pytest.raises(ValueError, match="already steered"):
+            node.add_vport_for_mac(3, MAC_A)
+        # The losing call must not leave a half-made vPort rule behind.
+        assert len(node.nic.steering.table("fdb").rules) == 1
+
+
+class TestFdbRulePriority:
+    def test_rules_sorted_by_descending_priority(self):
+        table = Node(Simulator(), "n").nic.steering.table("fdb")
+        table.add_rule(MatchSpec(dst_mac=MAC_A), [Drop()], priority=0)
+        table.add_rule(MatchSpec(dst_mac=MAC_A), [Drop()], priority=10)
+        table.add_rule(MatchSpec(dst_mac=MAC_A), [Drop()], priority=5)
+        assert [r.priority for r in table.rules] == [10, 5, 0]
+
+    def test_equal_priority_preserves_insertion_order(self):
+        node = Node(Simulator(), "n")
+        node.add_vport_for_mac(2, MAC_A)
+        node.add_vport_for_mac(3, MAC_B)
+        rules = node.nic.steering.table("fdb").rules
+        assert [r.priority for r in rules] == [10, 10]
+        assert [r.actions[0].vport for r in rules] == [2, 3]
+
+    def test_higher_priority_wins_lookup(self):
+        node = Node(Simulator(), "n")
+        node.add_vport_for_mac(2, MAC_A)  # priority 10
+        node.nic.eswitch.add_vport(7)
+        node.nic.steering.table("fdb").add_rule(
+            MatchSpec(dst_mac=MAC_A), [ForwardToVport(7)], priority=20)
+        disposition = node.nic.steering.process(make_packet(MAC_A), "fdb")
+        assert disposition.target == 7
+
+
+class TestConnect:
+    def test_connect_is_bidirectional(self):
+        sim = Simulator()
+        a, b = Node(sim, "a"), Node(sim, "b")
+        connect(a, b)
+        assert a.nic.port.peer is b.nic.port
+        assert b.nic.port.peer is a.nic.port
+
+    def test_double_connect_rejected(self):
+        sim = Simulator()
+        a, b, c = Node(sim, "a"), Node(sim, "b"), Node(sim, "c")
+        connect(a, b)
+        with pytest.raises(ValueError, match="already connected"):
+            connect(a, c)
+        with pytest.raises(ValueError, match="already connected"):
+            connect(c, b)
+        # The failed cabling must not have wired either direction.
+        assert c.nic.port.peer is None
