@@ -110,6 +110,12 @@ class CreditInterface:
         self._capacity[queue_id] = credits
         self._waiters.setdefault(queue_id, [])
 
+    def remove(self, queue_id: int) -> None:
+        """Drop a queue's credit pool (its tx queue was destroyed)."""
+        self._credits.pop(queue_id, None)
+        self._capacity.pop(queue_id, None)
+        self._waiters.pop(queue_id, None)
+
     def available(self, queue_id: int) -> int:
         return self._credits.get(queue_id, 0)
 

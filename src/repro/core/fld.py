@@ -145,6 +145,20 @@ class FlexDriver(PcieEndpoint):
         self._cq_route[cq_index] = ("rx", binding_id)
         return bar.RX_BUFFER_REGION + offset
 
+    def unbind_tx_queue(self, queue_id: int) -> None:
+        """Tear down a tx queue binding and its CQE route."""
+        self.tx.remove_queue(queue_id)
+        for cq_index, route in list(self._cq_route.items()):
+            if route == ("tx", queue_id):
+                del self._cq_route[cq_index]
+
+    def unbind_rx_queue(self, binding_id: int) -> None:
+        """Tear down an rx binding, releasing its SRAM slice."""
+        self.rx.remove_binding(binding_id)
+        for cq_index, route in list(self._cq_route.items()):
+            if route == ("rx", binding_id):
+                del self._cq_route[cq_index]
+
     # ------------------------------------------------------------------
     # Accelerator-facing interface (§5.5)
     # ------------------------------------------------------------------

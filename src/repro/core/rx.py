@@ -19,7 +19,7 @@ the RQ producer index over PCIe.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..nic.wqe import CQE_FLAG_MSG_LAST
 from ..sim import Simulator
@@ -73,11 +73,56 @@ class RxRingManager:
         self.capacity_bytes = capacity_bytes
         self._sram = bytearray(capacity_bytes)
         self._sram_cursor = 0
+        # Released slices, kept sorted by offset and coalesced; reused
+        # first-fit so a churning testbed doesn't exhaust the SRAM.
+        # While nothing is ever removed the allocator degenerates to the
+        # historical bump cursor (identical offsets, bit-identical runs).
+        self._sram_free: List[Tuple[int, int]] = []
         self.mmio_writer = mmio_writer
         self.emit = emit
         self._bindings: Dict[int, _RxBinding] = {}
         self.stats_cqes = 0
         self.stats_sram_writes = 0
+
+    # -- SRAM slice allocator ------------------------------------------------
+
+    def _alloc_sram(self, size: int) -> int:
+        for i, (offset, free) in enumerate(self._sram_free):
+            if free >= size:
+                if free == size:
+                    del self._sram_free[i]
+                else:
+                    self._sram_free[i] = (offset + size, free - size)
+                return offset
+        if self._sram_cursor + size > self.capacity_bytes:
+            raise RxError(
+                f"rx SRAM exhausted: need {size} B, "
+                f"{self.capacity_bytes - self._sram_cursor} B left"
+            )
+        offset = self._sram_cursor
+        self._sram_cursor += size
+        return offset
+
+    def _free_sram(self, offset: int, size: int) -> None:
+        self._sram_free.append((offset, size))
+        self._sram_free.sort()
+        # Coalesce adjacent blocks.
+        merged: List[Tuple[int, int]] = []
+        for block_offset, block_size in self._sram_free:
+            if merged and merged[-1][0] + merged[-1][1] == block_offset:
+                merged[-1] = (merged[-1][0], merged[-1][1] + block_size)
+            else:
+                merged.append((block_offset, block_size))
+        # Retract the bump cursor over a trailing free block, so a fully
+        # drained manager allocates from offset 0 again.
+        while merged and merged[-1][0] + merged[-1][1] == self._sram_cursor:
+            self._sram_cursor = merged.pop()[0]
+        self._sram_free = merged
+
+    @property
+    def sram_bytes_in_use(self) -> int:
+        """Bytes currently backing live bindings (leak auditing)."""
+        return self._sram_cursor - sum(size for _o, size in self._sram_free)
 
     # -- configuration -------------------------------------------------------
 
@@ -91,17 +136,20 @@ class RxRingManager:
         """
         if binding_id in self._bindings:
             raise RxError(f"binding {binding_id} exists")
+        slice_bytes = ring_entries * strides_per_buffer * stride_size
+        sram_offset = self._alloc_sram(slice_bytes)
         binding = _RxBinding(binding_id, ring_entries, strides_per_buffer,
-                             stride_size, self._sram_cursor,
+                             stride_size, sram_offset,
                              rq_doorbell_addr)
-        if self._sram_cursor + binding.slice_bytes > self.capacity_bytes:
-            raise RxError(
-                f"rx SRAM exhausted: need {binding.slice_bytes} B, "
-                f"{self.capacity_bytes - self._sram_cursor} B left"
-            )
-        self._sram_cursor += binding.slice_bytes
         self._bindings[binding_id] = binding
         return binding.sram_offset
+
+    def remove_binding(self, binding_id: int) -> _RxBinding:
+        """Release a binding's SRAM slice back to the allocator."""
+        binding = self.binding(binding_id)
+        del self._bindings[binding_id]
+        self._free_sram(binding.sram_offset, binding.slice_bytes)
+        return binding
 
     def binding(self, binding_id: int) -> _RxBinding:
         try:

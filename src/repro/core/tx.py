@@ -108,6 +108,26 @@ class TxRingManager:
         self._qpn_to_queue[qpn] = queue_id
         self.credits.configure(queue_id, credits or entries)
 
+    def remove_queue(self, queue_id: int) -> None:
+        """Tear a queue down, flushing any in-flight submissions.
+
+        Flushed descriptors release their buffer chunks, translation
+        windows and credits exactly as a completion would, so the
+        invariant auditor sees a clean FLD afterwards.
+        """
+        state = self.queue(queue_id)
+        for index in sorted(state.outstanding):
+            self.descriptors.remove(queue_id, index)
+            handles, virt_chunk, count = state.outstanding[index]
+            self.data_xlt.unmap_range(
+                queue_id, virt_chunk * self.buffers.chunk_size, count)
+            self.buffers.release_all(handles)
+        state.outstanding.clear()
+        state.ci = state.pi
+        del self._queues[queue_id]
+        self._qpn_to_queue.pop(state.qpn, None)
+        self.credits.remove(queue_id)
+
     def queue(self, queue_id: int) -> _TxQueueState:
         try:
             return self._queues[queue_id]

@@ -170,7 +170,7 @@ def build(config: str, cal: Optional[DefragCalibration] = None):
                                     tx_queue=txq)
         resume = server.nic.steering.table("post-defrag")
         resume.default_actions = [ForwardToRss(group)]
-        server.nic.register_resume_table("post-defrag")
+        runtime.ctrl.add_resume_table("post-defrag")
         frag_actions = [ToAccelerator(fld_rq, "post-defrag")]
     else:
         frag_actions = [ForwardToRss(group)]

@@ -33,9 +33,11 @@ from ..nic import (
     WQE_MMIO_STRIDE,
     WQE_SIZE,
 )
-from ..nic.device import DOORBELL_STRIDE
+from ..nic import CommandChannel
+from ..nic.device import DOORBELL_STRIDE, _POISON
 from ..nic.queues import ReceiveQueue
 from ..sim import Event, Simulator, Store
+from ..topology.addrmap import CMD_MAILBOX_OFFSET, NIC_CMD_DOORBELL
 from .cpu import CpuCore, HostCpuPort
 from .memory import BumpAllocator, HostMemory
 
@@ -63,19 +65,22 @@ class EthQueuePair:
         # N WQEs; one completion retires the whole preceding batch.
         self.signal_interval = signal_interval
         self._tx_completed = 0
-        alloc = driver.allocator
-        nic = driver.nic
+        self._allocs: List[tuple] = []
+        self._vport = vport
+        self._registered_default = register_default
+        self._closed = False
+        ctrl = driver.ctrl
 
-        self.tx_cq = nic.create_cq(alloc.alloc(sq_entries * 64), sq_entries)
-        self.rx_cq = nic.create_cq(alloc.alloc(rq_entries * 64), rq_entries)
-        self.sq = nic.create_sq(alloc.alloc(sq_entries * WQE_SIZE),
-                                sq_entries, self.tx_cq, vport)
-        self.rq = nic.create_rq(alloc.alloc(rq_entries * 16), rq_entries,
+        self.tx_cq = ctrl.alloc_cq(self._take(sq_entries * 64), sq_entries)
+        self.rx_cq = ctrl.alloc_cq(self._take(rq_entries * 64), rq_entries)
+        self.sq = ctrl.alloc_sq(self._take(sq_entries * WQE_SIZE),
+                                sq_entries, self.tx_cq, vport=vport)
+        self.rq = ctrl.alloc_rq(self._take(rq_entries * 16), rq_entries,
                                 self.rx_cq)
         if register_default:
-            nic.set_vport_default_queue(vport, self.rq)
+            ctrl.set_default_queue(vport, self.rq)
         # Transmit buffers: one slot per WQE (DPDK-style worst case).
-        self._tx_buffers = [alloc.alloc(buffer_size)
+        self._tx_buffers = [self._take(buffer_size)
                             for _ in range(sq_entries)]
         self._rx_buffers: Dict[int, int] = {}
         self.on_receive: Optional[Callable[[bytes, Cqe], None]] = None
@@ -87,6 +92,33 @@ class EthQueuePair:
         self.sim.spawn(self._rx_dispatcher(), name=f"ethqp{self.sq.qpn}.rx")
         self.sim.spawn(self._tx_retire(), name=f"ethqp{self.sq.qpn}.txc")
 
+    def _take(self, size: int) -> int:
+        """Allocate host memory, remembered for release on close()."""
+        addr = self.driver.allocator.alloc(size)
+        self._allocs.append((addr, size))
+        return addr
+
+    def close(self) -> None:
+        """Destroy the queue pair through the command channel.
+
+        Releases the NIC objects (default route, RQ, SQ, both CQs) and
+        returns every host ring and buffer to the driver allocator.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        ctrl = self.driver.ctrl
+        if self._registered_default:
+            ctrl.clear_default_queue(self._vport)
+        ctrl.destroy(self.rq)
+        ctrl.destroy(self.sq)
+        ctrl.destroy(self.rx_cq)
+        ctrl.destroy(self.tx_cq)
+        alloc = self.driver.allocator
+        for addr, size in self._allocs:
+            alloc.free(addr, size)
+        self._allocs.clear()
+
     # -- transmit ----------------------------------------------------------
 
     def tx_space(self) -> int:
@@ -96,6 +128,8 @@ class EthQueuePair:
     def _tx_retire(self):
         while True:
             cqe = yield self.tx_cq.notify.get()
+            if cqe is _POISON:
+                return
             # Completions are cumulative under selective signalling: a
             # CQE for index i retires everything up to i.
             base = self._tx_completed & ~0xFFFF
@@ -172,7 +206,7 @@ class EthQueuePair:
         driver = self.driver
         for _ in range(count):
             index = self.rq.pi
-            buffer_addr = driver.allocator.alloc(self.buffer_size)
+            buffer_addr = self._take(self.buffer_size)
             self._rx_buffers[index % self.rq.entries] = buffer_addr
             desc = RxDesc(buffer_addr, self.buffer_size)
             driver.memory.write_local(
@@ -196,6 +230,8 @@ class EthQueuePair:
         driver = self.driver
         while True:
             cqe = yield self.rx_cq.notify.get()
+            if cqe is _POISON:
+                return
             started = self.sim.now
             if self.core is not None:
                 yield self.sim.timeout(self.core.packet_cost())
@@ -224,17 +260,18 @@ class RcEndpoint:
         self.driver = driver
         self.sim = driver.sim
         self.buffer_size = buffer_size
-        alloc = driver.allocator
-        nic = driver.nic
-        self.cq = nic.create_cq(alloc.alloc(sq_entries * 64), sq_entries)
-        self.rx_cq = nic.create_cq(alloc.alloc(rq_entries * 64), rq_entries)
-        self.rq = nic.create_rq(alloc.alloc(rq_entries * 16), rq_entries,
+        self._allocs: List[tuple] = []
+        self._closed = False
+        ctrl = driver.ctrl
+        self.cq = ctrl.alloc_cq(self._take(sq_entries * 64), sq_entries)
+        self.rx_cq = ctrl.alloc_cq(self._take(rq_entries * 64), rq_entries)
+        self.rq = ctrl.alloc_rq(self._take(rq_entries * 16), rq_entries,
                                 self.rx_cq)
-        self.qp = nic.create_rc_qp(
-            alloc.alloc(sq_entries * WQE_SIZE), sq_entries, self.cq,
+        self.qp = ctrl.alloc_rc_qp(
+            self._take(sq_entries * WQE_SIZE), sq_entries, self.cq,
             self.rq, vport, local_mac, local_ip,
         )
-        self._tx_buffers = [alloc.alloc(max(buffer_size, 16 * 1024))
+        self._tx_buffers = [self._take(max(buffer_size, 16 * 1024))
                             for _ in range(sq_entries)]
         self._rx_buffers: Dict[int, int] = {}
         self._pi = 0
@@ -251,14 +288,37 @@ class RcEndpoint:
     def qpn(self) -> int:
         return self.qp.qpn
 
+    def _take(self, size: int) -> int:
+        """Allocate host memory, remembered for release on close()."""
+        addr = self.driver.allocator.alloc(size)
+        self._allocs.append((addr, size))
+        return addr
+
     def connect(self, remote_mac, remote_ip, remote_qpn: int) -> None:
-        self.qp.connect(remote_mac, remote_ip, remote_qpn)
+        """Walk the QP to RTS against the remote (verbs state machine)."""
+        self.driver.ctrl.connect_qp(self.qp, remote_mac, remote_ip,
+                                    remote_qpn)
+
+    def close(self) -> None:
+        """Destroy the endpoint's QP, RQ and CQs; free host memory."""
+        if self._closed:
+            return
+        self._closed = True
+        ctrl = self.driver.ctrl
+        ctrl.destroy(self.qp)
+        ctrl.destroy(self.rq)
+        ctrl.destroy(self.rx_cq)
+        ctrl.destroy(self.cq)
+        alloc = self.driver.allocator
+        for addr, size in self._allocs:
+            alloc.free(addr, size)
+        self._allocs.clear()
 
     def post_rx_buffers(self, count: int) -> None:
         driver = self.driver
         for _ in range(count):
             index = self.rq.pi
-            buffer_addr = driver.allocator.alloc(self.buffer_size)
+            buffer_addr = self._take(self.buffer_size)
             self._rx_buffers[index % self.rq.entries] = buffer_addr
             desc = RxDesc(buffer_addr, self.buffer_size)
             driver.memory.write_local(
@@ -273,7 +333,7 @@ class RcEndpoint:
         buffer's current contents for verification.
         """
         driver = self.driver
-        base = driver.allocator.alloc(size)
+        base = self._take(size)
         region = driver.nic.rdma.register_mr(base, size)
 
         def read(nbytes: int = size, offset: int = 0) -> bytes:
@@ -338,6 +398,8 @@ class RcEndpoint:
     def _tx_completions(self):
         while True:
             cqe = yield self.cq.notify.get()
+            if cqe is _POISON:
+                return
             waiter = self._send_waiters.pop(cqe.wqe_counter, None)
             if waiter is not None:
                 waiter.succeed(cqe)
@@ -346,6 +408,8 @@ class RcEndpoint:
         driver = self.driver
         while True:
             cqe = yield self.rx_cq.notify.get()
+            if cqe is _POISON:
+                return
             started = self.sim.now
             if driver.core is not None:
                 yield self.sim.timeout(driver.core.packet_cost())
@@ -393,6 +457,18 @@ class SoftwareDriver:
         self.cpu_port = HostCpuPort(name)
         fabric.attach(self.cpu_port)
         self.allocator = BumpAllocator(mem_base + (1 << 20), (1 << 30))
+        # The firmware command channel: mailbox in host DRAM (below the
+        # allocator arena), doorbell at the base of the NIC BAR.
+        self.channel = CommandChannel(
+            nic, memory=memory, mem_base=mem_base,
+            mailbox_offset=CMD_MAILBOX_OFFSET,
+            doorbell_addr=nic_bar_base + NIC_CMD_DOORBELL,
+            fabric=fabric, requester=self.cpu_port,
+        )
+        # Deferred import: repro.sw pulls in the topology layer, which
+        # imports this module while repro.host is still initializing.
+        from ..sw.control import ControlPlane
+        self.ctrl = ControlPlane(self.channel)
 
     # -- PCIe initiators ---------------------------------------------------
 

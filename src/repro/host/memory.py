@@ -71,25 +71,71 @@ class HostMemory(PcieEndpoint):
 
 
 class BumpAllocator:
-    """Carves aligned regions out of an address window (never frees)."""
+    """Carves aligned regions out of an address window.
+
+    Freed regions go on a sorted, coalesced free list and are reused
+    first-fit; while nothing is freed the allocator behaves exactly like
+    the historical bump pointer (identical addresses, bit-identical runs).
+    """
 
     def __init__(self, base: int, size: int):
         self.base = base
         self.size = size
         self._cursor = base
+        self._free: list = []  # sorted (start, size) blocks
 
     def alloc(self, size: int, align: int = 64) -> int:
         if size <= 0:
             raise ValueError("allocation size must be positive")
+        for i, (start, free) in enumerate(self._free):
+            aligned = (start + align - 1) // align * align
+            waste = aligned - start
+            if free - waste >= size:
+                # Return alignment slack and the tail to the free list.
+                del self._free[i]
+                if waste:
+                    self._free.append((start, waste))
+                tail = free - waste - size
+                if tail:
+                    self._free.append((aligned + size, tail))
+                self._free.sort()
+                return aligned
         start = (self._cursor + align - 1) // align * align
         if start + size > self.base + self.size:
             raise MemoryError(
                 f"allocator exhausted: need {size} at {start:#x}, "
                 f"window ends {self.base + self.size:#x}"
             )
+        if start != self._cursor:
+            # Keep the alignment gap on the free list so accounting is
+            # exact.  A gap starts unaligned and is shorter than one
+            # alignment unit, so it can never serve a future aligned
+            # request — bump-path addresses stay identical.
+            self._free.append((self._cursor, start - self._cursor))
+            self._free.sort()
         self._cursor = start + size
         return start
 
+    def free(self, addr: int, size: int) -> None:
+        """Return [addr, addr+size) to the allocator."""
+        if size <= 0:
+            return
+        self._free.append((addr, size))
+        self._free.sort()
+        merged: list = []
+        for start, block in self._free:
+            if merged and merged[-1][0] + merged[-1][1] >= start:
+                merged[-1] = (merged[-1][0],
+                              max(merged[-1][1], start + block - merged[-1][0]))
+            else:
+                merged.append((start, block))
+        # Retract the cursor over a trailing free block.
+        while merged and merged[-1][0] + merged[-1][1] == self._cursor:
+            self._cursor = merged.pop()[0]
+        self._free = merged
+
     @property
     def used(self) -> int:
-        return self._cursor - self.base
+        """Bytes live inside the window (excludes freed blocks)."""
+        return (self._cursor - self.base
+                - sum(size for _s, size in self._free))

@@ -1,5 +1,13 @@
 """Functional model of a ConnectX-like NIC ASIC."""
 
+from .cmd import (
+    CmdError,
+    CmdResult,
+    CmdStatus,
+    CommandChannel,
+    CommandUnit,
+    ObjectTable,
+)
 from .device import BAR_SIZE, DOORBELL_STRIDE, Nic, NicConfig, WQE_MMIO_BASE, WQE_MMIO_STRIDE
 from .eswitch import ESwitch, EthernetPort, VPort
 from .offloads import ChecksumOffload, SegmentationOffload
@@ -57,7 +65,9 @@ from .wqe import (
 __all__ = [
     "Action", "BAR_SIZE", "CQE_FLAG_L3_OK", "CQE_FLAG_L4_OK",
     "CQE_FLAG_MSG_LAST", "CQE_FLAG_VXLAN_DECAP", "CQE_RECV_COMPLETION",
-    "CQE_SEND_COMPLETION", "CQE_SIZE", "ChecksumOffload", "CompletionQueue",
+    "CQE_SEND_COMPLETION", "CQE_SIZE", "ChecksumOffload",
+    "CmdError", "CmdResult", "CmdStatus", "CommandChannel", "CommandUnit",
+    "ObjectTable", "CompletionQueue",
     "Cqe", "DOORBELL_STRIDE", "DecapVxlan", "Disposition", "Drop", "ESwitch",
     "EthernetPort", "FlowTable", "ForwardToQueue", "ForwardToRss",
     "ForwardToUplink", "ForwardToVport", "GotoTable", "MatchSpec", "Meter",

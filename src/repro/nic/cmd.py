@@ -1,0 +1,821 @@
+"""Firmware command interface: mailbox, doorbell, object lifecycle.
+
+Real mlx5 drivers configure the device through a command interface: the
+host writes a typed command into a mailbox in host memory, rings a
+doorbell register on the BAR, and firmware DMA-reads the mailbox,
+executes, and DMA-writes a status/handle response back.  This module
+reifies that interface for the simulated NIC:
+
+* :class:`CommandUnit` — the NIC-resident executor.  It owns the
+  :class:`ObjectTable` of handle-addressed resources (PD, CQ, SQ, RQ,
+  MPRQ, RC QP, vPort, steering rule, resume table) and maps typed
+  commands onto the device's internal create/modify/destroy machinery.
+* :class:`CommandChannel` — the host-side endpoint (owned by the
+  software driver).  ``execute`` runs a command synchronously (the
+  zero-latency path every control plane uses during bring-up, which
+  keeps simulated schedules identical to the historical direct method
+  calls); ``call`` is the timed generator path that exercises the full
+  doorbell → mailbox DMA → firmware delay → response DMA round trip.
+
+Commands are dataclasses; scalars are packed into the mailbox wire
+format, while live simulation objects (queues, match specs, action
+lists) travel side-band as "extended" references — the stand-in for the
+pointer-carrying mailbox pages of the real interface.
+
+Every object is created against the table with explicit dependencies
+(an SQ holds its CQ, a QP holds its CQ and RQ, a vPort default holds
+its RQ, a steering rule holds the queues it forwards to); destroying a
+referenced object fails with ``CmdStatus.IN_USE``, and destroys that
+succeed actually tear the resource down — workers exit, doorbells are
+rejected, and the owning layers can release rings, SRAM slices and
+address-map windows.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .queues import QueueError
+from .rdma import QpStateError, RcQp
+from .steering import (
+    ForwardToQueue,
+    ForwardToVport,
+    SteeringError,
+    ToAccelerator,
+)
+
+#: Firmware execution time per command (mailbox decode + context
+#: update inside the device; the paper-scale constant, not measured).
+FIRMWARE_EXEC_DELAY = 1e-6
+
+CMD_MAGIC = 0xF1D0
+RSP_MAGIC = 0xF1D1
+
+#: Mailbox layout: the command occupies [0, RESPONSE_OFFSET); firmware
+#: writes the response at RESPONSE_OFFSET within the same mailbox.
+RESPONSE_OFFSET = 384
+
+_HEADER = struct.Struct("!HHII")      # magic, opcode, seq, payload_len
+_RESPONSE = struct.Struct("!HHIQI")   # magic, status, seq, handle, syndrome
+_DOORBELL = struct.Struct("!IQI")     # seq, mailbox_addr, total_len
+
+RESPONSE_SIZE = _RESPONSE.size
+DOORBELL_SIZE = _DOORBELL.size
+
+# Payload field tags.
+_TAG_NONE, _TAG_INT, _TAG_STR, _TAG_EXT = 0, 1, 2, 3
+
+
+class CmdStatus(enum.IntEnum):
+    """Typed command completion statuses (the mlx5 syndrome analogue)."""
+
+    OK = 0
+    BAD_OPCODE = 1
+    BAD_PARAM = 2
+    BAD_HANDLE = 3
+    BAD_STATE = 4
+    IN_USE = 5
+    NO_RESOURCES = 6
+    INTERNAL = 7
+
+
+class CmdError(RuntimeError):
+    """Raised by executors to return a specific non-OK status."""
+
+    def __init__(self, status: CmdStatus, message: str = ""):
+        super().__init__(message or status.name)
+        self.status = status
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Command:
+    """Base class; subclasses define OPCODE and their typed fields."""
+
+    OPCODE = 0x00
+
+
+@dataclass
+class AllocPd(Command):
+    OPCODE = 0x01
+
+
+@dataclass
+class CreateCq(Command):
+    OPCODE = 0x10
+    ring_addr: int = 0
+    entries: int = 0
+
+
+@dataclass
+class CreateSq(Command):
+    OPCODE = 0x11
+    ring_addr: int = 0
+    entries: int = 0
+    cq: Any = None
+    vport: int = 0
+    transport: str = "eth"
+    meter: Optional[str] = None
+
+
+@dataclass
+class CreateRq(Command):
+    OPCODE = 0x12
+    ring_addr: int = 0
+    entries: int = 0
+    cq: Any = None
+    shared: int = 0
+
+
+@dataclass
+class CreateMprq(Command):
+    OPCODE = 0x13
+    ring_addr: int = 0
+    entries: int = 0
+    cq: Any = None
+    strides_per_buffer: int = 64
+    stride_size: int = 2048
+
+
+@dataclass
+class CreateRcQp(Command):
+    OPCODE = 0x14
+    ring_addr: int = 0
+    entries: int = 0
+    cq: Any = None
+    rq: Any = None
+    vport: int = 0
+    local_mac: Any = None
+    local_ip: Any = None
+
+
+@dataclass
+class ModifyQp(Command):
+    """One verbs state transition; attributes ride the edge that
+    consumes them (remote endpoint + rq_psn at RTR, sq_psn at RTS)."""
+
+    OPCODE = 0x20
+    qp: Any = None
+    state: str = ""
+    remote_mac: Any = None
+    remote_ip: Any = None
+    remote_qpn: Optional[int] = None
+    rq_psn: Optional[int] = None
+    sq_psn: Optional[int] = None
+
+
+@dataclass
+class QueryObject(Command):
+    OPCODE = 0x21
+    handle: int = 0
+
+
+@dataclass
+class DestroyObject(Command):
+    OPCODE = 0x22
+    handle: int = 0
+
+
+@dataclass
+class CreateVport(Command):
+    OPCODE = 0x30
+    vport: int = 0
+
+
+@dataclass
+class SetVportDefault(Command):
+    OPCODE = 0x31
+    vport: int = 0
+    rq: Any = None
+
+
+@dataclass
+class ClearVportDefault(Command):
+    OPCODE = 0x32
+    vport: int = 0
+
+
+@dataclass
+class RegisterResumeTable(Command):
+    OPCODE = 0x40
+    table_name: str = ""
+
+
+@dataclass
+class InstallRule(Command):
+    OPCODE = 0x41
+    table_name: str = ""
+    match: Any = None
+    actions: Any = None
+    priority: int = 0
+
+
+OPCODES: Dict[int, type] = {
+    cls.OPCODE: cls
+    for cls in (AllocPd, CreateCq, CreateSq, CreateRq, CreateMprq,
+                CreateRcQp, ModifyQp, QueryObject, DestroyObject,
+                CreateVport, SetVportDefault, ClearVportDefault,
+                RegisterResumeTable, InstallRule)
+}
+
+
+# ---------------------------------------------------------------------------
+# Wire format
+# ---------------------------------------------------------------------------
+
+
+def pack_command(cmd: Command, seq: int) -> Tuple[bytes, List[Any]]:
+    """Serialize ``cmd`` for the mailbox.
+
+    Returns the mailbox bytes and the side-band list of extended
+    (live-object) references the payload indexes into.
+    """
+    payload = bytearray()
+    ext: List[Any] = []
+    for field in fields(cmd):
+        value = getattr(cmd, field.name)
+        if value is None:
+            payload.append(_TAG_NONE)
+        elif isinstance(value, bool):
+            payload.append(_TAG_INT)
+            payload += int(value).to_bytes(8, "big", signed=True)
+        elif isinstance(value, int):
+            payload.append(_TAG_INT)
+            payload += value.to_bytes(8, "big", signed=True)
+        elif isinstance(value, str):
+            raw = value.encode("utf-8")
+            payload.append(_TAG_STR)
+            payload += len(raw).to_bytes(2, "big")
+            payload += raw
+        else:
+            payload.append(_TAG_EXT)
+            payload += len(ext).to_bytes(2, "big")
+            ext.append(value)
+    header = _HEADER.pack(CMD_MAGIC, cmd.OPCODE, seq, len(payload))
+    return header + bytes(payload), ext
+
+
+def unpack_command(raw: bytes, ext: List[Any]) -> Tuple[Command, int]:
+    """Inverse of :func:`pack_command` (``ext`` from the side band)."""
+    magic, opcode, seq, payload_len = _HEADER.unpack_from(raw, 0)
+    if magic != CMD_MAGIC:
+        raise CmdError(CmdStatus.BAD_OPCODE, f"bad magic {magic:#x}")
+    cls = OPCODES.get(opcode)
+    if cls is None:
+        raise CmdError(CmdStatus.BAD_OPCODE, f"unknown opcode {opcode:#x}")
+    payload = raw[_HEADER.size:_HEADER.size + payload_len]
+    values = []
+    cursor = 0
+    for _field in fields(cls):
+        tag = payload[cursor]
+        cursor += 1
+        if tag == _TAG_NONE:
+            values.append(None)
+        elif tag == _TAG_INT:
+            values.append(
+                int.from_bytes(payload[cursor:cursor + 8], "big",
+                               signed=True))
+            cursor += 8
+        elif tag == _TAG_STR:
+            length = int.from_bytes(payload[cursor:cursor + 2], "big")
+            cursor += 2
+            values.append(payload[cursor:cursor + length].decode("utf-8"))
+            cursor += length
+        elif tag == _TAG_EXT:
+            index = int.from_bytes(payload[cursor:cursor + 2], "big")
+            cursor += 2
+            values.append(ext[index])
+        else:
+            raise CmdError(CmdStatus.BAD_PARAM, f"bad field tag {tag}")
+    return cls(*values), seq
+
+
+class CmdResult:
+    """A decoded command response (+ the created object, side-band)."""
+
+    __slots__ = ("status", "handle", "syndrome", "obj", "info")
+
+    def __init__(self, status: CmdStatus, handle: int = 0,
+                 syndrome: int = 0, obj: Any = None,
+                 info: Optional[dict] = None):
+        self.status = status
+        self.handle = handle
+        self.syndrome = syndrome
+        self.obj = obj
+        self.info = info
+
+    @property
+    def ok(self) -> bool:
+        return self.status == CmdStatus.OK
+
+    def __repr__(self) -> str:
+        return (f"CmdResult({self.status.name}, handle={self.handle:#x}, "
+                f"syndrome={self.syndrome})")
+
+
+# ---------------------------------------------------------------------------
+# Object table
+# ---------------------------------------------------------------------------
+
+
+class Pd:
+    """A protection domain: the allocation anchor verbs hangs QPs off."""
+
+    __slots__ = ("pdn",)
+
+    def __init__(self, pdn: int):
+        self.pdn = pdn
+
+
+class ResumeTable:
+    """A registered FLD-E resume target (handle-addressed)."""
+
+    __slots__ = ("resume_id", "table_name")
+
+    def __init__(self, resume_id: int, table_name: str):
+        self.resume_id = resume_id
+        self.table_name = table_name
+
+
+class ObjectEntry:
+    __slots__ = ("handle", "kind", "obj", "deps", "refcount", "label")
+
+    def __init__(self, handle: int, kind: str, obj: Any,
+                 deps: Tuple[int, ...], label: str):
+        self.handle = handle
+        self.kind = kind
+        self.obj = obj
+        self.deps = list(deps)
+        self.refcount = 0
+        self.label = label
+
+
+class ObjectTable:
+    """Handle-addressed firmware objects with reference counting.
+
+    Handles encode their kind in the top bits (``kind_code << 20 |
+    seq``), so a stale or cross-kind handle is detectable, and every
+    entry tracks both the handles it depends on and how many entries
+    depend on it — destroy order is enforced, not assumed.
+    """
+
+    KINDS = ("pd", "cq", "sq", "rq", "mprq", "qp", "vport", "rule",
+             "resume")
+    _KIND_CODE = {kind: code for code, kind in enumerate(KINDS, start=1)}
+    _KIND_SHIFT = 20
+
+    def __init__(self):
+        self._entries: Dict[int, ObjectEntry] = {}
+        self._by_obj: Dict[int, int] = {}      # id(obj) -> handle
+        self._next_seq = 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, kind: str, obj: Any, deps: Tuple[int, ...] = (),
+               label: str = "") -> int:
+        code = self._KIND_CODE[kind]
+        handle = (code << self._KIND_SHIFT) | self._next_seq
+        self._next_seq += 1
+        entry = ObjectEntry(handle, kind, obj, deps, label)
+        for dep in entry.deps:
+            self._entries[dep].refcount += 1
+        self._entries[handle] = entry
+        self._by_obj[id(obj)] = handle
+        return handle
+
+    def get(self, handle: int) -> Optional[ObjectEntry]:
+        return self._entries.get(handle)
+
+    def kind_of(self, handle: int) -> Optional[str]:
+        code = handle >> self._KIND_SHIFT
+        if not 1 <= code <= len(self.KINDS):
+            return None
+        return self.KINDS[code - 1]
+
+    def handle_of(self, obj: Any) -> Optional[int]:
+        return self._by_obj.get(id(obj))
+
+    def require(self, obj: Any, kinds: Tuple[str, ...]) -> int:
+        """The handle of ``obj``; raises BAD_HANDLE when unregistered."""
+        handle = self.handle_of(obj)
+        if handle is None or self._entries[handle].kind not in kinds:
+            raise CmdError(
+                CmdStatus.BAD_HANDLE,
+                f"object {obj!r} is not a registered {'/'.join(kinds)}")
+        return handle
+
+    def add_dep(self, handle: int, dep_handle: int) -> None:
+        self._entries[handle].deps.append(dep_handle)
+        self._entries[dep_handle].refcount += 1
+
+    def drop_dep(self, handle: int, dep_handle: int) -> None:
+        self._entries[handle].deps.remove(dep_handle)
+        self._entries[dep_handle].refcount -= 1
+
+    def remove(self, handle: int) -> ObjectEntry:
+        entry = self._entries[handle]
+        if entry.refcount:
+            raise CmdError(
+                CmdStatus.IN_USE,
+                f"{entry.kind} {handle:#x} has {entry.refcount} "
+                f"referent(s)")
+        for dep in entry.deps:
+            self._entries[dep].refcount -= 1
+        del self._entries[handle]
+        del self._by_obj[id(entry.obj)]
+        return entry
+
+    def rows(self) -> List[dict]:
+        """The table as data (the ``repro objects`` dump)."""
+        out = []
+        for handle in sorted(self._entries):
+            entry = self._entries[handle]
+            out.append({
+                "handle": f"{handle:#x}",
+                "kind": entry.kind,
+                "label": entry.label,
+                "refcount": entry.refcount,
+                "deps": [f"{dep:#x}" for dep in entry.deps],
+            })
+        return out
+
+
+# ---------------------------------------------------------------------------
+# NIC-side command unit
+# ---------------------------------------------------------------------------
+
+
+class CommandUnit:
+    """The firmware executor embedded in the NIC.
+
+    ``execute`` applies one command immediately (the host channel calls
+    it directly on the synchronous path); ``handle_doorbell`` starts the
+    timed path, a firmware process that DMA-reads the mailbox, burns
+    :data:`FIRMWARE_EXEC_DELAY`, executes and DMA-writes the response.
+    """
+
+    def __init__(self, nic):
+        self.nic = nic
+        self.table = ObjectTable()
+        self.exec_delay = FIRMWARE_EXEC_DELAY
+        #: Completion callback ``(seq, CmdResult)`` — the host channel's
+        #: stand-in for a command-completion event queue entry.
+        self.on_response: Optional[Callable[[int, CmdResult], None]] = None
+        # Side-band extended references per in-flight seq (models the
+        # pointer-carrying mailbox pages of the real interface).
+        self._staged_ext: Dict[int, List[Any]] = {}
+        self.stats_commands = 0
+        self.stats_failures = 0
+
+    # -- doorbell / timed path ------------------------------------------
+
+    def stage_ext(self, seq: int, ext: List[Any]) -> None:
+        self._staged_ext[seq] = ext
+
+    def handle_doorbell(self, data: bytes) -> None:
+        seq, mailbox_addr, total_len = _DOORBELL.unpack_from(data, 0)
+        self.nic.sim.spawn(
+            self._firmware(seq, mailbox_addr, total_len),
+            name=f"{self.nic.name}.fw.cmd{seq}")
+
+    def _firmware(self, seq: int, mailbox_addr: int, total_len: int):
+        nic = self.nic
+        raw = yield nic.fabric.read(nic, mailbox_addr, total_len)
+        try:
+            cmd, wire_seq = unpack_command(raw, self._staged_ext.pop(seq, []))
+        except CmdError as exc:
+            result = CmdResult(exc.status)
+        else:
+            yield nic.sim.timeout(self.exec_delay)
+            result = self.execute(cmd)
+        response = _RESPONSE.pack(RSP_MAGIC, int(result.status), seq,
+                                  result.handle, result.syndrome)
+        done = nic.fabric.post_write(nic, mailbox_addr + RESPONSE_OFFSET,
+                                     response)
+        yield done
+        if self.on_response is not None:
+            self.on_response(seq, result)
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self, cmd: Command) -> CmdResult:
+        self.stats_commands += 1
+        handler = self._EXEC.get(type(cmd))
+        try:
+            if handler is None:
+                raise CmdError(CmdStatus.BAD_OPCODE,
+                               f"unhandled command {type(cmd).__name__}")
+            result = handler(self, cmd)
+        except CmdError as exc:
+            result = CmdResult(exc.status)
+        except QpStateError:
+            result = CmdResult(CmdStatus.BAD_STATE)
+        except (QueueError, SteeringError, ValueError):
+            result = CmdResult(CmdStatus.BAD_PARAM)
+        except Exception:
+            result = CmdResult(CmdStatus.INTERNAL)
+        if not result.ok:
+            self.stats_failures += 1
+        return result
+
+    # -- executors ------------------------------------------------------
+
+    def _exec_alloc_pd(self, cmd: AllocPd) -> CmdResult:
+        pd = Pd(len(self.table) + 1)
+        handle = self.table.insert("pd", pd, label=f"pd{pd.pdn}")
+        return CmdResult(CmdStatus.OK, handle, obj=pd)
+
+    def _exec_create_cq(self, cmd: CreateCq) -> CmdResult:
+        cq = self.nic.create_cq(cmd.ring_addr, cmd.entries)
+        handle = self.table.insert("cq", cq, label=f"cq{cq.cqn}")
+        return CmdResult(CmdStatus.OK, handle, obj=cq)
+
+    def _exec_create_sq(self, cmd: CreateSq) -> CmdResult:
+        cq_handle = self.table.require(cmd.cq, ("cq",))
+        sq = self.nic.create_sq(cmd.ring_addr, cmd.entries, cmd.cq,
+                                vport=cmd.vport, transport=cmd.transport,
+                                meter=cmd.meter)
+        handle = self.table.insert("sq", sq, deps=(cq_handle,),
+                                   label=f"sq{sq.qpn}")
+        return CmdResult(CmdStatus.OK, handle, obj=sq)
+
+    def _exec_create_rq(self, cmd: CreateRq) -> CmdResult:
+        cq_handle = self.table.require(cmd.cq, ("cq",))
+        rq = self.nic.create_rq(cmd.ring_addr, cmd.entries, cmd.cq,
+                                shared=bool(cmd.shared))
+        handle = self.table.insert("rq", rq, deps=(cq_handle,),
+                                   label=f"rq{rq.rqn}")
+        return CmdResult(CmdStatus.OK, handle, obj=rq)
+
+    def _exec_create_mprq(self, cmd: CreateMprq) -> CmdResult:
+        cq_handle = self.table.require(cmd.cq, ("cq",))
+        rq = self.nic.create_mprq(
+            cmd.ring_addr, cmd.entries, cmd.cq,
+            strides_per_buffer=cmd.strides_per_buffer,
+            stride_size=cmd.stride_size)
+        handle = self.table.insert("mprq", rq, deps=(cq_handle,),
+                                   label=f"mprq{rq.rqn}")
+        return CmdResult(CmdStatus.OK, handle, obj=rq)
+
+    def _exec_create_rc_qp(self, cmd: CreateRcQp) -> CmdResult:
+        cq_handle = self.table.require(cmd.cq, ("cq",))
+        rq_handle = self.table.require(cmd.rq, ("rq", "mprq"))
+        qp = self.nic.create_rc_qp(cmd.ring_addr, cmd.entries, cmd.cq,
+                                   cmd.rq, cmd.vport, cmd.local_mac,
+                                   cmd.local_ip)
+        handle = self.table.insert("qp", qp, deps=(cq_handle, rq_handle),
+                                   label=f"qp{qp.qpn}")
+        return CmdResult(CmdStatus.OK, handle, obj=qp)
+
+    def _exec_modify_qp(self, cmd: ModifyQp) -> CmdResult:
+        handle = self.table.require(cmd.qp, ("qp",))
+        if cmd.state not in (RcQp.RESET, RcQp.INIT, RcQp.RTR, RcQp.RTS,
+                             RcQp.ERR):
+            raise CmdError(CmdStatus.BAD_PARAM,
+                           f"unknown QP state {cmd.state!r}")
+        cmd.qp.modify(cmd.state, remote_mac=cmd.remote_mac,
+                      remote_ip=cmd.remote_ip, remote_qpn=cmd.remote_qpn,
+                      rq_psn=cmd.rq_psn, sq_psn=cmd.sq_psn)
+        return CmdResult(CmdStatus.OK, handle, obj=cmd.qp)
+
+    def _exec_create_vport(self, cmd: CreateVport) -> CmdResult:
+        eswitch = self.nic.eswitch
+        vport = eswitch.vports.get(cmd.vport)
+        if vport is None:
+            vport = eswitch.add_vport(cmd.vport)
+        existing = self.table.handle_of(vport)
+        if existing is not None:
+            return CmdResult(CmdStatus.OK, existing, obj=vport)
+        handle = self.table.insert("vport", vport,
+                                   label=f"vport{vport.number}")
+        return CmdResult(CmdStatus.OK, handle, obj=vport)
+
+    def _vport_entry(self, number: int) -> ObjectEntry:
+        vport = self.nic.eswitch.vports.get(number)
+        handle = (self.table.handle_of(vport)
+                  if vport is not None else None)
+        if handle is None:
+            raise CmdError(CmdStatus.BAD_HANDLE,
+                           f"vport {number} is not a firmware object")
+        return self.table.get(handle)
+
+    def _exec_set_vport_default(self, cmd: SetVportDefault) -> CmdResult:
+        rq_handle = self.table.require(cmd.rq, ("rq", "mprq"))
+        result = self._exec_create_vport(CreateVport(vport=cmd.vport))
+        entry = self.table.get(result.handle)
+        self.nic.set_vport_default_queue(cmd.vport, cmd.rq)
+        # The default route pins the RQ: drop any previous pin first.
+        for dep in list(entry.deps):
+            self.table.drop_dep(entry.handle, dep)
+        self.table.add_dep(entry.handle, rq_handle)
+        return CmdResult(CmdStatus.OK, entry.handle, obj=entry.obj)
+
+    def _exec_clear_vport_default(self, cmd: ClearVportDefault) -> CmdResult:
+        entry = self._vport_entry(cmd.vport)
+        self.nic.clear_vport_default_queue(cmd.vport)
+        for dep in list(entry.deps):
+            self.table.drop_dep(entry.handle, dep)
+        return CmdResult(CmdStatus.OK, entry.handle, obj=entry.obj)
+
+    def _exec_register_resume_table(
+            self, cmd: RegisterResumeTable) -> CmdResult:
+        resume_id = self.nic.register_resume_table(cmd.table_name)
+        resume = ResumeTable(resume_id, cmd.table_name)
+        handle = self.table.insert("resume", resume,
+                                   label=cmd.table_name)
+        return CmdResult(CmdStatus.OK, handle, obj=resume)
+
+    def _exec_install_rule(self, cmd: InstallRule) -> CmdResult:
+        if not cmd.actions:
+            raise CmdError(CmdStatus.BAD_PARAM, "rule with no actions")
+        deps = []
+        for action in cmd.actions:
+            if isinstance(action, (ForwardToQueue, ToAccelerator)):
+                deps.append(self.table.require(action.rq, ("rq", "mprq")))
+            elif isinstance(action, ForwardToVport):
+                vport = self.nic.eswitch.vports.get(action.vport)
+                handle = (self.table.handle_of(vport)
+                          if vport is not None else None)
+                if handle is not None:
+                    deps.append(handle)
+        table = self.nic.steering.table(cmd.table_name)
+        rule = table.add_rule(cmd.match, list(cmd.actions),
+                              priority=cmd.priority)
+        handle = self.table.insert("rule", rule, deps=tuple(deps),
+                                   label=cmd.table_name)
+        return CmdResult(CmdStatus.OK, handle, obj=rule)
+
+    def _exec_query(self, cmd: QueryObject) -> CmdResult:
+        entry = self.table.get(cmd.handle)
+        if entry is None:
+            raise CmdError(CmdStatus.BAD_HANDLE,
+                           f"no object {cmd.handle:#x}")
+        info = {"handle": entry.handle, "kind": entry.kind,
+                "label": entry.label, "refcount": entry.refcount}
+        obj = entry.obj
+        if entry.kind == "qp":
+            info.update(state=obj.state, qpn=obj.qpn,
+                        syndrome=obj.error_syndrome)
+        elif entry.kind in ("rq", "mprq"):
+            info.update(rqn=obj.rqn, pi=obj.pi, ci=obj.ci,
+                        destroyed=obj.destroyed)
+        elif entry.kind == "sq":
+            info.update(qpn=obj.qpn, pi=obj.pi, ci=obj.ci,
+                        destroyed=obj.destroyed)
+        elif entry.kind == "cq":
+            info.update(cqn=obj.cqn, pi=obj.pi)
+        return CmdResult(CmdStatus.OK, entry.handle, obj=obj, info=info)
+
+    def _exec_destroy(self, cmd: DestroyObject) -> CmdResult:
+        entry = self.table.get(cmd.handle)
+        if entry is None:
+            raise CmdError(CmdStatus.BAD_HANDLE,
+                           f"no object {cmd.handle:#x}")
+        if entry.refcount:
+            raise CmdError(CmdStatus.IN_USE,
+                           f"{entry.kind} {cmd.handle:#x} is referenced")
+        nic = self.nic
+        obj = entry.obj
+        if entry.kind == "vport":
+            table = nic.steering.tables.get(obj.rx_root)
+            if table is not None and table.rules:
+                raise CmdError(CmdStatus.IN_USE,
+                               f"vport {obj.number} still has rules")
+            # deps == a pinned default RQ; release it with the vPort.
+            nic.clear_vport_default_queue(obj.number)
+            self.table.remove(cmd.handle)
+            nic.remove_vport(obj.number)
+            return CmdResult(CmdStatus.OK, cmd.handle)
+        self.table.remove(cmd.handle)
+        if entry.kind == "cq":
+            nic.destroy_cq(obj)
+        elif entry.kind == "sq":
+            nic.destroy_sq(obj)
+        elif entry.kind in ("rq", "mprq"):
+            nic.destroy_rq(obj)
+        elif entry.kind == "qp":
+            nic.destroy_rc_qp(obj)
+        elif entry.kind == "rule":
+            nic.steering.table(entry.label).remove_rule(obj)
+        elif entry.kind == "resume":
+            nic.unregister_resume_table(obj.resume_id)
+        # "pd" has no device-side state beyond its table entry.
+        return CmdResult(CmdStatus.OK, cmd.handle)
+
+    _EXEC = {
+        AllocPd: _exec_alloc_pd,
+        CreateCq: _exec_create_cq,
+        CreateSq: _exec_create_sq,
+        CreateRq: _exec_create_rq,
+        CreateMprq: _exec_create_mprq,
+        CreateRcQp: _exec_create_rc_qp,
+        ModifyQp: _exec_modify_qp,
+        CreateVport: _exec_create_vport,
+        SetVportDefault: _exec_set_vport_default,
+        ClearVportDefault: _exec_clear_vport_default,
+        RegisterResumeTable: _exec_register_resume_table,
+        InstallRule: _exec_install_rule,
+        QueryObject: _exec_query,
+        DestroyObject: _exec_destroy,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Host-side channel
+# ---------------------------------------------------------------------------
+
+
+class CommandChannel:
+    """The host driver's end of the firmware command interface.
+
+    ``execute`` is synchronous: the command is serialized into the
+    mailbox and applied immediately — it works both before ``sim.run``
+    and from inside running processes, and adds no simulated latency
+    (bring-up stays schedule-identical to the historical direct calls).
+    ``call`` is a generator that performs the timed round trip: mailbox
+    write, doorbell TLP over the fabric, firmware mailbox DMA read,
+    execution delay, response DMA write.
+    """
+
+    def __init__(self, nic, memory=None, mem_base: int = 0,
+                 mailbox_offset: int = 0x1000,
+                 doorbell_addr: Optional[int] = None,
+                 fabric=None, requester=None):
+        self.nic = nic
+        self.unit = nic.cmd
+        self.memory = memory
+        self.mailbox_offset = mailbox_offset
+        self.mailbox_addr = mem_base + mailbox_offset
+        self.doorbell_addr = doorbell_addr
+        self.fabric = fabric
+        self.requester = requester
+        self.unit.on_response = self._on_response
+        self._pending: Dict[int, Any] = {}       # seq -> completion Event
+        self._next_seq = 1
+        self.stats_sync = 0
+        self.stats_timed = 0
+
+    def _write_mailbox(self, raw: bytes) -> None:
+        if len(raw) > RESPONSE_OFFSET:
+            raise CmdError(CmdStatus.BAD_PARAM,
+                           f"command of {len(raw)} B overflows the mailbox")
+        if self.memory is not None:
+            self.memory.write_local(self.mailbox_offset, raw)
+
+    def execute(self, cmd: Command) -> CmdResult:
+        """Synchronous command execution (zero simulated latency)."""
+        seq = self._next_seq
+        self._next_seq += 1
+        raw, _ext = pack_command(cmd, seq)
+        self._write_mailbox(raw)
+        result = self.unit.execute(cmd)
+        if self.memory is not None:
+            response = _RESPONSE.pack(RSP_MAGIC, int(result.status), seq,
+                                      result.handle, result.syndrome)
+            self.memory.write_local(
+                self.mailbox_offset + RESPONSE_OFFSET, response)
+        self.stats_sync += 1
+        return result
+
+    def call(self, cmd: Command):
+        """Generator: the timed doorbell/DMA round trip.
+
+        Yields until the firmware's response lands; returns the
+        :class:`CmdResult`.
+        """
+        if self.fabric is None or self.requester is None \
+                or self.doorbell_addr is None:
+            raise CmdError(CmdStatus.INTERNAL,
+                           "channel has no fabric path for timed calls")
+        seq = self._next_seq
+        self._next_seq += 1
+        raw, ext = pack_command(cmd, seq)
+        self._write_mailbox(raw)
+        self.unit.stage_ext(seq, ext)
+        done = self.nic.sim.event()
+        self._pending[seq] = done
+        self.fabric.post_write(
+            self.requester, self.doorbell_addr,
+            _DOORBELL.pack(seq, self.mailbox_addr, len(raw)))
+        result = yield done
+        self.stats_timed += 1
+        return result
+
+    def _on_response(self, seq: int, result: CmdResult) -> None:
+        event = self._pending.pop(seq, None)
+        if event is not None:
+            event.succeed(result)
+
+    def check(self, result: CmdResult, what: str = "command") -> CmdResult:
+        if not result.ok:
+            raise CmdError(result.status,
+                           f"{what} failed: {result.status.name}")
+        return result

@@ -8,9 +8,13 @@ data/CQEs at *fabric addresses* — host memory and the FLD BAR look
 identical to it, which is precisely the property FlexDriver exploits.
 
 Control-plane operations (queue creation, steering rule installation,
-QP connection) are plain method calls, standing in for the firmware
-command interface a real driver uses; they are exercised by the software
-control planes in :mod:`repro.sw` and :mod:`repro.host`.
+QP connection) run through the firmware command interface in
+:mod:`repro.nic.cmd`: the software control planes in :mod:`repro.sw`
+and :mod:`repro.host` submit typed commands over the command channel,
+and the NIC's :class:`~repro.nic.cmd.CommandUnit` maps them onto the
+``create_*``/``destroy_*`` machinery here.  Only the command unit (and
+this module) may call those methods directly — a conformance test
+enforces it.
 """
 
 from __future__ import annotations
@@ -22,6 +26,16 @@ from ..net import Bth, Packet
 from ..net.parse import parse_frame
 from ..pcie import PcieEndpoint, PcieError, PcieFabric, PcieLinkConfig
 from ..sim import Simulator, Store
+# The NIC BAR's internal layout lives with the other physical address
+# constants in the overlap-checked address map.
+from ..topology.addrmap import (
+    BAR_SIZE,
+    DOORBELL_STRIDE,
+    RQ_DOORBELL_BASE,
+    WQE_MMIO_BASE,
+    WQE_MMIO_STRIDE,
+)
+from .cmd import CommandUnit
 from .eswitch import ESwitch, EthernetPort, VPort
 from .offloads import ChecksumOffload, SegmentationOffload
 from .queues import (
@@ -34,8 +48,9 @@ from .queues import (
 )
 from .rdma import RcQp, RdmaEngine
 from .shaper import Shaper
-from .steering import Disposition, SteeringPipeline
+from .steering import Disposition, Drop, SteeringPipeline
 from .wqe import (
+    CQE_ERROR,
     CQE_RECV_COMPLETION,
     CQE_SEND_COMPLETION,
     Cqe,
@@ -48,12 +63,9 @@ from .wqe import (
     WQE_SIZE,
 )
 
-# BAR layout.
-DOORBELL_STRIDE = 64
-RQ_DOORBELL_BASE = 0x8_0000
-WQE_MMIO_BASE = 0x10_0000
-WQE_MMIO_STRIDE = 256
-BAR_SIZE = 0x20_0000
+#: Sentinel pushed through a destroyed queue's stores so its worker
+#: processes unwind instead of waiting forever.
+_POISON = object()
 
 
 @dataclass
@@ -158,6 +170,11 @@ class Nic(PcieEndpoint):
                 self, va, data,
                 trace_ctx=self.rdma.inbound_trace_ctx,
                 trace_stage="pcie.dma_write"))
+        # QP transport failures surface as error CQEs on the QP's send
+        # CQ — the §5.3 path the kernel driver's recovery hook watches.
+        self.rdma.on_qp_error = self._rdma_qp_error
+        # The firmware command unit: object table + command executors.
+        self.cmd = CommandUnit(self)
 
     # ------------------------------------------------------------------
     # Control interface (firmware commands)
@@ -237,6 +254,53 @@ class Nic(PcieEndpoint):
         self._resume_tables[resume_id] = table_name
         return resume_id
 
+    # -- teardown (driven by DESTROY commands) --------------------------
+
+    def _poison(self, store: Store) -> None:
+        """Push the poison sentinel, spilling to a process when full."""
+        if not store.try_put(_POISON):
+            def put():
+                yield store.put(_POISON)
+            self.sim.spawn(put(), name=f"{self.name}.poison")
+
+    def destroy_cq(self, cq: CompletionQueue) -> None:
+        self.cqs.pop(cq.cqn, None)
+        # Unwind any dispatcher blocked on the notify channel.
+        self._poison(cq.notify)
+
+    def destroy_sq(self, sq: SendQueue) -> None:
+        sq.destroyed = True
+        self.sqs.pop(sq.qpn, None)
+        sq.mmio_wqes.clear()
+        self._poison(sq.doorbell)
+
+    def destroy_rq(self, rq: ReceiveQueue) -> None:
+        rq.destroyed = True
+        self.rqs.pop(rq.rqn, None)
+        inbox = self._rx_inbox.pop(rq.rqn, None)
+        if inbox is not None:
+            self._poison(inbox)
+        for key in [k for k in self._cached_rx_desc if k[0] == rq.rqn]:
+            del self._cached_rx_desc[key]
+
+    def destroy_rc_qp(self, qp: RcQp) -> None:
+        self.rdma.unregister_qp(qp.qpn)
+        self._qp_by_sqn.pop(qp.sq.qpn, None)
+        self.destroy_sq(qp.sq)
+
+    def clear_vport_default_queue(self, vport: int) -> None:
+        """Back to the vPort table's initial miss behaviour: drop."""
+        if vport not in self.eswitch.vports:
+            return
+        table = self.steering.table(self.eswitch.vports[vport].rx_root)
+        table.default_actions = [Drop()]
+
+    def unregister_resume_table(self, resume_id: int) -> None:
+        self._resume_tables.pop(resume_id, None)
+
+    def remove_vport(self, number: int) -> None:
+        self.eswitch.remove_vport(number)
+
     @property
     def steering(self) -> SteeringPipeline:
         return self.eswitch.pipeline
@@ -267,6 +331,11 @@ class Nic(PcieEndpoint):
             if new_pi > rq.pi:
                 rq.post(new_pi - rq.pi)
             return
+        if offset < DOORBELL_STRIDE:
+            # The firmware command doorbell (qpn 0 is never allocated,
+            # so the first stride belongs to the command interface).
+            self.cmd.handle_doorbell(data)
+            return
         qpn = offset // DOORBELL_STRIDE
         sq = self.sqs.get(qpn)
         if sq is None:
@@ -295,7 +364,11 @@ class Nic(PcieEndpoint):
                        name=f"{self.name}.sq{sq.qpn}.tx")
         wqe_batch: Dict[int, TxWqe] = {}
         while True:
-            yield sq.doorbell.get()
+            rung = yield sq.doorbell.get()
+            if rung is _POISON or sq.destroyed:
+                # Propagate teardown to the companion tx stage and exit.
+                yield window.put(_POISON)
+                return
             while sq.ci < sq.pi:
                 index = sq.ci
                 sq.ci = index + 1
@@ -342,7 +415,10 @@ class Nic(PcieEndpoint):
         tracer = self._tracer
         spans = self._spans
         while True:
-            index, wqe, data_event, enqueued = yield window.get()
+            item = yield window.get()
+            if item is _POISON:
+                return
+            index, wqe, data_event, enqueued = item
             started = self.sim.now
             ctx = wqe.trace_ctx
             if ctx is not None:
@@ -364,11 +440,18 @@ class Nic(PcieEndpoint):
                     yield self.sim.timeout(delay)
                 self.shaper.consume(meter, len(data) * 8)
             if sq.transport == SendQueue.TRANSPORT_RC:
-                qp = self._qp_by_sqn[sq.qpn]
-                yield from self.rdma.send_message(
-                    qp, wqe, data, remote_addr=wqe.remote_addr,
-                    rkey=wqe.rkey)
-                # Send CQE arrives later, on the remote ack.
+                qp = self._qp_by_sqn.get(sq.qpn)
+                if qp is None or qp.state != RcQp.READY:
+                    # The QP dropped to ERR (or is being torn down):
+                    # queued WQEs are flushed, not sent (verbs flush
+                    # semantics) — software recovers via the command
+                    # channel.
+                    sq.stats_flushed += 1
+                else:
+                    yield from self.rdma.send_message(
+                        qp, wqe, data, remote_addr=wqe.remote_addr,
+                        rkey=wqe.rkey)
+                    # Send CQE arrives later, on the remote ack.
             else:
                 self._transmit_eth(sq, wqe, data)
                 if wqe.signaled:
@@ -438,7 +521,8 @@ class Nic(PcieEndpoint):
                        packet.meta.get("rss_hash", 0),
                        trace_ctx=packet.meta.get("trace_ctx"),
                        enqueued=self.sim.now)
-        if not self._rx_inbox[rq.rqn].try_put(item):
+        inbox = self._rx_inbox.get(rq.rqn)
+        if inbox is None or not inbox.try_put(item):
             self.stats_rx_dropped_inbox += 1
             self._ctr_drop_inbox.inc()
 
@@ -454,6 +538,8 @@ class Nic(PcieEndpoint):
         spans = self._spans
         while True:
             item = yield inbox.get()
+            if item is _POISON or rq.destroyed:
+                return
             started = self.sim.now
             ctx = item.trace_ctx
             if ctx is not None:
@@ -554,8 +640,14 @@ class Nic(PcieEndpoint):
         item = _RxItem(payload, flags, context, qp.qpn,
                        trace_ctx=self.rdma.inbound_trace_ctx,
                        enqueued=self.sim.now)
-        if not self._rx_inbox[qp.rq.rqn].try_put(item):
+        inbox = self._rx_inbox.get(qp.rq.rqn)
+        if inbox is None or not inbox.try_put(item):
             self.stats_rx_dropped_inbox += 1
+
+    def _rdma_qp_error(self, qp: RcQp, syndrome: int) -> None:
+        """A QP dropped to ERR: post the error CQE software recovers from."""
+        cqe = Cqe(CQE_ERROR, qp.qpn, 0, 0, syndrome=syndrome)
+        self._post_cqe(qp.sq.cq, cqe)
 
     def _rdma_complete_send(self, qp: RcQp, wqe: TxWqe) -> None:
         if wqe.signaled:

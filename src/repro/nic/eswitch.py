@@ -123,6 +123,14 @@ class ESwitch:
         self.pipeline.table(vport.rx_root)
         return vport
 
+    def remove_vport(self, number: int) -> None:
+        """Detach a vPort and drop its (empty) rx pipeline table."""
+        vport = self.vports.get(number)
+        if vport is None:
+            raise ValueError(f"vport {number} does not exist")
+        self.pipeline.remove_table(vport.rx_root)
+        del self.vports[number]
+
     # -- ingress (wire -> eSwitch -> vPort) ------------------------------
 
     def ingress_from_wire(self, packet: Packet) -> None:

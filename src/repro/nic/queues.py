@@ -78,16 +78,23 @@ class SendQueue:
                              if sim.telemetry.enabled else None)
         # WQEs pushed by MMIO (WQE-by-MMIO / BlueFlame): index -> WQE.
         self.mmio_wqes: Dict[int, TxWqe] = {}
+        #: Set by DESTROY_SQ; doorbells are rejected and the workers exit.
+        self.destroyed = False
         self.stats_doorbells = 0
         self.stats_wqes = 0
         self.stats_wqe_fetches = 0
         self.stats_mmio_wqes = 0
+        #: WQEs discarded instead of sent because the owning QP was in
+        #: ERR (completion flush) or the queue was being destroyed.
+        self.stats_flushed = 0
 
     def slot_addr(self, index: int) -> int:
         return self.ring_addr + (index % self.entries) * WQE_SIZE
 
     def ring_doorbell(self, new_pi: int) -> None:
         """Handle a doorbell MMIO: advance PI and wake the SQ process."""
+        if self.destroyed:
+            raise QueueError(f"doorbell on destroyed SQ {self.qpn}")
         if new_pi < self.pi:
             raise QueueError(
                 f"doorbell PI {new_pi} behind current {self.pi} on SQ {self.qpn}"
@@ -129,6 +136,8 @@ class ReceiveQueue:
         self.shared = shared
         self.pi = 0
         self.ci = 0
+        #: Set by DESTROY_RQ; posts are rejected and the worker exits.
+        self.destroyed = False
         self.stats_packets = 0
         self.stats_drops_no_desc = 0
         self._avail_gauge = (sim.telemetry.gauge(f"rq{rqn}.posted")
@@ -139,6 +148,8 @@ class ReceiveQueue:
 
     def post(self, count: int = 1) -> None:
         """Driver-side: advance the producer index by ``count``."""
+        if self.destroyed:
+            raise QueueError(f"post on destroyed RQ {self.rqn}")
         if self.pi + count - self.ci > self.entries:
             raise QueueError(f"RQ {self.rqn} overposted")
         self.pi += count

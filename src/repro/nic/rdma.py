@@ -66,6 +66,10 @@ class RdmaError(RuntimeError):
     """Raised on QP misuse (unconnected sends, bad state)."""
 
 
+class QpStateError(RdmaError):
+    """Raised on an illegal QP state transition (verbs semantics)."""
+
+
 class _Segment:
     """One outstanding (unacked) transmit segment."""
 
@@ -82,9 +86,22 @@ class _Segment:
 
 
 class RcQp:
-    """A reliable-connected queue pair's transport state."""
+    """A reliable-connected queue pair's transport state.
 
-    RESET, READY = "reset", "ready"
+    The QP walks the verbs state machine: RESET → INIT → RTR → RTS for
+    bring-up, dropping to ERR on transport failure, and ERR → RESET to
+    recover (Table 4's reset-and-reconnect flow).  ``modify`` enforces
+    the legal edges; ``connect`` is the bring-up sugar the software
+    control planes use.
+    """
+
+    RESET, INIT, RTR, RTS, ERR = "reset", "init", "rtr", "rts", "err"
+    #: Data-path alias: sends are legal only in RTS.
+    READY = RTS
+
+    #: Legal forward edges; any state may additionally drop to ERR, and
+    #: any state may be torn back to RESET (verbs semantics).
+    _FORWARD = {RESET: INIT, INIT: RTR, RTR: RTS}
 
     def __init__(self, qpn: int, sq, rq, local_mac: MacAddress,
                  local_ip: IpAddress):
@@ -94,12 +111,15 @@ class RcQp:
         self.local_mac = local_mac
         self.local_ip = local_ip
         self.state = self.RESET
+        #: Error syndrome of the failure that moved the QP to ERR.
+        self.error_syndrome = 0
         # Remote endpoint (set by connect).
         self.remote_mac: Optional[MacAddress] = None
         self.remote_ip: Optional[IpAddress] = None
         self.remote_qpn: Optional[int] = None
         # Sender state.
         self.next_psn = 0
+        self.consecutive_retries = 0
         self.outstanding: "OrderedDict[int, _Segment]" = OrderedDict()
         # Receiver state.
         self.expected_psn = 0
@@ -115,14 +135,66 @@ class RcQp:
         self.stats_writes_received = 0
         self.stats_write_protection_errors = 0
 
+    def can_transition(self, new_state: str) -> bool:
+        if new_state in (self.RESET, self.ERR):
+            return True
+        return self._FORWARD.get(self.state) == new_state
+
+    def modify(self, new_state: str, remote_mac=None, remote_ip=None,
+               remote_qpn: Optional[int] = None,
+               rq_psn: Optional[int] = None,
+               sq_psn: Optional[int] = None) -> None:
+        """One verbs-style state transition, validating the edge.
+
+        Like ``ibv_modify_qp``, attributes ride the transition that
+        consumes them: the remote endpoint and receive PSN are applied
+        at RTR, the send PSN at RTS.
+        """
+        if not self.can_transition(new_state):
+            raise QpStateError(
+                f"QP {self.qpn}: illegal transition "
+                f"{self.state} -> {new_state}")
+        if new_state == self.RTR:
+            if remote_mac is not None:
+                self.remote_mac = MacAddress(remote_mac)
+            if remote_ip is not None:
+                self.remote_ip = IpAddress(remote_ip)
+            if remote_qpn is not None:
+                self.remote_qpn = remote_qpn
+            if self.remote_qpn is None:
+                raise QpStateError(
+                    f"QP {self.qpn}: RTR requires a remote endpoint")
+            if rq_psn is not None:
+                self.expected_psn = rq_psn
+        elif new_state == self.RTS:
+            if sq_psn is not None:
+                self.next_psn = sq_psn
+        elif new_state == self.RESET:
+            self._clear_transport_state()
+            self.remote_mac = None
+            self.remote_ip = None
+            self.remote_qpn = None
+            self.error_syndrome = 0
+        self.state = new_state
+
+    def _clear_transport_state(self) -> None:
+        self.next_psn = 0
+        self.expected_psn = 0
+        self.received_msn = 0
+        self.consecutive_retries = 0
+        self.outstanding.clear()
+        self.write_cursor = None
+        self.write_region = None
+
     def connect(self, remote_mac, remote_ip, remote_qpn: int,
                 initial_psn: int = 0) -> None:
-        self.remote_mac = MacAddress(remote_mac)
-        self.remote_ip = IpAddress(remote_ip)
-        self.remote_qpn = remote_qpn
-        self.next_psn = initial_psn
-        self.expected_psn = initial_psn
-        self.state = self.READY
+        """Bring-up sugar: walk RESET→INIT→RTR→RTS in one call."""
+        if self.state != self.RESET:
+            self.modify(self.RESET)
+        self.modify(self.INIT)
+        self.modify(self.RTR, remote_mac=remote_mac, remote_ip=remote_ip,
+                    remote_qpn=remote_qpn, rq_psn=initial_psn)
+        self.modify(self.RTS, sq_psn=initial_psn)
 
 
 class RdmaEngine:
@@ -133,11 +205,15 @@ class RdmaEngine:
     path (buffer placement + CQE); ``complete_send`` writes send CQEs.
     """
 
+    #: Syndrome reported when the retry budget is exhausted (mirrors
+    #: IB's "transport retry counter exceeded" completion status).
+    SYNDROME_RETRY_EXCEEDED = 0x15
+
     def __init__(self, sim: Simulator, mtu: int = 1024,
                  retransmit_timeout: float = 2e-3,
                  egress: Callable[[RcQp, Packet], None] = None,
                  deliver_segment=None, complete_send=None,
-                 name: str = "rdma"):
+                 name: str = "rdma", max_retries: Optional[int] = None):
         self.sim = sim
         self.mtu = mtu
         self.retransmit_timeout = retransmit_timeout
@@ -145,6 +221,13 @@ class RdmaEngine:
         self.deliver_segment = deliver_segment
         self.complete_send = complete_send
         self.name = name
+        #: Consecutive go-back-N rounds without ack progress before the
+        #: QP is failed to ERR; ``None`` retries forever (the historical
+        #: behaviour, kept as the default).
+        self.max_retries = max_retries
+        #: Called as ``on_qp_error(qp, syndrome)`` when a QP drops to
+        #: ERR; the owning NIC surfaces this as an error CQE (§5.3).
+        self.on_qp_error: Optional[Callable[[RcQp, int], None]] = None
         self.qps: Dict[int, RcQp] = {}
         # Registered memory regions (one protection domain per engine).
         self._regions: Dict[int, MemoryRegion] = {}
@@ -202,6 +285,11 @@ class RdmaEngine:
         if qp.qpn in self.qps:
             raise RdmaError(f"QP {qp.qpn} already registered")
         self.qps[qp.qpn] = qp
+
+    def unregister_qp(self, qpn: int) -> None:
+        qp = self.qps.pop(qpn, None)
+        if qp is not None:
+            qp.outstanding.clear()  # orphan the retransmit timer
 
     # -- transmit ---------------------------------------------------------
 
@@ -298,6 +386,11 @@ class RdmaEngine:
 
     def _retransmit(self, qp: RcQp) -> None:
         """Go-back-N: resend every outstanding segment."""
+        qp.consecutive_retries += 1
+        if (self.max_retries is not None
+                and qp.consecutive_retries > self.max_retries):
+            self.fail_qp(qp, self.SYNDROME_RETRY_EXCEEDED)
+            return
         spans = self._spans
         for psn, segment in qp.outstanding.items():
             segment.sent_at = self.sim.now
@@ -432,7 +525,30 @@ class RdmaEngine:
             if delta >= (1 << 23):
                 break  # psn is after acked_psn
             segment = qp.outstanding.pop(psn)
+            qp.consecutive_retries = 0  # the wire is moving again
             if segment.span_id is not None:
                 self._spans.exit(segment.span_id, self.sim.now)
             if segment.is_last and segment.wqe is not None:
                 self.complete_send(qp, segment.wqe)
+
+    # -- failure ----------------------------------------------------------
+
+    def fail_qp(self, qp: RcQp, syndrome: int) -> None:
+        """Drop ``qp`` to ERR: flush outstanding work, notify software.
+
+        Flushing empties ``qp.outstanding``, so the armed retransmit
+        timer sees nothing left and dies on its next check.  Lost
+        in-flight messages stay lost — recovery is a software-driven
+        reset-and-reconnect through the command channel (Table 4).
+        """
+        if qp.state == RcQp.ERR:
+            return
+        spans = self._spans
+        for segment in qp.outstanding.values():
+            if segment.span_id is not None:
+                spans.exit(segment.span_id, self.sim.now)
+        qp.outstanding.clear()
+        qp.error_syndrome = syndrome
+        qp.modify(RcQp.ERR)
+        if self.on_qp_error is not None:
+            self.on_qp_error(qp, syndrome)

@@ -243,6 +243,16 @@ class SteeringPipeline:
             self.tables[name] = FlowTable(name, default_actions)
         return self.tables[name]
 
+    def remove_table(self, name: str) -> None:
+        """Drop a table; it must be empty (rules removed first)."""
+        table = self.tables.get(name)
+        if table is None:
+            raise SteeringError(f"no table named {name!r}")
+        if table.rules:
+            raise SteeringError(
+                f"table {name!r} still holds {len(table.rules)} rule(s)")
+        del self.tables[name]
+
     def process(self, packet: Packet, root: str) -> Disposition:
         """Run ``packet`` through the pipeline starting at table ``root``."""
         if root not in self.tables:

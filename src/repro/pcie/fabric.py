@@ -112,6 +112,15 @@ class PcieFabric:
         self._ports[endpoint.name] = port
         endpoint.fabric = self
 
+    def detach(self, endpoint: PcieEndpoint) -> None:
+        """Remove ``endpoint``'s port (teardown); BARs must go first."""
+        for bar in self._bars:
+            if bar.endpoint is endpoint:
+                raise PcieError(
+                    f"endpoint {endpoint.name!r} still decodes {bar}")
+        if self._ports.pop(endpoint.name, None) is None:
+            raise PcieError(f"endpoint {endpoint.name!r} not attached")
+
     def map_window(self, base: int, size: int, endpoint: PcieEndpoint) -> Bar:
         """Claim [base, base+size) in the fabric address space."""
         bar = Bar(base, size, endpoint)
@@ -120,6 +129,14 @@ class PcieFabric:
                 raise PcieError(f"{bar} overlaps {existing}")
         self._bars.append(bar)
         return bar
+
+    def unmap_window(self, base: int) -> Bar:
+        """Release the BAR claimed at ``base`` (teardown path)."""
+        for i, bar in enumerate(self._bars):
+            if bar.base == base:
+                del self._bars[i]
+                return bar
+        raise PcieError(f"no window mapped at {base:#x}")
 
     def decode(self, address: int) -> Bar:
         for bar in self._bars:

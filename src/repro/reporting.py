@@ -335,6 +335,15 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(approximate log2-bucket percentiles)")
     _add_sweep_options(latency)
 
+    objects = sub.add_parser(
+        "objects",
+        help="elaborate one experiment's testbed and dump each node's "
+             "firmware object table (no packets are sent)")
+    objects.add_argument("experiment",
+                         help="experiment testbed to dump (see --list)")
+    objects.add_argument("-o", "--json", default=None, metavar="PATH",
+                         help="also write the dump as JSON")
+
     scale = sub.add_parser(
         "scale-tenants",
         help="N accelerator functions multiplexed on one FLD: "
@@ -470,6 +479,32 @@ def _cmd_latency(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _cmd_objects(args: argparse.Namespace) -> int:
+    from .telemetry.runner import object_experiments, run_objects
+    try:
+        summary = run_objects(args.experiment)
+    except ValueError:
+        known = object_experiments()
+        print(f"unknown experiment {args.experiment!r}; choose from:")
+        for name, description in known.items():
+            print(f"  {name:12s} {description}")
+        return 2
+    for node, rows in summary["nodes"].items():
+        print(format_table(
+            f"Firmware objects: {node} ({len(rows)} object(s))",
+            [{"handle": row["handle"], "kind": row["kind"],
+              "label": row["label"], "refs": row["refcount"],
+              "deps": " ".join(row["deps"]) or "-"}
+             for row in rows]) if rows
+            else f"Firmware objects: {node} (empty table)")
+    if args.json:
+        import json
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"json dump: {args.json}")
+    return 0
+
+
 def _cmd_scale_tenants(args: argparse.Namespace) -> int:
     from .experiments import scale_tenants
     ctx = _make_context(args)
@@ -498,7 +533,7 @@ def _cmd_scale_tenants(args: argparse.Namespace) -> int:
 
 def _print_listing() -> None:
     from .telemetry.runner import latency_experiments, \
-        traceable_experiments
+        object_experiments, traceable_experiments
     print("analytical sections: " + ", ".join(ANALYTICAL))
     print("simulated sections:  " + ", ".join(SIMULATED))
     print("traceable experiments (python -m repro trace <name> -o t.json):")
@@ -506,6 +541,9 @@ def _print_listing() -> None:
         print(f"  {name:12s} {description}")
     print("latency attribution (python -m repro latency <name>):")
     for name, description in latency_experiments().items():
+        print(f"  {name:12s} {description}")
+    print("object-table dumps (python -m repro objects <name>):")
+    for name, description in object_experiments().items():
         print(f"  {name:12s} {description}")
     print("multi-tenant scaling (python -m repro scale-tenants "
           "--tenants N): per-tenant throughput/latency on one FLD")
@@ -542,7 +580,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # global flag takes the legacy flat path.
     leading = argv[0] if argv else ""
     if leading not in ("tables", "figures", "trace", "latency",
-                       "scale-tenants", "--list", "-h", "--help"):
+                       "objects", "scale-tenants", "--list", "-h",
+                       "--help"):
         return _legacy_main(argv)
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -559,6 +598,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "latency":
         return _cmd_latency(args)
+    if args.command == "objects":
+        return _cmd_objects(args)
     if args.command == "scale-tenants":
         return _cmd_scale_tenants(args)
     parser.print_help()

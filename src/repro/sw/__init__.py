@@ -2,6 +2,7 @@
 
 from .client import FldRClient, FldRClientError, FldRConnection
 from .batching import BatchingZucCryptodev
+from .control import ControlPlane, ControlPlaneError
 from .cryptodev import CryptoOp, Cryptodev, FldRZucCryptodev, SwZucCryptodev
 from .flde import FldEControlPlane, FldEPolicyError
 from .fldr import FldRConnectionInfo, FldRControlPlane
@@ -10,6 +11,8 @@ from .runtime import FldRuntime, FldRuntimeError
 
 __all__ = [
     "BatchingZucCryptodev",
+    "ControlPlane",
+    "ControlPlaneError",
     "CryptoOp",
     "Cryptodev",
     "FldEControlPlane",

@@ -41,12 +41,15 @@ class FldEControlPlane:
     def __init__(self, runtime: FldRuntime, vport: int):
         self.runtime = runtime
         self.nic = runtime.nic
+        self.ctrl = runtime.ctrl
         self.vport = vport
-        if vport not in self.nic.eswitch.vports:
-            self.nic.eswitch.add_vport(vport)
-        self._vport = self.nic.eswitch.vports[vport]
+        self._vport = self.ctrl.ensure_vport(vport)
         self.table = self.nic.steering.table(self._vport.rx_root)
         self.stats_rules = 0
+        # Teardown bookkeeping: rules and resume tables this control
+        # plane installed, in install order.
+        self._rules: List = []
+        self._resume_tables: List = []  # ResumeTable firmware objects
 
     # ------------------------------------------------------------------
     # Acceleration rules
@@ -66,18 +69,25 @@ class FldEControlPlane:
         name = resume_table or f"vport{self.vport}.resume{self.stats_rules}"
         table = self.nic.steering.table(name)
         table.default_actions = resume_actions
-        self.nic.register_resume_table(name)
+        self._resume_tables.append(self.ctrl.add_resume_table(name))
         actions: List[Action] = list(pre_actions or [])
         actions.append(ToAccelerator(accel_rq, name, context_id))
-        rule = self.table.add_rule(match, actions, priority)
+        rule = self._install(match, actions, priority)
+        return rule
+
+    def _install(self, match: MatchSpec, actions: List[Action],
+                 priority: int) -> Rule:
+        """Install a rule on the vPort root through the command channel."""
+        rule = self.ctrl.install_rule(self._vport.rx_root, match, actions,
+                                      priority)
+        self._rules.append(rule)
         self.stats_rules += 1
         return rule
 
     def deliver(self, match: MatchSpec, rq: ReceiveQueue,
                 priority: int = 0) -> Rule:
         """Plain delivery rule (no acceleration)."""
-        self.stats_rules += 1
-        return self.table.add_rule(match, [ForwardToQueue(rq)], priority)
+        return self._install(match, [ForwardToQueue(rq)], priority)
 
     # ------------------------------------------------------------------
     # Virtualization (§5.4)
@@ -97,15 +107,14 @@ class FldEControlPlane:
         name = f"vport{self.vport}.tenant{tenant_id}.resume"
         table = self.nic.steering.table(name)
         table.default_actions = resume_actions
-        self.nic.register_resume_table(name)
+        self._resume_tables.append(self.ctrl.add_resume_table(name))
         actions: List[Action] = [SetContextId(tenant_id)]
         if rate_bps is not None:
             meter_name = f"tenant{tenant_id}"
             self.nic.shaper.add_limiter(meter_name, rate_bps)
             actions.append(Meter(meter_name))
         actions.append(ToAccelerator(accel_rq, name, tenant_id))
-        rule = self.table.add_rule(match, actions, priority)
-        self.stats_rules += 1
+        rule = self._install(match, actions, priority)
         return rule
 
     def set_tenant_rate(self, tenant_id: int, rate_bps: float) -> None:
@@ -128,5 +137,23 @@ class FldEControlPlane:
                             priority: int = 0) -> Rule:
         """Install a rule on behalf of an untrusted tenant, validated."""
         self.validate_tenant_rule(actions)
-        self.stats_rules += 1
-        return self.table.add_rule(match, actions, priority)
+        return self._install(match, actions, priority)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Destroy every rule and resume table this plane installed.
+
+        Leaves the vPort itself alive (the node owns it); after close
+        the vPort's root table is rule-free again, so the node can
+        destroy the vPort without tripping ``IN_USE``.
+        """
+        for rule in reversed(self._rules):
+            self.ctrl.try_destroy(rule)
+        self._rules.clear()
+        for resume in reversed(self._resume_tables):
+            self.ctrl.try_destroy(resume)
+            self.nic.steering.remove_table(resume.table_name)
+        self._resume_tables.clear()

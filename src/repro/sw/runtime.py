@@ -14,11 +14,12 @@ It owns the low-level plumbing both FLD-E and FLD-R need:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..core import FlexDriver, bar as fld_bar
 from ..core.fld import FldConfig
 from ..nic import (
+    CommandChannel,
     MultiPacketReceiveQueue,
     Nic,
     OP_ETH_SEND,
@@ -34,6 +35,7 @@ from ..nic.device import (
     WQE_MMIO_STRIDE,
 )
 from ..topology import FLD_BAR_BASE, NIC_BAR_BASE, Node
+from .control import ControlPlane
 
 
 class FldRuntimeError(RuntimeError):
@@ -52,6 +54,14 @@ class FldRuntime:
         self.nic: Nic = node.nic
         self.fld_bar_base = fld_bar_base
         self.nic_bar_base = nic_bar_base
+        # All NIC resources go through the verbs-style control plane;
+        # shared with the node's software driver when it has one (bare
+        # fabric-holder stand-ins in tests get a local channel).
+        driver = getattr(node, "driver", None)
+        if driver is not None and getattr(driver, "ctrl", None) is not None:
+            self.ctrl: ControlPlane = driver.ctrl
+        else:
+            self.ctrl = ControlPlane(CommandChannel(self.nic))
         if fld_name is None:
             fld_name = f"{node.name}.fld"
             if fld_bar_base != FLD_BAR_BASE:
@@ -75,16 +85,30 @@ class FldRuntime:
         # Doorbell-mode span contexts are stashed under the NIC's name so
         # its WQE fetch loop can claim them (see repro.telemetry.spans).
         self.fld.tx.trace_scope = self.nic.name
+        self.fld_name = fld_name
         self._next_tx_queue = 0
         self._next_rx_binding = 0
+        # Destroyed queue/binding ids, recycled lowest-first so churn
+        # cannot exhaust the FLD's fixed id spaces.
+        self._free_tx_ids: list = []
+        self._free_rx_bindings: list = []
+        # Teardown bookkeeping: what each queue id / rx binding owns.
+        self._tx_queues: Dict[int, Tuple[Any, Any]] = {}  # id -> (sq|qp, cq)
+        self._rx_queues: Dict[int, dict] = {}             # rqn -> info
+        self._default_rq: Dict[int, int] = {}             # vport -> rqn
+        # cq index -> RC QP, for the kernel driver's recovery hook.
+        self._qp_by_cq: Dict[int, RcQp] = {}
 
     # ------------------------------------------------------------------
     # Queue plumbing
     # ------------------------------------------------------------------
 
     def _alloc_tx_ids(self) -> Tuple[int, int]:
-        queue_id = self._next_tx_queue
-        self._next_tx_queue += 1
+        if self._free_tx_ids:
+            queue_id = self._free_tx_ids.pop(0)
+        else:
+            queue_id = self._next_tx_queue
+            self._next_tx_queue += 1
         if queue_id >= FlexDriver.RX_CQ_BASE:
             raise FldRuntimeError("out of FLD tx queue slots")
         return queue_id, queue_id  # (queue id, tx cq index)
@@ -100,16 +124,17 @@ class FldRuntime:
         depth.
         """
         queue_id, cq_index = self._alloc_tx_ids()
-        cq = self.nic.create_cq(
+        cq = self.ctrl.alloc_cq(
             self.fld_bar_base + fld_bar.cq_address(cq_index),
             self.fld.config.cq_entries,
         )
-        sq = self.nic.create_sq(
+        sq = self.ctrl.alloc_sq(
             self.fld_bar_base + fld_bar.tx_ring_address(queue_id, 0, entries),
             entries, cq, vport=vport, meter=meter,
         )
         self._bind_tx(queue_id, sq, cq_index, entries, use_mmio,
                       credits=credits)
+        self._tx_queues[queue_id] = (sq, cq)
         return queue_id
 
     def _bind_tx(self, queue_id: int, sq: SendQueue, cq_index: int,
@@ -134,16 +159,19 @@ class FldRuntime:
 
         Returns the NIC receive queue (steering rules target it).
         """
-        binding_id = self._next_rx_binding
-        self._next_rx_binding += 1
+        if self._free_rx_bindings:
+            binding_id = self._free_rx_bindings.pop(0)
+        else:
+            binding_id = self._next_rx_binding
+            self._next_rx_binding += 1
         cq_index = FlexDriver.RX_CQ_BASE + binding_id
-        cq = self.nic.create_cq(
+        cq = self.ctrl.alloc_cq(
             self.fld_bar_base + fld_bar.cq_address(cq_index),
             self.fld.config.cq_entries,
         )
         # The receive descriptor ring lives in HOST memory (§5.2).
         ring_addr = self.node.driver.allocator.alloc(ring_entries * 16)
-        rq = self.nic.create_mprq(ring_addr, ring_entries, cq,
+        rq = self.ctrl.alloc_mprq(ring_addr, ring_entries, cq,
                                   strides_per_buffer, stride_size)
         slice_offset = self.fld.bind_rx_queue(
             binding_id, cq_index, ring_entries, strides_per_buffer,
@@ -163,8 +191,14 @@ class FldRuntime:
                 rq.slot_addr(i) - self.node.driver.mem_base, desc.pack()
             )
         rq.post(ring_entries)
+        self._rx_queues[rq.rqn] = {
+            "binding_id": binding_id, "rq": rq, "cq": cq,
+            "ring_addr": ring_addr, "ring_bytes": ring_entries * 16,
+            "vport": vport,
+        }
         if set_default:
-            self.nic.set_vport_default_queue(vport, rq)
+            self.ctrl.set_default_queue(vport, rq)
+            self._default_rq[vport] = rq.rqn
         return rq
 
     def create_fldr_qp(self, vport: int, local_mac, local_ip,
@@ -174,16 +208,68 @@ class FldRuntime:
         """An FLD-R RDMA QP (§5.3): FLD owns the data path, software the
         transport endpoint.  Returns (qp, fld queue id)."""
         queue_id, cq_index = self._alloc_tx_ids()
-        cq = self.nic.create_cq(
+        cq = self.ctrl.alloc_cq(
             self.fld_bar_base + fld_bar.cq_address(cq_index),
             self.fld.config.cq_entries,
         )
         if rq is None:
             rq = self.create_rx_queue(vport, set_default=False)
-        qp = self.nic.create_rc_qp(
+        qp = self.ctrl.alloc_rc_qp(
             self.fld_bar_base + fld_bar.tx_ring_address(queue_id, 0, entries),
             entries, cq, rq, vport, local_mac, local_ip,
         )
         self._bind_tx(queue_id, qp.sq, cq_index, entries, use_mmio,
                       opcode=OP_RDMA_SEND)
+        self._tx_queues[queue_id] = (qp, cq)
+        self._qp_by_cq[cq_index] = qp
         return qp, queue_id
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def qp_for_cq(self, cq_index: int) -> Optional[RcQp]:
+        """The RC QP completing onto FLD cq ``cq_index`` (recovery)."""
+        return self._qp_by_cq.get(cq_index)
+
+    def destroy_tx_queue(self, queue_id: int) -> None:
+        """Unbind an FLD tx queue and destroy its SQ (or QP) and CQ."""
+        owner, cq = self._tx_queues.pop(queue_id)
+        self.fld.unbind_tx_queue(queue_id)
+        self.ctrl.destroy(owner)
+        self.ctrl.destroy(cq)
+        for cq_index, qp in list(self._qp_by_cq.items()):
+            if qp is owner:
+                del self._qp_by_cq[cq_index]
+        self._free_tx_ids.append(queue_id)
+        self._free_tx_ids.sort()
+
+    def destroy_rx_queue(self, rq: MultiPacketReceiveQueue) -> None:
+        """Full receive-path teardown: default route, FLD SRAM slice,
+        NIC MPRQ + CQ, and the host-memory descriptor ring."""
+        info = self._rx_queues.pop(rq.rqn)
+        vport = info["vport"]
+        if self._default_rq.get(vport) == rq.rqn:
+            self.ctrl.clear_default_queue(vport)
+            del self._default_rq[vport]
+        self.fld.unbind_rx_queue(info["binding_id"])
+        self.ctrl.destroy(rq)
+        self.ctrl.destroy(info["cq"])
+        self.node.driver.allocator.free(info["ring_addr"],
+                                        info["ring_bytes"])
+        self._free_rx_bindings.append(info["binding_id"])
+        self._free_rx_bindings.sort()
+
+    def shutdown(self) -> None:
+        """Tear down every queue this runtime created, then release the
+        FLD's BAR window from the node's address map and fabric."""
+        for queue_id in sorted(self._tx_queues):
+            self.destroy_tx_queue(queue_id)
+        for rqn in sorted(self._rx_queues):
+            self.destroy_rx_queue(self._rx_queues[rqn]["rq"])
+        unmap = getattr(self.node, "unmap_window", None)
+        if unmap is not None:
+            unmap(self.fld_name)
+        else:
+            self.node.fabric.unmap_window(self.fld_bar_base)
+        self.node.fabric.detach(self.fld)

@@ -96,6 +96,59 @@ def run_traced(experiment: str, output: str,
 
 
 # ---------------------------------------------------------------------------
+# Object-table dump (``python -m repro objects <experiment>``)
+# ---------------------------------------------------------------------------
+#
+# Every NIC resource an experiment uses is created through the firmware
+# command channel, so the per-node object tables are a complete
+# inventory of the control-plane state an experiment sets up.  These
+# runners elaborate the experiment's testbed — construction is
+# synchronous, no simulation time elapses — and dump the tables.
+
+
+def object_experiments() -> Dict[str, str]:
+    """Name -> short description, for ``--list`` and error messages."""
+    return {
+        "echo": "FLD-E remote echo testbed (client + server + FLD)",
+        "cpu-echo": "CPU-baseline remote echo testbed (no FLD)",
+        "forwarding": "FLD-E forwarding testbed (4 engine units)",
+        "fldr": "FLD-R RDMA echo testbed (RC QP + shared RQ)",
+    }
+
+
+def run_objects(experiment: str) -> Dict:
+    """Elaborate ``experiment``'s testbed; dump each node's firmware
+    object table (no packets are sent).
+
+    Returns ``{"experiment", "nodes": {node -> [row, ...]}}`` where each
+    row is an :meth:`ObjectTable.rows` dict (handle, kind, label,
+    refcount, deps).
+    """
+    from ..experiments.setups import Calibration, cpu_echo_remote, \
+        flde_echo_remote, fldr_echo
+    from ..sim import Simulator
+    builders: Dict[str, Callable] = {
+        "echo": lambda sim, cal: flde_echo_remote(sim, cal),
+        "cpu-echo": lambda sim, cal: cpu_echo_remote(sim, cal),
+        "forwarding": lambda sim, cal: flde_echo_remote(sim, cal, units=4),
+        "fldr": lambda sim, cal: fldr_echo(sim, cal),
+    }
+    try:
+        builder = builders[experiment]
+    except KeyError:
+        known = ", ".join(sorted(builders))
+        raise ValueError(
+            f"unknown objects experiment {experiment!r}; "
+            f"choose from: {known}") from None
+    sim = Simulator()
+    setup = builder(sim, Calibration())
+    return {
+        "experiment": experiment,
+        "nodes": setup.testbed.objects(),
+    }
+
+
+# ---------------------------------------------------------------------------
 # Latency attribution (``python -m repro latency <experiment>``)
 # ---------------------------------------------------------------------------
 #

@@ -28,6 +28,53 @@ FLD_BAR_BASE = 0x18_0000_0000
 #: Staging BAR of the CPU-mediated "dumb" accelerator (§3, Fig. 2a).
 ACCEL_BAR_BASE = 0x20_0000_0000
 
+# -- NIC BAR internal layout -------------------------------------------------
+#
+# One register file for every NIC consumer (``nic/device.py`` decodes
+# writes against these, ``sw/runtime.py`` and ``host/driver.py`` compute
+# doorbell/MMIO addresses from them).  Regions, low to high:
+#
+#   [0x00_0000)            firmware command doorbell (qpn 0 is never
+#                          allocated, so SQ doorbells never land here)
+#   [0x00_0040, 0x08_0000) per-SQ doorbells, one 64 B stride per qpn
+#   [0x08_0000, 0x10_0000) per-RQ doorbells
+#   [0x10_0000, 0x20_0000) MMIO WQE slots, 256 B per qpn
+
+#: Firmware command doorbell (offset within the NIC BAR).
+NIC_CMD_DOORBELL = 0x0
+#: Bytes between consecutive SQ doorbell registers.
+DOORBELL_STRIDE = 64
+#: Start of the receive-queue doorbell region.
+RQ_DOORBELL_BASE = 0x8_0000
+#: Start of the MMIO WQE region (one slot per send queue).
+WQE_MMIO_BASE = 0x10_0000
+#: Bytes between consecutive MMIO WQE slots.
+WQE_MMIO_STRIDE = 256
+#: Total NIC BAR size.
+BAR_SIZE = 0x20_0000
+
+#: Firmware command mailbox: a fixed scratch buffer in host DRAM, below
+#: the software driver's allocator arena (which starts 1 MiB up).
+CMD_MAILBOX_OFFSET = 0x1000
+CMD_MAILBOX_SIZE = 512
+
+
+def nic_bar_layout() -> "AddressMap":
+    """The NIC BAR's internal regions as an overlap-checked map.
+
+    Built fresh on each call; importing modules use the module-level
+    constants, this exists so a test (and the CI conformance job) can
+    assert the regions never alias as the layout evolves.
+    """
+    layout = AddressMap("nic-bar")
+    layout.reserve("cmd-doorbell", NIC_CMD_DOORBELL, DOORBELL_STRIDE)
+    layout.reserve("sq-doorbells", DOORBELL_STRIDE,
+                   RQ_DOORBELL_BASE - DOORBELL_STRIDE)
+    layout.reserve("rq-doorbells", RQ_DOORBELL_BASE,
+                   WQE_MMIO_BASE - RQ_DOORBELL_BASE)
+    layout.reserve("mmio-wqe", WQE_MMIO_BASE, BAR_SIZE - WQE_MMIO_BASE)
+    return layout
+
 
 class AddressMapError(ValueError):
     """Raised when a window would overlap an existing one."""
@@ -75,6 +122,13 @@ class AddressMap:
                     f"{other.name!r} [{other.base:#x}, {other.end:#x})")
         self._windows[name] = window
         return window
+
+    def release(self, name: str) -> Window:
+        """Unmap ``name``; its range becomes reservable again."""
+        if name not in self._windows:
+            raise AddressMapError(
+                f"{self.name}: cannot release unmapped window {name!r}")
+        return self._windows.pop(name)
 
     def fld_bar(self, index: int) -> int:
         """BAR base of the ``index``-th FLD instance on this node."""

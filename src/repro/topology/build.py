@@ -121,6 +121,32 @@ class Testbed:
                 vport.stats_rx = 0
                 vport.stats_tx = 0
 
+    def teardown(self) -> None:
+        """Destroy every constructed NIC resource, in reverse build
+        order, through the firmware command channel.
+
+        After teardown the object tables are empty and the devices are
+        clean to audit: host QPs close (releasing rings and buffers),
+        each FLD runtime shuts down (releasing tx/rx queues, SRAM
+        slices and its BAR window), and each node's vPorts and FDB
+        rules are removed.
+        """
+        for qp in reversed(list(self.host_qps.values())):
+            qp.close()
+        self.host_qps.clear()
+        self.accel_fns.clear()
+        for runtime in reversed(list(self.fld_runtimes.values())):
+            runtime.shutdown()
+        self.fld_runtimes.clear()
+        for node in reversed(list(self.nodes.values())):
+            node.teardown()
+
+    def objects(self) -> Dict[str, List[dict]]:
+        """Every node's firmware object table, as data (the
+        ``python -m repro objects`` dump)."""
+        return {name: node.nic.cmd.table.rows()
+                for name, node in self.nodes.items()}
+
     def quiesce(self) -> List:
         """Audit FLD/NIC conservation invariants; return violations.
 

@@ -50,11 +50,17 @@ class Node:
         # mac -> vport already steered by add_vport_for_mac (idempotency
         # guard: the N-tenant builder leans on re-entrant wiring).
         self._fdb_macs: Dict[str, int] = {}
+        self._fdb_rules: Dict[str, object] = {}
 
     def map_window(self, name: str, base: int, size: int, device) -> None:
         """Reserve an address window (overlap-checked) and map it."""
         self.addrmap.reserve(name, base, size)
         self.fabric.map_window(base, size, device)
+
+    def unmap_window(self, name: str) -> None:
+        """Release an address window and its fabric BAR."""
+        window = self.addrmap.release(name)
+        self.fabric.unmap_window(window.base)
 
     def add_vport_for_mac(self, vport: int, mac) -> None:
         """Create a vPort and steer frames for ``mac`` to it (FDB rule).
@@ -70,12 +76,36 @@ class Node:
                     f"{self.name}: mac {key} already steered to vport "
                     f"{owner}, cannot re-steer to vport {vport}")
             return
-        if vport not in self.nic.eswitch.vports:
-            self.nic.eswitch.add_vport(vport)
-        self.nic.steering.table("fdb").add_rule(
-            MatchSpec(dst_mac=mac), [ForwardToVport(vport)], priority=10,
+        ctrl = self.driver.ctrl
+        ctrl.ensure_vport(vport)
+        rule = ctrl.install_rule(
+            "fdb", MatchSpec(dst_mac=mac), [ForwardToVport(vport)],
+            priority=10,
         )
         self._fdb_macs[key] = vport
+        self._fdb_rules[key] = rule
+
+    def remove_vport_for_mac(self, mac) -> None:
+        """Undo :meth:`add_vport_for_mac`: drop the FDB rule and destroy
+        the vPort once nothing references it."""
+        key = str(mac).lower()
+        vport = self._fdb_macs.pop(key, None)
+        if vport is None:
+            return
+        ctrl = self.driver.ctrl
+        rule = self._fdb_rules.pop(key, None)
+        if rule is not None:
+            ctrl.try_destroy(rule)
+        if vport in (v for v in self._fdb_macs.values()):
+            return  # another MAC still steers here
+        vport_obj = self.nic.eswitch.vports.get(vport)
+        if vport_obj is not None and ctrl.handle_of(vport_obj) is not None:
+            ctrl.destroy(vport_obj)
+
+    def teardown(self) -> None:
+        """Remove every vPort this node steered (reverse add order)."""
+        for key in reversed(list(self._fdb_macs)):
+            self.remove_vport_for_mac(key)
 
 
 def connect(a: Node, b: Node) -> None:

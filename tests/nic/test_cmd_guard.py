@@ -1,0 +1,66 @@
+"""Conformance guard: NIC resources are born through the command
+channel, nowhere else.
+
+The device's raw constructors (``create_cq`` & co.) are firmware
+implementation detail; every other module must go through
+:class:`repro.sw.ControlPlane` / :class:`repro.nic.CommandChannel` so
+that each resource has a handle, a lifecycle state and a refcounted
+table entry.  This AST scan keeps the discipline honest — a direct
+call anywhere outside the allowlist fails CI.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Raw control-plane constructors only the firmware may invoke.
+BANNED = {
+    "create_cq",
+    "create_sq",
+    "create_rq",
+    "create_mprq",
+    "create_rc_qp",
+    "set_vport_default_queue",
+    "register_resume_table",
+}
+
+#: The firmware itself: the command executors and the device they run on.
+ALLOWED = {"nic/cmd.py", "nic/device.py"}
+
+
+def direct_calls(path: Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in BANNED):
+            yield node.func.attr, node.lineno
+
+
+class TestCommandChannelGuard:
+    def test_source_tree_exists(self):
+        assert SRC.is_dir(), f"source tree not found at {SRC}"
+        assert (SRC / "nic" / "cmd.py").is_file()
+
+    def test_no_direct_constructor_calls_outside_firmware(self):
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            rel = path.relative_to(SRC).as_posix()
+            if rel in ALLOWED:
+                continue
+            offenders += [f"{rel}:{line} calls {name}() directly"
+                          for name, line in direct_calls(path)]
+        assert not offenders, (
+            "NIC resources must be created through the command channel "
+            "(repro.sw.ControlPlane); direct constructor calls found:\n  "
+            + "\n  ".join(offenders))
+
+    def test_guard_catches_a_direct_call(self):
+        """The scanner itself works (no false all-clear)."""
+        snippet = ast.parse("nic.create_cq(ring, 64)")
+        hits = [node for node in ast.walk(snippet)
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in BANNED]
+        assert len(hits) == 1

@@ -1,0 +1,79 @@
+"""Kernel-driver error dispatch: a faulty handler must not take the
+error channel down with it (§5.3).
+
+The pump is the only consumer of the FLD's hardware error ring; if one
+registered handler raising killed it, every later error would sit in
+the channel unseen.  Failures are quarantined into
+``handler_failures`` and the remaining handlers still run, in
+registration order.
+"""
+
+from repro.core import FldError
+from repro.sim import Simulator
+from repro.sw import FldKernelDriver, FldRuntime
+from repro.testbed import make_local_node
+
+FLD_MAC = "02:00:00:00:00:99"
+
+
+def make_kdriver():
+    sim = Simulator()
+    node = make_local_node(sim)
+    node.add_vport_for_mac(2, FLD_MAC)
+    runtime = FldRuntime(node)
+    return sim, runtime, FldKernelDriver(sim, runtime.fld)
+
+
+class TestDispatchIsolation:
+    def test_raising_handler_does_not_kill_the_pump(self):
+        sim, runtime, kdriver = make_kdriver()
+        seen = []
+
+        def bomb(error):
+            raise RuntimeError("handler bug")
+
+        kdriver.on_error(bomb)
+        kdriver.on_error(seen.append)
+        runtime.fld.errors.report(FldError.BUFFER_EXHAUSTED, queue=1)
+        sim.run(until=0.001)
+        runtime.fld.errors.report(FldError.BUFFER_EXHAUSTED, queue=2)
+        sim.run(until=0.002)
+        # Both errors dispatched: the pump survived the first raise.
+        assert [e.queue for e in seen] == [1, 2]
+        assert len(kdriver.error_log) == 2
+
+    def test_failures_are_recorded_with_their_error(self):
+        sim, runtime, kdriver = make_kdriver()
+        boom = RuntimeError("handler bug")
+
+        def bomb(error):
+            raise boom
+
+        kdriver.on_error(bomb)
+        runtime.fld.errors.report(FldError.RING_OVERFLOW, queue=3)
+        sim.run(until=0.001)
+        assert len(kdriver.handler_failures) == 1
+        handler, error, exc = kdriver.handler_failures[0]
+        assert handler is bomb
+        assert error.queue == 3
+        assert exc is boom
+
+    def test_handlers_run_in_registration_order(self):
+        sim, runtime, kdriver = make_kdriver()
+        order = []
+        kdriver.on_error(lambda e: order.append("first"))
+        kdriver.on_error(lambda e: (_ for _ in ()).throw(ValueError()))
+        kdriver.on_error(lambda e: order.append("third"))
+        runtime.fld.errors.report(FldError.BUFFER_EXHAUSTED, queue=1)
+        sim.run(until=0.001)
+        assert order == ["first", "third"]
+
+    def test_errors_of_kind_filters_the_log(self):
+        sim, runtime, kdriver = make_kdriver()
+        runtime.fld.errors.report(FldError.BUFFER_EXHAUSTED, queue=1)
+        runtime.fld.errors.report(FldError.RING_OVERFLOW, queue=2)
+        runtime.fld.errors.report(FldError.BUFFER_EXHAUSTED, queue=4)
+        sim.run(until=0.001)
+        exhausted = kdriver.errors_of_kind(FldError.BUFFER_EXHAUSTED)
+        assert [e.queue for e in exhausted] == [1, 4]
+        assert kdriver.errors_of_kind("nonesuch") == []
