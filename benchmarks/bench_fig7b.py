@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Standalone Fig. 7b wall-clock benchmark (no pytest needed).
+
+Runs the echo-throughput grid — every (mode, size) point of Fig. 7b —
+directly, times it with ``time.perf_counter``, and writes a JSON
+summary (``BENCH_fig7b_echo.json`` by default) with simulated packet
+throughput, wall-clock seconds and the simulated-time/wall-clock ratio.
+CI uploads the file as an artifact so simulator performance regressions
+show up in the history.
+
+Usage::
+
+    python benchmarks/bench_fig7b.py [--count N] [--sizes 64 256 ...]
+        [--modes flde-remote ...] [-o BENCH_fig7b_echo.json]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.echo import echo_throughput  # noqa: E402
+
+#: Each echo run simulates up to this horizon (experiments/echo.py).
+SIM_HORIZON_SECONDS = 2.0
+
+DEFAULT_SIZES = [64, 128, 256, 512, 1024, 1500]
+DEFAULT_MODES = ["flde-remote", "cpu-remote", "flde-local"]
+
+
+def run_grid(modes, sizes, count):
+    rows = []
+    for mode in modes:
+        for size in sizes:
+            started = time.perf_counter()
+            result = echo_throughput(mode, size, count=count)
+            result["wall_seconds"] = time.perf_counter() - started
+            rows.append(result)
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--count", type=int, default=900,
+                        help="frames per grid point (default: 900)")
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=DEFAULT_SIZES, metavar="BYTES")
+    parser.add_argument("--modes", nargs="+", default=DEFAULT_MODES,
+                        metavar="MODE")
+    parser.add_argument("-o", "--output", default="BENCH_fig7b_echo.json",
+                        help="JSON output path "
+                             "(default: BENCH_fig7b_echo.json)")
+    args = parser.parse_args(argv)
+
+    rows = run_grid(args.modes, args.sizes, args.count)
+    wall = sum(row["wall_seconds"] for row in rows)
+    packets = sum(row["sent"] + row["received"] for row in rows)
+    sim_seconds = SIM_HORIZON_SECONDS * len(rows)
+    report = {
+        "bench": "fig7b_echo",
+        "schema": 1,
+        "count": args.count,
+        "rows": rows,
+        "points": len(rows),
+        "packets": packets,
+        "wall_seconds": wall,
+        "sim_seconds": sim_seconds,
+        "sim_time_ratio": sim_seconds / wall if wall else None,
+        "pkts_per_second": packets / wall if wall else None,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"{len(rows)} points, {packets} packets in {wall:.2f}s wall "
+          f"({report['pkts_per_second']:.0f} pkts/s, sim/wall "
+          f"{report['sim_time_ratio']:.1f}x) -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

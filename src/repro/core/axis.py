@@ -31,7 +31,7 @@ class AxisMetadata:
 
     __slots__ = ("queue_id", "context_id", "flags", "rss_hash", "msg_first",
                  "msg_last", "signaled", "src_qpn", "trace_ctx",
-                 "trace_enqueued")
+                 "trace_enqueued", "prog_skip")
 
     def __init__(self, queue_id: int = 0, context_id: int = 0,
                  flags: int = 0, rss_hash: int = 0, msg_first: bool = True,
@@ -53,6 +53,10 @@ class AxisMetadata:
         # (lets the consumer split queueing from service time).
         self.trace_ctx = trace_ctx
         self.trace_enqueued = 0.0
+        # Set on packets a match-action program already redirected, so
+        # the egress hook runs a program at most once per packet (no
+        # redirect ping-pong between attached programs).
+        self.prog_skip = False
 
     def __repr__(self) -> str:
         return (

@@ -90,6 +90,12 @@ class FlexDriver(PcieEndpoint):
         self.errors = ErrorReporter(sim)
         # cq index -> ("tx", _) or ("rx", binding_id)
         self._cq_route: Dict[int, Tuple[str, int]] = {}
+        # Match-action layer (repro.prog): the engine is created lazily
+        # at first program attach — an FLD that never loads a program
+        # never pays for one.  vport_tx_routes maps an eswitch vPort to
+        # the tx queue bound for it, resolving redirect verdicts.
+        self.prog = None
+        self.vport_tx_routes: Dict[int, int] = {}
         # Chunks promised to sends that passed the resource check but
         # whose pipeline-latency submission has not landed yet.
         self._pending_chunks = 0
@@ -129,10 +135,13 @@ class FlexDriver(PcieEndpoint):
     def bind_tx_queue(self, queue_id: int, qpn: int, entries: int,
                       doorbell_addr: int, mmio_addr: int, cq_index: int,
                       use_mmio: bool = True, opcode: int = OP_ETH_SEND,
-                      credits: Optional[int] = None) -> None:
+                      credits: Optional[int] = None,
+                      vport: Optional[int] = None) -> None:
         self.tx.add_queue(queue_id, qpn, entries, doorbell_addr, mmio_addr,
                           use_mmio=use_mmio, credits=credits, opcode=opcode)
         self._cq_route[cq_index] = ("tx", queue_id)
+        if vport is not None:
+            self.vport_tx_routes[vport] = queue_id
 
     def bind_rx_queue(self, binding_id: int, cq_index: int,
                       ring_entries: int, strides_per_buffer: int,
@@ -151,6 +160,16 @@ class FlexDriver(PcieEndpoint):
         for cq_index, route in list(self._cq_route.items()):
             if route == ("tx", queue_id):
                 del self._cq_route[cq_index]
+        for vport, routed in list(self.vport_tx_routes.items()):
+            if routed == queue_id:
+                del self.vport_tx_routes[vport]
+
+    def prog_engine(self):
+        """The match-action engine, created on first use (firmware-only)."""
+        if self.prog is None:
+            from ..prog.engine import ProgEngine
+            self.prog = ProgEngine(self)
+        return self.prog
 
     def unbind_rx_queue(self, binding_id: int) -> None:
         """Tear down an rx binding, releasing its SRAM slice."""
@@ -222,7 +241,8 @@ class FlexDriver(PcieEndpoint):
         if trace_started is not None and meta.trace_ctx is not None:
             self._spans.record(meta.trace_ctx, "fld.tx", trace_started,
                                self.sim.now)
-        self.tx.submit(meta.queue_id, data, meta)
+        if self.tx.submit(meta.queue_id, data, meta) is None:
+            return  # an egress program dropped it; credit already refunded
         self.stats_tx_packets += 1
         self.stats_tx_bytes += len(data)
         self._ctr_tx_packets.inc()

@@ -80,6 +80,10 @@ class RxRingManager:
         self._sram_free: List[Tuple[int, int]] = []
         self.mmio_writer = mmio_writer
         self.emit = emit
+        # Match-action hook (repro.prog): set by the program engine when
+        # a program is attached to any binding, None otherwise — the
+        # NULL fast path is a single attribute test.
+        self.prog_hook: Optional[Callable] = None
         self._bindings: Dict[int, _RxBinding] = {}
         self.stats_cqes = 0
         self.stats_sram_writes = 0
@@ -187,7 +191,11 @@ class RxRingManager:
                 src_qpn=cqe.qpn,
                 trace_ctx=trace_ctx,
             )
-            self.emit(data, meta)
+            hook = self.prog_hook
+            if hook is None:
+                self.emit(data, meta)
+            else:
+                hook(binding_id, data, meta, self.emit)
         self._recycle_before(binding, desc_index)
 
     # -- recycle-in-order (§5.2 "Receive Ring in Host Memory") ------------------

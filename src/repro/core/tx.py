@@ -76,6 +76,9 @@ class TxRingManager:
         self.credits = CreditInterface(sim)
         self.mmio_writer = mmio_writer  # callable(addr, bytes) -> posts PCIe
         self.bar_base = bar_base
+        # Match-action hook (repro.prog): set by the program engine when
+        # an egress program is attached, None otherwise.
+        self.prog_hook: Optional[Callable] = None
         self._queues: Dict[int, _TxQueueState] = {}
         self._qpn_to_queue: Dict[int, int] = {}
         self.stats_wqe_reads = 0
@@ -145,13 +148,24 @@ class TxRingManager:
             and state.pi - state.ci < state.entries
         )
 
-    def submit(self, queue_id: int, data: bytes, meta: AxisMetadata) -> int:
+    def submit(self, queue_id: int, data: bytes,
+               meta: AxisMetadata) -> Optional[int]:
         """Enqueue one packet/message; returns its wqe index.
 
         The caller (FLD top) is responsible for holding a credit; this
         method asserts physical resources, which credits guarantee.
+        An attached egress program runs before any resource is taken:
+        a ``drop`` verdict refunds the caller's credit and returns
+        ``None`` — the packet never existed as far as buffers,
+        descriptors and the NIC are concerned.
         """
         state = self.queue(queue_id)
+        hook = self.prog_hook
+        if hook is not None:
+            data = hook(queue_id, data, meta)
+            if data is None:
+                self.credits.refund(queue_id, 1)
+                return None
         if state.pi - state.ci >= state.entries:
             raise TxQueueError(f"queue {queue_id} ring overflow")
         handles = self.buffers.alloc(len(data))

@@ -1,0 +1,282 @@
+"""Match-action programs in the FLD datapath (repro.prog, ISSUE 6).
+
+Four example programs run against declarative testbeds, exercising the
+whole stack: verifier + loader through the firmware command channel,
+rx-hook interpretation ahead of the accelerator, and (for the load
+balancer) redirect re-injection through the eswitch:
+
+* **firewall** — one echo tenant, four flows; a blocklist map drops two
+  of the four UDP destination ports before the accelerator sees them.
+* **lb** — an L4 load balancer function fronting two backend echo
+  functions on the same FLD: the program rewrites the destination MAC
+  and hairpins the packet out of the LB vPort; the FDB loops it back to
+  the chosen backend.  The LB function's own accelerator stays idle.
+* **nat** — static destination-port translation; every packet takes the
+  ``modify`` verdict and still echoes back to the client.
+* **ddos** — a token-bucket filter (one bucket per destination port):
+  each flow's first ``burst`` packets pass, the rest drop, and the
+  bucket state lives in firmware-owned cuckoo maps.
+
+Every scenario reports per-verdict counters (read back through
+``QueryObject``), per-program interpretation latency from the
+``prog.<name>`` spans, per-function accelerator counts, and the
+invariant-audit violation count — drops end their packet's trace, so a
+clean run audits complete even when most packets die in the program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..host import LoadGenerator
+from ..net import Flow
+from ..prog.programs import (
+    ddos_filter,
+    firewall,
+    load_balancer,
+    mac_to_int,
+    nat,
+    passthrough,
+)
+from ..sim import Simulator
+from ..telemetry import Telemetry
+from ..telemetry.audit import audit_all
+from ..topology import (
+    AccelFnSpec,
+    FldSpec,
+    HostQpSpec,
+    LinkSpec,
+    NodeSpec,
+    TopologySpec,
+    VportSpec,
+)
+from ..topology import build as build_topology
+from .scale_tenants import tenant_mac
+from .setups import CLIENT_IP, CLIENT_MAC, Calibration, SERVER_IP
+
+SCENARIOS = ("firewall", "lb", "nat", "ddos")
+
+#: Token bucket used by the ddos scenario: at 25 Gbps offered load the
+#: whole burst arrives in well under a refill interval, so each flow
+#: passes exactly ``burst`` packets and drops the rest.
+DDOS_RATE_PPS = 2_000
+DDOS_BURST = 20
+
+#: UDP destination ports the firewall scenario blocks (of 7001..7004).
+BLOCKED_PORTS = (7003, 7004)
+
+#: External -> internal destination-port translations for nat.
+NAT_TRANSLATIONS = {7001: 7101, 7002: 7102}
+
+
+def prog_spec(scenario: str) -> TopologySpec:
+    """The testbed for one scenario: echo functions behind one FLD.
+
+    All scenarios ingress at the first function's vPort (its MAC is the
+    flows' destination); ``lb`` adds two backend echo functions whose
+    vPorts the redirected packets loop back into.
+    """
+    if scenario == "lb":
+        # Every packet ingresses at the LB front end, so the 64-stride
+        # receive-SRAM budget is carved asymmetrically: half to the LB
+        # binding, a quarter to each backend (which only ever sees its
+        # share of the redirected traffic).
+        fns = (("lb", 32), ("b0", 16), ("b1", 16))
+    else:
+        fns = (("tenant0", 64),)
+    return TopologySpec(
+        name=f"prog-{scenario}",
+        nodes=[NodeSpec(name="client", core="loadgen"),
+               NodeSpec(name="server")],
+        links=[LinkSpec(a="client", b="server")],
+        vports=([VportSpec(node="client", vport=1, mac=CLIENT_MAC)]
+                + [VportSpec(node="server", vport=2 + i,
+                             mac=tenant_mac(i))
+                   for i in range(len(fns))]),
+        flds=[FldSpec(node="server")],
+        accel_fns=[AccelFnSpec(name=name, fld="server.fld", kind="echo",
+                               vport=2 + i, units=2,
+                               rx_strides=rx_strides)
+                   for i, (name, rx_strides) in enumerate(fns)],
+        host_qps=[HostQpSpec(name="client", node="client", vport=1,
+                             use_mmio_wqe=True, post_rx=1024)],
+    )
+
+
+def _scenario_flows(scenario: str) -> List[Flow]:
+    ports = {"firewall": 4, "lb": 4, "nat": 2, "ddos": 2}[scenario]
+    return [Flow(CLIENT_MAC, tenant_mac(0), CLIENT_IP, SERVER_IP,
+                 7000, 7001 + i)
+            for i in range(ports)]
+
+
+def _scenario_program(scenario: str):
+    """(program, map specs) — each map spec is (capacity, entries)."""
+    if scenario == "firewall":
+        return firewall(), [(64, {port: 1 for port in BLOCKED_PORTS})]
+    if scenario == "lb":
+        backends = {0: mac_to_int(tenant_mac(1)),
+                    1: mac_to_int(tenant_mac(2))}
+        return load_balancer(2, vport=2), [(64, backends)]
+    if scenario == "nat":
+        return nat(), [(64, dict(NAT_TRANSLATIONS))]
+    if scenario == "ddos":
+        return ddos_filter(DDOS_RATE_PPS, DDOS_BURST), [(256, {}),
+                                                        (256, {})]
+    raise ValueError(f"unknown scenario {scenario!r} "
+                     f"(one of {', '.join(SCENARIOS)})")
+
+
+def _prog_latency_us(spans, name: str) -> Dict:
+    """Mean/p99 of the ``prog.<name>`` span durations, in microseconds."""
+    stage = f"prog.{name}"
+    durations = sorted(
+        span.duration
+        for trace in spans.traces
+        for span in trace.spans
+        if span.stage == stage and span.end is not None)
+    if not durations:
+        return {"spans": 0, "mean_us": None, "p99_us": None}
+    p99 = durations[min(len(durations) - 1,
+                        int(round(0.99 * (len(durations) - 1))))]
+    return {"spans": len(durations),
+            "mean_us": sum(durations) / len(durations) * 1e6,
+            "p99_us": p99 * 1e6}
+
+
+def run_scenario(scenario: str, size: int = 256, count: int = 400,
+                 cal: Optional[Calibration] = None) -> Dict:
+    """One scenario end-to-end: build, load, attach, measure, tear down.
+
+    The program and its maps are created, populated, attached, detached
+    and destroyed strictly through the firmware command channel — the
+    same lifecycle a real driver would drive — and the run finishes
+    with a full invariant audit plus testbed teardown.
+    """
+    program, map_specs = _scenario_program(scenario)
+    cal = cal or Calibration()
+    telemetry = Telemetry(trace=False, spans=True, span_sample_rate=1)
+    sim = Simulator(telemetry=telemetry)
+    testbed = build_topology(sim, prog_spec(scenario), cal=cal)
+    runtime = testbed.fld("server.fld")
+    ctrl = runtime.ctrl
+
+    maps = []
+    for capacity, entries in map_specs:
+        prog_map = ctrl.create_prog_map(capacity=capacity)
+        for key, value in entries.items():
+            ctrl.map_set(prog_map, key, value)
+        maps.append(prog_map)
+    prog = ctrl.create_prog(program, maps)
+    ingress = testbed.accel("lb" if scenario == "lb" else "tenant0")
+    binding = runtime.rx_binding_of(ingress.rq)
+    ctrl.attach_prog(runtime.fld, prog, "rx", binding)
+
+    flows = _scenario_flows(scenario)
+    loadgen = LoadGenerator(sim, testbed.host_qp("client"), flows[0])
+    # The lb hairpin sends every packet through the shared FLD twice
+    # (LB binding, then backend binding), so its lossless offered load
+    # is half the single-pass scenarios'.
+    offered_gbps = 12.5e9 if scenario == "lb" else 25e9
+    rate_pps = offered_gbps / ((size + 24) * 8)
+
+    def run(sim):
+        yield from loadgen.run_open_loop_flows(
+            flows, [size] * count, rate_pps=rate_pps)
+        yield from loadgen.drain()
+
+    sim.spawn(run(sim))
+    sim.run(until=2.0)
+
+    info = ctrl.query(prog)
+    latency = _prog_latency_us(telemetry.spans, program.name)
+    per_fn = [{"fn": fn_spec.name, "vport": fn_spec.vport,
+               "accel_packets": testbed.accel(fn_spec.name)
+               .accel.stats_processed}
+              for fn_spec in testbed.spec.accel_fns]
+    map_stats = [prog_map.stats_dict() for prog_map in maps]
+
+    # Full firmware-path lifecycle: detach unpins the program, destroy
+    # order (program before maps) satisfies the dependency refcounts.
+    ctrl.detach_prog(runtime.fld, "rx", binding)
+    ctrl.destroy(prog)
+    for prog_map in maps:
+        ctrl.destroy(prog_map)
+
+    lat = loadgen.latency
+    violations = (testbed.quiesce()
+                  + audit_all(spans=telemetry.spans))
+    testbed.teardown()
+    return {
+        "scenario": scenario,
+        "program": program.name,
+        "size": size,
+        "count": count,
+        "sent": loadgen.stats_sent,
+        "received": loadgen.stats_received,
+        "gbps": loadgen.rx_meter.gbps(wire_overhead_per_packet=24),
+        "rtt_mean_us": lat.mean * 1e6 if len(lat) else None,
+        "rtt_p99_us": lat.pct(99.0) * 1e6 if len(lat) else None,
+        "verdicts": info["counters"],
+        "prog_latency": latency,
+        "per_fn": per_fn,
+        "maps": map_stats,
+        "violations": len(violations),
+    }
+
+
+def run_all(size: int = 256, count: int = 400,
+            cal: Optional[Calibration] = None) -> List[Dict]:
+    return [run_scenario(scenario, size=size, count=count, cal=cal)
+            for scenario in SCENARIOS]
+
+
+# -- NULL fast path ------------------------------------------------------
+
+def echo_fingerprint(size: int = 256, count: int = 200,
+                     touch_prog: bool = False,
+                     cal: Optional[Calibration] = None) -> Dict:
+    """A single-tenant echo run, fingerprinted for bit-identity checks.
+
+    With ``touch_prog=True`` the run creates, attaches, detaches and
+    destroys a passthrough program *before* any traffic.  Because the
+    engine restores the datapath hooks to ``None`` when the last
+    program detaches, the returned fingerprint — counts and exact float
+    timings — must equal the untouched run's bit for bit; the prog CI
+    job and ``tests/prog`` pin that.
+    """
+    cal = cal or Calibration()
+    sim = Simulator()
+    testbed = build_topology(sim, prog_spec("firewall"), cal=cal)
+    runtime = testbed.fld("server.fld")
+    if touch_prog:
+        fn = testbed.accel("tenant0")
+        binding = runtime.rx_binding_of(fn.rq)
+        prog = runtime.ctrl.create_prog(passthrough(), [])
+        runtime.ctrl.attach_prog(runtime.fld, prog, "rx", binding)
+        runtime.ctrl.detach_prog(runtime.fld, "rx", binding)
+        runtime.ctrl.destroy(prog)
+    flows = _scenario_flows("firewall")
+    loadgen = LoadGenerator(sim, testbed.host_qp("client"), flows[0])
+    rate_pps = 25e9 / ((size + 24) * 8)
+
+    def run(sim):
+        yield from loadgen.run_open_loop_flows(
+            flows, [size] * count, rate_pps=rate_pps)
+        yield from loadgen.drain()
+
+    sim.spawn(run(sim))
+    sim.run(until=2.0)
+    lat = loadgen.latency
+    fingerprint = {
+        "sent": loadgen.stats_sent,
+        "received": loadgen.stats_received,
+        "gbps": loadgen.rx_meter.gbps(wire_overhead_per_packet=24),
+        "mpps": loadgen.rx_meter.mpps(),
+        "rtt_mean": lat.mean if len(lat) else None,
+        "rtt_p99": lat.pct(99.0) if len(lat) else None,
+        "accel_packets": testbed.accel("tenant0").accel.stats_processed,
+        "violations": len(testbed.quiesce()),
+    }
+    testbed.teardown()
+    return fingerprint

@@ -80,14 +80,22 @@ class CmdStatus(enum.IntEnum):
     IN_USE = 5
     NO_RESOURCES = 6
     INTERNAL = 7
+    VERIFY_FAILED = 8
 
 
 class CmdError(RuntimeError):
-    """Raised by executors to return a specific non-OK status."""
+    """Raised by executors to return a specific non-OK status.
 
-    def __init__(self, status: CmdStatus, message: str = ""):
+    ``syndrome`` rides the response's syndrome field — the program
+    verifier uses it to report *which* rule a rejected program broke
+    (the ``E_*`` sub-codes of :mod:`repro.prog.verifier`).
+    """
+
+    def __init__(self, status: CmdStatus, message: str = "",
+                 syndrome: int = 0):
         super().__init__(message or status.name)
         self.status = status
+        self.syndrome = syndrome
 
 
 # ---------------------------------------------------------------------------
@@ -217,12 +225,85 @@ class InstallRule(Command):
     priority: int = 0
 
 
+@dataclass
+class CreateProgMap(Command):
+    """Allocate a cuckoo-backed program map (``repro.prog.maps``)."""
+
+    OPCODE = 0x50
+    capacity: int = 64
+
+
+@dataclass
+class CreateProg(Command):
+    """Verify and load a match-action program against ``maps``.
+
+    ``program`` is a :class:`repro.prog.isa.Program`; ``maps`` a list of
+    map objects previously created by :class:`CreateProgMap` (dangling
+    references fail with BAD_HANDLE, verifier rejections with
+    VERIFY_FAILED and the ``E_*`` sub-code in the syndrome).
+    """
+
+    OPCODE = 0x51
+    program: Any = None
+    maps: Any = None
+
+
+@dataclass
+class AttachProg(Command):
+    """Attach a loaded program to an FLD datapath hook.
+
+    ``direction`` is ``"rx"`` (target = receive binding id) or ``"tx"``
+    (target = transmit queue id).  One program per hook: attaching over
+    an existing attachment is BAD_STATE.
+    """
+
+    OPCODE = 0x52
+    prog: Any = None
+    fld: Any = None
+    direction: str = "rx"
+    target: int = 0
+
+
+@dataclass
+class DetachProg(Command):
+    OPCODE = 0x53
+    fld: Any = None
+    direction: str = "rx"
+    target: int = 0
+
+
+@dataclass
+class SetMapEntry(Command):
+    """Control-path map write (insert or replace); full = NO_RESOURCES."""
+
+    OPCODE = 0x54
+    map: Any = None
+    key: int = 0
+    value: int = 0
+
+
+@dataclass
+class DelMapEntry(Command):
+    OPCODE = 0x55
+    map: Any = None
+    key: int = 0
+
+
+@dataclass
+class QueryMapEntry(Command):
+    OPCODE = 0x56
+    map: Any = None
+    key: int = 0
+
+
 OPCODES: Dict[int, type] = {
     cls.OPCODE: cls
     for cls in (AllocPd, CreateCq, CreateSq, CreateRq, CreateMprq,
                 CreateRcQp, ModifyQp, QueryObject, DestroyObject,
                 CreateVport, SetVportDefault, ClearVportDefault,
-                RegisterResumeTable, InstallRule)
+                RegisterResumeTable, InstallRule, CreateProgMap,
+                CreateProg, AttachProg, DetachProg, SetMapEntry,
+                DelMapEntry, QueryMapEntry)
 }
 
 
@@ -367,7 +448,7 @@ class ObjectTable:
     """
 
     KINDS = ("pd", "cq", "sq", "rq", "mprq", "qp", "vport", "rule",
-             "resume")
+             "resume", "prog", "map")
     _KIND_CODE = {kind: code for code, kind in enumerate(KINDS, start=1)}
     _KIND_SHIFT = 20
 
@@ -472,6 +553,9 @@ class CommandUnit:
         # Side-band extended references per in-flight seq (models the
         # pointer-carrying mailbox pages of the real interface).
         self._staged_ext: Dict[int, List[Any]] = {}
+        # (id(fld), direction, target) -> prog handle, so detach can
+        # unpin the program the firmware attached there.
+        self._prog_attachments: Dict[Tuple[int, str, int], int] = {}
         self.stats_commands = 0
         self.stats_failures = 0
 
@@ -515,7 +599,7 @@ class CommandUnit:
                                f"unhandled command {type(cmd).__name__}")
             result = handler(self, cmd)
         except CmdError as exc:
-            result = CmdResult(exc.status)
+            result = CmdResult(exc.status, syndrome=exc.syndrome)
         except QpStateError:
             result = CmdResult(CmdStatus.BAD_STATE)
         except (QueueError, SteeringError, ValueError):
@@ -653,6 +737,94 @@ class CommandUnit:
                                    label=cmd.table_name)
         return CmdResult(CmdStatus.OK, handle, obj=rule)
 
+    # -- match-action programs (repro.prog) -----------------------------
+    # The prog modules are imported lazily: the command unit is the only
+    # module-level bridge between repro.nic and repro.prog, and deferring
+    # the import keeps the package import graph acyclic.
+
+    def _exec_create_prog_map(self, cmd: CreateProgMap) -> CmdResult:
+        from ..prog.maps import ProgMap
+        prog_map = ProgMap(cmd.capacity)        # ValueError -> BAD_PARAM
+        handle = self.table.insert("map", prog_map,
+                                   label=f"map/{cmd.capacity}")
+        return CmdResult(CmdStatus.OK, handle, obj=prog_map)
+
+    def _exec_create_prog(self, cmd: CreateProg) -> CmdResult:
+        from ..prog.engine import load_program
+        from ..prog.verifier import ProgVerifyError
+        maps = list(cmd.maps or ())
+        # Resolve map references first: a dangling map is a handle
+        # error, reported before (and regardless of) verification.
+        dep_handles = tuple(self.table.require(m, ("map",)) for m in maps)
+        try:
+            loaded = load_program(cmd.program, maps)
+        except ProgVerifyError as exc:
+            raise CmdError(CmdStatus.VERIFY_FAILED, str(exc),
+                           syndrome=exc.code)
+        handle = self.table.insert("prog", loaded, deps=dep_handles,
+                                   label=f"prog/{loaded.name}")
+        return CmdResult(CmdStatus.OK, handle, obj=loaded)
+
+    def _exec_attach_prog(self, cmd: AttachProg) -> CmdResult:
+        handle = self.table.require(cmd.prog, ("prog",))
+        if cmd.fld is None or not hasattr(cmd.fld, "prog_engine"):
+            raise CmdError(CmdStatus.BAD_PARAM, "attach needs an FLD")
+        if cmd.direction not in ("rx", "tx"):
+            raise CmdError(CmdStatus.BAD_PARAM,
+                           f"direction must be rx or tx, "
+                           f"got {cmd.direction!r}")
+        engine = cmd.fld.prog_engine()
+        if engine.attached(cmd.direction, cmd.target) is not None:
+            raise CmdError(
+                CmdStatus.BAD_STATE,
+                f"{cmd.direction} {cmd.target} already has a program")
+        engine.attach(cmd.direction, cmd.target, cmd.prog)
+        # The attachment pins the program (and transitively its maps).
+        self.table.get(handle).refcount += 1
+        key = (id(cmd.fld), cmd.direction, cmd.target)
+        self._prog_attachments[key] = handle
+        return CmdResult(CmdStatus.OK, handle, obj=cmd.prog)
+
+    def _exec_detach_prog(self, cmd: DetachProg) -> CmdResult:
+        key = (id(cmd.fld), cmd.direction, cmd.target)
+        handle = self._prog_attachments.get(key)
+        if handle is None:
+            raise CmdError(
+                CmdStatus.BAD_STATE,
+                f"no program attached to {cmd.direction} {cmd.target}")
+        cmd.fld.prog_engine().detach(cmd.direction, cmd.target)
+        del self._prog_attachments[key]
+        entry = self.table.get(handle)
+        if entry is not None:
+            entry.refcount -= 1
+        return CmdResult(CmdStatus.OK, handle)
+
+    def _require_map(self, obj) -> Tuple[int, Any]:
+        handle = self.table.require(obj, ("map",))
+        return handle, self.table.get(handle).obj
+
+    def _exec_set_map_entry(self, cmd: SetMapEntry) -> CmdResult:
+        from ..core.cuckoo import CuckooFullError
+        handle, prog_map = self._require_map(cmd.map)
+        try:
+            prog_map.set(cmd.key, cmd.value)
+        except CuckooFullError as exc:
+            raise CmdError(CmdStatus.NO_RESOURCES, str(exc))
+        return CmdResult(CmdStatus.OK, handle, obj=prog_map)
+
+    def _exec_del_map_entry(self, cmd: DelMapEntry) -> CmdResult:
+        handle, prog_map = self._require_map(cmd.map)
+        if not prog_map.delete(cmd.key):
+            raise CmdError(CmdStatus.BAD_PARAM,
+                           f"no entry for key {cmd.key:#x}")
+        return CmdResult(CmdStatus.OK, handle, obj=prog_map)
+
+    def _exec_query_map_entry(self, cmd: QueryMapEntry) -> CmdResult:
+        handle, prog_map = self._require_map(cmd.map)
+        value = prog_map.get(cmd.key)
+        info = {"present": value is not None, "value": value}
+        return CmdResult(CmdStatus.OK, handle, obj=prog_map, info=info)
+
     def _exec_query(self, cmd: QueryObject) -> CmdResult:
         entry = self.table.get(cmd.handle)
         if entry is None:
@@ -672,6 +844,11 @@ class CommandUnit:
                         destroyed=obj.destroyed)
         elif entry.kind == "cq":
             info.update(cqn=obj.cqn, pi=obj.pi)
+        elif entry.kind == "prog":
+            info.update(name=obj.name, insns=len(obj.insns),
+                        maps=len(obj.maps), counters=obj.counters())
+        elif entry.kind == "map":
+            info.update(capacity=obj.capacity, entries=len(obj))
         return CmdResult(CmdStatus.OK, entry.handle, obj=obj, info=info)
 
     def _exec_destroy(self, cmd: DestroyObject) -> CmdResult:
@@ -707,7 +884,9 @@ class CommandUnit:
             nic.steering.table(entry.label).remove_rule(obj)
         elif entry.kind == "resume":
             nic.unregister_resume_table(obj.resume_id)
-        # "pd" has no device-side state beyond its table entry.
+        # "pd", "prog" and "map" have no device-side state beyond their
+        # table entry: an attached prog is pinned (IN_USE above), and a
+        # detached one is just interpreter bytecode.
         return CmdResult(CmdStatus.OK, cmd.handle)
 
     _EXEC = {
@@ -723,6 +902,13 @@ class CommandUnit:
         ClearVportDefault: _exec_clear_vport_default,
         RegisterResumeTable: _exec_register_resume_table,
         InstallRule: _exec_install_rule,
+        CreateProgMap: _exec_create_prog_map,
+        CreateProg: _exec_create_prog,
+        AttachProg: _exec_attach_prog,
+        DetachProg: _exec_detach_prog,
+        SetMapEntry: _exec_set_map_entry,
+        DelMapEntry: _exec_del_map_entry,
+        QueryMapEntry: _exec_query_map_entry,
         QueryObject: _exec_query,
         DestroyObject: _exec_destroy,
     }

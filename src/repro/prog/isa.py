@@ -1,0 +1,206 @@
+"""The FLD match-action instruction set (hXDP-style, see PAPERS.md).
+
+A *program* is a tuple of frozen-dataclass instructions interpreted per
+packet by the FLD datapath hook (:mod:`repro.prog.engine`).  The set is
+deliberately tiny — the eBPF/XDP subset a NIC-resident match-action
+stage actually needs:
+
+* packet byte loads/stores (big-endian, immediate offsets),
+* a small scratch stack and 8 general registers (64-bit, wrapping),
+* ALU and move operations,
+* map lookup/update/delete against firmware-owned cuckoo-backed maps,
+* forward-only branches,
+* a terminal verdict: ``pass``, ``drop`` or ``redirect`` to a vPort.
+
+Every packet offset is an *immediate*, and the program declares
+``min_packet_len``: packets shorter than that take an automatic ``pass``
+(counted), so the verifier can prove every access in bounds statically
+and the interpreter never faults at runtime.  ``modify`` is a derived
+verdict — a ``pass`` of a packet the program wrote to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "ACT_DROP", "ACT_PASS", "ACT_REDIRECT", "ALU_OPS", "Alu", "CONDS",
+    "Instruction", "Jmp", "JmpIf", "LdMeta", "LdPkt", "LdStack",
+    "MAX_INSNS", "MapDelete", "MapLookup", "MapUpdate", "META_FIELDS",
+    "Mov", "NUM_REGS", "Program", "Ret", "STACK_BYTES", "StPkt",
+    "StStack", "WIDTHS",
+]
+
+#: Architectural limits the verifier enforces.
+NUM_REGS = 8
+STACK_BYTES = 64
+MAX_INSNS = 256
+WIDTHS = (1, 2, 4, 8)
+
+#: 64-bit unsigned wrap-around mask for every register value.
+M64 = 0xFFFFFFFFFFFFFFFF
+
+ACT_PASS = "pass"
+ACT_DROP = "drop"
+ACT_REDIRECT = "redirect"
+ACTIONS = (ACT_PASS, ACT_DROP, ACT_REDIRECT)
+
+ALU_OPS = ("add", "sub", "mul", "div", "mod", "and", "or", "xor",
+           "lsh", "rsh")
+CONDS = ("eq", "ne", "lt", "le", "gt", "ge")
+META_FIELDS = ("len", "now_ns", "queue")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for all program instructions."""
+
+
+@dataclass(frozen=True)
+class LdPkt(Instruction):
+    """``dst = packet[off : off+width]`` (big-endian)."""
+
+    dst: int
+    off: int
+    width: int = 1
+
+
+@dataclass(frozen=True)
+class StPkt(Instruction):
+    """``packet[off : off+width] = src`` (big-endian, truncating)."""
+
+    off: int
+    src: int
+    width: int = 1
+
+
+@dataclass(frozen=True)
+class LdStack(Instruction):
+    """``dst = stack[off : off+width]`` (big-endian)."""
+
+    dst: int
+    off: int
+    width: int = 8
+
+
+@dataclass(frozen=True)
+class StStack(Instruction):
+    """``stack[off : off+width] = src`` (big-endian, truncating)."""
+
+    off: int
+    src: int
+    width: int = 8
+
+
+@dataclass(frozen=True)
+class LdMeta(Instruction):
+    """Load packet metadata: ``len``, ``now_ns`` or ``queue``."""
+
+    dst: int
+    meta: str = "len"
+
+
+@dataclass(frozen=True)
+class Mov(Instruction):
+    """``dst = src`` or ``dst = imm`` (exactly one operand)."""
+
+    dst: int
+    src: Optional[int] = None
+    imm: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Alu(Instruction):
+    """``dst = dst <op> (src | imm)``; 64-bit unsigned wrapping.
+
+    ``div``/``mod`` by zero yield 0 (the eBPF convention); shifts mask
+    the count to 63.
+    """
+
+    op: str
+    dst: int
+    src: Optional[int] = None
+    imm: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Jmp(Instruction):
+    """Skip the next ``off`` instructions (forward only; 0 = no-op)."""
+
+    off: int
+
+
+@dataclass(frozen=True)
+class JmpIf(Instruction):
+    """Skip ``off`` instructions when ``a <cond> (b | imm)`` holds."""
+
+    cond: str
+    a: int
+    off: int
+    b: Optional[int] = None
+    imm: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class MapLookup(Instruction):
+    """``dst = maps[map][key-register]``.
+
+    On a miss: when ``miss`` is given, skip that many instructions
+    (a forward branch, like :class:`JmpIf`); otherwise ``dst = 0`` and
+    fall through.
+    """
+
+    dst: int
+    map: int
+    key: int
+    miss: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class MapUpdate(Instruction):
+    """``maps[map][key-register] = value-register`` (insert or replace).
+
+    A full map drops the update and bumps the program's
+    ``stats_map_full`` counter — the datapath never faults.
+    """
+
+    map: int
+    key: int
+    value: int
+
+
+@dataclass(frozen=True)
+class MapDelete(Instruction):
+    """Remove ``key-register`` from ``maps[map]`` (no-op when absent)."""
+
+    map: int
+    key: int
+
+
+@dataclass(frozen=True)
+class Ret(Instruction):
+    """Terminal verdict: ``pass``, ``drop`` or ``redirect`` (to vport)."""
+
+    action: str
+    vport: int = 0
+
+
+@dataclass(frozen=True)
+class Program:
+    """A named instruction sequence plus its packet-length contract.
+
+    Packets shorter than ``min_packet_len`` bypass the program with an
+    automatic ``pass`` (counted as ``short``); the verifier requires
+    every packet access to fit inside ``min_packet_len``, which is what
+    makes load-time verification sound.
+    """
+
+    name: str
+    insns: Tuple[Instruction, ...] = field(default_factory=tuple)
+    min_packet_len: int = 0
+
+    def __post_init__(self):
+        # Accept lists for convenience; store a tuple (hashable, frozen).
+        if not isinstance(self.insns, tuple):
+            object.__setattr__(self, "insns", tuple(self.insns))

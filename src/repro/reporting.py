@@ -357,6 +357,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="frames dealt round-robin across tenants "
                             "(default: 400)")
     _add_sweep_options(scale)
+
+    prog = sub.add_parser(
+        "prog",
+        help="run the match-action example programs (firewall, lb, "
+             "nat, ddos) in the FLD datapath; per-verdict counters + "
+             "program latency + invariant audit")
+    prog.add_argument("--scenario", nargs="+", default=["all"],
+                      metavar="NAME",
+                      help="scenario(s) to run: firewall, lb, nat, "
+                           "ddos or all (default: all)")
+    prog.add_argument("--size", type=int, default=256,
+                      help="frame size in bytes (default: 256)")
+    prog.add_argument("--count", type=int, default=400,
+                      help="frames offered per scenario (default: 400)")
     return parser
 
 
@@ -531,6 +545,46 @@ def _cmd_scale_tenants(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_prog(args: argparse.Namespace) -> int:
+    from .experiments import prog as prog_experiment
+    scenarios = list(args.scenario)
+    if scenarios == ["all"]:
+        scenarios = list(prog_experiment.SCENARIOS)
+    unknown = [s for s in scenarios if s not in prog_experiment.SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}; choose from "
+              f"{', '.join(prog_experiment.SCENARIOS)} or all")
+        return 2
+    rows = [prog_experiment.run_scenario(name, size=args.size,
+                                         count=args.count)
+            for name in scenarios]
+    print(format_table(
+        "Match-action programs in the FLD datapath",
+        [{"scenario": row["scenario"],
+          "sent": row["sent"], "received": row["received"],
+          "gbps": row["gbps"],
+          "rtt_p99_us": row["rtt_p99_us"],
+          "prog_p99_us": row["prog_latency"]["p99_us"],
+          "violations": row["violations"]}
+         for row in rows]))
+    for row in rows:
+        verdicts = dict(row["verdicts"])
+        verdicts["scenario"] = row["scenario"]
+        print(format_table(
+            f"Verdict counters ({row['scenario']}, "
+            f"{row['verdicts']['insns']} insns interpreted)",
+            [verdicts]))
+        print(format_table(
+            f"Per-function accelerator counts ({row['scenario']})",
+            row["per_fn"]))
+    dirty = sum(row["violations"] for row in rows)
+    if dirty:
+        print(f"\ninvariant audit: {dirty} violation(s)")
+        return 1
+    print("\ninvariant audit: clean")
+    return 0
+
+
 def _print_listing() -> None:
     from .telemetry.runner import latency_experiments, \
         object_experiments, traceable_experiments
@@ -547,6 +601,9 @@ def _print_listing() -> None:
         print(f"  {name:12s} {description}")
     print("multi-tenant scaling (python -m repro scale-tenants "
           "--tenants N): per-tenant throughput/latency on one FLD")
+    print("match-action programs (python -m repro prog [--scenario "
+          "firewall lb nat ddos]): verified datapath programs with "
+          "per-verdict counters")
 
 
 def _legacy_main(argv: List[str]) -> int:
@@ -580,8 +637,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # global flag takes the legacy flat path.
     leading = argv[0] if argv else ""
     if leading not in ("tables", "figures", "trace", "latency",
-                       "objects", "scale-tenants", "--list", "-h",
-                       "--help"):
+                       "objects", "scale-tenants", "prog", "--list",
+                       "-h", "--help"):
         return _legacy_main(argv)
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -602,5 +659,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_objects(args)
     if args.command == "scale-tenants":
         return _cmd_scale_tenants(args)
+    if args.command == "prog":
+        return _cmd_prog(args)
     parser.print_help()
     return 0

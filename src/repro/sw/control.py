@@ -19,19 +19,26 @@ from typing import Any, List, Optional, Tuple
 
 from ..nic import CmdResult, CmdStatus, CommandChannel
 from ..nic.cmd import (
+    AttachProg,
     ClearVportDefault,
     Command,
     CreateCq,
     CreateMprq,
+    CreateProg,
+    CreateProgMap,
     CreateRcQp,
     CreateRq,
     CreateSq,
     CreateVport,
+    DelMapEntry,
     DestroyObject,
+    DetachProg,
     InstallRule,
     ModifyQp,
+    QueryMapEntry,
     QueryObject,
     RegisterResumeTable,
+    SetMapEntry,
     SetVportDefault,
 )
 from ..nic.rdma import RcQp
@@ -125,6 +132,43 @@ class ControlPlane:
             InstallRule(table_name=table_name, match=match,
                         actions=actions, priority=priority),
             "install-rule").obj
+
+    # -- match-action programs (repro.prog) -----------------------------
+
+    def create_prog_map(self, capacity: int = 64):
+        """Allocate a program map; returns the live map object."""
+        return self._run(CreateProgMap(capacity=capacity),
+                         "create-prog-map").obj
+
+    def create_prog(self, program, maps=()):
+        """Verify + load a program against its maps; returns the loaded
+        program object.  Verifier rejections surface as
+        ``ControlPlaneError`` with status ``VERIFY_FAILED``."""
+        return self._run(CreateProg(program=program, maps=list(maps)),
+                         "create-prog").obj
+
+    def attach_prog(self, fld, prog, direction: str = "rx",
+                    target: int = 0) -> None:
+        self._run(AttachProg(prog=prog, fld=fld, direction=direction,
+                             target=target),
+                  f"attach-prog({direction}{target})")
+
+    def detach_prog(self, fld, direction: str = "rx",
+                    target: int = 0) -> None:
+        self._run(DetachProg(fld=fld, direction=direction, target=target),
+                  f"detach-prog({direction}{target})")
+
+    def map_set(self, prog_map, key: int, value: int) -> None:
+        self._run(SetMapEntry(map=prog_map, key=key, value=value),
+                  "set-map-entry")
+
+    def map_del(self, prog_map, key: int) -> None:
+        self._run(DelMapEntry(map=prog_map, key=key), "del-map-entry")
+
+    def map_get(self, prog_map, key: int) -> Optional[int]:
+        info = self._run(QueryMapEntry(map=prog_map, key=key),
+                         "query-map-entry").info
+        return info["value"]
 
     # -- QP lifecycle ----------------------------------------------------
 

@@ -133,14 +133,15 @@ class FldRuntime:
             entries, cq, vport=vport, meter=meter,
         )
         self._bind_tx(queue_id, sq, cq_index, entries, use_mmio,
-                      credits=credits)
+                      credits=credits, vport=vport)
         self._tx_queues[queue_id] = (sq, cq)
         return queue_id
 
     def _bind_tx(self, queue_id: int, sq: SendQueue, cq_index: int,
                  entries: int, use_mmio: bool,
                  opcode: Optional[int] = None,
-                 credits: Optional[int] = None) -> None:
+                 credits: Optional[int] = None,
+                 vport: Optional[int] = None) -> None:
         self.fld.bind_tx_queue(
             queue_id, sq.qpn, entries,
             doorbell_addr=self.nic_bar_base + sq.qpn * DOORBELL_STRIDE,
@@ -148,7 +149,7 @@ class FldRuntime:
                        + sq.qpn * WQE_MMIO_STRIDE),
             cq_index=cq_index, use_mmio=use_mmio,
             opcode=opcode if opcode is not None else OP_ETH_SEND,
-            credits=credits,
+            credits=credits, vport=vport,
         )
 
     def create_rx_queue(self, vport: int, ring_entries: int = 2,
@@ -219,7 +220,7 @@ class FldRuntime:
             entries, cq, rq, vport, local_mac, local_ip,
         )
         self._bind_tx(queue_id, qp.sq, cq_index, entries, use_mmio,
-                      opcode=OP_RDMA_SEND)
+                      opcode=OP_RDMA_SEND, vport=vport)
         self._tx_queues[queue_id] = (qp, cq)
         self._qp_by_cq[cq_index] = qp
         return qp, queue_id
@@ -231,6 +232,14 @@ class FldRuntime:
     def qp_for_cq(self, cq_index: int) -> Optional[RcQp]:
         """The RC QP completing onto FLD cq ``cq_index`` (recovery)."""
         return self._qp_by_cq.get(cq_index)
+
+    def rx_binding_of(self, rq: MultiPacketReceiveQueue) -> int:
+        """The FLD rx binding id backing an MPRQ (program attach target)."""
+        try:
+            return self._rx_queues[rq.rqn]["binding_id"]
+        except KeyError:
+            raise FldRuntimeError(
+                f"rq {rq.rqn} was not created by this runtime") from None
 
     def destroy_tx_queue(self, queue_id: int) -> None:
         """Unbind an FLD tx queue and destroy its SQ (or QP) and CQ."""

@@ -7,6 +7,14 @@ implementation detail; every other module must go through
 that each resource has a handle, a lifecycle state and a refcounted
 table entry.  This AST scan keeps the discipline honest — a direct
 call anywhere outside the allowlist fails CI.
+
+The match-action program subsystem (``repro.prog``) extends the rule:
+``ProgMap`` and ``load_program`` are firmware-only constructors too —
+a program that did not pass through ``CreateProg`` never met the
+verifier, and a map created outside ``CreateProgMap`` has no handle and
+no refcount pinning it to the programs that use it.  Those names are
+plain functions/classes (called by name, not as attributes), so the
+scanner matches both ``ast.Attribute`` and ``ast.Name`` call forms.
 """
 
 import ast
@@ -23,25 +31,38 @@ BANNED = {
     "create_rc_qp",
     "set_vport_default_queue",
     "register_resume_table",
+    "ProgMap",
+    "load_program",
 }
 
-#: The firmware itself: the command executors and the device they run on.
-ALLOWED = {"nic/cmd.py", "nic/device.py"}
+#: The firmware itself (command executors + the device they run on) and
+#: the modules that *define* the banned program/map constructors.
+ALLOWED = {
+    "nic/cmd.py",
+    "nic/device.py",
+    "prog/maps.py",      # defines ProgMap
+    "prog/engine.py",    # defines load_program
+    "prog/__init__.py",  # re-exports only
+}
 
 
 def direct_calls(path: Path):
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
     for node in ast.walk(tree):
-        if (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in BANNED):
-            yield node.func.attr, node.lineno
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in BANNED:
+            yield func.attr, node.lineno
+        elif isinstance(func, ast.Name) and func.id in BANNED:
+            yield func.id, node.lineno
 
 
 class TestCommandChannelGuard:
     def test_source_tree_exists(self):
         assert SRC.is_dir(), f"source tree not found at {SRC}"
         assert (SRC / "nic" / "cmd.py").is_file()
+        assert (SRC / "prog" / "engine.py").is_file()
 
     def test_no_direct_constructor_calls_outside_firmware(self):
         offenders = []
@@ -64,3 +85,14 @@ class TestCommandChannelGuard:
                 and isinstance(node.func, ast.Attribute)
                 and node.func.attr in BANNED]
         assert len(hits) == 1
+
+    def test_guard_catches_name_form_calls(self):
+        """Bare-name constructors (ProgMap(...)) are matched too."""
+        snippet = Path(__file__).parent / "_guard_probe.py"
+        snippet.write_text("m = ProgMap(64)\np = load_program(prog, [m])\n",
+                           encoding="utf-8")
+        try:
+            hits = sorted(name for name, _ in direct_calls(snippet))
+        finally:
+            snippet.unlink()
+        assert hits == ["ProgMap", "load_program"]

@@ -1,0 +1,265 @@
+"""Interpreter semantics: registers, ALU, packet/stack memory, maps.
+
+These run the engine's ``_execute`` directly on a stub FLD (the method
+only reads program state), with programs loaded through
+``load_program`` so everything tested here passed the verifier first —
+the same contract the datapath relies on.
+"""
+
+from types import SimpleNamespace
+
+from repro.prog.engine import ProgEngine, load_program
+from repro.prog.isa import (
+    ACT_DROP,
+    ACT_PASS,
+    ACT_REDIRECT,
+    Alu,
+    Jmp,
+    JmpIf,
+    LdMeta,
+    LdPkt,
+    LdStack,
+    M64,
+    MapDelete,
+    MapLookup,
+    MapUpdate,
+    Mov,
+    Program,
+    Ret,
+    StPkt,
+    StStack,
+)
+from repro.prog.maps import ProgMap
+from repro.telemetry.spans import NULL_SPANS
+
+
+def make_engine() -> ProgEngine:
+    fld = SimpleNamespace(
+        sim=SimpleNamespace(telemetry=SimpleNamespace(spans=NULL_SPANS)))
+    return ProgEngine(fld)
+
+
+def run(insns, data=bytes(range(64)), maps=(), min_len=0, now=0.0,
+        queue=0):
+    loaded = load_program(Program("t", tuple(insns),
+                                  min_packet_len=min_len), maps)
+    result = make_engine()._execute(loaded, data, now, queue)
+    return result, loaded
+
+
+class TestAlu:
+    def ret_r0(self, *insns):
+        """Run insns, store R0 to the stack, read it back out."""
+        result, _ = run(list(insns)
+                        + [StStack(0, 0, 8), Ret(ACT_PASS)])
+        assert result[0] == ACT_PASS
+        return result
+
+    def r0_after(self, *insns):
+        prog = list(insns) + [StPkt(0, 0, 8), Ret(ACT_PASS)]
+        (action, _vport, out, _n, modified), _ = run(
+            prog, data=bytes(16), min_len=16)
+        assert action == ACT_PASS and modified
+        return int.from_bytes(out[0:8], "big")
+
+    def test_add_sub_mul(self):
+        assert self.r0_after(Mov(0, imm=7), Alu("add", 0, imm=5)) == 12
+        assert self.r0_after(Mov(0, imm=7), Alu("sub", 0, imm=5)) == 2
+        assert self.r0_after(Mov(0, imm=7), Alu("mul", 0, imm=5)) == 35
+
+    def test_div_mod_and_zero_guards(self):
+        assert self.r0_after(Mov(0, imm=37), Alu("div", 0, imm=5)) == 7
+        assert self.r0_after(Mov(0, imm=37), Alu("mod", 0, imm=5)) == 2
+        assert self.r0_after(Mov(0, imm=37), Alu("div", 0, imm=0)) == 0
+        assert self.r0_after(Mov(0, imm=37), Alu("mod", 0, imm=0)) == 0
+
+    def test_bitwise_and_shifts(self):
+        assert self.r0_after(Mov(0, imm=0b1100),
+                             Alu("and", 0, imm=0b1010)) == 0b1000
+        assert self.r0_after(Mov(0, imm=0b1100),
+                             Alu("or", 0, imm=0b1010)) == 0b1110
+        assert self.r0_after(Mov(0, imm=0b1100),
+                             Alu("xor", 0, imm=0b1010)) == 0b0110
+        assert self.r0_after(Mov(0, imm=1), Alu("lsh", 0, imm=4)) == 16
+        assert self.r0_after(Mov(0, imm=16), Alu("rsh", 0, imm=4)) == 1
+        # Shift amounts are masked to 6 bits (64-bit machine).
+        assert self.r0_after(Mov(0, imm=1), Alu("lsh", 0, imm=64)) == 1
+
+    def test_results_wrap_to_64_bits(self):
+        assert self.r0_after(Mov(0, imm=M64),
+                             Alu("add", 0, imm=1)) == 0
+        assert self.r0_after(Mov(0, imm=0),
+                             Alu("sub", 0, imm=1)) == M64
+
+    def test_register_to_register_operands(self):
+        assert self.r0_after(Mov(0, imm=6), Mov(1, imm=7),
+                             Alu("mul", 0, src=1)) == 42
+
+
+class TestMemory:
+    def test_ldpkt_widths_are_big_endian(self):
+        data = bytes(range(16))
+        for width, expect in ((1, 0x02), (2, 0x0203),
+                              (4, 0x02030405),
+                              (8, 0x0203040506070809)):
+            (action, _v, out, _n, modified), _ = run(
+                [LdPkt(0, 2, width), StStack(0, 0, 8),
+                 JmpIf("eq", 0, off=1, imm=expect),
+                 Ret(ACT_DROP), Ret(ACT_PASS)],
+                data=data, min_len=16)
+            assert action == ACT_PASS, f"width {width}"
+
+    def test_stpkt_copy_on_write(self):
+        data = bytes(16)
+        (action, _v, out, _n, modified), _ = run(
+            [Mov(0, imm=0xBEEF), StPkt(4, 0, 2), Ret(ACT_PASS)],
+            data=data, min_len=16)
+        assert action == ACT_PASS and modified
+        assert out[4:6] == b"\xbe\xef"
+        assert data == bytes(16)            # original untouched
+        assert out[:4] == data[:4] and out[6:] == data[6:]
+
+    def test_pass_without_store_is_not_modified(self):
+        (action, _v, out, _n, modified), _ = run(
+            [LdPkt(0, 0, 8), Ret(ACT_PASS)],
+            data=bytes(range(16)), min_len=16)
+        assert action == ACT_PASS and not modified
+        assert out == bytes(range(16))
+
+    def test_store_masks_to_width(self):
+        (action, _v, out, _n, _m), _ = run(
+            [Mov(0, imm=0x1_22_33), StPkt(0, 0, 2), Ret(ACT_PASS)],
+            data=bytes(8), min_len=8)
+        assert out[0:2] == b"\x22\x33"      # high bits truncated
+
+    def test_stack_round_trip(self):
+        (action, _v, _o, _n, _m), _ = run(
+            [Mov(0, imm=0xCAFE), StStack(8, 0, 8),
+             LdStack(1, 8, 8),
+             JmpIf("eq", 1, off=1, imm=0xCAFE),
+             Ret(ACT_DROP), Ret(ACT_PASS)])
+        assert action == ACT_PASS
+
+    def test_stack_starts_zeroed(self):
+        (action, _v, _o, _n, _m), _ = run(
+            [LdStack(0, 0, 8),
+             JmpIf("eq", 0, off=1, imm=0),
+             Ret(ACT_DROP), Ret(ACT_PASS)])
+        assert action == ACT_PASS
+
+
+class TestMetaAndBranches:
+    def test_ldmeta_fields(self):
+        data = bytes(33)
+        (action, _v, _o, _n, _m), _ = run(
+            [LdMeta(0, "len"),
+             JmpIf("ne", 0, off=4, imm=33),
+             LdMeta(1, "queue"),
+             JmpIf("ne", 1, off=2, imm=5),
+             LdMeta(2, "now_ns"),
+             Ret(ACT_PASS), Ret(ACT_DROP)],
+            data=data, now=1.5e-6, queue=5)
+        assert action == ACT_PASS
+
+    def test_now_ns_is_integer_nanoseconds(self):
+        (action, _v, _o, _n, _m), _ = run(
+            [LdMeta(0, "now_ns"),
+             JmpIf("eq", 0, off=1, imm=2500),
+             Ret(ACT_DROP), Ret(ACT_PASS)],
+            now=2.5e-6)
+        assert action == ACT_PASS
+
+    def test_jmp_skips(self):
+        (action, _v, _o, executed, _m), _ = run(
+            [Jmp(1), Ret(ACT_DROP), Ret(ACT_PASS)])
+        assert action == ACT_PASS
+        assert executed == 2                # Jmp + the taken Ret
+
+    def test_every_condition(self):
+        cases = [("eq", 5, 5, True), ("eq", 5, 6, False),
+                 ("ne", 5, 6, True), ("ne", 5, 5, False),
+                 ("lt", 4, 5, True), ("lt", 5, 5, False),
+                 ("le", 5, 5, True), ("le", 6, 5, False),
+                 ("gt", 6, 5, True), ("gt", 5, 5, False),
+                 ("ge", 5, 5, True), ("ge", 4, 5, False)]
+        for cond, a, b, taken in cases:
+            (action, _v, _o, _n, _m), _ = run(
+                [Mov(0, imm=a), JmpIf(cond, 0, off=1, imm=b),
+                 Ret(ACT_DROP), Ret(ACT_PASS)])
+            expect = ACT_PASS if taken else ACT_DROP
+            assert action == expect, f"{cond}({a},{b})"
+
+
+class TestMaps:
+    def test_lookup_hit_and_update(self):
+        m = ProgMap(16)
+        m.set(7, 70)
+        (action, _v, _o, _n, _m), loaded = run(
+            [Mov(1, imm=7), MapLookup(0, 0, key=1),
+             Alu("add", 0, imm=1),
+             MapUpdate(0, key=1, value=0),
+             Ret(ACT_PASS)], maps=(m,))
+        assert action == ACT_PASS
+        assert m.get(7) == 71
+
+    def test_lookup_miss_branch(self):
+        m = ProgMap(16)
+        (action, _v, _o, _n, _m), _ = run(
+            [Mov(1, imm=9), MapLookup(0, 0, key=1, miss=1),
+             Ret(ACT_DROP), Ret(ACT_PASS)], maps=(m,))
+        assert action == ACT_PASS           # miss skipped the drop
+
+    def test_lookup_miss_without_branch_loads_zero(self):
+        m = ProgMap(16)
+        (action, _v, _o, _n, _m), _ = run(
+            [Mov(0, imm=99), Mov(1, imm=9),
+             MapLookup(0, 0, key=1),
+             JmpIf("eq", 0, off=1, imm=0),
+             Ret(ACT_DROP), Ret(ACT_PASS)], maps=(m,))
+        assert action == ACT_PASS
+
+    def test_map_delete(self):
+        m = ProgMap(16)
+        m.set(3, 30)
+        (action, _v, _o, _n, _m), _ = run(
+            [Mov(1, imm=3), MapDelete(0, key=1), Ret(ACT_PASS)],
+            maps=(m,))
+        assert action == ACT_PASS
+        assert m.get(3) is None
+
+    def test_datapath_update_on_full_map_counts_and_continues(self):
+        m = ProgMap(2)
+        m.set(1, 1)
+        m.set(2, 2)
+        (action, _v, _o, _n, _m), loaded = run(
+            [Mov(1, imm=50), Mov(2, imm=5),
+             MapUpdate(0, key=1, value=2), Ret(ACT_PASS)], maps=(m,))
+        assert action == ACT_PASS           # datapath never faults
+        assert loaded.stats_map_full == 1
+        assert m.get(50) is None
+
+
+class TestVerdictsAndCounters:
+    def test_redirect_carries_vport(self):
+        (action, vport, _o, _n, _m), _ = run([Ret(ACT_REDIRECT,
+                                                  vport=9)])
+        assert action == ACT_REDIRECT and vport == 9
+
+    def test_drop(self):
+        (action, _v, _o, _n, _m), _ = run([Ret(ACT_DROP)])
+        assert action == ACT_DROP
+
+    def test_short_packet_bypasses(self):
+        (action, _v, out, executed, modified), loaded = run(
+            [LdPkt(0, 0, 8), Ret(ACT_DROP)], data=b"tiny", min_len=42)
+        assert action == ACT_PASS and executed == 0 and not modified
+        assert out == b"tiny"
+        assert loaded.stats_short == 1
+        assert loaded.stats_runs == 0
+
+    def test_insn_accounting(self):
+        (_a, _v, _o, executed, _m), loaded = run(
+            [Mov(0, imm=1), Mov(1, imm=2), Ret(ACT_PASS)])
+        assert executed == 3
+        assert loaded.stats_insns == 3
+        assert loaded.stats_runs == 1
