@@ -3,15 +3,21 @@
 
 Runs the echo-throughput grid — every (mode, size) point of Fig. 7b —
 directly, times it with ``time.perf_counter``, and writes a JSON
-summary (``BENCH_fig7b_echo.json`` by default) with simulated packet
-throughput, wall-clock seconds and the simulated-time/wall-clock ratio.
-CI uploads the file as an artifact so simulator performance regressions
-show up in the history.
+summary with simulated packet throughput, wall-clock seconds and the
+simulated-time/wall-clock ratio.
+
+The default output path is ``BENCH_fig7b_echo.json`` **at the repo
+root** (anchored to this script's location, not the current working
+directory), because that file is a committed, per-PR tracked artifact:
+``benchmarks/check_bench_regression.py`` compares fresh runs against
+it in CI and fails on large throughput regressions.  Pass ``-o`` to
+write elsewhere; a relative ``-o`` path is resolved against the CWD as
+given.
 
 Usage::
 
     python benchmarks/bench_fig7b.py [--count N] [--sizes 64 256 ...]
-        [--modes flde-remote ...] [-o BENCH_fig7b_echo.json]
+        [--modes flde-remote ...] [-o /path/to/out.json]
 """
 
 import argparse
@@ -20,8 +26,11 @@ import os
 import sys
 import time
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+REPO_ROOT = os.path.normpath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
+from repro import batching  # noqa: E402
 from repro.experiments.echo import echo_throughput  # noqa: E402
 
 #: Each echo run simulates up to this horizon (experiments/echo.py).
@@ -29,6 +38,7 @@ SIM_HORIZON_SECONDS = 2.0
 
 DEFAULT_SIZES = [64, 128, 256, 512, 1024, 1500]
 DEFAULT_MODES = ["flde-remote", "cpu-remote", "flde-local"]
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_fig7b_echo.json")
 
 
 def run_grid(modes, sizes, count):
@@ -50,9 +60,10 @@ def main(argv=None):
                         default=DEFAULT_SIZES, metavar="BYTES")
     parser.add_argument("--modes", nargs="+", default=DEFAULT_MODES,
                         metavar="MODE")
-    parser.add_argument("-o", "--output", default="BENCH_fig7b_echo.json",
-                        help="JSON output path "
-                             "(default: BENCH_fig7b_echo.json)")
+    parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT,
+                        help="JSON output path (default: the tracked "
+                             "BENCH_fig7b_echo.json at the repo root, "
+                             "independent of the CWD)")
     args = parser.parse_args(argv)
 
     rows = run_grid(args.modes, args.sizes, args.count)
@@ -61,7 +72,8 @@ def main(argv=None):
     sim_seconds = SIM_HORIZON_SECONDS * len(rows)
     report = {
         "bench": "fig7b_echo",
-        "schema": 1,
+        "schema": 2,
+        "batch_enabled": batching.batch_enabled(),
         "count": args.count,
         "rows": rows,
         "points": len(rows),

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Guard the tracked fig7b throughput trajectory.
+
+``BENCH_fig7b_echo.json`` at the repo root is a committed per-PR
+artifact: each PR that touches the datapath re-runs
+``benchmarks/bench_fig7b.py`` and commits the refreshed numbers, so the
+file's git history *is* the simulator's performance trajectory.
+
+This script compares a freshly measured report against the committed
+baseline and exits non-zero when aggregate ``pkts_per_second`` drops by
+more than ``--threshold`` (default 25%).  To keep the comparison
+meaningful the fresh run reuses the baseline's grid (modes, sizes,
+count) unless a pre-made fresh report is supplied.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py             # run + compare
+    python benchmarks/check_bench_regression.py --fresh run.json
+    python benchmarks/check_bench_regression.py --threshold 0.4
+
+Exit status: 0 OK, 1 regression, 2 bad inputs.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_fig7b import DEFAULT_OUTPUT, main as bench_main  # noqa: E402
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read bench report {path}: {exc}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    if report.get("bench") != "fig7b_echo" or "pkts_per_second" not in report:
+        print(f"error: {path} is not a fig7b_echo bench report",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return report
+
+
+def grid_of(report):
+    modes, sizes = [], []
+    for row in report.get("rows", []):
+        if row.get("mode") not in modes:
+            modes.append(row.get("mode"))
+        if row.get("size") not in sizes:
+            sizes.append(row.get("size"))
+    return modes, sizes
+
+
+def measure_fresh(baseline):
+    """Re-run the bench on the baseline's grid; returns the report."""
+    modes, sizes = grid_of(baseline)
+    argv = ["--count", str(baseline.get("count", 900))]
+    if modes and all(m for m in modes):
+        argv += ["--modes"] + modes
+    if sizes and all(s for s in sizes):
+        argv += ["--sizes"] + [str(s) for s in sizes]
+    with tempfile.NamedTemporaryFile(mode="r", suffix=".json",
+                                     delete=False) as handle:
+        out = handle.name
+    try:
+        bench_main(argv + ["-o", out])
+        return load_report(out)
+    finally:
+        os.unlink(out)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_OUTPUT,
+                        help="committed artifact to compare against "
+                             "(default: BENCH_fig7b_echo.json at the "
+                             "repo root)")
+    parser.add_argument("--fresh", default=None,
+                        help="pre-measured report; omitted = re-run the "
+                             "bench on the baseline's grid")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max tolerated fractional pkts/sec drop "
+                             "(default: 0.25)")
+    args = parser.parse_args(argv)
+
+    baseline = load_report(args.baseline)
+    fresh = (load_report(args.fresh) if args.fresh
+             else measure_fresh(baseline))
+
+    base_pps = baseline["pkts_per_second"]
+    fresh_pps = fresh["pkts_per_second"]
+    if not base_pps or not fresh_pps:
+        print("error: report missing pkts_per_second", file=sys.stderr)
+        return 2
+    change = fresh_pps / base_pps - 1.0
+    floor = base_pps * (1.0 - args.threshold)
+    verdict = "OK" if fresh_pps >= floor else "REGRESSION"
+    print(f"fig7b pkts/sec: baseline {base_pps:.0f}, fresh "
+          f"{fresh_pps:.0f} ({change:+.1%}); floor {floor:.0f} "
+          f"[-{args.threshold:.0%}] -> {verdict}")
+    if verdict != "OK":
+        print("fresh throughput fell below the regression floor; if the "
+              "slowdown is intended, re-run benchmarks/bench_fig7b.py "
+              "and commit the refreshed BENCH_fig7b_echo.json",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,14 @@ translation tables implemented as cuckoo hash tables:
 
 from __future__ import annotations
 
-from typing import Any, Hashable, List, Optional, Tuple
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
+
+from .. import batching
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
 
 NUM_BANKS = 4
 STASH_SIZE = 4
@@ -24,6 +31,57 @@ MAX_KICKS = 64  # safety bound on eviction chains per insertion
 # Odd multipliers for the per-bank multiply-shift hash family.
 _BANK_SALTS = (0x9E3779B97F4A7C15, 0xC2B2AE3D27D4EB4F,
                0x165667B19E3779F9, 0x27D4EB2F165667C5)
+
+_SLOT_MULT = 0x2545F4914F6CDD1D
+
+# CPython's hash() is emulated in uint64 for the vectorized lookup path:
+# ints below the hash modulus hash to themselves, and tuples mix their
+# element hashes with the xxHash-style scheme below (pyhash constants).
+# Only the low 64 bits matter — the slot mix masks to 64 bits anyway.
+_HASH_MODULUS = (1 << 61) - 1
+_XXPRIME_1 = 11400714785074694791
+_XXPRIME_2 = 14029467366897019727
+_XXPRIME_5 = 2870177450012600261
+_TUPLE2_LEN_MANGLE = (2 ^ (_XXPRIME_5 ^ 3527539)) & 0xFFFFFFFFFFFFFFFF
+
+
+def _vector_hashes(keys: Sequence[Hashable]):
+    """uint64 array equal (mod 2**64) to ``hash(k)`` per key, or None.
+
+    Covers the two key shapes the datapath uses: plain non-negative
+    ints below the hash modulus, and 2-tuples of such ints (the
+    translation tables key by ``(queue, index)``).  Anything else
+    falls back to the scalar path.
+    """
+    first = keys[0]
+    if type(first) is int:
+        for k in keys:
+            if type(k) is not int or not 0 <= k < _HASH_MODULUS:
+                return None
+        return _np.array(keys, dtype=_np.uint64)
+    if type(first) is tuple and len(first) == 2:
+        left = []
+        right = []
+        for k in keys:
+            if type(k) is not tuple or len(k) != 2:
+                return None
+            a, b = k
+            if (type(a) is not int or not 0 <= a < _HASH_MODULUS
+                    or type(b) is not int or not 0 <= b < _HASH_MODULUS):
+                return None
+            left.append(a)
+            right.append(b)
+        acc = _np.full(len(keys), _XXPRIME_5, dtype=_np.uint64)
+        for lane in (_np.array(left, dtype=_np.uint64),
+                     _np.array(right, dtype=_np.uint64)):
+            acc += lane * _np.uint64(_XXPRIME_2)
+            acc = (acc << _np.uint64(31)) | (acc >> _np.uint64(33))
+            acc *= _np.uint64(_XXPRIME_1)
+        acc += _np.uint64(_TUPLE2_LEN_MANGLE)
+        # CPython maps the reserved -1 to 1546275796.
+        acc[acc == _np.uint64(0xFFFFFFFFFFFFFFFF)] = _np.uint64(1546275796)
+        return acc
+    return None
 
 
 class CuckooFullError(RuntimeError):
@@ -87,6 +145,74 @@ class CuckooHashTable:
             if k == key:
                 return v
         return None
+
+    def lookup_many(self, keys: Sequence[Hashable]) -> List[Optional[Any]]:
+        """Batch lookup: exactly ``[self.lookup(k) for k in keys]``.
+
+        With numpy and the batched datapath enabled, the per-bank slot
+        computation for the whole batch happens in four uint64 array
+        expressions (one per bank) instead of 4*N Python hash mixes.
+        The results — including every table counter — match the scalar
+        loop.
+        """
+        n = len(keys)
+        if n == 0:
+            return []
+        self.stats_lookups += n
+        hashes = None
+        if n >= 2 and _np is not None and batching.BATCH_ENABLED:
+            hashes = _vector_hashes(keys)
+        banks = self._banks
+        stash = self._stash
+        results: List[Optional[Any]] = []
+        if hashes is None:
+            slot = self._slot
+            for key in keys:
+                for bank in range(NUM_BANKS):
+                    entry = banks[bank][slot(bank, key)]
+                    if entry is not None and entry[0] == key:
+                        results.append(entry[1])
+                        break
+                else:
+                    for k, v in stash:
+                        if k == key:
+                            results.append(v)
+                            break
+                    else:
+                        results.append(None)
+            return results
+        size = _np.uint64(self.bank_size)
+        mult = _np.uint64(_SLOT_MULT)
+        slot_cols = [
+            (((hashes ^ _np.uint64(salt)) * mult) % size).tolist()
+            for salt in _BANK_SALTS
+        ]
+        c0, c1, c2, c3 = slot_cols
+        b0, b1, b2, b3 = banks
+        for i, key in enumerate(keys):
+            entry = b0[c0[i]]
+            if entry is not None and entry[0] == key:
+                results.append(entry[1])
+                continue
+            entry = b1[c1[i]]
+            if entry is not None and entry[0] == key:
+                results.append(entry[1])
+                continue
+            entry = b2[c2[i]]
+            if entry is not None and entry[0] == key:
+                results.append(entry[1])
+                continue
+            entry = b3[c3[i]]
+            if entry is not None and entry[0] == key:
+                results.append(entry[1])
+                continue
+            for k, v in stash:
+                if k == key:
+                    results.append(v)
+                    break
+            else:
+                results.append(None)
+        return results
 
     def insert(self, key: Hashable, value: Any) -> None:
         """Insert; raises :class:`CuckooFullError` on a stash stall.

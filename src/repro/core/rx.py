@@ -173,7 +173,24 @@ class RxRingManager:
     def on_recv_completion(self, binding_id: int, cqe: CompressedCqe,
                            trace_ctx=None) -> None:
         """Decode a receive CQE: stream the packet out, recycle buffers."""
+        self._deliver(binding_id, self.binding(binding_id), cqe, trace_ctx)
+
+    def on_recv_completions(self, binding_id: int, cqes, trace_ctxs=None):
+        """Burst variant of :meth:`on_recv_completion`.
+
+        Exactly equivalent to the serial calls, with the binding lookup
+        hoisted out of the per-CQE loop.
+        """
         binding = self.binding(binding_id)
+        if trace_ctxs is None:
+            for cqe in cqes:
+                self._deliver(binding_id, binding, cqe, None)
+        else:
+            for cqe, ctx in zip(cqes, trace_ctxs):
+                self._deliver(binding_id, binding, cqe, ctx)
+
+    def _deliver(self, binding_id: int, binding: _RxBinding,
+                 cqe: CompressedCqe, trace_ctx) -> None:
         self.stats_cqes += 1
         desc_index = self._full_desc_index(binding, cqe.wqe_counter)
         slot = desc_index % binding.ring_entries

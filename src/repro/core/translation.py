@@ -74,6 +74,21 @@ class DescriptorPool:
             )
         return self._slots[slot]
 
+    def lookup_many(self, queue: int,
+                    wqe_indices) -> List[CompressedTxDescriptor]:
+        """Batched :meth:`lookup` — one vectorized cuckoo probe for a
+        whole ring read."""
+        slots = self._xlt.lookup_many(
+            [(queue, index) for index in wqe_indices])
+        out = []
+        for index, slot in zip(wqe_indices, slots):
+            if slot is None:
+                raise TranslationError(
+                    f"no descriptor mapped for queue {queue} index {index}"
+                )
+            out.append(self._slots[slot])
+        return out
+
     def remove(self, queue: int, wqe_index: int) -> CompressedTxDescriptor:
         slot = self._xlt.remove((queue, wqe_index))
         descriptor = self._slots[slot]

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..nic.wqe import OP_ETH_SEND, WQE_SIZE
+from .. import batching
+from ..nic.wqe import OP_ETH_SEND, TxWqe, WQE_SIZE
 from ..sim import Simulator
 from .axis import AxisMetadata, CreditInterface
 from .bar import TX_DATA_SPAN, tx_data_address, tx_ring_address
@@ -236,9 +237,29 @@ class TxRingManager:
         state = self.queue(queue_id)
         if offset % WQE_SIZE or length % WQE_SIZE:
             raise TxQueueError("unaligned WQE ring read")
-        out = bytearray()
+        count = length // WQE_SIZE
         first_slot = offset // WQE_SIZE
-        for i in range(length // WQE_SIZE):
+        if count >= 2 and batching.BATCH_ENABLED:
+            # Batched expansion: one vectorized translation probe for
+            # the burst, one vectorized WQE encode.  Byte-identical to
+            # the scalar loop below.
+            indices = [self._slot_to_index(state, first_slot + i)
+                       for i in range(count)]
+            descriptors = self.descriptors.lookup_many(queue_id, indices)
+            chunk_size = self.buffers.chunk_size
+            base = self.bar_base
+            wqes = []
+            for index, descriptor in zip(indices, descriptors):
+                _handles, virt_chunk, _count = state.outstanding[index]
+                wqes.append(descriptor.expand(
+                    state.qpn, index,
+                    base + tx_data_address(queue_id,
+                                           virt_chunk * chunk_size),
+                ))
+            self.stats_wqe_reads += count
+            return TxWqe.pack_many(wqes)
+        out = bytearray()
+        for i in range(count):
             slot = first_slot + i
             # The ring is virtual: resolve the slot to the outstanding
             # wqe index that currently occupies it.

@@ -14,11 +14,9 @@ def internet_checksum(data: bytes, initial: int = 0) -> int:
 
     ``initial`` allows chaining (e.g. pseudo-header then payload).
     """
-    total = initial
     if len(data) % 2:
         data = data + b"\x00"
-    for (word,) in struct.iter_unpack("!H", data):
-        total += word
+    total = initial + sum(struct.unpack("!%dH" % (len(data) // 2), data))
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return (~total) & 0xFFFF
@@ -26,11 +24,9 @@ def internet_checksum(data: bytes, initial: int = 0) -> int:
 
 def ones_complement_add(data: bytes, initial: int = 0) -> int:
     """Partial (non-inverted) one's-complement sum, for pseudo-headers."""
-    total = initial
     if len(data) % 2:
         data = data + b"\x00"
-    for (word,) in struct.iter_unpack("!H", data):
-        total += word
+    total = initial + sum(struct.unpack("!%dH" % (len(data) // 2), data))
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return total

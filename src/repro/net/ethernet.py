@@ -70,13 +70,22 @@ class Ethernet(Header):
         self.ethertype = ethertype
 
     def pack(self) -> bytes:
-        return self.dst.pack() + self.src.pack() + struct.pack("!H", self.ethertype)
+        # dst(6) | src(6) | ethertype(2) as one 14-byte big-endian int.
+        return ((self.dst.value << 64) | (self.src.value << 16)
+                | self.ethertype).to_bytes(14, "big")
 
     @classmethod
     def unpack(cls, data: bytes) -> "Ethernet":
         if len(data) < 14:
             raise ValueError("truncated Ethernet header")
-        dst = MacAddress(data[0:6])
-        src = MacAddress(data[6:12])
-        (ethertype,) = struct.unpack("!H", data[12:14])
-        return cls(src=src, dst=dst, ethertype=ethertype)
+        # Bypass the polymorphic constructors: frame parsing runs per
+        # hop on the datapath, and the wire format is already canonical.
+        dst = MacAddress.__new__(MacAddress)
+        dst.value = int.from_bytes(data[0:6], "big")
+        src = MacAddress.__new__(MacAddress)
+        src.value = int.from_bytes(data[6:12], "big")
+        eth = cls.__new__(cls)
+        eth.src = src
+        eth.dst = dst
+        eth.ethertype = (data[12] << 8) | data[13]
+        return eth

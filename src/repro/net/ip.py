@@ -108,37 +108,50 @@ class Ipv4(Header):
 
     def pack(self) -> bytes:
         version_ihl = (4 << 4) | (self.HEADER_LEN // 4)
+        tos = self.dscp << 2
         flags_frag = (self.flags << 13) | (self.frag_offset & 0x1FFF)
-        header = struct.pack(
-            "!BBHHHBBH4s4s",
-            version_ihl,
-            self.dscp << 2,
-            self.total_length,
-            self.ident,
-            flags_frag,
-            self.ttl,
-            self.proto,
-            0,  # checksum placeholder
-            self.src.pack(),
-            self.dst.pack(),
+        src = self.src.value
+        dst = self.dst.value
+        # The header checksum folds the same 16-bit words struct would
+        # produce, computed straight from the fields — one pack instead
+        # of pack + re-scan + splice.
+        total = (((version_ihl << 8) | tos) + self.total_length + self.ident
+                 + flags_frag + ((self.ttl << 8) | self.proto)
+                 + (src >> 16) + (src & 0xFFFF)
+                 + (dst >> 16) + (dst & 0xFFFF))
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        checksum = (~total) & 0xFFFF
+        return struct.pack(
+            "!BBHHHBBHII", version_ihl, tos, self.total_length, self.ident,
+            flags_frag, self.ttl, self.proto, checksum, src, dst,
         )
-        checksum = internet_checksum(header)
-        return header[:10] + struct.pack("!H", checksum) + header[12:]
 
     @classmethod
     def unpack(cls, data: bytes) -> "Ipv4":
         if len(data) < cls.HEADER_LEN:
             raise ValueError("truncated IPv4 header")
         (version_ihl, tos, total_length, ident, flags_frag, ttl, proto,
-         _checksum, src, dst) = struct.unpack("!BBHHHBBH4s4s", data[:20])
+         _checksum, src, dst) = struct.unpack("!BBHHHBBHII", data[:20])
         if version_ihl >> 4 != 4:
             raise ValueError("not an IPv4 packet")
-        return cls(
-            src=IpAddress(src), dst=IpAddress(dst), proto=proto, ttl=ttl,
-            ident=ident, flags=flags_frag >> 13,
-            frag_offset=flags_frag & 0x1FFF, total_length=total_length,
-            dscp=tos >> 2,
-        )
+        # Datapath fast construction: skip the polymorphic address
+        # coercion — the wire values are already canonical ints.
+        ip = cls.__new__(cls)
+        src_addr = IpAddress.__new__(IpAddress)
+        src_addr.value = src
+        dst_addr = IpAddress.__new__(IpAddress)
+        dst_addr.value = dst
+        ip.src = src_addr
+        ip.dst = dst_addr
+        ip.proto = proto
+        ip.ttl = ttl
+        ip.ident = ident
+        ip.flags = flags_frag >> 13
+        ip.frag_offset = flags_frag & 0x1FFF
+        ip.total_length = total_length
+        ip.dscp = tos >> 2
+        return ip
 
     def flow_key(self):
         """(src, dst, proto, ident) — the datagram identity for reassembly."""

@@ -385,10 +385,8 @@ class Nic(PcieEndpoint):
                                             burst * WQE_SIZE)
                     sq.stats_wqe_fetches += burst
                     spans = self._spans
-                    for i in range(burst):
-                        fetched = TxWqe.unpack(
-                            raw[i * WQE_SIZE:(i + 1) * WQE_SIZE]
-                        )
+                    for i, fetched in enumerate(
+                            TxWqe.unpack_many(raw, burst)):
                         if spans.enabled:
                             # Ring-mode WQEs lose their context at
                             # pack time; the producer stashed it under
@@ -619,10 +617,8 @@ class Nic(PcieEndpoint):
                            rq.entries - slot))
         raw = yield self.fabric.read(self, rq.slot_addr(index),
                                      burst * RX_DESC_SIZE)
-        for i in range(burst):
-            self._cached_rx_desc[(rq.rqn, index + i)] = RxDesc.unpack(
-                raw[i * RX_DESC_SIZE:(i + 1) * RX_DESC_SIZE]
-            )
+        for i, desc in enumerate(RxDesc.unpack_many(raw, burst)):
+            self._cached_rx_desc[(rq.rqn, index + i)] = desc
         return self._cached_rx_desc.pop(key)
 
     # ------------------------------------------------------------------

@@ -28,7 +28,8 @@ class MatchSpec:
     """Field-equality match over a parsed packet; ``None`` = wildcard."""
 
     __slots__ = ("dst_mac", "ethertype", "src_ip", "dst_ip", "ip_proto",
-                 "src_port", "dst_port", "vni", "is_fragment")
+                 "src_port", "dst_port", "vni", "is_fragment",
+                 "_dst_mac_only")
 
     def __init__(self, dst_mac=None, ethertype: Optional[int] = None,
                  src_ip=None, dst_ip=None, ip_proto: Optional[int] = None,
@@ -45,8 +46,22 @@ class MatchSpec:
         self.dst_port = dst_port
         self.vni = vni
         self.is_fragment = is_fragment
+        # FDB rules match on destination MAC alone; precomputing that
+        # shape lets `matches` skip the seven wildcard checks per packet.
+        self._dst_mac_only = (
+            self.dst_mac is not None and ethertype is None
+            and self.src_ip is None and self.dst_ip is None
+            and ip_proto is None and src_port is None and dst_port is None
+            and vni is None and is_fragment is None
+        )
 
     def matches(self, packet: Packet) -> bool:
+        headers = packet.headers
+        if self._dst_mac_only:
+            if headers and headers[0].__class__ is Ethernet:
+                return headers[0].dst.value == self.dst_mac.value
+            eth = packet.find(Ethernet)
+            return eth is not None and eth.dst.value == self.dst_mac.value
         eth = packet.find(Ethernet)
         if self.dst_mac is not None and (eth is None or eth.dst != self.dst_mac):
             return False
@@ -83,17 +98,24 @@ class MatchSpec:
 
 
 class Action:
-    """Base class; terminal actions end pipeline processing."""
+    """Base class; terminal actions end pipeline processing.
+
+    ``_code`` is an integer dispatch tag: the pipeline's inner loop runs
+    per packet per hop, and an int compare beats an isinstance chain.
+    """
 
     terminal = False
+    _code = 0
 
 
 class Drop(Action):
     terminal = True
+    _code = 1
 
 
 class ForwardToVport(Action):
     terminal = True
+    _code = 2
 
     def __init__(self, vport: int):
         self.vport = vport
@@ -101,10 +123,13 @@ class ForwardToVport(Action):
 
 class ForwardToUplink(Action):
     terminal = True
+    _code = 3
 
 
 class ForwardToQueue(Action):
     """Deliver to a specific receive queue."""
+
+    _code = 4
 
     terminal = True
 
@@ -114,6 +139,8 @@ class ForwardToQueue(Action):
 
 class ForwardToRss(Action):
     """Deliver through an RSS group's indirection table."""
+
+    _code = 5
 
     terminal = True
 
@@ -129,6 +156,8 @@ class ToAccelerator(Action):
     accelerator sends it back; ``context_id`` identifies the tenant (§5.4).
     """
 
+    _code = 6
+
     terminal = True
 
     def __init__(self, rq, next_table: str, context_id: int = 0):
@@ -140,15 +169,21 @@ class ToAccelerator(Action):
 class DecapVxlan(Action):
     """Strip the outer Eth/IP/UDP/VXLAN headers (NIC tunnel offload)."""
 
+    _code = 7
+
 
 class SetContextId(Action):
     """Stamp the flow's context/tenant ID into packet metadata (§5.4)."""
+
+    _code = 8
 
     def __init__(self, context_id: int):
         self.context_id = context_id
 
 
 class GotoTable(Action):
+
+    _code = 9
     terminal = True
 
     def __init__(self, table: str):
@@ -157,6 +192,8 @@ class GotoTable(Action):
 
 class Meter(Action):
     """Apply a named rate limiter (token bucket); may drop the packet."""
+
+    _code = 10
 
     def __init__(self, meter_name: str):
         self.meter_name = meter_name
@@ -265,35 +302,36 @@ class SteeringPipeline:
             actions = current.lookup(packet)
             next_table: Optional[FlowTable] = None
             for action in actions:
-                if isinstance(action, Drop):
+                code = action._code
+                if code == 1:  # Drop
                     return Disposition(Disposition.DROP, None, packet,
                                        context_id, meters=meters)
-                if isinstance(action, ForwardToQueue):
+                if code == 4:  # ForwardToQueue
                     return Disposition(Disposition.DELIVER, action.rq, packet,
                                        context_id, meters=meters)
-                if isinstance(action, ForwardToRss):
+                if code == 5:  # ForwardToRss
                     return Disposition(Disposition.RSS, action.group, packet,
                                        context_id, meters=meters)
-                if isinstance(action, ForwardToVport):
+                if code == 2:  # ForwardToVport
                     return Disposition(Disposition.VPORT, action.vport, packet,
                                        context_id, meters=meters)
-                if isinstance(action, ForwardToUplink):
+                if code == 3:  # ForwardToUplink
                     return Disposition(Disposition.UPLINK, None, packet,
                                        context_id, meters=meters)
-                if isinstance(action, ToAccelerator):
+                if code == 6:  # ToAccelerator
                     return Disposition(
                         Disposition.ACCELERATOR, action.rq, packet,
                         action.context_id or context_id,
                         next_table=action.next_table, meters=meters,
                     )
-                if isinstance(action, DecapVxlan):
+                if code == 7:  # DecapVxlan
                     packet = vxlan_decapsulate(packet)
-                elif isinstance(action, SetContextId):
+                elif code == 8:  # SetContextId
                     context_id = action.context_id
                     packet.meta["context_id"] = context_id
-                elif isinstance(action, Meter):
+                elif code == 10:  # Meter
                     meters.append(action.meter_name)
-                elif isinstance(action, GotoTable):
+                elif code == 9:  # GotoTable
                     if action.table not in self.tables:
                         raise SteeringError(
                             f"GotoTable to unknown table {action.table!r}"

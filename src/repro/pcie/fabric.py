@@ -45,6 +45,26 @@ class _LaneCounters:
         self.payload_bytes.inc(payload)
 
 
+class _WriteCountdown:
+    """Completion countdown for a multi-TLP posted write."""
+
+    __slots__ = ("remaining", "fabric", "span_id", "done")
+
+    def __init__(self, remaining, fabric, span_id, done):
+        self.remaining = remaining
+        self.fabric = fabric
+        self.span_id = span_id
+        self.done = done
+
+    def __call__(self, _=None):
+        self.remaining -= 1
+        if self.remaining == 0:
+            fabric = self.fabric
+            if self.span_id is not None:
+                fabric._spans.exit(self.span_id, fabric.sim.now)
+            self.done.succeed()
+
+
 class _Port:
     """A device's two lanes into the switch."""
 
@@ -174,27 +194,31 @@ class PcieFabric:
         total = len(data) if data is not None else length
         mps = port.config.max_payload_size
         done = Event(self.sim)
-        cursor = 0
-        chunks = split_write_bytes(total, mps) or [0]
-        remaining = len(chunks)
         span_id = self._spans.enter(trace_ctx, trace_stage, self.sim.now)
 
+        if 0 < total <= mps:
+            # Single-TLP fast path — the common case for descriptors,
+            # CQEs, doorbells and small-packet payloads.
+            tlp = Tlp(TlpType.MEM_WRITE, address, total, data,
+                      requester=requester.name)
+            tlp.trace_ctx = trace_ctx
+            if span_id is None:
+                tlp.on_delivered = done.succeed
+            else:
+                tlp.on_delivered = _WriteCountdown(1, self, span_id, done)
+            self._send(port, tlp)
+            return done
+
+        cursor = 0
+        chunks = split_write_bytes(total, mps) or [0]
+        finish = _WriteCountdown(len(chunks), self, span_id, done)
         for chunk in chunks:
             payload = data[cursor:cursor + chunk] if data is not None else None
             tlp = Tlp(TlpType.MEM_WRITE, address + cursor, chunk, payload,
                       requester=requester.name)
             tlp.trace_ctx = trace_ctx
             cursor += chunk
-
-            def finish(_=None):
-                nonlocal remaining
-                remaining -= 1
-                if remaining == 0:
-                    if span_id is not None:
-                        self._spans.exit(span_id, self.sim.now)
-                    done.succeed()
-
-            tlp.meta["on_delivered"] = finish
+            tlp.on_delivered = finish
             self._send(port, tlp)
         return done
 
@@ -226,44 +250,52 @@ class PcieFabric:
     # -- internals -----------------------------------------------------------
 
     def _send(self, port: _Port, tlp: Tlp) -> None:
-        self.stats_tlps[tlp.kind.value] = self.stats_tlps.get(tlp.kind.value, 0) + 1
+        kind = tlp.kind.value
+        stats = self.stats_tlps
+        stats[kind] = stats.get(kind, 0) + 1
         if port.tele_up is not None:
             port.tele_up.count(tlp)
         port.up.send(tlp, tlp.wire_bytes() * 8)
 
     def _route(self, tlp: Tlp) -> None:
         """Switch stage: forward a TLP down its target's lane."""
-        if tlp.kind in (TlpType.COMPLETION_DATA, TlpType.COMPLETION):
+        kind = tlp.kind
+        if kind is TlpType.COMPLETION_DATA or kind is TlpType.COMPLETION:
             target = self._ports[tlp.completer]
         else:
             bar = self.decode(tlp.address)
             target = self.port_of(bar.endpoint)
-            tlp.meta["bar"] = bar
+            tlp.bar = bar
         if target.tele_down is not None:
             target.tele_down.count(tlp)
         target.down.send(tlp, tlp.wire_bytes() * 8)
 
     def _deliver(self, tlp: Tlp) -> None:
         """Endpoint ingress: run the handler / complete the transaction."""
-        if tlp.kind is TlpType.MEM_WRITE:
-            bar = tlp.meta["bar"]
+        kind = tlp.kind
+        if kind is TlpType.MEM_WRITE:
+            bar = tlp.bar
             offset = tlp.address - bar.base
             if tlp.data is not None:
-                # Expose the TLP's trace context for the duration of the
-                # handler so the endpoint can re-attach it to whatever
-                # object it unpacks from the payload bytes.
-                self._inbound_ctx = tlp.meta.get("trace_ctx")
-                try:
+                ctx = tlp.trace_ctx
+                if ctx is None:
                     bar.endpoint.handle_write(offset, tlp.data)
-                finally:
-                    self._inbound_ctx = None
-            on_delivered = tlp.meta.get("on_delivered")
-            if on_delivered:
+                else:
+                    # Expose the TLP's trace context for the duration of
+                    # the handler so the endpoint can re-attach it to
+                    # whatever object it unpacks from the payload bytes.
+                    self._inbound_ctx = ctx
+                    try:
+                        bar.endpoint.handle_write(offset, tlp.data)
+                    finally:
+                        self._inbound_ctx = None
+            on_delivered = tlp.on_delivered
+            if on_delivered is not None:
                 on_delivered()
             return
 
-        if tlp.kind is TlpType.MEM_READ:
-            bar = tlp.meta["bar"]
+        if kind is TlpType.MEM_READ:
+            bar = tlp.bar
             offset = tlp.address - bar.base
             data = bar.endpoint.handle_read(offset, tlp.length)
             completer_port = self.port_of(bar.endpoint)
@@ -278,16 +310,16 @@ class PcieFabric:
                     data[cursor:cursor + chunk], tag=tlp.tag,
                     requester=tlp.requester, completer=tlp.requester,
                 )
-                completion.meta["seq"] = index
+                completion.seq = index
                 cursor += chunk
                 self._send(completer_port, completion)
             return
 
-        if tlp.kind is TlpType.COMPLETION_DATA:
+        if kind is TlpType.COMPLETION_DATA:
             state = self._pending_reads.get(tlp.tag)
             if state is None:
                 raise PcieError(f"orphan completion {tlp!r}")
-            state["chunks"].append((tlp.meta["seq"], tlp.data))
+            state["chunks"].append((tlp.seq, tlp.data))
             if len(state["chunks"]) == state["remaining"]:
                 del self._pending_reads[tlp.tag]
                 data = b"".join(

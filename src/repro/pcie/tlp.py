@@ -44,10 +44,15 @@ class Tlp:
 
     ``data`` is optional — timing-only simulations may carry just
     ``length``.  ``tag`` matches completions to their read request.
+
+    The fields the fabric hangs on a TLP in flight (``trace_ctx``,
+    ``bar``, ``on_delivered``, ``seq``) are dedicated slots rather than a
+    side-band dict — a dict per TLP was measurable on the datapath.
     """
 
     __slots__ = ("kind", "address", "length", "data", "tag", "requester",
-                 "completer", "meta")
+                 "completer", "trace_ctx", "bar", "on_delivered", "seq",
+                 "_wire")
 
     def __init__(self, kind: TlpType, address: int = 0, length: int = 0,
                  data: Optional[bytes] = None, tag: Optional[int] = None,
@@ -61,27 +66,27 @@ class Tlp:
         self.tag = tag if tag is not None else next(_sequence)
         self.requester = requester
         self.completer = completer
-        self.meta = {}
-
-    @property
-    def trace_ctx(self):
-        """Span trace context riding this TLP (None when untraced)."""
-        return self.meta.get("trace_ctx")
-
-    @trace_ctx.setter
-    def trace_ctx(self, ctx) -> None:
-        if ctx is not None:
-            self.meta["trace_ctx"] = ctx
+        self.trace_ctx = None    # span trace context riding this TLP
+        self.bar = None          # decoded target BAR (set by the switch)
+        self.on_delivered = None  # fabric write-completion callback
+        self.seq = 0             # completion reassembly order
+        self._wire = None
 
     def wire_bytes(self) -> int:
-        """Bytes this single TLP occupies on the link."""
-        if self.kind is TlpType.MEM_READ:
-            return MEM_REQUEST_HEADER + DLLP_FRAMING
-        if self.kind is TlpType.MEM_WRITE:
-            return MEM_REQUEST_HEADER + DLLP_FRAMING + self.length
-        if self.kind is TlpType.COMPLETION_DATA:
-            return COMPLETION_HEADER + DLLP_FRAMING + self.length
-        return COMPLETION_HEADER + DLLP_FRAMING
+        """Bytes this single TLP occupies on the link (cached)."""
+        wire = self._wire
+        if wire is None:
+            kind = self.kind
+            if kind is TlpType.MEM_READ:
+                wire = MEM_REQUEST_HEADER + DLLP_FRAMING
+            elif kind is TlpType.MEM_WRITE:
+                wire = MEM_REQUEST_HEADER + DLLP_FRAMING + self.length
+            elif kind is TlpType.COMPLETION_DATA:
+                wire = COMPLETION_HEADER + DLLP_FRAMING + self.length
+            else:
+                wire = COMPLETION_HEADER + DLLP_FRAMING
+            self._wire = wire
+        return wire
 
     def payload_wire_bytes(self) -> int:
         """The useful-payload share of :meth:`wire_bytes`."""

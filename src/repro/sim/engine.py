@@ -10,6 +10,13 @@ NIC pipelines, accelerator processing loops and host CPU threads are all
 processes exchanging work through :class:`Store` queues and delaying through
 :meth:`Simulator.timeout`.
 
+The hot path is batch-oriented: heap entries carry a ``(func, arg)`` pair
+instead of a closure, events have a single-callback fast slot, stores run on
+deques with bulk drains, and :meth:`Simulator.run` coalesces bursts of
+same-timestamp events into one scheduler pass.  None of this changes
+scheduling order — entries are still dispatched strictly by
+``(time, seq)`` — so results are bit-identical to the scalar engine.
+
 Example
 -------
 >>> sim = Simulator()
@@ -26,10 +33,16 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from ..telemetry import NULL_TELEMETRY
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Sentinel ``arg`` for heap entries whose callable takes no argument.
+_NO_ARG = object()
 
 
 class SimulationError(RuntimeError):
@@ -41,15 +54,20 @@ class Event:
 
     An event starts *pending*; :meth:`succeed` schedules all waiting
     processes to resume with ``value``.  Events may only fire once.
+
+    Nearly every event has zero or one waiter, so the first callback sits
+    in a dedicated slot (``_cb``) and only the rare second waiter allocates
+    the overflow list (``_cbs``).
     """
 
-    __slots__ = ("sim", "_value", "_fired", "_callbacks")
+    __slots__ = ("sim", "_value", "_fired", "_cb", "_cbs")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self._value: Any = None
         self._fired = False
-        self._callbacks: List[Callable[["Event"], None]] = []
+        self._cb: Optional[Callable[["Event"], None]] = None
+        self._cbs: Optional[List[Callable[["Event"], None]]] = None
 
     @property
     def fired(self) -> bool:
@@ -66,16 +84,29 @@ class Event:
             raise SimulationError("event fired twice")
         self._fired = True
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        # Snapshot-and-clear before invoking: callbacks registered *during*
+        # firing see ``fired`` and run immediately from add_callback, which
+        # interleaves them exactly as the old list-snapshot loop did.
+        cb = self._cb
+        if cb is not None:
+            self._cb = None
+            cb(self)
+            cbs = self._cbs
+            if cbs is not None:
+                self._cbs = None
+                for extra in cbs:
+                    extra(self)
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         if self._fired:
             callback(self)
+        elif self._cb is None:
+            self._cb = callback
+        elif self._cbs is None:
+            self._cbs = [callback]
         else:
-            self._callbacks.append(callback)
+            self._cbs.append(callback)
 
 
 class Process:
@@ -88,13 +119,16 @@ class Process:
         result = yield sim.spawn(worker(sim))
     """
 
-    __slots__ = ("sim", "_gen", "_done", "name")
+    __slots__ = ("sim", "_gen", "_done", "name", "_resume")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         self.sim = sim
         self._gen = gen
         self._done = Event(sim)
         self.name = name or getattr(gen, "__name__", "process")
+        # One bound method reused for every yield; a per-yield lambda would
+        # allocate a closure each time the process blocks.
+        self._resume = self._on_event
 
     @property
     def done(self) -> Event:
@@ -104,14 +138,18 @@ class Process:
     def finished(self) -> bool:
         return self._done.fired
 
+    def _on_event(self, event: Event) -> None:
+        self._step(event._value)
+
     def _step(self, value: Any = None) -> None:
         # Trampoline: when the yielded event has already fired, resume the
         # generator in this same frame instead of recursing — long chains
         # of ready events (busy stores, cached DMA) would otherwise
         # overflow the Python stack.
+        send = self._gen.send
         while True:
             try:
-                target = self._gen.send(value)
+                target = send(value)
             except StopIteration as stop:
                 sim = self.sim
                 sim._ctr_proc_finished.inc()
@@ -121,27 +159,28 @@ class Process:
                                    sim.now)
                 self._done.succeed(stop.value)
                 return
-            if isinstance(target, Process):
-                target = target.done
-            if not isinstance(target, Event):
-                raise SimulationError(
-                    f"process {self.name!r} yielded {target!r}; "
-                    "expected an Event"
-                )
-            if target.fired:
-                value = target.value
+            if target.__class__ is not Event:
+                if isinstance(target, Process):
+                    target = target._done
+                elif not isinstance(target, Event):
+                    raise SimulationError(
+                        f"process {self.name!r} yielded {target!r}; "
+                        "expected an Event"
+                    )
+            if target._fired:
+                value = target._value
                 continue
-            target.add_callback(lambda event: self._step(event.value))
+            target.add_callback(self._resume)
             return
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, seq, action) entries."""
+    """The event loop: a priority queue of (time, seq, func, arg) entries."""
 
     def __init__(self, telemetry=None):
         self._now = 0.0
         self._queue: List = []
-        self._seq = itertools.count()
+        self._seq = 0
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._ctr_proc_spawned = self.telemetry.counter("sim.processes.spawned")
         self._ctr_proc_finished = self.telemetry.counter(
@@ -159,12 +198,31 @@ class Simulator:
         """Run ``action()`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        heapq.heappush(self._queue, (self._now + delay, next(self._seq), action))
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._queue, (self._now + delay, seq, action, _NO_ARG))
+
+    def call_later(self, delay: float, func: Callable[[Any], None],
+                   arg: Any) -> None:
+        """Run ``func(arg)`` after ``delay`` seconds of virtual time.
+
+        The one-argument twin of :meth:`schedule`; hot callers use it to
+        avoid allocating a closure per scheduled call.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._queue, (self._now + delay, seq, func, arg))
 
     def timeout(self, delay: float, value: Any = None) -> Event:
         """An event that fires ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
         event = Event(self)
-        self.schedule(delay, lambda: event.succeed(value))
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._queue, (self._now + delay, seq, event.succeed, value))
         return event
 
     def event(self) -> Event:
@@ -206,22 +264,41 @@ class Simulator:
         """Process events until the queue drains or ``until`` is reached.
 
         Returns the simulation time when execution stopped.
+
+        Bursts of same-timestamp entries — a WQE batch fetch fanning out,
+        zero-delay store handoffs — drain in one pass: the ``until``
+        horizon is checked once per timestamp, not once per event.
+        Dispatch order is still strictly ``(time, seq)``.
         """
         processed = 0
+        queue = self._queue
         try:
-            while self._queue:
-                time, _seq, action = self._queue[0]
+            while queue:
+                entry = queue[0]
+                time = entry[0]
                 if until is not None and time > until:
                     self._now = until
-                    return self._now
-                heapq.heappop(self._queue)
+                    return until
                 self._now = time
-                action()
-                processed += 1
-                if processed > max_events:
-                    raise SimulationError(
-                        f"exceeded {max_events} events; likely a livelock"
-                    )
+                # Coalesced drain of the same-timestamp burst.
+                while True:
+                    _heappop(queue)
+                    func = entry[2]
+                    arg = entry[3]
+                    if arg is _NO_ARG:
+                        func()
+                    else:
+                        func(arg)
+                    processed += 1
+                    if processed > max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events; likely a livelock"
+                        )
+                    if not queue:
+                        break
+                    entry = queue[0]
+                    if entry[0] != time:
+                        break
             if until is not None:
                 self._now = max(self._now, until)
             return self._now
@@ -244,9 +321,9 @@ class Store:
         self.sim = sim
         self.capacity = capacity
         self.name = name
-        self._items: List[Any] = []
-        self._getters: List[Event] = []
-        self._putters: List = []  # (event, item) waiting for space
+        self._items: deque = deque()
+        self._getters: deque = deque()
+        self._putters: deque = deque()  # (event, item) waiting for space
         self.stats_put = 0
         self.stats_dropped = 0
         self.stats_max_depth = 0
@@ -257,7 +334,7 @@ class Store:
         if sim.telemetry.enabled and name:
             self._depth_gauge = sim.telemetry.gauge(f"store.{name}.depth")
             self._wait_hist = sim.telemetry.histogram(f"store.{name}.wait")
-            self._enqueued: List[float] = []
+            self._enqueued: deque = deque()
         else:
             self._depth_gauge = None
             self._wait_hist = None
@@ -291,10 +368,10 @@ class Store:
         """An event that fires with the next item."""
         event = Event(self.sim)
         if self._items:
-            event.succeed(self._items.pop(0))
+            event.succeed(self._items.popleft())
             if self._wait_hist is not None:
                 self._wait_hist.observe(
-                    self.sim.now - self._enqueued.pop(0))
+                    self.sim.now - self._enqueued.popleft())
             self._admit_waiting_putter()
             if self._depth_gauge is not None:
                 self._depth_gauge.set(len(self._items))
@@ -306,23 +383,58 @@ class Store:
         """Non-blocking get; returns ``None`` when empty."""
         if not self._items:
             return None
-        item = self._items.pop(0)
+        item = self._items.popleft()
         if self._wait_hist is not None:
-            self._wait_hist.observe(self.sim.now - self._enqueued.pop(0))
+            self._wait_hist.observe(self.sim.now - self._enqueued.popleft())
         self._admit_waiting_putter()
         if self._depth_gauge is not None:
             self._depth_gauge.set(len(self._items))
         return item
 
+    def try_get_many(self, limit: Optional[int] = None) -> List[Any]:
+        """Non-blocking bulk get: repeated :meth:`try_get` in one call.
+
+        Drains up to ``limit`` items (all available when ``None``),
+        admitting waiting putters exactly as the item-at-a-time loop
+        would — items a putter delivers mid-drain are picked up too, so
+        the result is identical to calling ``try_get`` until it returns
+        ``None`` (or ``limit`` times).
+        """
+        out: List[Any] = []
+        items = self._items
+        if not items:
+            return out
+        fast = (self._wait_hist is None and self._depth_gauge is None
+                and not self._putters)
+        if fast and (limit is None or limit >= len(items)):
+            # No telemetry, no blocked putters: the drain is a plain
+            # deque-to-list copy.
+            out.extend(items)
+            items.clear()
+            return out
+        while items and (limit is None or len(out) < limit):
+            item = items.popleft()
+            if self._wait_hist is not None:
+                self._wait_hist.observe(
+                    self.sim.now - self._enqueued.popleft())
+            self._admit_waiting_putter()
+            out.append(item)
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(len(items))
+        return out
+
     def _deliver(self, item: Any) -> None:
         self.stats_put += 1
-        if self._getters:
-            self._getters.pop(0).succeed(item)
+        getters = self._getters
+        if getters:
+            getters.popleft().succeed(item)
             if self._wait_hist is not None:
                 self._wait_hist.observe(0.0)
         else:
-            self._items.append(item)
-            self.stats_max_depth = max(self.stats_max_depth, len(self._items))
+            items = self._items
+            items.append(item)
+            if len(items) > self.stats_max_depth:
+                self.stats_max_depth = len(items)
             if self._wait_hist is not None:
                 self._enqueued.append(self.sim.now)
         if self._depth_gauge is not None:
@@ -330,7 +442,7 @@ class Store:
 
     def _admit_waiting_putter(self) -> None:
         if self._putters and not self.is_full:
-            event, item = self._putters.pop(0)
+            event, item = self._putters.popleft()
             self._deliver(item)
             event.succeed(item)
 
@@ -344,7 +456,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self._in_use = 0
-        self._waiters: List[Event] = []
+        self._waiters: deque = deque()
 
     @property
     def in_use(self) -> int:
@@ -363,6 +475,6 @@ class Resource:
         if self._in_use <= 0:
             raise SimulationError("release without acquire")
         if self._waiters:
-            self._waiters.pop(0).succeed()
+            self._waiters.popleft().succeed()
         else:
             self._in_use -= 1

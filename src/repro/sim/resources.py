@@ -70,10 +70,15 @@ class Link:
         The caller does not block; backpressure, when needed, is modelled by
         the caller checking :meth:`queue_delay`.
         """
-        if self.sink is None:
+        sink = self.sink
+        if sink is None:
             raise RuntimeError(f"link {self.name!r} has no sink connected")
-        start = max(self.sim.now, self._busy_until)
-        finish = start + self.serialization_time(bits)
+        sim = self.sim
+        now = sim.now
+        busy = self._busy_until
+        start = now if now > busy else busy
+        rate = self.rate_bps
+        finish = start if rate is None else start + bits / rate
         self._busy_until = finish
         delivery = finish + self.latency
         self.stats_bits += bits
@@ -86,8 +91,7 @@ class Link:
                 tracer.complete(self.trace_process, self.name,
                                 type(message).__name__, start, finish,
                                 {"bits": bits})
-        sink = self.sink
-        self.sim.schedule(delivery - self.sim.now, lambda: sink(message))
+        sim.call_later(delivery - now, sink, message)
         return delivery
 
     def queue_delay(self) -> float:

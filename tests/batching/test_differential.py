@@ -1,0 +1,176 @@
+"""Differential harness: the batched datapath against the scalar one.
+
+The batched fast paths (vectorized WQE/CQE/descriptor codecs, cuckoo
+batch probes, template frame encoding, bulk store drains) claim to be
+*bit-identical* to the scalar code they replace.  This suite is the
+proof: every experiment driver runs twice in one process — once with
+``repro.batching`` enabled, once forced onto the scalar path — and the
+two result dictionaries must compare exactly equal (``==`` on floats,
+not approximately).
+
+A mismatch here means a batched routine computed something its scalar
+twin would not — a datapath bug even if every other test still passes.
+"""
+
+import hashlib
+import json
+import os
+import random
+
+import pytest
+
+from repro import batching
+
+GOLDEN = os.path.join(os.path.dirname(__file__), os.pardir, "golden",
+                      "topology_identity.json")
+
+
+def canonical_digest(result) -> str:
+    blob = json.dumps(result, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def run_both(case):
+    """Run ``case`` once per mode; returns (batched, scalar) results."""
+    previous = batching.set_batch_enabled(True)
+    try:
+        batched = case()
+        batching.set_batch_enabled(False)
+        scalar = case()
+    finally:
+        batching.set_batch_enabled(previous)
+    return batched, scalar
+
+
+def _echo_remote():
+    from repro.experiments.echo import echo_throughput
+    random.seed(1234)
+    return echo_throughput("flde-remote", 64, count=150)
+
+
+def _echo_local():
+    from repro.experiments.echo import echo_throughput
+    random.seed(1234)
+    return echo_throughput("flde-local", 256, count=150)
+
+
+def _echo_cpu_remote():
+    # cpu-remote drives the NIC's WQE ring-fetch loop, i.e. the
+    # TxWqe.unpack_many and RxDesc.unpack_many burst decoders.
+    from repro.experiments.echo import echo_throughput
+    random.seed(1234)
+    return echo_throughput("cpu-remote", 512, count=150)
+
+
+def _echo_latency():
+    from repro.experiments.echo import echo_latency
+    random.seed(99)
+    return echo_latency("flde", count=100)
+
+
+def _zuc():
+    from repro.experiments.zuc import fld_throughput
+    random.seed(5)
+    return fld_throughput(512, count=80)
+
+
+def _iot():
+    from repro.experiments.iot import line_rate_point
+    return line_rate_point(512, duration=0.1e-3)
+
+
+def _defrag():
+    from repro.experiments.defrag import run as defrag_run
+    random.seed(11)
+    return defrag_run("hw-defrag", rounds=4)
+
+
+def _scale_tenants():
+    from repro.experiments.scale_tenants import throughput
+    random.seed(21)
+    return throughput(2, size=256, count=80)
+
+
+def _prog():
+    from repro.experiments.prog import echo_fingerprint
+    random.seed(31)
+    return echo_fingerprint(size=256, count=80)
+
+
+CASES = {
+    "echo_flde_remote": _echo_remote,
+    "echo_flde_local": _echo_local,
+    "echo_cpu_remote": _echo_cpu_remote,
+    "echo_latency_flde": _echo_latency,
+    "zuc_fld": _zuc,
+    "iot_line_rate": _iot,
+    "defrag": _defrag,
+    "scale_tenants": _scale_tenants,
+    "prog_echo": _prog,
+}
+
+
+class TestScalarBatchedEquality:
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_fingerprint_identical_across_modes(self, name):
+        batched, scalar = run_both(CASES[name])
+        assert batched == scalar, (
+            f"{name}: batched datapath diverged from the scalar path"
+        )
+        assert canonical_digest(batched) == canonical_digest(scalar)
+
+    def test_mode_switch_is_restored(self):
+        before = batching.batch_enabled()
+        run_both(lambda: None)
+        assert batching.batch_enabled() == before
+
+
+class TestTopologyIdentityGoldens:
+    """The committed topology-identity goldens pin the *scalar* numbers
+    too: both modes must land on the same fixture, digit for digit."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with open(GOLDEN, encoding="utf-8") as fh:
+            return json.load(fh)
+
+    @pytest.mark.parametrize("mode", [True, False],
+                             ids=["batched", "scalar"])
+    def test_flde_echo_remote(self, golden, mode):
+        from repro.experiments.echo import echo_throughput
+        previous = batching.set_batch_enabled(mode)
+        try:
+            random.seed(1234)
+            result = echo_throughput("flde-remote", 256, count=400)
+        finally:
+            batching.set_batch_enabled(previous)
+        assert result == golden["flde_echo_remote"]
+
+    @pytest.mark.parametrize("mode", [True, False],
+                             ids=["batched", "scalar"])
+    def test_flde_latency(self, golden, mode):
+        from repro.experiments.echo import echo_latency
+        previous = batching.set_batch_enabled(mode)
+        try:
+            random.seed(99)
+            result = echo_latency("flde", count=300)
+        finally:
+            batching.set_batch_enabled(previous)
+        assert result == golden["flde_latency"]
+
+
+class TestAuditCleanliness:
+    """The invariant auditor and the span layer stay clean when the
+    batched paths are active (and when they are not)."""
+
+    def test_prog_audit_clean_in_both_modes(self):
+        batched, scalar = run_both(_prog)
+        assert batched["violations"] == 0
+        assert scalar["violations"] == 0
+
+    def test_scale_tenants_audit_clean_in_both_modes(self):
+        batched, scalar = run_both(_scale_tenants)
+        assert batched["violations"] == 0
+        assert scalar["violations"] == 0
+        assert batched["received"] == batched["sent"]

@@ -13,6 +13,7 @@ import random
 
 import pytest
 
+from repro import batching
 from repro.core.cuckoo import CuckooFullError, CuckooHashTable
 
 
@@ -124,3 +125,85 @@ class TestChurnAgainstModel:
         assert stats["inserts"] >= len(model)
         assert stats["lookups"] > 0
         assert stats["stash_depth"] <= stats["stash_peak"]
+
+
+class TestBatchLookupUnderChurn:
+    """``lookup_many`` in lockstep with the dict model while the table
+    churns — misses, stash traffic and capacity pressure included."""
+
+    @pytest.fixture(params=[True, False], ids=["batched", "scalar"])
+    def mode(self, request):
+        previous = batching.set_batch_enabled(request.param)
+        yield request.param
+        batching.set_batch_enabled(previous)
+
+    def _churn_with_batch_probes(self, table, key_fn, capacity_pressure):
+        rng = random.Random(0xBA7C4 + table.capacity)
+        key_space = table.capacity * (1 if capacity_pressure else 2)
+        model = {}
+        for step in range(2500):
+            key = key_fn(rng.randrange(key_space))
+            op = rng.random()
+            if op < 0.55:
+                value = rng.randrange(1 << 32)
+                if key not in model:
+                    try:
+                        table.insert(key, value)
+                    except CuckooFullError:
+                        continue
+                    model[key] = value
+            elif op < 0.85:
+                if key in model:
+                    assert table.remove(key) == model.pop(key)
+            if step % 50 == 0:
+                # A probe batch mixing hits and guaranteed misses.
+                probes = [key_fn(rng.randrange(key_space * 2))
+                          for _ in range(32)]
+                assert table.lookup_many(probes) \
+                    == [model.get(k) for k in probes]
+        assert table.lookup_many(list(model)) == list(model.values())
+
+    def test_int_keys_lockstep(self, mode):
+        self._churn_with_batch_probes(CuckooHashTable(256), int,
+                                      capacity_pressure=False)
+
+    def test_int_keys_lockstep_under_capacity_pressure(self, mode):
+        self._churn_with_batch_probes(CuckooHashTable(32), int,
+                                      capacity_pressure=True)
+
+    def test_tuple_keys_lockstep(self, mode):
+        """(queue, index) tuples — the translation-table key shape."""
+        self._churn_with_batch_probes(
+            CuckooHashTable(256), lambda n: (n % 7, n // 7),
+            capacity_pressure=False)
+
+    def test_tuple_keys_lockstep_under_capacity_pressure(self, mode):
+        self._churn_with_batch_probes(
+            CuckooHashTable(32), lambda n: (n % 5, n // 5),
+            capacity_pressure=True)
+
+    def test_lookup_many_counts_stats_like_scalar(self, mode):
+        """N batched probes bump ``stats_lookups`` by exactly N."""
+        table = CuckooHashTable(64)
+        for i in range(20):
+            table.insert(i, i)
+        before = table.stats_lookups
+        table.lookup_many(list(range(40)))
+        assert table.stats_lookups == before + 40
+        assert table.lookup_many([]) == []
+        assert table.stats_lookups == before + 40
+
+    def test_batch_probes_through_a_stall(self, mode):
+        """Fill a tiny table until insertion stalls; batch lookups still
+        agree with the model, including entries living in the stash."""
+        table = CuckooHashTable(16)
+        model = {}
+        for key in range(100_000):
+            try:
+                table.insert(key, key * 2)
+            except CuckooFullError:
+                break
+            model[key] = key * 2
+        assert table.stats_stalls >= 1
+        probes = list(range(0, 2 * len(model)))
+        assert table.lookup_many(probes) == [model.get(k) for k in probes]
