@@ -52,6 +52,35 @@ def run_grid(modes, sizes, count):
     return rows
 
 
+def profile_pass(count):
+    """One profiled flde-remote echo run: the event-cost fingerprint.
+
+    Schema 3 addition.  ``events_per_packet`` is the datapath's
+    event-efficiency number (deterministic — heap events, not wall
+    clock), tracked alongside throughput so the BENCH trajectory says
+    whether a speedup came from cheaper events or fewer of them;
+    ``stage_shares`` says which pipeline stage owns the events.
+    """
+    import random
+
+    from repro.telemetry.runner import run_profile
+
+    random.seed(0)
+    summary = run_profile("echo", count=count)
+    profile = summary["profile"]
+    return {
+        "experiment": "echo",
+        "count": count,
+        "delivered": profile["delivered"],
+        "total_events": profile["total_events"],
+        "events_per_packet": profile["events_per_packet"],
+        "stage_events": {stage: data["events"]
+                         for stage, data in profile["stages"].items()},
+        "stage_shares": {stage: round(data["share"], 6)
+                         for stage, data in profile["stages"].items()},
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--count", type=int, default=900,
@@ -70,9 +99,10 @@ def main(argv=None):
     wall = sum(row["wall_seconds"] for row in rows)
     packets = sum(row["sent"] + row["received"] for row in rows)
     sim_seconds = SIM_HORIZON_SECONDS * len(rows)
+    profile = profile_pass(args.count)
     report = {
         "bench": "fig7b_echo",
-        "schema": 2,
+        "schema": 3,
         "batch_enabled": batching.batch_enabled(),
         "count": args.count,
         "rows": rows,
@@ -82,12 +112,16 @@ def main(argv=None):
         "sim_seconds": sim_seconds,
         "sim_time_ratio": sim_seconds / wall if wall else None,
         "pkts_per_second": packets / wall if wall else None,
+        "profile": profile,
+        "events_per_packet": profile["events_per_packet"],
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
     print(f"{len(rows)} points, {packets} packets in {wall:.2f}s wall "
           f"({report['pkts_per_second']:.0f} pkts/s, sim/wall "
-          f"{report['sim_time_ratio']:.1f}x) -> {args.output}")
+          f"{report['sim_time_ratio']:.1f}x, "
+          f"{profile['events_per_packet']:.2f} events/pkt) "
+          f"-> {args.output}")
     return 0
 
 

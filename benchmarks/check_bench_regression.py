@@ -8,9 +8,12 @@ file's git history *is* the simulator's performance trajectory.
 
 This script compares a freshly measured report against the committed
 baseline and exits non-zero when aggregate ``pkts_per_second`` drops by
-more than ``--threshold`` (default 25%).  To keep the comparison
-meaningful the fresh run reuses the baseline's grid (modes, sizes,
-count) unless a pre-made fresh report is supplied.
+more than ``--threshold`` (default 25%), or — for schema-3 baselines —
+when the profiled ``events_per_packet`` grows by more than
+``--events-budget`` (default 10%; heap events are deterministic, so the
+budget can be much tighter than the wall-clock floor).  To keep the
+comparison meaningful the fresh run reuses the baseline's grid (modes,
+sizes, count) unless a pre-made fresh report is supplied.
 
 Usage::
 
@@ -75,6 +78,38 @@ def measure_fresh(baseline):
         os.unlink(out)
 
 
+def check_events_budget(baseline, fresh, budget):
+    """Guard the deterministic events-per-packet trajectory.
+
+    Returns 0/1 like an exit status.  Schema-2 baselines carry no
+    profile pass; the guard is skipped (with a note) so the throughput
+    check still runs against old artifacts.
+    """
+    base_epp = baseline.get("events_per_packet")
+    fresh_epp = fresh.get("events_per_packet")
+    if base_epp is None:
+        print("events/packet: baseline predates schema 3, budget "
+              "check skipped")
+        return 0
+    if fresh_epp is None:
+        print("error: fresh report missing events_per_packet",
+              file=sys.stderr)
+        return 2
+    growth = fresh_epp / base_epp - 1.0
+    ceiling = base_epp * (1.0 + budget)
+    verdict = "OK" if fresh_epp <= ceiling else "REGRESSION"
+    print(f"fig7b events/packet: baseline {base_epp:.2f}, fresh "
+          f"{fresh_epp:.2f} ({growth:+.1%}); ceiling {ceiling:.2f} "
+          f"[+{budget:.0%}] -> {verdict}")
+    if verdict != "OK":
+        print("profiled events per delivered packet grew past the "
+              "budget; if the extra events are intended, re-run "
+              "benchmarks/bench_fig7b.py and commit the refreshed "
+              "BENCH_fig7b_echo.json", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default=DEFAULT_OUTPUT,
@@ -87,6 +122,10 @@ def main(argv=None):
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max tolerated fractional pkts/sec drop "
                              "(default: 0.25)")
+    parser.add_argument("--events-budget", type=float, default=0.10,
+                        help="max tolerated fractional events-per-packet "
+                             "growth (default: 0.10; ignored when the "
+                             "baseline predates schema 3)")
     args = parser.parse_args(argv)
 
     baseline = load_report(args.baseline)
@@ -104,13 +143,16 @@ def main(argv=None):
     print(f"fig7b pkts/sec: baseline {base_pps:.0f}, fresh "
           f"{fresh_pps:.0f} ({change:+.1%}); floor {floor:.0f} "
           f"[-{args.threshold:.0%}] -> {verdict}")
+    status = 0
     if verdict != "OK":
         print("fresh throughput fell below the regression floor; if the "
               "slowdown is intended, re-run benchmarks/bench_fig7b.py "
               "and commit the refreshed BENCH_fig7b_echo.json",
               file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    events_status = check_events_budget(baseline, fresh,
+                                        args.events_budget)
+    return max(status, events_status)
 
 
 if __name__ == "__main__":

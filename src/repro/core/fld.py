@@ -108,6 +108,16 @@ class FlexDriver(PcieEndpoint):
         tele = sim.telemetry
         self._tracer = tele.tracer
         self._spans = tele.spans
+        # Profiler stage tags: the tx and rx engines account separately.
+        # Inbound fabric deliveries (rx-buffer DMA, CQEs) default to the
+        # rx engine; handle_read and the tx-CQE route refine to tx.
+        prof = sim.profiler
+        self._prof = prof if prof.enabled else None
+        self._ptag_tx = f"{name}.tx"
+        self._ptag_rx = f"{name}.rx"
+        self.profile_tag = self._ptag_rx
+        prof.declare(self._ptag_tx, "fld.tx")
+        prof.declare(self._ptag_rx, "fld.rx")
         self._ctr_tx_packets = tele.counter(f"fld.{name}.tx.packets")
         self._ctr_tx_bytes = tele.counter(f"fld.{name}.tx.bytes")
         self._ctr_cqe_writes = tele.counter(f"fld.{name}.cqe_writes")
@@ -219,20 +229,39 @@ class FlexDriver(PcieEndpoint):
         service_started = self.sim.now
         self._pending_chunks += needed
         yield self.sim.timeout(self.config.cycles(max(1, len(data) // 64)))
-        self.sim.schedule(
-            self.config.pipeline_latency,
-            lambda: self._submit_now(data, meta, needed, service_started),
-        )
+        prof = self._prof
+        if prof is None:
+            self.sim.schedule(
+                self.config.pipeline_latency,
+                lambda: self._submit_now(data, meta, needed, service_started),
+            )
+        else:
+            # The pipeline-latency hop is tx-engine work even though the
+            # accelerator's process is the one scheduling it.
+            prev = prof.current_tag
+            prof.current_tag = self._ptag_tx
+            self.sim.schedule(
+                self.config.pipeline_latency,
+                lambda: self._submit_now(data, meta, needed, service_started),
+            )
+            prof.current_tag = prev
 
     def _submit(self, data: bytes, meta: AxisMetadata) -> None:
         self.tx.credits.try_consume(meta.queue_id, 1)
         self._pending_chunks += self.tx.buffers.chunks_for(len(data))
         started = self.sim.now
+        prof = self._prof
+        prev = None
+        if prof is not None:
+            prev = prof.current_tag
+            prof.current_tag = self._ptag_tx
         self.sim.schedule(
             self.config.pipeline_latency,
             lambda: self._submit_now(
                 data, meta, self.tx.buffers.chunks_for(len(data)), started),
         )
+        if prof is not None:
+            prof.current_tag = prev
 
     def _submit_now(self, data: bytes, meta: AxisMetadata,
                     reserved_chunks: int = 0,
@@ -260,6 +289,10 @@ class FlexDriver(PcieEndpoint):
     # ------------------------------------------------------------------
 
     def handle_read(self, offset: int, length: int) -> bytes:
+        prof = self._prof
+        if prof is not None:
+            # Ring/data reads are the NIC DMAing from the tx engine.
+            prof.current_tag = self._ptag_tx
         region = bar.decode(offset)
         if region.region == "tx_ring":
             return self.tx.handle_ring_read(region.queue, region.offset,
@@ -302,6 +335,9 @@ class FlexDriver(PcieEndpoint):
             return
         kind, binding = route
         if kind == "tx":
+            prof = self._prof
+            if prof is not None:
+                prof.current_tag = self._ptag_tx
             if cqe.opcode == CQE_SEND_COMPLETION:
                 self.tx.on_send_completion(cqe.qpn, cqe.wqe_counter)
         else:

@@ -151,6 +151,8 @@ class Nic(PcieEndpoint):
         tele = sim.telemetry
         self._tracer = tele.tracer
         self._spans = tele.spans
+        prof = sim.profiler
+        self._prof = prof if prof.enabled else None
         self._ctr_tx_wqes = tele.counter(f"nic.{name}.tx.wqes")
         self._ctr_tx_bytes = tele.counter(f"nic.{name}.tx.bytes")
         self._ctr_rx_packets = tele.counter(f"nic.{name}.rx.packets")
@@ -412,6 +414,9 @@ class Nic(PcieEndpoint):
         """Transmit stage: consume fetched WQEs in order and send."""
         tracer = self._tracer
         spans = self._spans
+        prof = self._prof
+        shaper_tag = f"{self.name}.shaper"
+        stage_tag = f"{self.name}.sq{sq.qpn}.tx"
         while True:
             item = yield window.get()
             if item is _POISON:
@@ -435,7 +440,17 @@ class Nic(PcieEndpoint):
                     if ctx is not None:
                         spans.record(ctx, "nic.shaper", self.sim.now,
                                      self.sim.now + delay, kind="queue")
-                    yield self.sim.timeout(delay)
+                    if prof is None:
+                        yield self.sim.timeout(delay)
+                    else:
+                        # Tag the pacing timeout as shaper work, not
+                        # queue work: the push happens at creation, so
+                        # the scoped tag must wrap the call, not the
+                        # yield.
+                        prof.current_tag = shaper_tag
+                        pause = self.sim.timeout(delay)
+                        prof.current_tag = stage_tag
+                        yield pause
                 self.shaper.consume(meter, len(data) * 8)
             if sq.transport == SendQueue.TRANSPORT_RC:
                 qp = self._qp_by_sqn.get(sq.qpn)

@@ -26,6 +26,9 @@ class EthernetPort:
         self.sim = sim
         self.name = name
         self.link = Link(sim, rate_bps, latency, name=f"{name}.wire")
+        # In-flight frames dispatch through the receiving port's
+        # ``_receive``; the profiler attributes them to the wire stage.
+        self.profile_tag = f"{name}.wire"
         self.peer: Optional["EthernetPort"] = None
         self.on_receive: Optional[Callable[[Packet], None]] = None
         self.stats_tx_packets = 0

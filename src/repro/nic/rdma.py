@@ -244,6 +244,12 @@ class RdmaEngine:
         self.stats_injected_drops = 0
         # When telemetry is disabled these are shared no-op singletons.
         tele = sim.telemetry
+        #: Profiler owner tag: retransmit timers and per-segment
+        #: pipeline passes account to the rdma stage, not the SQ worker
+        #: that drove them.
+        self.profile_tag = name
+        prof = sim.profiler
+        self._prof = prof if prof.enabled else None
         self._ctr_segments_sent = tele.counter(f"{name}.segments_sent")
         self._ctr_segments_received = tele.counter(
             f"{name}.segments_received")
@@ -321,7 +327,14 @@ class RdmaEngine:
         total = len(chunks)
         ctx = wqe.trace_ctx if wqe is not None else None
         rdma_span = self._spans.enter(ctx, "rdma", self.sim.now)
+        prof = self._prof
+        caller_tag = prof.current_tag if prof is not None else None
         for index, chunk in enumerate(chunks):
+            if prof is not None:
+                # Re-established every pass: each resume of the driving
+                # SQ process restores *its* tag, and the per-segment
+                # pipeline timeout below belongs to the rdma engine.
+                prof.current_tag = self.profile_tag
             first, last = index == 0, index == total - 1
             frame = self._build_frame(
                 qp, chunk, first, last, wqe, is_write=is_write,
@@ -339,6 +352,11 @@ class RdmaEngine:
             if len(qp.outstanding) == 1:
                 self._arm_retransmit_timer(qp)
             yield self.sim.timeout(0)  # pipeline one segment per pass
+        if prof is not None:
+            # Hand the tag back to the caller's stage (valid because the
+            # saved value is the driving process's own tag, which every
+            # resume re-establishes).
+            prof.current_tag = caller_tag
 
     def _build_frame(self, qp: RcQp, payload: bytes, first: bool, last: bool,
                      wqe: Optional[TxWqe], is_write: bool = False,
@@ -405,6 +423,19 @@ class RdmaEngine:
 
     def on_ingress(self, packet: Packet) -> bool:
         """Process a RoCE frame; returns False when it is not for us."""
+        prof = self._prof
+        if prof is None:
+            return self._on_ingress(packet)
+        # Runs synchronously inside the wire-delivery dispatch; scope
+        # anything it schedules (acks, DMA) to the rdma stage.
+        prev = prof.current_tag
+        prof.current_tag = self.profile_tag
+        try:
+            return self._on_ingress(packet)
+        finally:
+            prof.current_tag = prev
+
+    def _on_ingress(self, packet: Packet) -> bool:
         bth = packet.find(Bth)
         if bth is None:
             return False

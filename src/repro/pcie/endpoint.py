@@ -21,6 +21,10 @@ class PcieEndpoint:
     def __init__(self, name: str):
         self.name = name
         self.fabric = None  # set by PcieFabric.attach
+        # Profiler owner tag: heap events whose callable is bound to
+        # this endpoint are attributed here.  Subclasses refine it
+        # (e.g. the FLD tags its tx and rx engines separately).
+        self.profile_tag = name
 
     def handle_read(self, address: int, length: int) -> bytes:
         raise PcieError(f"{self.name} does not implement reads")

@@ -102,6 +102,10 @@ class _Port:
 class PcieFabric:
     """Address-routed TLP switch connecting endpoints."""
 
+    # Wire transit and switching dispatch as bound fabric methods; the
+    # profiler attributes those heap events to the pcie stage.
+    profile_tag = "pcie"
+
     def __init__(self, sim: Simulator):
         self.sim = sim
         self._ports: Dict[str, _Port] = {}
@@ -109,6 +113,8 @@ class PcieFabric:
         self._pending_reads: Dict[int, dict] = {}
         self.stats_tlps: Dict[str, int] = {}
         self._spans = sim.telemetry.spans
+        prof = sim.profiler
+        self._prof = prof if prof.enabled else None
         # The trace context of the MEM_WRITE currently being delivered;
         # endpoints may claim it inside handle_write to re-associate a
         # packed descriptor with its packet (object identity dies at
@@ -273,10 +279,16 @@ class PcieFabric:
     def _deliver(self, tlp: Tlp) -> None:
         """Endpoint ingress: run the handler / complete the transaction."""
         kind = tlp.kind
+        prof = self._prof
         if kind is TlpType.MEM_WRITE:
             bar = tlp.bar
             offset = tlp.address - bar.base
             if tlp.data is not None:
+                # Work the handler pushes (and its own execution, for
+                # wall-clock nesting) belongs to the receiving endpoint,
+                # not to the fabric lane that carried the TLP.
+                if prof is not None:
+                    prof.current_tag = bar.endpoint.profile_tag
                 ctx = tlp.trace_ctx
                 if ctx is None:
                     bar.endpoint.handle_write(offset, tlp.data)
@@ -289,6 +301,8 @@ class PcieFabric:
                         bar.endpoint.handle_write(offset, tlp.data)
                     finally:
                         self._inbound_ctx = None
+                if prof is not None:
+                    prof.current_tag = "pcie"
             on_delivered = tlp.on_delivered
             if on_delivered is not None:
                 on_delivered()
@@ -297,7 +311,11 @@ class PcieFabric:
         if kind is TlpType.MEM_READ:
             bar = tlp.bar
             offset = tlp.address - bar.base
+            if prof is not None:
+                prof.current_tag = bar.endpoint.profile_tag
             data = bar.endpoint.handle_read(offset, tlp.length)
+            if prof is not None:
+                prof.current_tag = "pcie"
             completer_port = self.port_of(bar.endpoint)
             rcb = completer_port.config.read_completion_boundary
             chunks = completion_chunks(tlp.length, rcb)

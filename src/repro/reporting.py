@@ -15,7 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
 
 from .models import area, loc
 from .models.memory import (
@@ -272,16 +272,7 @@ def _make_context(args: argparse.Namespace) -> RenderContext:
     return RenderContext(jobs=getattr(args, "jobs", 1), cache=cache)
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate the paper's tables and figures, or "
-                    "record a telemetry trace of a simulated experiment.",
-    )
-    parser.add_argument("--list", action="store_true",
-                        help="list every section and traceable experiment")
-    sub = parser.add_subparsers(dest="command")
-
+def _configure_tables(sub) -> None:
     tables = sub.add_parser(
         "tables", help="render the paper's tables (1-6)")
     tables.add_argument("sections", nargs="*", metavar="SECTION",
@@ -290,6 +281,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="include the simulated table (table6)")
     _add_sweep_options(tables)
 
+
+def _configure_figures(sub) -> None:
     figures = sub.add_parser(
         "figures", help="render the paper's figures (4, 7a/b, 8a, ...)")
     figures.add_argument("sections", nargs="*", metavar="SECTION",
@@ -298,6 +291,8 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="include the simulated figures")
     _add_sweep_options(figures)
 
+
+def _configure_trace(sub) -> None:
     trace = sub.add_parser(
         "trace",
         help="run one experiment with telemetry on; write a Chrome trace")
@@ -313,6 +308,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also dump the metrics registry as JSON")
     _add_sweep_options(trace)
 
+
+def _configure_latency(sub) -> None:
     latency = sub.add_parser(
         "latency",
         help="run one experiment with span tracing; print the "
@@ -335,6 +332,32 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(approximate log2-bucket percentiles)")
     _add_sweep_options(latency)
 
+
+def _configure_profile(sub) -> None:
+    profile = sub.add_parser(
+        "profile",
+        help="run one experiment under the simulator profiler; print "
+             "per-stage heap-event attribution and events per packet")
+    profile.add_argument("experiment",
+                         help="experiment to profile (see --list)")
+    profile.add_argument("-o", "--json", default=None, metavar="PATH",
+                         help="also write the full profile report as JSON")
+    profile.add_argument("--count", type=int, default=None,
+                         help="override the experiment's packet count")
+    profile.add_argument("--size", type=int, default=None,
+                         help="override the frame size in bytes")
+    profile.add_argument("--wallclock", action="store_true",
+                         help="also time handler execution per callsite "
+                              "(machine-local; excluded from the metrics "
+                              "registry)")
+    profile.add_argument("--collapsed", default=None, metavar="PATH",
+                         help="write collapsed-stack lines for "
+                              "flamegraph.pl / speedscope")
+    profile.add_argument("--top", type=int, default=10, metavar="N",
+                         help="rows per top-N table (default: 10)")
+
+
+def _configure_objects(sub) -> None:
     objects = sub.add_parser(
         "objects",
         help="elaborate one experiment's testbed and dump each node's "
@@ -344,6 +367,8 @@ def _build_parser() -> argparse.ArgumentParser:
     objects.add_argument("-o", "--json", default=None, metavar="PATH",
                          help="also write the dump as JSON")
 
+
+def _configure_scale_tenants(sub) -> None:
     scale = sub.add_parser(
         "scale-tenants",
         help="N accelerator functions multiplexed on one FLD: "
@@ -358,6 +383,8 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default: 400)")
     _add_sweep_options(scale)
 
+
+def _configure_prog(sub) -> None:
     prog = sub.add_parser(
         "prog",
         help="run the match-action example programs (firewall, lb, "
@@ -371,6 +398,19 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="frame size in bytes (default: 256)")
     prog.add_argument("--count", type=int, default=400,
                       help="frames offered per scenario (default: 400)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures, or "
+                    "record a telemetry trace of a simulated experiment.",
+    )
+    parser.add_argument("--list", action="store_true",
+                        help="list every section and traceable experiment")
+    sub = parser.add_subparsers(dest="command")
+    for command in SUBCOMMANDS.values():
+        command.configure(sub)
     return parser
 
 
@@ -480,6 +520,11 @@ def _cmd_latency(args: argparse.Namespace) -> int:
     print(render_report(
         summary["report"],
         title=f"Latency attribution: {args.experiment}"))
+    sampler = summary["sampler"]
+    print(f"sampler: {sampler['sampled']}/{sampler['seen']} packets "
+          f"traced ({sampler['skipped']} skipped by 1-in-"
+          f"{args.sample_rate} sampling, {sampler['dropped']} dropped "
+          f"at the trace cap)")
     violations = summary["violations"]
     if violations:
         print(f"\n{len(violations)} invariant violation(s):")
@@ -585,25 +630,137 @@ def _cmd_prog(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .telemetry.runner import profile_experiments, run_profile
+    try:
+        summary = run_profile(args.experiment, count=args.count,
+                              size=args.size, wallclock=args.wallclock,
+                              json_output=args.json,
+                              collapsed_output=args.collapsed,
+                              top=args.top)
+    except ValueError:
+        known = profile_experiments()
+        print(f"unknown experiment {args.experiment!r}; choose from:")
+        for name, description in known.items():
+            print(f"  {name:12s} {description}")
+        return 2
+    print(f"profiled {summary['experiment']}:")
+    for key, value in summary["result"].items():
+        print(f"  {key}: {_fmt(value)}")
+    print()
+    print(summary["rendered"])
+    profile = summary["profile"]
+    stage_sum = sum(s["events"] for s in profile["stages"].values())
+    assert stage_sum == summary["engine_events"], \
+        (stage_sum, summary["engine_events"])
+    violations = summary["violations"]
+    if violations:
+        print(f"\n{len(violations)} invariant violation(s):")
+        for violation in violations:
+            print(f"  [{violation['rule']}] {violation['subject']}: "
+                  f"{violation['detail']}")
+    else:
+        print("\ninvariant audit: clean")
+    if args.json:
+        print(f"json report: {args.json}")
+    if args.collapsed:
+        print(f"collapsed stacks: {args.collapsed}")
+    return 1 if violations else 0
+
+
+def _listing_sections() -> List[str]:
+    return ["analytical sections: " + ", ".join(ANALYTICAL),
+            "simulated sections:  " + ", ".join(SIMULATED)]
+
+
+def _listing_experiments(header: str, experiments: Dict[str, str]) -> \
+        List[str]:
+    return [header] + [f"  {name:12s} {description}"
+                       for name, description in experiments.items()]
+
+
+def _listing_trace() -> List[str]:
+    from .telemetry.runner import traceable_experiments
+    return _listing_experiments(
+        "traceable experiments (python -m repro trace <name> -o t.json):",
+        traceable_experiments())
+
+
+def _listing_latency() -> List[str]:
+    from .telemetry.runner import latency_experiments
+    return _listing_experiments(
+        "latency attribution (python -m repro latency <name>):",
+        latency_experiments())
+
+
+def _listing_profile() -> List[str]:
+    from .telemetry.runner import profile_experiments
+    return _listing_experiments(
+        "event profiles (python -m repro profile <name>):",
+        profile_experiments())
+
+
+def _listing_objects() -> List[str]:
+    from .telemetry.runner import object_experiments
+    return _listing_experiments(
+        "object-table dumps (python -m repro objects <name>):",
+        object_experiments())
+
+
+def _listing_scale_tenants() -> List[str]:
+    return ["multi-tenant scaling (python -m repro scale-tenants "
+            "--tenants N): per-tenant throughput/latency on one FLD"]
+
+
+def _listing_prog() -> List[str]:
+    return ["match-action programs (python -m repro prog [--scenario "
+            "firewall lb nat ddos]): verified datapath programs with "
+            "per-verdict counters"]
+
+
+class Subcommand(NamedTuple):
+    """One CLI subcommand: parser wiring, dispatch and --list entry.
+
+    The registry below is the single source of truth for the parser,
+    ``main``'s legacy-path detection, dispatch, and ``--list`` output —
+    adding a subcommand means adding one entry here, nothing else.
+    """
+
+    configure: Callable[[argparse._SubParsersAction], None]
+    run: Callable[[argparse.Namespace], int]
+    listing: Optional[Callable[[], List[str]]] = None
+
+
+SUBCOMMANDS: Dict[str, Subcommand] = {
+    "tables": Subcommand(
+        _configure_tables,
+        lambda args: _cmd_group(args.sections, args.full,
+                                _TABLE_SECTIONS, _make_context(args))),
+    "figures": Subcommand(
+        _configure_figures,
+        lambda args: _cmd_group(args.sections, args.full,
+                                _FIGURE_SECTIONS, _make_context(args))),
+    "trace": Subcommand(_configure_trace, _cmd_trace, _listing_trace),
+    "latency": Subcommand(_configure_latency, _cmd_latency,
+                          _listing_latency),
+    "profile": Subcommand(_configure_profile, _cmd_profile,
+                          _listing_profile),
+    "objects": Subcommand(_configure_objects, _cmd_objects,
+                          _listing_objects),
+    "scale-tenants": Subcommand(_configure_scale_tenants,
+                                _cmd_scale_tenants,
+                                _listing_scale_tenants),
+    "prog": Subcommand(_configure_prog, _cmd_prog, _listing_prog),
+}
+
+
 def _print_listing() -> None:
-    from .telemetry.runner import latency_experiments, \
-        object_experiments, traceable_experiments
-    print("analytical sections: " + ", ".join(ANALYTICAL))
-    print("simulated sections:  " + ", ".join(SIMULATED))
-    print("traceable experiments (python -m repro trace <name> -o t.json):")
-    for name, description in traceable_experiments().items():
-        print(f"  {name:12s} {description}")
-    print("latency attribution (python -m repro latency <name>):")
-    for name, description in latency_experiments().items():
-        print(f"  {name:12s} {description}")
-    print("object-table dumps (python -m repro objects <name>):")
-    for name, description in object_experiments().items():
-        print(f"  {name:12s} {description}")
-    print("multi-tenant scaling (python -m repro scale-tenants "
-          "--tenants N): per-tenant throughput/latency on one FLD")
-    print("match-action programs (python -m repro prog [--scenario "
-          "firewall lb nat ddos]): verified datapath programs with "
-          "per-verdict counters")
+    for line in _listing_sections():
+        print(line)
+    for command in SUBCOMMANDS.values():
+        if command.listing is not None:
+            for line in command.listing():
+                print(line)
 
 
 def _legacy_main(argv: List[str]) -> int:
@@ -636,30 +793,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # keep working: anything that does not lead with a subcommand or a
     # global flag takes the legacy flat path.
     leading = argv[0] if argv else ""
-    if leading not in ("tables", "figures", "trace", "latency",
-                       "objects", "scale-tenants", "prog", "--list",
-                       "-h", "--help"):
+    if leading not in SUBCOMMANDS and leading not in ("--list", "-h",
+                                                      "--help"):
         return _legacy_main(argv)
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.list:
         _print_listing()
         return 0
-    if args.command == "tables":
-        return _cmd_group(args.sections, args.full, _TABLE_SECTIONS,
-                          _make_context(args))
-    if args.command == "figures":
-        return _cmd_group(args.sections, args.full, _FIGURE_SECTIONS,
-                          _make_context(args))
-    if args.command == "trace":
-        return _cmd_trace(args)
-    if args.command == "latency":
-        return _cmd_latency(args)
-    if args.command == "objects":
-        return _cmd_objects(args)
-    if args.command == "scale-tenants":
-        return _cmd_scale_tenants(args)
-    if args.command == "prog":
-        return _cmd_prog(args)
+    command = SUBCOMMANDS.get(args.command)
+    if command is not None:
+        return command.run(args)
     parser.print_help()
     return 0

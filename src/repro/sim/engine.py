@@ -34,9 +34,11 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from ..telemetry import NULL_TELEMETRY
+from ..telemetry.profile import NULL_PROFILER
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
@@ -119,16 +121,21 @@ class Process:
         result = yield sim.spawn(worker(sim))
     """
 
-    __slots__ = ("sim", "_gen", "_done", "name", "_resume")
+    __slots__ = ("sim", "_gen", "_done", "name", "_resume", "profile_tag")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         self.sim = sim
         self._gen = gen
         self._done = Event(sim)
         self.name = name or getattr(gen, "__name__", "process")
+        self.profile_tag = self.name
         # One bound method reused for every yield; a per-yield lambda would
-        # allocate a closure each time the process blocks.
-        self._resume = self._on_event
+        # allocate a closure each time the process blocks.  Under the
+        # profiler the resume wrapper re-establishes this process's tag
+        # before stepping (a store handoff can resume us synchronously
+        # from inside another component's dispatch).
+        self._resume = (self._on_event if sim._prof is None
+                        else self._profiled_on_event)
 
     @property
     def done(self) -> Event:
@@ -140,6 +147,15 @@ class Process:
 
     def _on_event(self, event: Event) -> None:
         self._step(event._value)
+
+    def _profiled_on_event(self, event: Event) -> None:
+        prof = self.sim._prof
+        prev = prof.current_tag
+        prof.current_tag = self.profile_tag
+        try:
+            self._step(event._value)
+        finally:
+            prof.current_tag = prev
 
     def _step(self, value: Any = None) -> None:
         # Trampoline: when the yielded event has already fired, resume the
@@ -175,13 +191,35 @@ class Process:
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, seq, func, arg) entries."""
+    """The event loop: a priority queue of (time, seq, func, arg) entries.
 
-    def __init__(self, telemetry=None):
+    With a live profiler (``Telemetry(profile=True)`` or an explicit
+    ``profiler=``) the scheduling entry points are rebound to variants
+    that append an owner tag to each heap entry, and :meth:`run`
+    dispatches through the accounting loop.  With the default
+    :data:`~repro.telemetry.profile.NULL_PROFILER` none of those paths
+    are touched — the class-level methods run unmodified, so disabled
+    runs are bit-identical to untraced ones.
+    """
+
+    def __init__(self, telemetry=None, profiler=None):
         self._now = 0.0
         self._queue: List = []
         self._seq = 0
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if profiler is None:
+            profiler = getattr(self.telemetry, "profiler", NULL_PROFILER)
+        self.profiler = profiler
+        if profiler.enabled:
+            self._prof = profiler
+            # Instance-attribute rebinding: profiled pushes carry a
+            # 5th tag element; the unprofiled methods stay untouched
+            # on the class for every other simulator.
+            self.schedule = self._schedule_profiled
+            self.call_later = self._call_later_profiled
+            self.timeout = self._timeout_profiled
+        else:
+            self._prof = None
         self._ctr_proc_spawned = self.telemetry.counter("sim.processes.spawned")
         self._ctr_proc_finished = self.telemetry.counter(
             "sim.processes.finished")
@@ -223,6 +261,50 @@ class Simulator:
         seq = self._seq
         self._seq = seq + 1
         _heappush(self._queue, (self._now + delay, seq, event.succeed, value))
+        return event
+
+    # -- profiled scheduling (bound as instance attrs when profiling) ----
+
+    def _owner_tag(self, func) -> str:
+        """The tag a heap entry belongs to: the callable's owning
+        component when it is a bound method of something tagged
+        (``profile_tag``), else the tag of the currently dispatching
+        context."""
+        owner = getattr(func, "__self__", None)
+        if owner is not None:
+            tag = getattr(owner, "profile_tag", None)
+            if tag is not None:
+                return tag
+        return self._prof.current_tag
+
+    def _schedule_profiled(self, delay: float,
+                           action: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._queue, (self._now + delay, seq, action, _NO_ARG,
+                                self._owner_tag(action)))
+
+    def _call_later_profiled(self, delay: float, func: Callable[[Any], None],
+                             arg: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._queue, (self._now + delay, seq, func, arg,
+                                self._owner_tag(func)))
+
+    def _timeout_profiled(self, delay: float, value: Any = None) -> Event:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        event = Event(self)
+        seq = self._seq
+        self._seq = seq + 1
+        # ``event.succeed`` is owned by the Event, which carries no tag;
+        # the timeout attributes to whoever asked for it.
+        _heappush(self._queue, (self._now + delay, seq, event.succeed, value,
+                                self._prof.current_tag))
         return event
 
     def event(self) -> Event:
@@ -270,6 +352,8 @@ class Simulator:
         horizon is checked once per timestamp, not once per event.
         Dispatch order is still strictly ``(time, seq)``.
         """
+        if self._prof is not None:
+            return self._run_profiled(until, max_events)
         processed = 0
         queue = self._queue
         try:
@@ -306,6 +390,80 @@ class Simulator:
             # One bulk add per run() call keeps the loop body clean of
             # telemetry work.
             self._ctr_events.inc(processed)
+
+    def _run_profiled(self, until: Optional[float],
+                      max_events: int) -> float:
+        """:meth:`run` with per-event accounting.
+
+        Identical dispatch order and identical simulation results — the
+        only differences are bookkeeping: the entry's 5th element (its
+        owner tag) is counted, the profiler's ``current_tag`` tracks the
+        dispatching entry so nested pushes inherit it, heap depth is
+        sampled on a fixed event cadence, and (in wallclock mode) each
+        dispatch is timed with ``perf_counter``.
+        """
+        prof = self._prof
+        counts = prof.event_counts
+        wallclock = prof.wallclock
+        wall = prof.wall_times
+        depth_every = prof.depth_every
+        processed = 0
+        base = prof.total_events
+        queue = self._queue
+        try:
+            while queue:
+                entry = queue[0]
+                time = entry[0]
+                if until is not None and time > until:
+                    self._now = until
+                    return until
+                self._now = time
+                while True:
+                    _heappop(queue)
+                    func = entry[2]
+                    arg = entry[3]
+                    tag = entry[4]
+                    prof.current_tag = tag
+                    counts[tag] = counts.get(tag, 0) + 1
+                    if wallclock:
+                        t0 = perf_counter()
+                        if arg is _NO_ARG:
+                            func()
+                        else:
+                            func(arg)
+                        elapsed = perf_counter() - t0
+                        callsite = getattr(func, "__qualname__", repr(func))
+                        acc = wall.get((tag, callsite))
+                        if acc is None:
+                            wall[(tag, callsite)] = [elapsed, 1]
+                        else:
+                            acc[0] += elapsed
+                            acc[1] += 1
+                    else:
+                        if arg is _NO_ARG:
+                            func()
+                        else:
+                            func(arg)
+                    processed += 1
+                    if processed % depth_every == 0:
+                        prof.record_depth(base + processed, len(queue))
+                        depth_every = prof.depth_every
+                    if processed > max_events:
+                        raise SimulationError(
+                            f"exceeded {max_events} events; likely a livelock"
+                        )
+                    if not queue:
+                        break
+                    entry = queue[0]
+                    if entry[0] != time:
+                        break
+            if until is not None:
+                self._now = max(self._now, until)
+            return self._now
+        finally:
+            self._ctr_events.inc(processed)
+            prof.total_events += processed
+            prof.flush()
 
 
 class Store:

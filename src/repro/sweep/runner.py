@@ -42,9 +42,13 @@ def _execute_point(point: SweepPoint) -> Tuple[Any, Optional[Dict]]:
         from ..telemetry.sink import Telemetry
         # "spans" turns on per-packet span trees; finished traces feed
         # spans.* histograms in the registry, so the export (and hence
-        # the cache entry) carries the latency attribution.
+        # the cache entry) carries the latency attribution.  "profile"
+        # turns on the simulator profiler; event counts flush into
+        # profile.* counters (wall-clock timing stays off — registry
+        # exports must be machine-independent).
         telemetry = Telemetry(trace=False,
-                              spans=(point.telemetry == "spans"))
+                              spans=(point.telemetry == "spans"),
+                              profile=(point.telemetry == "profile"))
         kwargs["telemetry"] = telemetry
     # Deterministic per-point seeding: the global RNG is the only
     # simulator-visible nondeterminism (e.g. Flow IP idents), and it is

@@ -14,7 +14,11 @@ Three pieces:
   (:class:`SpanRecorder`) for latency attribution, with
   :mod:`repro.telemetry.latency` building Table-6-style per-stage
   reports and :mod:`repro.telemetry.audit` checking runtime invariants
-  (orphaned spans, credit/buffer leaks, retransmit storms).
+  (orphaned spans, credit/buffer leaks, retransmit storms);
+* :mod:`repro.telemetry.profile` — the deterministic simulator profiler
+  (:class:`SimProfiler`): per-event owner tagging in the engine run
+  loop, per-stage event attribution, heap-depth timeline and optional
+  wall-clock callsite totals with collapsed-stack output.
 
 Usage: build a :class:`Telemetry`, hand it to the simulator, and every
 instrumented component lights up::
@@ -52,6 +56,7 @@ from .metrics import (
     MetricsRegistry,
     Snapshot,
 )
+from .profile import NULL_PROFILER, NullSimProfiler, SimProfiler
 from .spans import (
     NULL_SPANS,
     NullSpanRecorder,
@@ -83,14 +88,17 @@ __all__ = [
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
+    "NULL_PROFILER",
     "NULL_REGISTRY",
     "NULL_SPANS",
     "NULL_TELEMETRY",
     "NULL_TRACER",
     "NullRegistry",
+    "NullSimProfiler",
     "NullSpanRecorder",
     "NullTelemetry",
     "NullTracer",
+    "SimProfiler",
     "Snapshot",
     "Span",
     "SpanRecorder",

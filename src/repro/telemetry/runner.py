@@ -290,13 +290,16 @@ def run_latency(experiment: str, count: Optional[int] = None,
     violations = audit_all(spans=telemetry.spans, flds=flds, nics=nics,
                            expect_complete=expect_complete)
     report = build_report(telemetry.spans, registry=telemetry.metrics)
+    spans = telemetry.spans
     summary = {
         "experiment": experiment,
         "sample_rate": sample_rate,
         "result": result,
         "report": report,
         "violations": [v.to_dict() for v in violations],
-        "traces": len(telemetry.spans),
+        "traces": len(spans),
+        "sampler": {"seen": spans.seen, "sampled": spans.sampled,
+                    "skipped": spans.skipped, "dropped": spans.dropped},
     }
     if json_output is not None:
         import json
@@ -305,6 +308,138 @@ def run_latency(experiment: str, count: Optional[int] = None,
         with open(json_output, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2)
         summary["json_output"] = json_output
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Simulator profiling (``python -m repro profile <experiment>``)
+# ---------------------------------------------------------------------------
+#
+# Same live-handle pattern as the latency runners: the auditor needs the
+# FLD cores and NICs after quiesce, and the profiler report needs the
+# delivered-packet count to express events per packet.
+
+
+def _prof_throughput(telemetry: Telemetry, count: int, size: int,
+                     mode: str):
+    sim, setup, flds, nics = _echo_setup(telemetry, mode)
+    loadgen = setup.loadgen
+    # Offer line rate for this size, exactly as the Fig. 7b points do.
+    rate_pps = 25e9 / ((size + 24) * 8)
+
+    def run(sim):
+        yield from loadgen.run_open_loop([size] * count, rate_pps=rate_pps)
+        yield from loadgen.drain()
+
+    _drive(sim, run(sim), until=2.0)
+    result = {
+        "mode": mode,
+        "size": size,
+        "sent": loadgen.stats_sent,
+        "received": loadgen.stats_received,
+        "gbps": loadgen.rx_meter.gbps(wire_overhead_per_packet=24),
+        "mpps": loadgen.rx_meter.mpps(),
+    }
+    return result, flds, nics, loadgen.stats_received
+
+
+def _prof_echo(telemetry: Telemetry, count: int, size: int):
+    return _prof_throughput(telemetry, count, size, "flde")
+
+
+def _prof_cpu_echo(telemetry: Telemetry, count: int, size: int):
+    return _prof_throughput(telemetry, count, size, "cpu")
+
+
+def _prof_forwarding(telemetry: Telemetry, count: int, size: int):
+    from ..net import ImcDatacenterSizes
+    sim, setup, flds, nics = _echo_setup(telemetry, "flde-forwarding")
+    loadgen = setup.loadgen
+    sizes = ImcDatacenterSizes(seed=7).sizes(count)
+
+    def run(sim):
+        yield from loadgen.run_open_loop(sizes)
+        yield from loadgen.drain()
+
+    _drive(sim, run(sim), until=5.0)
+    result = {
+        "mode": "flde",
+        "sent": loadgen.stats_sent,
+        "received": loadgen.stats_received,
+        "mpps": loadgen.rx_meter.mpps(),
+    }
+    return result, flds, nics, loadgen.stats_received
+
+
+# experiment name -> (runner, default count, default size)
+PROFILEABLE: Dict[str, Tuple[Callable, int, int]] = {
+    "echo": (_prof_echo, 600, 256),
+    "cpu-echo": (_prof_cpu_echo, 600, 256),
+    "forwarding": (_prof_forwarding, 1500, 0),
+}
+
+
+def profile_experiments() -> Dict[str, str]:
+    """Name -> short description, for ``--list`` and error messages."""
+    return {
+        "echo": "FLD-E remote echo, per-stage event accounting",
+        "cpu-echo": "CPU-baseline remote echo event accounting",
+        "forwarding": "mixed-size trace forwarding event accounting",
+    }
+
+
+def run_profile(experiment: str, count: Optional[int] = None,
+                size: Optional[int] = None, wallclock: bool = False,
+                json_output: Optional[str] = None,
+                collapsed_output: Optional[str] = None,
+                top: int = 10) -> Dict:
+    """Run ``experiment`` under the simulator profiler.
+
+    Returns ``{"experiment", "result", "profile", "violations", ...}``.
+    The profile reports per-stage heap-event counts (which sum exactly
+    to the engine's total event count), events per delivered packet, a
+    heap-depth timeline and — with ``wallclock=True`` — per-callsite
+    wall-clock totals plus collapsed-stack lines for flamegraph tools.
+    ``violations`` comes from the invariant auditor run over the FLD
+    cores and NICs after quiesce.
+    """
+    try:
+        runner, default_count, default_size = PROFILEABLE[experiment]
+    except KeyError:
+        known = ", ".join(sorted(PROFILEABLE))
+        raise ValueError(
+            f"unknown profile experiment {experiment!r}; "
+            f"choose from: {known}") from None
+    telemetry = Telemetry(trace=False, profile=True,
+                          profile_wallclock=wallclock)
+    result, flds, nics, delivered = runner(
+        telemetry,
+        count if count is not None else default_count,
+        size if size is not None else default_size)
+
+    from .audit import audit_all
+    violations = audit_all(flds=flds, nics=nics)
+    profiler = telemetry.profiler
+    summary = {
+        "experiment": experiment,
+        "result": result,
+        "delivered": delivered,
+        "profile": profiler.report(delivered=delivered),
+        "engine_events": telemetry.metrics.counter(
+            "sim.events.processed").value,
+        "violations": [v.to_dict() for v in violations],
+    }
+    if json_output is not None:
+        import json
+        with open(json_output, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+        summary["json_output"] = json_output
+    if collapsed_output is not None:
+        with open(collapsed_output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(profiler.collapsed_stacks()) + "\n")
+        summary["collapsed_output"] = collapsed_output
+    # Rendered after the artifacts so the text can't drift from them.
+    summary["rendered"] = profiler.render(delivered=delivered, top=top)
     return summary
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Snapshot
+from .profile import NULL_PROFILER, NullSimProfiler, SimProfiler
 from .spans import NULL_SPANS, NullSpanRecorder, SpanRecorder
 from .trace import NULL_TRACER, NullTracer, Tracer
 
@@ -124,13 +125,20 @@ class Telemetry:
     every N packets.  Finished traces feed ``spans.*`` histograms in
     :attr:`metrics`, so span-derived latency attribution merges across
     sweep points like any other metric.
+
+    ``profile=True`` attaches a :class:`~repro.telemetry.profile.SimProfiler`
+    the engine picks up for per-event/per-stage cost attribution; event
+    counts flush into ``profile.*`` counters in :attr:`metrics` (and so
+    merge across sweep points), while ``profile_wallclock=True`` adds
+    machine-local handler timing that stays out of the registry.
     """
 
     enabled = True
 
     def __init__(self, trace: bool = True, max_trace_events: int = 1_000_000,
                  spans: bool = False, span_sample_rate: int = 1,
-                 max_traces: int = 100_000):
+                 max_traces: int = 100_000, profile: bool = False,
+                 profile_wallclock: bool = False):
         self.metrics = MetricsRegistry()
         self.tracer: Tracer = (Tracer(max_trace_events) if trace
                                else NULL_TRACER)
@@ -138,6 +146,9 @@ class Telemetry:
             SpanRecorder(sample_rate=span_sample_rate,
                          max_traces=max_traces, registry=self.metrics)
             if spans else NULL_SPANS)
+        self.profiler: SimProfiler = (
+            SimProfiler(wallclock=profile_wallclock, registry=self.metrics)
+            if profile else NULL_PROFILER)
 
     # Registry passthroughs, so call sites read `telemetry.counter(...)`.
 
@@ -173,6 +184,7 @@ class NullTelemetry:
     metrics = NULL_REGISTRY
     tracer: NullTracer = NULL_TRACER
     spans: NullSpanRecorder = NULL_SPANS
+    profiler: NullSimProfiler = NULL_PROFILER
 
     def counter(self, name: str) -> _NullCounter:
         return NULL_COUNTER

@@ -235,7 +235,9 @@ class SpanRecorder:
         self.sample_rate = sample_rate
         self.max_traces = max_traces
         self.registry = registry
-        self.dropped = 0
+        self.sampled = 0         # traces actually started
+        self.skipped = 0         # offers declined by 1-in-N sampling
+        self.dropped = 0         # offers declined by the max_traces cap
         self._seen = 0           # packets offered to start_trace
         self._next_trace = 1
         self._next_span = 1
@@ -245,17 +247,36 @@ class SpanRecorder:
 
     # -- trace lifecycle -------------------------------------------------
     def start_trace(self, name: str, now: float) -> Optional[TraceContext]:
-        """Begin a trace for this packet, or ``None`` if unsampled."""
+        """Begin a trace for this packet, or ``None`` if unsampled.
+
+        Every offer is accounted: ``sampled + skipped + dropped ==
+        seen``, and the same tallies feed ``spans.sampler.*`` counters
+        in the registry so sweep-merged exports say how much of the
+        traffic the attribution actually observed.
+        """
         self._seen += 1
         if (self._seen - 1) % self.sample_rate != 0:
+            self.skipped += 1
+            if self.registry is not None:
+                self.registry.counter("spans.sampler.skipped").inc()
             return None
         if len(self._traces) >= self.max_traces:
             self.dropped += 1
+            if self.registry is not None:
+                self.registry.counter("spans.sampler.dropped").inc()
             return None
+        self.sampled += 1
+        if self.registry is not None:
+            self.registry.counter("spans.sampler.sampled").inc()
         trace_id = self._next_trace
         self._next_trace += 1
         self._traces[trace_id] = Trace(trace_id, name, now)
         return TraceContext(trace_id)
+
+    @property
+    def seen(self) -> int:
+        """Packets offered to :meth:`start_trace` so far."""
+        return self._seen
 
     def end_trace(self, ctx: Optional[TraceContext], now: float) -> None:
         if ctx is None:
@@ -363,6 +384,8 @@ class SpanRecorder:
             "schema": SPAN_SCHEMA_VERSION,
             "sample_rate": self.sample_rate,
             "seen": self._seen,
+            "sampled": self.sampled,
+            "skipped": self.skipped,
             "dropped": self.dropped,
             "traces": [t.to_dict()
                        for t in sorted(self._traces.values(),
@@ -393,6 +416,9 @@ class NullSpanRecorder:
     sample_rate = 0
     max_traces = 0
     registry = None
+    seen = 0
+    sampled = 0
+    skipped = 0
     dropped = 0
 
     def start_trace(self, name: str, now: float) -> Optional[TraceContext]:
@@ -445,7 +471,8 @@ class NullSpanRecorder:
 
     def to_dict(self) -> Dict[str, Any]:
         return {"schema": SPAN_SCHEMA_VERSION, "sample_rate": 0,
-                "seen": 0, "dropped": 0, "traces": []}
+                "seen": 0, "sampled": 0, "skipped": 0, "dropped": 0,
+                "traces": []}
 
 
 #: Shared no-op recorder used when span tracing is disabled.

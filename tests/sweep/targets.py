@@ -76,3 +76,17 @@ def with_spans(n: int, telemetry=None) -> Dict:
             spans.record(ctx, "wire", 0.0, 1e-6)
             spans.end_trace(ctx, 2e-6)
     return {"n": n}
+
+
+def with_profile(n: int, telemetry=None) -> Dict:
+    """A target that runs a tiny simulation under the event profiler."""
+    from repro.sim import Simulator
+    sim = Simulator(telemetry=telemetry)
+
+    def proc(sim):
+        for _ in range(n):
+            yield sim.timeout(1.0)
+
+    sim.spawn(proc(sim), name="worker")
+    sim.run()
+    return {"n": n}

@@ -179,7 +179,9 @@ class TestSpansTelemetryMode:
         plain = SweepPoint("e", "m:f", {"x": 1})
         metrics = SweepPoint("e", "m:f", {"x": 1}, telemetry=True)
         spans = SweepPoint("e", "m:f", {"x": 1}, telemetry="spans")
-        assert len({plain.key(), metrics.key(), spans.key()}) == 3
+        profile = SweepPoint("e", "m:f", {"x": 1}, telemetry="profile")
+        assert len({plain.key(), metrics.key(), spans.key(),
+                    profile.key()}) == 4
 
     def test_spans_mode_merges_from_warm_cache(self, tmp_path):
         cache = SweepCache(str(tmp_path))
@@ -191,3 +193,47 @@ class TestSpansTelemetryMode:
         for outcome in (cold, warm):
             hist = outcome.metrics.histogram("spans.stage.wire.service")
             assert hist.count == 4
+
+
+class TestProfileTelemetryMode:
+    def test_profile_mode_exports_event_counters(self):
+        points = [SweepPoint("unit", "tests.sweep.targets:with_profile",
+                             {"n": 3}, telemetry="profile")]
+        outcome = run_sweep(points)
+        # Bootstrap + n timeouts, all owned by the worker process.
+        assert outcome.metrics.counter("profile.events.total").value == 4
+        assert outcome.metrics.counter(
+            "profile.stage.other.events").value == 4
+
+    def test_sweep_merged_profile_equals_single_run(self):
+        # The sharding contract applied to the profiler: the sweep's
+        # merged profile.* counters must equal what one direct run of
+        # the same points records into a single registry.
+        from repro.telemetry import Telemetry
+        counts = [2, 5]
+        points = [SweepPoint("unit", "tests.sweep.targets:with_profile",
+                             {"n": n}, telemetry="profile")
+                  for n in counts]
+        merged = run_sweep(points).metrics
+
+        direct = None
+        total = 0
+        for n in counts:
+            telemetry = Telemetry(trace=False, profile=True)
+            targets.with_profile(n, telemetry=telemetry)
+            total += n + 1
+            if direct is None:
+                direct = telemetry.metrics
+            else:
+                direct.merge_from(telemetry.metrics.to_dict())
+        assert merged.counter("profile.events.total").value == total
+        for name in ("profile.events.total",
+                     "profile.stage.other.events"):
+            assert merged.counter(name).value == \
+                direct.counter(name).value
+
+    def test_plain_telemetry_mode_records_no_profile(self):
+        points = [SweepPoint("unit", "tests.sweep.targets:with_profile",
+                             {"n": 3}, telemetry=True)]
+        outcome = run_sweep(points)
+        assert "profile.events.total" not in outcome.metrics

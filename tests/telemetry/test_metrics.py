@@ -88,6 +88,23 @@ class TestHistogram:
         with pytest.raises(MetricsError):
             Histogram().merge(Counter("nope"))
 
+    def test_merge_with_empty_is_identity_either_way(self):
+        populated = Histogram("p")
+        for v in (1.0, 4.0, -2.0):
+            populated.observe(v)
+        before = populated.to_dict()
+        populated.merge(Histogram("empty"))
+        assert populated.to_dict() == before
+        # Empty absorbing populated reproduces it exactly.
+        empty = Histogram("e")
+        empty.merge(populated)
+        assert empty.count == populated.count
+        assert empty.total == pytest.approx(populated.total)
+        assert empty.buckets == populated.buckets
+        assert empty.min == populated.min
+        assert empty.max == populated.max
+        assert empty.underflow == populated.underflow
+
     def test_dict_round_trip(self):
         histogram = Histogram("rtt")
         for v in (0.5, 3.0, 3.5, 200.0, -1.0):
@@ -165,6 +182,81 @@ class TestRegistry:
         assert data["histograms"]["h"]["count"] == 1
         assert data["probes"] == {"p.k": 9}
         json.loads(registry.to_json())  # serializable
+
+
+class TestMergeFrom:
+    """Registry aggregation: the sweep/benchmark sharding contract."""
+
+    def test_merge_empty_export_is_a_no_op(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.histogram("h").observe(2.0)
+        before = registry.to_dict()
+        registry.merge_from({})
+        registry.merge_from({"counters": {}, "gauges": {},
+                             "histograms": {}})
+        assert registry.to_dict() == before
+
+    def test_merge_into_empty_reproduces_the_export(self):
+        source = MetricsRegistry()
+        source.counter("tlps").inc(7)
+        source.gauge("depth").set(4)
+        source.histogram("lat").observe(1.5)
+        export = json.loads(json.dumps(source.to_dict()))
+        target = MetricsRegistry()
+        target.merge_from(export)
+        assert target.to_dict() == source.to_dict()
+
+    def test_merge_disjoint_instruments_unions(self):
+        a = MetricsRegistry()
+        a.counter("only.a").inc(1)
+        a.histogram("hist.a").observe(2.0)
+        b = MetricsRegistry()
+        b.counter("only.b").inc(2)
+        b.gauge("gauge.b").set(5)
+        merged = MetricsRegistry()
+        merged.merge_from(a.to_dict())
+        merged.merge_from(b.to_dict())
+        assert merged.counter("only.a").value == 1
+        assert merged.counter("only.b").value == 2
+        assert merged.gauge("gauge.b").value == 5
+        assert merged.histogram("hist.a").count == 1
+
+    def test_merge_overlapping_counters_add_and_gauges_keep_peak(self):
+        shard = MetricsRegistry()
+        shard.counter("c").inc(10)
+        gauge = shard.gauge("g")
+        gauge.set(9)
+        gauge.set(2)
+        merged = MetricsRegistry()
+        merged.merge_from(shard.to_dict())
+        merged.merge_from(shard.to_dict())
+        assert merged.counter("c").value == 20
+        assert merged.gauge("g").value == 2
+        assert merged.gauge("g").peak == 9
+
+    def test_merged_profiler_shards_sum_exactly(self):
+        # Two profiled shards of a simulation must merge to the totals a
+        # single combined run would report: profile.* instruments are
+        # plain counters, so merge_from adds them loss-free.
+        from repro.telemetry.profile import SimProfiler
+
+        def shard(events):
+            registry = MetricsRegistry()
+            profiler = SimProfiler(registry=registry)
+            for tag, count in events.items():
+                profiler.event_counts[tag] = count
+                profiler.total_events += count
+            profiler.flush()
+            return registry
+
+        first = shard({"pcie": 5, "run": 2})
+        second = shard({"pcie": 3, "client.nic.rq1": 4})
+        merged = MetricsRegistry()
+        merged.merge_from(first.to_dict())
+        merged.merge_from(second.to_dict())
+        combined = shard({"pcie": 8, "run": 2, "client.nic.rq1": 4})
+        assert merged.to_dict() == combined.to_dict()
 
 
 class TestNullSink:

@@ -79,6 +79,36 @@ class TestSampling:
         with pytest.raises(ValueError):
             SpanRecorder(sample_rate=0)
 
+    def test_sampler_accounting_partitions_every_offer(self):
+        spans = SpanRecorder(sample_rate=3)
+        for i in range(10):
+            spans.start_trace(f"p{i}", 0.0)
+        assert spans.seen == 10
+        assert spans.sampled == 4
+        assert spans.skipped == 6
+        assert spans.dropped == 0
+        assert spans.sampled + spans.skipped + spans.dropped == spans.seen
+        export = spans.to_dict()
+        assert export["sampled"] == 4 and export["skipped"] == 6
+
+    def test_cap_overflow_counts_as_dropped_not_skipped(self):
+        spans = SpanRecorder(sample_rate=1, max_traces=2)
+        for i in range(5):
+            spans.start_trace(f"p{i}", 0.0)
+        assert spans.sampled == 2
+        assert spans.dropped == 3
+        assert spans.skipped == 0
+
+    def test_sampler_counters_feed_the_registry(self):
+        from repro.telemetry import MetricsRegistry
+        registry = MetricsRegistry()
+        spans = SpanRecorder(sample_rate=2, max_traces=2, registry=registry)
+        for i in range(6):
+            spans.start_trace(f"p{i}", 0.0)
+        assert registry.counter("spans.sampler.sampled").value == 2
+        assert registry.counter("spans.sampler.skipped").value == 3
+        assert registry.counter("spans.sampler.dropped").value == 1
+
 
 class TestStashClaim:
     def test_roundtrip_is_consume_once(self):
