@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Standalone event-engine microbenchmark (no pytest needed).
+
+Measures raw dispatch throughput of the two-tier scheduler in
+isolation — no NIC, no PCIe model, just the engine — so scheduler
+changes can be judged without the datapath's noise on top.  Three
+workloads, each dispatching a known number of events:
+
+* ``ready``  — an in-order continuation stream (monotone
+  ``schedule_at`` deadlines), the cut-through fast path: every entry
+  should land on the ready deque and never touch the heap;
+* ``heap``   — interleaved out-of-order timers, the worst case:
+  every entry pays a heappush/heappop;
+* ``store``  — producer/consumer pairs over bounded :class:`Store`
+  objects, the blocking-handoff pattern the NIC pipeline stages use.
+
+Output is a JSON report (schema 1) with events/sec per workload and
+the ready/heap dispatch split measured by a heappush spy.  The report
+is a diagnostic artifact (uploaded from CI), not a committed baseline:
+wall-clock on shared runners is too noisy to gate on, unlike the
+deterministic events-per-packet number guarded by
+``check_bench_regression.py``.
+
+Usage::
+
+    python benchmarks/bench_engine.py [--events N] [-o out.json]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.normpath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.sim import Simulator, Store  # noqa: E402
+from repro.sim import engine as _engine  # noqa: E402
+
+TICK = 1e-9
+
+
+def _count_heap_pushes(sim):
+    """Wrap the module-level heappush to count escapes to the heap tier."""
+    counter = {"pushes": 0}
+    original = _engine._heappush
+
+    def spy(heap, entry):
+        counter["pushes"] += 1
+        original(heap, entry)
+
+    _engine._heappush = spy
+    return counter, lambda: setattr(_engine, "_heappush", original)
+
+
+def bench_ready(events):
+    """In-order continuation stream: the schedule_at fast path."""
+    sim = Simulator()
+    state = {"left": events}
+
+    def hop():
+        if state["left"] > 0:
+            state["left"] -= 1
+            sim.schedule_at(sim.now + TICK, hop)
+
+    sim.schedule_at(0.0, hop)
+    counter, restore = _count_heap_pushes(sim)
+    try:
+        started = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - started
+    finally:
+        restore()
+    return events + 1, wall, counter["pushes"]
+
+
+def bench_heap(events):
+    """Out-of-order timers: every deadline lands behind the ready tail."""
+    sim = Simulator()
+    # Two interleaved arithmetic deadline streams with incommensurate
+    # strides: successive schedules alternate earlier/later, defeating
+    # the monotone-tail test without needing a random source.
+    n = 0
+
+    def noop():
+        pass
+
+    # The heap cost is paid at schedule time, so the spy and the clock
+    # both cover the scheduling loop as well as the drain.
+    counter, restore = _count_heap_pushes(sim)
+    try:
+        started = time.perf_counter()
+        for i in range(events):
+            if i % 2:
+                sim.schedule(1.0 + (i % 1000) * 3e-6, noop)
+            else:
+                sim.schedule(2.0 - (i % 1000) * 2e-6, noop)
+            n += 1
+        sim.run()
+        wall = time.perf_counter() - started
+    finally:
+        restore()
+    return n, wall, counter["pushes"]
+
+
+def bench_store(events, pairs=4):
+    """Blocking producer/consumer handoffs over bounded stores."""
+    sim = Simulator()
+    per_pair = events // pairs
+
+    def producer(store):
+        for i in range(per_pair):
+            yield store.put(i)
+
+    def consumer(store):
+        for _ in range(per_pair):
+            yield store.get()
+            yield sim.timeout(TICK)
+
+    for p in range(pairs):
+        store = Store(sim, capacity=8, name=f"bench{p}")
+        sim.spawn(producer(store), name=f"prod{p}")
+        sim.spawn(consumer(store), name=f"cons{p}")
+    counter, restore = _count_heap_pushes(sim)
+    try:
+        started = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - started
+    finally:
+        restore()
+    # Each handoff costs roughly a put-wake + get-wake + timer.
+    return per_pair * pairs * 3, wall, counter["pushes"]
+
+
+WORKLOADS = [("ready", bench_ready), ("heap", bench_heap),
+             ("store", bench_store)]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=200_000,
+                        help="approximate dispatches per workload "
+                             "(default: 200000)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="JSON output path (default: stdout only)")
+    args = parser.parse_args(argv)
+
+    rows = []
+    for name, fn in WORKLOADS:
+        dispatched, wall, heap_pushes = fn(args.events)
+        rows.append({
+            "workload": name,
+            "dispatched": dispatched,
+            "wall_seconds": wall,
+            "events_per_second": dispatched / wall if wall else None,
+            "heap_pushes": heap_pushes,
+            "heap_share": heap_pushes / dispatched if dispatched else None,
+        })
+        print(f"{name:>6}: {dispatched} dispatches in {wall:.3f}s "
+              f"({dispatched / wall:,.0f} ev/s, "
+              f"{heap_pushes / dispatched:.1%} via heap)")
+
+    report = {"bench": "engine_dispatch", "schema": 1,
+              "events": args.events, "rows": rows}
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"-> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

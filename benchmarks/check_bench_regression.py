@@ -10,8 +10,9 @@ This script compares a freshly measured report against the committed
 baseline and exits non-zero when aggregate ``pkts_per_second`` drops by
 more than ``--threshold`` (default 25%), or — for schema-3 baselines —
 when the profiled ``events_per_packet`` grows by more than
-``--events-budget`` (default 10%; heap events are deterministic, so the
-budget can be much tighter than the wall-clock floor).  To keep the
+``--events-budget`` (default 10%; engine events are deterministic, so
+the budget can be much tighter than the wall-clock floor) or past the
+absolute ``--events-ceiling`` when one is given.  To keep the
 comparison meaningful the fresh run reuses the baseline's grid (modes,
 sizes, count) unless a pre-made fresh report is supplied.
 
@@ -78,12 +79,19 @@ def measure_fresh(baseline):
         os.unlink(out)
 
 
-def check_events_budget(baseline, fresh, budget):
+def check_events_budget(baseline, fresh, budget, absolute_ceiling=None):
     """Guard the deterministic events-per-packet trajectory.
 
     Returns 0/1 like an exit status.  Schema-2 baselines carry no
     profile pass; the guard is skipped (with a note) so the throughput
     check still runs against old artifacts.
+
+    Two ceilings apply: a fractional *budget* over the committed
+    baseline (tolerates noise-free drift when the baseline itself is
+    refreshed), and an optional *absolute* ceiling — a hard line the
+    metric must never re-cross once an optimization pushed it below
+    (the +10% relative budget alone would let the number ratchet back
+    up one "acceptable" regression at a time).
     """
     base_epp = baseline.get("events_per_packet")
     fresh_epp = fresh.get("events_per_packet")
@@ -97,10 +105,15 @@ def check_events_budget(baseline, fresh, budget):
         return 2
     growth = fresh_epp / base_epp - 1.0
     ceiling = base_epp * (1.0 + budget)
+    if absolute_ceiling is not None and absolute_ceiling < ceiling:
+        ceiling = absolute_ceiling
     verdict = "OK" if fresh_epp <= ceiling else "REGRESSION"
     print(f"fig7b events/packet: baseline {base_epp:.2f}, fresh "
           f"{fresh_epp:.2f} ({growth:+.1%}); ceiling {ceiling:.2f} "
-          f"[+{budget:.0%}] -> {verdict}")
+          f"[+{budget:.0%}"
+          + (f", abs {absolute_ceiling:.2f}" if absolute_ceiling
+             is not None else "")
+          + f"] -> {verdict}")
     if verdict != "OK":
         print("profiled events per delivered packet grew past the "
               "budget; if the extra events are intended, re-run "
@@ -126,6 +139,11 @@ def main(argv=None):
                         help="max tolerated fractional events-per-packet "
                              "growth (default: 0.10; ignored when the "
                              "baseline predates schema 3)")
+    parser.add_argument("--events-ceiling", type=float, default=None,
+                        help="absolute events-per-packet ceiling; "
+                             "applied on top of --events-budget so the "
+                             "metric can never ratchet back above a "
+                             "line an optimization moved it under")
     args = parser.parse_args(argv)
 
     baseline = load_report(args.baseline)
@@ -151,7 +169,8 @@ def main(argv=None):
               file=sys.stderr)
         status = 1
     events_status = check_events_budget(baseline, fresh,
-                                        args.events_budget)
+                                        args.events_budget,
+                                        args.events_ceiling)
     return max(status, events_status)
 
 

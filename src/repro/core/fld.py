@@ -19,6 +19,7 @@ Data flow:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, Optional, Tuple
 
 from ..nic.wqe import (
@@ -313,6 +314,97 @@ class FlexDriver(PcieEndpoint):
         if region.region == "pi":
             return  # producer-index mirror writes: accepted, uninterpreted
         raise PcieError(f"{self.name}: unwritable region {region!r}")
+
+    def install_rx_fastpath(self, cq, cq_index: int) -> None:
+        """Fuse the NIC's rx-CQE delivery with the rx pipeline hop.
+
+        With cut-through transit and tracing off, the CQE's PCIe
+        arrival event and the rx engine's pipeline-latency push
+        collapse into one: the CQE is decoded at issue time (the packet
+        data's write has already delivered — the NIC posts the CQE from
+        that write's completion callback, so the receive SRAM holds the
+        bytes), a single event at arrival + pipeline latency pushes the
+        packet onto the stream, and — when a buffer closes — recycle
+        doorbells issue from one continuation at the CQE's arrival
+        instant, exactly as the reference delivery would issue them.
+        """
+        if (self._tracer.enabled or self._spans.enabled
+                or not getattr(self.fabric, "_cut_through", False)):
+            return
+        cq.fused_rx = partial(self._rx_cqe_fused, cq_index)
+
+    def _rx_cqe_fused(self, cq_index: int, handle, cqe) -> None:
+        route = self._cq_route.get(cq_index)
+        if (route is None or route[0] != "rx"
+                or cqe.opcode != CQE_RECV_COMPLETION
+                or self.rx.prog_hook is not None):
+            # Rare/slow cases (unbound ring, error CQEs, match-action
+            # programs): replay the reference delivery in its own event
+            # at the write's arrival.
+            self.sim.call_later(handle.delivery - self.sim.now,
+                                self._rx_cqe_arrive, handle)
+            return
+        self.stats_cqe_writes += 1
+        self._ctr_cqe_writes.inc()
+        recycles: list = []
+        self.rx.deliver_fused(
+            route[1], CompressedCqe.compress(cqe),
+            partial(self._emit_rx_fused, handle),
+            lambda addr, payload: recycles.append((addr, payload)))
+        if recycles:
+            # Recycle doorbells must be *issued* at the CQE's arrival
+            # instant, not merely keyed there: an early reservation
+            # carries an early sequence number, which reorders
+            # same-instant ties on the NIC side (observable when the
+            # receive inbox is dropping).  Buffers close on a fraction
+            # of CQEs under MPRQ, so this event is the exception, not
+            # the per-packet cost.
+            self.sim.call_later(handle.delivery - self.sim.now,
+                                partial(self._recycle_at_arrival, handle,
+                                        recycles), None)
+
+    def _recycle_at_arrival(self, handle, recycles, _arg) -> None:
+        sim = self.sim
+        if handle.delivery > sim.now:
+            # Shared-lane arbitration repaired the CQE's arrival after
+            # this continuation was scheduled; fire again on time.
+            sim.call_later(handle.delivery - sim.now,
+                           partial(self._recycle_at_arrival, handle,
+                                   recycles), None)
+            return
+        for addr, payload in recycles:
+            self.fabric.post_write(self, addr, payload,
+                                   trace_ctx=self.tx.outbound_trace_ctx,
+                                   trace_stage="pcie.doorbell")
+
+    def _rx_cqe_arrive(self, handle) -> None:
+        """Fallback continuation: deliver a deferred CQE write exactly
+        as the fabric's own event would have."""
+        sim = self.sim
+        if handle.delivery > sim.now:
+            sim.call_later(handle.delivery - sim.now, self._rx_cqe_arrive,
+                           handle)
+            return
+        handle.commit()
+
+    def _emit_rx_fused(self, handle, data: bytes, meta: AxisMetadata) -> None:
+        self._ctr_rx_stream.inc()
+        sim = self.sim
+        done = handle.delivery + self.config.pipeline_latency
+        sim.call_later(done - sim.now, self._rx_push_fused,
+                       (handle, data, meta))
+
+    def _rx_push_fused(self, entry) -> None:
+        handle, data, meta = entry
+        sim = self.sim
+        done = handle.delivery + self.config.pipeline_latency
+        if done > sim.now:
+            # Shared-lane arbitration repaired the CQE's arrival after
+            # this continuation was scheduled; fire again on time.
+            sim.call_later(done - sim.now, self._rx_push_fused, entry)
+            return
+        handle.retire()
+        self.rx_stream.push(data, meta)
 
     def _on_cqe_write(self, cq_index: int, data: bytes) -> None:
         if len(data) < CQE_SIZE:

@@ -189,6 +189,41 @@ class RxRingManager:
             for cqe, ctx in zip(cqes, trace_ctxs):
                 self._deliver(binding_id, binding, cqe, ctx)
 
+    def deliver_fused(self, binding_id: int, cqe: CompressedCqe,
+                      emit: Callable, recycle_writer: Callable) -> None:
+        """Decode a receive CQE ahead of its PCIe arrival (fused mode).
+
+        State effects are identical to :meth:`on_recv_completion`, with
+        the continuation plumbing supplied by the caller: ``emit(data,
+        meta)`` replaces ``self.emit`` (invoked before recycling, as in
+        :meth:`_deliver`) and recycle doorbells go through
+        ``recycle_writer`` (a future-keyed PCIe writer).  The caller
+        gates out tracing and match-action programs.
+        """
+        binding = self.binding(binding_id)
+        self.stats_cqes += 1
+        desc_index = self._full_desc_index(binding, cqe.wqe_counter)
+        slot = desc_index % binding.ring_entries
+        offset = (binding.sram_offset + slot * binding.buffer_size
+                  + cqe.stride_index * binding.stride_size)
+        data = bytes(self._sram[offset:offset + cqe.byte_count])
+        binding.stats_packets += 1
+        binding.stats_bytes += cqe.byte_count
+        emit(data, AxisMetadata(
+            queue_id=binding_id,
+            context_id=cqe.flow_tag,
+            flags=cqe.flags,
+            msg_last=bool(cqe.flags & CQE_FLAG_MSG_LAST),
+            src_qpn=cqe.qpn,
+            trace_ctx=None,
+        ))
+        while binding.recycled < desc_index:
+            binding.recycled += 1
+            binding.pi += 1
+            binding.stats_recycled += 1
+            recycle_writer(binding.rq_doorbell_addr,
+                           (binding.pi & 0xFFFFFFFF).to_bytes(4, "big"))
+
     def _deliver(self, binding_id: int, binding: _RxBinding,
                  cqe: CompressedCqe, trace_ctx) -> None:
         self.stats_cqes += 1

@@ -15,6 +15,7 @@ The driver's memory consumption is the quantity Table 3 analyses; its
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Dict, List, Optional
 
 from ..nic import (
@@ -89,8 +90,25 @@ class EthQueuePair:
         self.stats_tx = 0
         self.stats_rx = 0
         self._spans = self.sim.telemetry.spans
+        # Events this queue pair schedules directly (fused rx dispatch)
+        # attribute to the same profiler stage as its processes.
+        self.profile_tag = f"ethqp{self.sq.qpn}.rx"
         self.sim.spawn(self._rx_dispatcher(), name=f"ethqp{self.sq.qpn}.rx")
         self.sim.spawn(self._tx_retire(), name=f"ethqp{self.sq.qpn}.txc")
+        # Fused receive dispatch: in cut-through fabric mode the NIC
+        # hands rx CQEs (with their in-flight write handle) straight to
+        # _rx_fused, which folds PCIe delivery and this core's
+        # per-packet processing delay into ONE event per packet — the
+        # timing (a serial dispatcher starting each packet at
+        # max(cqe_arrival, previous_done) and working packet_cost()
+        # seconds) is exactly the generator loop's.  Span-traced runs
+        # keep the generator so per-stage span records are unchanged.
+        self._fused_planned = 0.0   # planned end of the dispatch chain
+        self._fused_done = 0.0      # actual end (>= planned under repair)
+        self._fused_queue = deque()
+        if (self.core is not None and not self._spans.enabled
+                and getattr(driver.fabric, "_cut_through", False)):
+            self.rx_cq.fused_rx = self._rx_fused
 
     def _take(self, size: int) -> int:
         """Allocate host memory, remembered for release on close()."""
@@ -249,6 +267,69 @@ class EthQueuePair:
                 self.on_receive(data, cqe)
             else:
                 self.received.try_put((data, cqe))
+
+    # -- fused receive dispatch (cut-through fabric mode) ------------------
+
+    def _rx_fused(self, handle, cqe) -> None:
+        """NIC-side CQE issue: plan this packet's dispatch completion.
+
+        The processing cost is drawn here — same per-queue draw order as
+        the generator loop, since CQEs arrive (and were consumed) in
+        issue order on the host's down lane.
+        """
+        cost = self.core.packet_cost()
+        planned = max(handle.delivery, self._fused_planned) + cost
+        self._fused_planned = planned
+        # [handle, cqe, cost, committed, fired_early]
+        entry = [handle, cqe, cost, False, False]
+        self._fused_queue.append(entry)
+        sim = self.sim
+        sim.call_later(planned - sim.now, self._rx_fused_fire, entry)
+
+    def _rx_fused_fire(self, entry) -> None:
+        """The per-packet dispatch event: delivery + processing done."""
+        if entry[3]:
+            return
+        queue = self._fused_queue
+        if queue[0] is not entry:
+            # A lane repair pushed an earlier packet past our planned
+            # time; the head's commit re-drives us in order.
+            entry[4] = True
+            return
+        sim = self.sim
+        done = max(entry[0].delivery, self._fused_done) + entry[2]
+        if done > sim.now:
+            sim.call_later(done - sim.now, self._rx_fused_fire, entry)
+            return
+        self._commit_fused(entry)
+        # Re-drive any successors whose events fired early and bailed.
+        while queue and queue[0][4]:
+            head = queue[0]
+            done = max(head[0].delivery, self._fused_done) + head[2]
+            if done > sim.now:
+                sim.call_later(done - sim.now, self._rx_fused_fire, head)
+                return
+            self._commit_fused(head)
+
+    def _commit_fused(self, entry) -> None:
+        """The generator loop's post-timeout body, in callback form."""
+        handle, cqe = entry[0], entry[1]
+        entry[3] = True
+        self._fused_queue.popleft()
+        self._fused_done = self.sim.now
+        handle.commit()
+        driver = self.driver
+        slot = cqe.wqe_counter % self.rq.entries
+        buffer_addr = self._rx_buffers[slot]
+        data = driver.memory.read_local(
+            buffer_addr - driver.mem_base, cqe.byte_count
+        )
+        self._repost(cqe.wqe_counter)
+        self.stats_rx += 1
+        if self.on_receive is not None:
+            self.on_receive(data, cqe)
+        else:
+            self.received.try_put((data, cqe))
 
 
 class RcEndpoint:

@@ -411,14 +411,46 @@ class Nic(PcieEndpoint):
                 yield window.put((index, wqe, data_event, self.sim.now))
 
     def _sq_tx_stage(self, sq: SendQueue, window: Store):
-        """Transmit stage: consume fetched WQEs in order and send."""
+        """Transmit stage: consume fetched WQEs in order and send.
+
+        Hot path (cut-through fabric, tracing off, Ethernet transport,
+        no shaper on the queue): the per-WQE pipeline-occupancy timeout
+        is folded into the transmit itself.  Steering resolves when the
+        DMA data lands; the wire reservation and the signaled CQE are
+        keyed at the stage's *virtual* completion instant ``stage_free``
+        — the exact time the reference generator would have acted — so a
+        WQE costs no dedicated pacing event.  Pulling the next WQE early
+        must not release a backpressured fetch stage ahead of schedule,
+        so when the window sits at (or within one put of) capacity the
+        stage waits out the reference pacing before re-polling.  Every
+        gated-out case realigns to ``stage_free`` and runs the reference
+        body unchanged.
+        """
         tracer = self._tracer
         spans = self._spans
         prof = self._prof
         shaper_tag = f"{self.name}.shaper"
         stage_tag = f"{self.name}.sq{sq.qpn}.tx"
+        sim = self.sim
+        delay_s = self.config.processing_delay
+        fuse_ok = (not tracer.enabled and not spans.enabled
+                   and getattr(self.fabric, "_cut_through", False)
+                   and sq.transport != SendQueue.TRANSPORT_RC)
+        stage_free = 0.0
         while True:
+            # Popping ahead of the reference schedule must not free a
+            # window slot early (the fetch stage would unstall ahead of
+            # time): keep the slot virtually occupied until the instant
+            # the reference stage would have popped.
+            held = bool(window._items) and stage_free > sim.now
+            if held:
+                window.hold_slot(stage_free)
             item = yield window.get()
+            if not held and sim.now < stage_free:
+                # Handed over while get-blocked, before the reference
+                # would even be polling: the item would have sat in the
+                # window (occupying its slot) until then.
+                window.hold_slot(stage_free)
             if item is _POISON:
                 return
             index, wqe, data_event, enqueued = item
@@ -428,6 +460,44 @@ class Nic(PcieEndpoint):
                 spans.record(ctx, "nic.tx", enqueued, started,
                              kind="queue")
             data = (yield data_event) if data_event is not None else b""
+            meter = getattr(sq, "meter", None)
+            if (fuse_ok and ctx is None
+                    and (meter is None
+                         or not self.shaper.has_limiter(meter))):
+                sq.stats_wqes += 1
+                self._ctr_tx_wqes.inc()
+                self._ctr_tx_bytes.inc(len(data))
+                now = sim.now
+                done = (now if now > stage_free else stage_free) + delay_s
+                stage_free = done
+                resolved = self._resolve_eth(sq, wqe, data)
+                eswitch = self.eswitch
+                if all(d.kind == Disposition.UPLINK for d, _v in resolved):
+                    for d, vport in resolved:
+                        eswitch.apply_at(d, vport, done)
+                    if wqe.signaled:
+                        completion = Cqe(CQE_SEND_COMPLETION, sq.qpn,
+                                         index, wqe.byte_count)
+                        self._post_cqe_at(sq.cq, completion, done)
+                    continue
+                # Local dispositions (loopback, queue delivery, drops)
+                # can race receive-side state at the completion instant:
+                # realign and apply synchronously, like the reference.
+                if done > sim.now:
+                    yield sim.timeout(done - sim.now)
+                for d, vport in resolved:
+                    eswitch._apply_fdb(d, from_vport=vport)
+                if wqe.signaled:
+                    completion = Cqe(CQE_SEND_COMPLETION, sq.qpn, index,
+                                     wqe.byte_count)
+                    self._post_cqe(sq.cq, completion)
+                continue
+            # Gated out: a preceding fused WQE may have claimed this one
+            # early, so realign to the reference pacing before running
+            # the reference body unchanged.
+            pause = stage_free - self.sim.now
+            if pause > 0:
+                yield self.sim.timeout(pause)
             service_started = self.sim.now
             yield self.sim.timeout(self.config.processing_delay)
             sq.stats_wqes += 1
@@ -480,6 +550,7 @@ class Nic(PcieEndpoint):
                 tracer.complete(f"nic.{self.name}", f"sq{sq.qpn}", "wqe",
                                 started, self.sim.now,
                                 {"index": index, "bytes": wqe.byte_count})
+            stage_free = self.sim.now
 
     def _transmit_eth(self, sq: SendQueue, wqe: TxWqe, data: bytes) -> None:
         packet = parse_frame(data)
@@ -502,6 +573,38 @@ class Nic(PcieEndpoint):
                 self.eswitch._apply_fdb(disposition, from_vport=None)
             else:
                 self.eswitch.egress_from_vport(sq.vport, packet)
+
+    def _resolve_eth(self, sq: SendQueue, wqe: TxWqe, data: bytes):
+        """The steering half of :meth:`_transmit_eth`: parse, offload,
+        segment and classify, returning ``[(disposition, vport), ...]``
+        without applying anything.
+
+        Rule lookups take no virtual time and only bump counters, so a
+        fused caller can resolve at data-ready time and defer the effect
+        to the pipeline's completion instant.  Callers gate out traced
+        WQEs, so the trace_ctx stamping of the legacy path is skipped.
+        """
+        packet = parse_frame(data)
+        if wqe.flags & (WQE_FLAG_CSUM_L3 | WQE_FLAG_CSUM_L4):
+            self.checksum.fill(packet, l3=bool(wqe.flags & WQE_FLAG_CSUM_L3),
+                               l4=bool(wqe.flags & WQE_FLAG_CSUM_L4))
+        if wqe.flags & WQE_FLAG_LSO and wqe.mss:
+            packets = self.lso.segment(packet, wqe.mss)
+        else:
+            packets = [packet]
+        resume_id = wqe.context_id >> 16
+        resolved = []
+        for packet in packets:
+            packet.meta["context_id"] = wqe.context_id & 0xFFFF
+            if resume_id and resume_id in self._resume_tables:
+                # FLD-E return path: resume steering mid-pipeline (§5.3).
+                table = self._resume_tables[resume_id]
+                resolved.append(
+                    (self.steering.process(packet, table), None))
+            else:
+                resolved.append(
+                    self.eswitch.egress_resolve(sq.vport, packet))
+        return resolved
 
     # ------------------------------------------------------------------
     # Receive path
@@ -674,6 +777,20 @@ class Nic(PcieEndpoint):
 
     def _post_cqe(self, cq: CompletionQueue, cqe: Cqe) -> None:
         self._ctr_cqes.inc()
+        fused = cq.fused_rx
+        if fused is not None and cqe.trace_ctx is None:
+            slot = cq.next_slot()
+            handle = self.fabric.post_write_deferred(self, slot, cqe.pack())
+            if handle is not None:
+                fused(handle, cqe)
+                return
+            # Deferred issue unavailable (per-hop mode, oversized CQE):
+            # plain posted write — the slot is already claimed.
+            done = self.fabric.post_write(self, slot, cqe.pack(),
+                                          trace_ctx=None,
+                                          trace_stage="pcie.cqe_write")
+            done.add_callback(lambda _event: cq.notify.try_put(cqe))
+            return
         tracer = self._tracer
         if tracer.enabled:
             tracer.instant(f"nic.{self.name}", f"cq{cq.cqn}",
@@ -681,6 +798,21 @@ class Nic(PcieEndpoint):
         done = self.fabric.post_write(self, cq.next_slot(), cqe.pack(),
                                       trace_ctx=cqe.trace_ctx,
                                       trace_stage="pcie.cqe_write")
+        done.add_callback(lambda _event: cq.notify.try_put(cqe))
+
+    def _post_cqe_at(self, cq: CompletionQueue, cqe: Cqe,
+                     when: float) -> None:
+        """Post a CQE resolved ahead of time (fused tx stage).
+
+        The write TLP arbitrates for the PCIe lane as if issued at
+        ``when`` — same delivery instant, same notify callback as
+        :meth:`_post_cqe`, without the pipeline-occupancy event that
+        legacy posting rides on.  Callers gate out tracing and fused-rx
+        CQs (send completions never target one).
+        """
+        self._ctr_cqes.inc()
+        done = self.fabric.post_write_at(self, cq.next_slot(), cqe.pack(),
+                                         when)
         done.add_callback(lambda _event: cq.notify.try_put(cqe))
 
     # ------------------------------------------------------------------

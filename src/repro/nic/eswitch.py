@@ -11,7 +11,8 @@ experiments use.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from functools import partial
+from typing import Callable, Dict, Optional, Tuple
 
 from ..net import ETHERNET_WIRE_OVERHEAD, Packet
 from ..sim import Link, Simulator
@@ -60,6 +61,17 @@ class EthernetPort:
             # copied per frame), so every wire crossing is recorded.
             packet.meta["trace_wire_t0"] = self.sim.now
         self.link.send(packet, packet.wire_size() * 8)
+
+    def send_at(self, packet: Packet, arrival: float) -> None:
+        """Like :meth:`send`, arbitrating for the wire as if the frame
+        were handed over at the future instant ``arrival``.
+
+        Used by fused egress stages that resolve a transmit before its
+        pipeline occupancy has elapsed; span stamping is skipped because
+        callers gate the fused path out whenever tracing is on.
+        """
+        self.stats_tx_packets += 1
+        self.link.send_at(packet, packet.wire_size() * 8, arrival)
 
     def _receive(self, packet: Packet) -> None:
         self.stats_rx_packets += 1
@@ -148,13 +160,40 @@ class ESwitch:
     # -- egress (vPort -> eSwitch -> wire or loopback) --------------------
 
     def egress_from_vport(self, vport_number: int, packet: Packet) -> None:
+        disposition, vport = self.egress_resolve(vport_number, packet)
+        self._apply_fdb(disposition, from_vport=vport)
+
+    def egress_resolve(self, vport_number: int,
+                       packet: Packet) -> Tuple[Disposition, VPort]:
+        """First half of :meth:`egress_from_vport`: run the egress
+        pipeline and return the resolved disposition without applying
+        it, so a fused caller can defer the effect to a future instant.
+        """
         vport = self.vports[vport_number]
         vport.stats_tx += 1
         if vport.tx_root is not None:
             disposition = self.pipeline.process(packet, vport.tx_root)
         else:
             disposition = self.pipeline.process(packet, self.FDB_ROOT)
-        self._apply_fdb(disposition, from_vport=vport)
+        return disposition, vport
+
+    def apply_at(self, disposition: Disposition,
+                 from_vport: Optional[VPort], when: float) -> None:
+        """Apply a resolved egress at the future instant ``when``.
+
+        Wire-bound frames reserve the uplink under the future key right
+        away — exact arbitration against concurrent senders, no event of
+        their own.  Local dispositions (loopback, queue delivery, drops)
+        can gate on receive-side state, so they run in a single deferred
+        event at exactly ``when`` — the same cost as the pipeline
+        timeout they replace.
+        """
+        if disposition.kind == Disposition.UPLINK:
+            self.stats_to_uplink += 1
+            self.port.send_at(disposition.packet, when)
+            return
+        self.sim.schedule_at(
+            when, partial(self._apply_fdb, disposition, from_vport))
 
     # -- shared -----------------------------------------------------------
 

@@ -41,6 +41,11 @@ class CompletionQueue:
         self.pi = 0
         self.notify = Store(sim, name=f"cq{cqn}.notify")
         self.stats_cqes = 0
+        # A consumer-installed fast path: when set, the NIC hands each
+        # CQE (plus its in-flight write handle) straight to the consumer
+        # instead of through the notify store, letting the consumer fuse
+        # PCIe delivery with its own processing delay in one event.
+        self.fused_rx = None
 
     def next_slot(self) -> int:
         """Fabric address of the slot for the next CQE, advancing the PI."""

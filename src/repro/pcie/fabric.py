@@ -65,6 +65,41 @@ class _WriteCountdown:
             self.done.succeed()
 
 
+class DeferredWrite:
+    """A posted write whose delivery the initiator folds into its own
+    continuation event (cut-through mode only).
+
+    ``delivery`` is the TLP's arrival time at the endpoint — re-read it
+    at fire time, since shared-lane arbitration may repair it later.
+    The owner must call :meth:`commit` from its continuation event at
+    (or after) ``delivery``; that retires the lane reservation and runs
+    the endpoint's write handler, exactly what the fabric's own delivery
+    event would have done.
+    """
+
+    __slots__ = ("_fabric", "_tlp", "_link", "_record")
+
+    def __init__(self, fabric, tlp, link, record):
+        self._fabric = fabric
+        self._tlp = tlp
+        self._link = link
+        self._record = record
+
+    @property
+    def delivery(self) -> float:
+        return self._record.delivery
+
+    def commit(self) -> None:
+        self._fabric._retire_path(self._link, self._record)
+        self._fabric._deliver_write(self._tlp)
+
+    def retire(self) -> None:
+        """Release the lane reservation without running the handler —
+        for owners that already applied the write's effects themselves
+        (e.g. a CQE decoded at issue time)."""
+        self._fabric._retire_path(self._link, self._record)
+
+
 class _Port:
     """A device's two lanes into the switch."""
 
@@ -115,6 +150,19 @@ class PcieFabric:
         self._spans = sim.telemetry.spans
         prof = sim.profiler
         self._prof = prof if prof.enabled else None
+        # Cut-through transit: resolve the route and reserve both lanes
+        # at issue time, with one delivery event per TLP (and one per
+        # multi-TLP train) instead of the per-hop send→route→deliver
+        # event chain.  Lane arbitration stays exact: reservations apply
+        # in switch-arrival (time, seq) order (see Link.reserve).  The
+        # Chrome tracer records lane spans as they serialize, which
+        # post-hoc reservation repair would falsify, so traced runs keep
+        # the per-hop chain.
+        self._cut_through = not sim.telemetry.tracer.enabled
+        # Arrival-order tie-break: monotonic per-TLP issue sequence,
+        # mirroring the dispatch order the per-hop chain's switch events
+        # would have had for same-instant arrivals.
+        self._issue_seq = 0
         # The trace context of the MEM_WRITE currently being delivered;
         # endpoints may claim it inside handle_write to re-associate a
         # packed descriptor with its packet (object identity dies at
@@ -217,6 +265,25 @@ class PcieFabric:
 
         cursor = 0
         chunks = split_write_bytes(total, mps) or [0]
+        if self._cut_through and self.decode(address).contains(
+                address + max(total, 1) - 1):
+            # Whole train decodes to one endpoint: reserve every TLP's
+            # lane occupancy now and deliver the train in one aggregate
+            # event at the last chunk's arrival (per-TLP stats stay
+            # exact; nothing observes the target between chunk times —
+            # any dependent TLP orders behind the last chunk on the
+            # same lane anyway).
+            tlps = []
+            for chunk in chunks:
+                payload = (data[cursor:cursor + chunk]
+                           if data is not None else None)
+                tlp = Tlp(TlpType.MEM_WRITE, address + cursor, chunk, payload,
+                          requester=requester.name)
+                tlp.trace_ctx = trace_ctx
+                cursor += chunk
+                tlps.append(tlp)
+            self._send_train(port, tlps, span_id, done)
+            return done
         finish = _WriteCountdown(len(chunks), self, span_id, done)
         for chunk in chunks:
             payload = data[cursor:cursor + chunk] if data is not None else None
@@ -253,6 +320,60 @@ class PcieFabric:
         self._send(port, request)
         return done
 
+    def post_write_deferred(self, requester: PcieEndpoint, address: int,
+                            data: bytes) -> Optional[DeferredWrite]:
+        """A single-TLP posted write without its own delivery event.
+
+        Cut-through fast path for initiators that already schedule a
+        continuation at/after the write's arrival (e.g. a CQE write
+        fused with the consumer's processing delay): lanes are reserved
+        and per-TLP stats counted exactly as :meth:`post_write`, but the
+        caller owns delivery via the returned handle's ``commit()``.
+        Returns ``None`` (caller falls back to :meth:`post_write`) in
+        per-hop mode or when the write doesn't fit one TLP.
+        """
+        if not self._cut_through:
+            return None
+        port = self.port_of(requester)
+        if not 0 < len(data) <= port.config.max_payload_size:
+            return None
+        tlp = Tlp(TlpType.MEM_WRITE, address, len(data), data,
+                  requester=requester.name)
+        stats = self.stats_tlps
+        stats["MWr"] = stats.get("MWr", 0) + 1
+        if port.tele_up is not None:
+            port.tele_up.count(tlp)
+        target, record = self._reserve_path(port, tlp)
+        return DeferredWrite(self, tlp, target.down, record)
+
+    def post_write_at(self, requester: PcieEndpoint, address: int,
+                      data: bytes, arrival: float) -> Event:
+        """A single-TLP posted write arbitrating as if issued at ``arrival``.
+
+        Fused pipeline stages resolve a future write early (cut-through
+        mode only): both lanes are reserved under the future arrival key
+        — the reservation model replays the reference arbitration
+        exactly (see :class:`~repro.sim.resources.Reservation`) — and
+        the write delivers through the normal cut-through event at its
+        computed arrival.
+        """
+        port = self.port_of(requester)
+        if not 0 < len(data) <= port.config.max_payload_size:
+            raise PcieError("post_write_at needs a single-TLP payload")
+        done = Event(self.sim)
+        tlp = Tlp(TlpType.MEM_WRITE, address, len(data), data,
+                  requester=requester.name)
+        tlp.on_delivered = done.succeed
+        stats = self.stats_tlps
+        stats["MWr"] = stats.get("MWr", 0) + 1
+        if port.tele_up is not None:
+            port.tele_up.count(tlp)
+        target, record = self._reserve_path(port, tlp, arrival)
+        sim = self.sim
+        sim.call_later(record.delivery - sim.now, self._arrive,
+                       (tlp, target.down, record))
+        return done
+
     # -- internals -----------------------------------------------------------
 
     def _send(self, port: _Port, tlp: Tlp) -> None:
@@ -261,7 +382,202 @@ class PcieFabric:
         stats[kind] = stats.get(kind, 0) + 1
         if port.tele_up is not None:
             port.tele_up.count(tlp)
+        if self._cut_through:
+            target, record = self._reserve_path(port, tlp)
+            sim = self.sim
+            sim.call_later(record.delivery - sim.now, self._arrive,
+                           (tlp, target.down, record))
+            return
         port.up.send(tlp, tlp.wire_bytes() * 8)
+
+    # -- cut-through transit -------------------------------------------------
+
+    def _reserve_path(self, port: _Port, tlp: Tlp,
+                      arrival: Optional[float] = None):
+        """Resolve the route and reserve both lanes; returns the target
+        port and the downstream reservation (whose ``delivery`` is the
+        TLP's arrival at the endpoint, subject to repair).  ``arrival``
+        keys the upstream lane at a future instant for writes resolved
+        ahead of their issue time (:meth:`post_write_at`)."""
+        bar = self.decode(tlp.address)
+        target = self.port_of(bar.endpoint)
+        tlp.bar = bar
+        if target.tele_down is not None:
+            target.tele_down.count(tlp)
+        bits = tlp.wire_bytes() * 8
+        seq = self._issue_seq
+        self._issue_seq = seq + 1
+        up = port.up.reserve(bits,
+                             self.sim.now if arrival is None else arrival,
+                             seq)
+        down = target.down.reserve(bits, up.delivery, seq)
+        down.upstream = (port.up, up)
+        return target, down
+
+    @staticmethod
+    def _retire_path(link, record) -> None:
+        """Retire a delivered TLP's reservations on both lanes.
+
+        By delivery time the upstream occupancy is strictly in the past
+        (no later issue can precede it — arrival keys are >= now), so
+        retiring it is pure pruning: without this the upstream pending
+        lists only ever grow and every out-of-order insert degrades to
+        a linear scan."""
+        upstream = record.upstream
+        if upstream is not None:
+            upstream[0].retire(upstream[1])
+        link.retire(record)
+
+    def _send_train(self, port: _Port, tlps: List[Tlp], span_id,
+                    done: Event) -> None:
+        """Reserve a multi-TLP posted-write train; one delivery event."""
+        stats = self.stats_tlps
+        records = []
+        target = None
+        for tlp in tlps:
+            stats[tlp.kind.value] = stats.get(tlp.kind.value, 0) + 1
+            if port.tele_up is not None:
+                port.tele_up.count(tlp)
+            target, record = self._reserve_path(port, tlp)
+            records.append(record)
+        sim = self.sim
+        entry = (tlps, target.down, records, span_id, done)
+        sim.call_later(records[-1].delivery - sim.now,
+                       self._train_arrived, entry)
+
+    def _arrive(self, entry) -> None:
+        """Single-TLP delivery event (cut-through path)."""
+        tlp, link, record = entry
+        sim = self.sim
+        if record.delivery > sim.now:
+            # An out-of-order arrival on the shared lane pushed this TLP
+            # later after the event was scheduled; fire again on time.
+            sim.call_later(record.delivery - sim.now, self._arrive, entry)
+            return
+        self._retire_path(link, record)
+        kind = tlp.kind
+        if kind is TlpType.MEM_WRITE:
+            self._deliver_write(tlp)
+        elif kind is TlpType.MEM_READ:
+            self._read_arrived(tlp)
+        else:
+            raise PcieError(f"unroutable TLP {tlp!r}")
+
+    def _train_arrived(self, entry) -> None:
+        """Aggregate delivery of a posted-write train (last chunk lands)."""
+        tlps, link, records, span_id, done = entry
+        sim = self.sim
+        last = records[-1]
+        if last.delivery > sim.now:
+            sim.call_later(last.delivery - sim.now, self._train_arrived,
+                           entry)
+            return
+        for record in records:
+            self._retire_path(link, record)
+        for tlp in tlps:
+            self._deliver_write(tlp)
+        if span_id is not None:
+            self._spans.exit(span_id, sim.now)
+        done.succeed()
+
+    def _deliver_write(self, tlp: Tlp) -> None:
+        """Run a MEM_WRITE's endpoint handler and completion callback."""
+        bar = tlp.bar
+        offset = tlp.address - bar.base
+        if tlp.data is not None:
+            prof = self._prof
+            # Work the handler pushes (and its own execution, for
+            # wall-clock nesting) belongs to the receiving endpoint,
+            # not to the fabric lane that carried the TLP.
+            if prof is not None:
+                prof.current_tag = bar.endpoint.profile_tag
+            ctx = tlp.trace_ctx
+            try:
+                if ctx is None:
+                    bar.endpoint.handle_write(offset, tlp.data)
+                else:
+                    self._inbound_ctx = ctx
+                    try:
+                        bar.endpoint.handle_write(offset, tlp.data)
+                    finally:
+                        self._inbound_ctx = None
+            finally:
+                if prof is not None:
+                    prof.current_tag = "pcie"
+        on_delivered = tlp.on_delivered
+        if on_delivered is not None:
+            on_delivered()
+
+    def _read_arrived(self, tlp: Tlp) -> None:
+        """A read request landed: run the handler and reserve the whole
+        completion train, completing in one aggregate event."""
+        bar = tlp.bar
+        offset = tlp.address - bar.base
+        prof = self._prof
+        if prof is not None:
+            prof.current_tag = bar.endpoint.profile_tag
+        try:
+            data = bar.endpoint.handle_read(offset, tlp.length)
+        finally:
+            if prof is not None:
+                prof.current_tag = "pcie"
+        completer_port = self.port_of(bar.endpoint)
+        requester_port = self._ports[tlp.requester]
+        rcb = completer_port.config.read_completion_boundary
+        chunks = completion_chunks(tlp.length, rcb)
+        state = self._pending_reads[tlp.tag]
+        state["remaining"] = len(chunks)
+        parts = state["chunks"]
+        sim = self.sim
+        now = sim.now
+        stats = self.stats_tlps
+        tele_up = completer_port.tele_up
+        tele_down = requester_port.tele_down
+        down = requester_port.down
+        up = completer_port.up
+        records = []
+        cursor = 0
+        for index, chunk in enumerate(chunks):
+            completion = Tlp(
+                TlpType.COMPLETION_DATA, tlp.address + cursor, chunk,
+                data[cursor:cursor + chunk], tag=tlp.tag,
+                requester=tlp.requester, completer=tlp.requester,
+            )
+            completion.seq = index
+            cursor += chunk
+            stats["CplD"] = stats.get("CplD", 0) + 1
+            if tele_up is not None:
+                tele_up.count(completion)
+            if tele_down is not None:
+                tele_down.count(completion)
+            bits = completion.wire_bytes() * 8
+            seq = self._issue_seq
+            self._issue_seq = seq + 1
+            up_record = up.reserve(bits, now, seq)
+            down_record = down.reserve(bits, up_record.delivery, seq)
+            down_record.upstream = (up, up_record)
+            records.append(down_record)
+            parts.append((index, completion.data))
+        entry = (tlp.tag, down, records)
+        sim.call_later(records[-1].delivery - now, self._read_completed,
+                       entry)
+
+    def _read_completed(self, entry) -> None:
+        """Aggregate arrival of a completion train (last chunk lands)."""
+        tag, link, records = entry
+        sim = self.sim
+        last = records[-1]
+        if last.delivery > sim.now:
+            sim.call_later(last.delivery - sim.now, self._read_completed,
+                           entry)
+            return
+        for record in records:
+            self._retire_path(link, record)
+        state = self._pending_reads.pop(tag)
+        data = b"".join(part for _seq, part in sorted(state["chunks"]))
+        state["event"].succeed(data)
+
+    # -- per-hop transit (traced runs) ---------------------------------------
 
     def _route(self, tlp: Tlp) -> None:
         """Switch stage: forward a TLP down its target's lane."""
@@ -281,31 +597,7 @@ class PcieFabric:
         kind = tlp.kind
         prof = self._prof
         if kind is TlpType.MEM_WRITE:
-            bar = tlp.bar
-            offset = tlp.address - bar.base
-            if tlp.data is not None:
-                # Work the handler pushes (and its own execution, for
-                # wall-clock nesting) belongs to the receiving endpoint,
-                # not to the fabric lane that carried the TLP.
-                if prof is not None:
-                    prof.current_tag = bar.endpoint.profile_tag
-                ctx = tlp.trace_ctx
-                if ctx is None:
-                    bar.endpoint.handle_write(offset, tlp.data)
-                else:
-                    # Expose the TLP's trace context for the duration of
-                    # the handler so the endpoint can re-attach it to
-                    # whatever object it unpacks from the payload bytes.
-                    self._inbound_ctx = ctx
-                    try:
-                        bar.endpoint.handle_write(offset, tlp.data)
-                    finally:
-                        self._inbound_ctx = None
-                if prof is not None:
-                    prof.current_tag = "pcie"
-            on_delivered = tlp.on_delivered
-            if on_delivered is not None:
-                on_delivered()
+            self._deliver_write(tlp)
             return
 
         if kind is TlpType.MEM_READ:
@@ -313,9 +605,11 @@ class PcieFabric:
             offset = tlp.address - bar.base
             if prof is not None:
                 prof.current_tag = bar.endpoint.profile_tag
-            data = bar.endpoint.handle_read(offset, tlp.length)
-            if prof is not None:
-                prof.current_tag = "pcie"
+            try:
+                data = bar.endpoint.handle_read(offset, tlp.length)
+            finally:
+                if prof is not None:
+                    prof.current_tag = "pcie"
             completer_port = self.port_of(bar.endpoint)
             rcb = completer_port.config.read_completion_boundary
             chunks = completion_chunks(tlp.length, rcb)

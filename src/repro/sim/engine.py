@@ -10,12 +10,26 @@ NIC pipelines, accelerator processing loops and host CPU threads are all
 processes exchanging work through :class:`Store` queues and delaying through
 :meth:`Simulator.timeout`.
 
-The hot path is batch-oriented: heap entries carry a ``(func, arg)`` pair
+The hot path is batch-oriented: entries carry a ``(func, arg)`` pair
 instead of a closure, events have a single-callback fast slot, stores run on
 deques with bulk drains, and :meth:`Simulator.run` coalesces bursts of
 same-timestamp events into one scheduler pass.  None of this changes
 scheduling order — entries are still dispatched strictly by
 ``(time, seq)`` — so results are bit-identical to the scalar engine.
+
+Scheduling itself is two-tier: zero-delay pushes (store handoffs,
+fired-event callbacks, spawn steps) go to a FIFO *ready deque* with O(1)
+appends, timed pushes to the classic binary heap.  Because ``seq`` is
+globally monotonic and the deque is only appended to while simulation
+time is non-decreasing, the deque is always sorted by ``(time, seq)``;
+the run loop merges the two tiers by comparing heads, which reproduces
+the single-heap dispatch order exactly (see ``tests/sim/test_lockstep``
+for the machine-checked argument).  Entries may also be appended to the
+ready tier at a *future* timestamp (deferred continuations resolved
+early, e.g. by the PCIe cut-through fabric) — the merge dispatches them
+at their recorded time, still in exact ``(time, seq)`` order, as long as
+appends keep the deque sorted; :meth:`Simulator.schedule_at` guards
+this.
 
 Example
 -------
@@ -205,6 +219,8 @@ class Simulator:
     def __init__(self, telemetry=None, profiler=None):
         self._now = 0.0
         self._queue: List = []
+        #: Ready tier: entries sorted by (time, seq), appended O(1).
+        self._ready: deque = deque()
         self._seq = 0
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         if profiler is None:
@@ -216,6 +232,7 @@ class Simulator:
             # 5th tag element; the unprofiled methods stay untouched
             # on the class for every other simulator.
             self.schedule = self._schedule_profiled
+            self.schedule_at = self._schedule_at_profiled
             self.call_later = self._call_later_profiled
             self.timeout = self._timeout_profiled
         else:
@@ -238,7 +255,32 @@ class Simulator:
             raise SimulationError(f"negative delay {delay}")
         seq = self._seq
         self._seq = seq + 1
+        if delay == 0.0:
+            ready = self._ready
+            if not ready or ready[-1][0] <= self._now:
+                ready.append((self._now, seq, action, _NO_ARG))
+                return
         _heappush(self._queue, (self._now + delay, seq, action, _NO_ARG))
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        """Run ``action()`` at absolute time ``time`` (>= now).
+
+        Deferred-continuation entry point: callers that resolved a future
+        occurrence *now* (cut-through deliveries, fused pipeline stages)
+        land on the ready tier when their times arrive in order — the
+        common case for a FIFO transaction stream — and fall back to the
+        heap otherwise.  Dispatch order is identical either way.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"schedule_at({time}) before now ({self._now})")
+        seq = self._seq
+        self._seq = seq + 1
+        ready = self._ready
+        if not ready or ready[-1][0] <= time:
+            ready.append((time, seq, action, _NO_ARG))
+        else:
+            _heappush(self._queue, (time, seq, action, _NO_ARG))
 
     def call_later(self, delay: float, func: Callable[[Any], None],
                    arg: Any) -> None:
@@ -251,6 +293,11 @@ class Simulator:
             raise SimulationError(f"negative delay {delay}")
         seq = self._seq
         self._seq = seq + 1
+        if delay == 0.0:
+            ready = self._ready
+            if not ready or ready[-1][0] <= self._now:
+                ready.append((self._now, seq, func, arg))
+                return
         _heappush(self._queue, (self._now + delay, seq, func, arg))
 
     def timeout(self, delay: float, value: Any = None) -> Event:
@@ -260,6 +307,11 @@ class Simulator:
         event = Event(self)
         seq = self._seq
         self._seq = seq + 1
+        if delay == 0.0:
+            ready = self._ready
+            if not ready or ready[-1][0] <= self._now:
+                ready.append((self._now, seq, event.succeed, value))
+                return event
         _heappush(self._queue, (self._now + delay, seq, event.succeed, value))
         return event
 
@@ -283,8 +335,28 @@ class Simulator:
             raise SimulationError(f"negative delay {delay}")
         seq = self._seq
         self._seq = seq + 1
-        _heappush(self._queue, (self._now + delay, seq, action, _NO_ARG,
-                                self._owner_tag(action)))
+        entry = (self._now + delay, seq, action, _NO_ARG,
+                 self._owner_tag(action))
+        if delay == 0.0:
+            ready = self._ready
+            if not ready or ready[-1][0] <= self._now:
+                ready.append(entry)
+                return
+        _heappush(self._queue, entry)
+
+    def _schedule_at_profiled(self, time: float,
+                              action: Callable[[], None]) -> None:
+        if time < self._now:
+            raise SimulationError(
+                f"schedule_at({time}) before now ({self._now})")
+        seq = self._seq
+        self._seq = seq + 1
+        entry = (time, seq, action, _NO_ARG, self._owner_tag(action))
+        ready = self._ready
+        if not ready or ready[-1][0] <= time:
+            ready.append(entry)
+        else:
+            _heappush(self._queue, entry)
 
     def _call_later_profiled(self, delay: float, func: Callable[[Any], None],
                              arg: Any) -> None:
@@ -292,8 +364,13 @@ class Simulator:
             raise SimulationError(f"negative delay {delay}")
         seq = self._seq
         self._seq = seq + 1
-        _heappush(self._queue, (self._now + delay, seq, func, arg,
-                                self._owner_tag(func)))
+        entry = (self._now + delay, seq, func, arg, self._owner_tag(func))
+        if delay == 0.0:
+            ready = self._ready
+            if not ready or ready[-1][0] <= self._now:
+                ready.append(entry)
+                return
+        _heappush(self._queue, entry)
 
     def _timeout_profiled(self, delay: float, value: Any = None) -> Event:
         if delay < 0:
@@ -303,8 +380,14 @@ class Simulator:
         self._seq = seq + 1
         # ``event.succeed`` is owned by the Event, which carries no tag;
         # the timeout attributes to whoever asked for it.
-        _heappush(self._queue, (self._now + delay, seq, event.succeed, value,
-                                self._prof.current_tag))
+        entry = (self._now + delay, seq, event.succeed, value,
+                 self._prof.current_tag)
+        if delay == 0.0:
+            ready = self._ready
+            if not ready or ready[-1][0] <= self._now:
+                ready.append(entry)
+                return event
+        _heappush(self._queue, entry)
         return event
 
     def event(self) -> Event:
@@ -356,9 +439,29 @@ class Simulator:
             return self._run_profiled(until, max_events)
         processed = 0
         queue = self._queue
+        ready = self._ready
         try:
-            while queue:
-                entry = queue[0]
+            while True:
+                # Peek the earliest entry across both tiers.  ``seq`` is
+                # unique, so comparing (time, seq) fully orders entries.
+                if ready:
+                    entry = ready[0]
+                    if queue:
+                        top = queue[0]
+                        if (top[0] < entry[0]
+                                or (top[0] == entry[0]
+                                    and top[1] < entry[1])):
+                            entry = top
+                            from_ready = False
+                        else:
+                            from_ready = True
+                    else:
+                        from_ready = True
+                elif queue:
+                    entry = queue[0]
+                    from_ready = False
+                else:
+                    break
                 time = entry[0]
                 if until is not None and time > until:
                     self._now = until
@@ -366,7 +469,10 @@ class Simulator:
                 self._now = time
                 # Coalesced drain of the same-timestamp burst.
                 while True:
-                    _heappop(queue)
+                    if from_ready:
+                        ready.popleft()
+                    else:
+                        _heappop(queue)
                     func = entry[2]
                     arg = entry[3]
                     if arg is _NO_ARG:
@@ -378,9 +484,24 @@ class Simulator:
                         raise SimulationError(
                             f"exceeded {max_events} events; likely a livelock"
                         )
-                    if not queue:
+                    if ready:
+                        entry = ready[0]
+                        if queue:
+                            top = queue[0]
+                            if (top[0] < entry[0]
+                                    or (top[0] == entry[0]
+                                        and top[1] < entry[1])):
+                                entry = top
+                                from_ready = False
+                            else:
+                                from_ready = True
+                        else:
+                            from_ready = True
+                    elif queue:
+                        entry = queue[0]
+                        from_ready = False
+                    else:
                         break
-                    entry = queue[0]
                     if entry[0] != time:
                         break
             if until is not None:
@@ -410,16 +531,37 @@ class Simulator:
         processed = 0
         base = prof.total_events
         queue = self._queue
+        ready = self._ready
         try:
-            while queue:
-                entry = queue[0]
+            while True:
+                if ready:
+                    entry = ready[0]
+                    if queue:
+                        top = queue[0]
+                        if (top[0] < entry[0]
+                                or (top[0] == entry[0]
+                                    and top[1] < entry[1])):
+                            entry = top
+                            from_ready = False
+                        else:
+                            from_ready = True
+                    else:
+                        from_ready = True
+                elif queue:
+                    entry = queue[0]
+                    from_ready = False
+                else:
+                    break
                 time = entry[0]
                 if until is not None and time > until:
                     self._now = until
                     return until
                 self._now = time
                 while True:
-                    _heappop(queue)
+                    if from_ready:
+                        ready.popleft()
+                    else:
+                        _heappop(queue)
                     func = entry[2]
                     arg = entry[3]
                     tag = entry[4]
@@ -446,15 +588,31 @@ class Simulator:
                             func(arg)
                     processed += 1
                     if processed % depth_every == 0:
-                        prof.record_depth(base + processed, len(queue))
+                        prof.record_depth(base + processed,
+                                          len(queue) + len(ready))
                         depth_every = prof.depth_every
                     if processed > max_events:
                         raise SimulationError(
                             f"exceeded {max_events} events; likely a livelock"
                         )
-                    if not queue:
+                    if ready:
+                        entry = ready[0]
+                        if queue:
+                            top = queue[0]
+                            if (top[0] < entry[0]
+                                    or (top[0] == entry[0]
+                                        and top[1] < entry[1])):
+                                entry = top
+                                from_ready = False
+                            else:
+                                from_ready = True
+                        else:
+                            from_ready = True
+                    elif queue:
+                        entry = queue[0]
+                        from_ready = False
+                    else:
                         break
-                    entry = queue[0]
                     if entry[0] != time:
                         break
             if until is not None:
@@ -482,6 +640,8 @@ class Store:
         self._items: deque = deque()
         self._getters: deque = deque()
         self._putters: deque = deque()  # (event, item) waiting for space
+        self._held_until: deque = deque()  # hold_slot() deadlines, ascending
+        self._hold_wake = False            # an _expire_holds wake is pending
         self.stats_put = 0
         self.stats_dropped = 0
         self.stats_max_depth = 0
@@ -502,7 +662,36 @@ class Store:
 
     @property
     def is_full(self) -> bool:
-        return self.capacity is not None and len(self._items) >= self.capacity
+        if self.capacity is None:
+            return False
+        held = self._held_until
+        if held:
+            now = self.sim.now
+            while held and held[0] <= now:
+                held.popleft()
+        return len(self._items) + len(held) >= self.capacity
+
+    def hold_slot(self, until: float) -> None:
+        """Count one slot against ``capacity`` until time ``until``.
+
+        For consumers that pop an item ahead of the schedule a reference
+        pipeline would follow (fused stages): the slot stays occupied
+        from the producers' point of view until the instant the
+        reference consumer would have popped, so puts block — and
+        blocked putters are admitted — at exactly the reference times.
+        Holds expire lazily (``is_full`` purges past deadlines); a wake
+        is scheduled only when a put actually blocks against one, so an
+        uncontended hold costs no event at all.  Callers must take
+        holds in nondecreasing deadline order.
+        """
+        self._held_until.append(until)
+
+    def _expire_holds(self) -> None:
+        self._hold_wake = False
+        self._admit_waiting_putter()
+        if self._putters and self._held_until:
+            self._hold_wake = True
+            self.sim.schedule_at(self._held_until[0], self._expire_holds)
 
     def try_put(self, item: Any) -> bool:
         """Non-blocking put; returns ``False`` (drops) when full."""
@@ -517,6 +706,13 @@ class Store:
         event = Event(self.sim)
         if self.is_full and not self._getters:
             self._putters.append((event, item))
+            if self._held_until and not self._hold_wake:
+                # Blocked at least partly against a virtual hold: no
+                # pop will happen at its deadline, so schedule the
+                # admission check ourselves.
+                self._hold_wake = True
+                self.sim.schedule_at(self._held_until[0],
+                                     self._expire_holds)
         else:
             self._deliver(item)
             event.succeed(item)

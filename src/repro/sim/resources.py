@@ -7,9 +7,47 @@ fixed propagation latency before delivery.  Links are work-conserving FIFOs.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from bisect import insort
+from typing import Any, Callable, List, Optional
 
 from .engine import Simulator, Store
+
+
+class Reservation:
+    """One message's occupancy of a :class:`Link`, applied in arrival order.
+
+    Links arbitrate strictly by arrival key ``(time, seq)``: the reference
+    (pre-cut-through) model applied each reservation in a dedicated event
+    at its arrival instant, so a reservation made *early* (cut-through
+    resolves occupancy at issue time, possibly before other traffic with
+    earlier arrivals has issued) must yield to any later-issued,
+    earlier-arriving message.  ``start``/``finish``/``delivery`` are
+    therefore mutable: an out-of-order insert recomputes every reservation
+    behind it (they only ever move *later*), and the owner of the delivery
+    event re-checks ``delivery`` when it fires, re-pushing if it fired
+    early.  This replays exactly the busy-until sequence the
+    one-event-per-arrival model would have produced.
+    """
+
+    __slots__ = ("key", "bits", "start", "finish", "delivery", "message",
+                 "done", "upstream")
+
+    def __init__(self, key, bits):
+        self.key = key
+        self.bits = bits
+        self.start = 0.0
+        self.finish = 0.0
+        self.delivery = 0.0
+        self.message: Any = None
+        self.done = False
+        #: Optional ``(link, record)`` of a first-hop reservation made by
+        #: the same multi-lane transit (PCIe cut-through reserves both
+        #: lanes at issue); the owner retires it with this record so the
+        #: first hop's pending list drains too.
+        self.upstream = None
+
+    def __lt__(self, other: "Reservation") -> bool:
+        return self.key < other.key
 
 
 class Link:
@@ -42,6 +80,10 @@ class Link:
         self.name = name
         self.sink: Optional[Callable[[Any], None]] = None
         self._busy_until = 0.0
+        #: In-flight reservations, sorted by arrival key.  Almost always
+        #: appended to (FIFO issue order); an out-of-order arrival inserts
+        #: and repairs the tail.  Entries are pruned once delivered.
+        self._pending: List[Reservation] = []
         self.stats_bits = 0
         self.stats_messages = 0
         # The trace process this link's spans file under; owners (PCIe
@@ -59,10 +101,100 @@ class Link:
     def connect(self, sink: Callable[[Any], None]) -> None:
         self.sink = sink
 
+    @property
+    def profile_tag(self):
+        # Delivery events are scheduled as ``self._dispatch``; the
+        # profiler should attribute them to whoever consumes the
+        # messages (the sink's owner), exactly as when the sink itself
+        # was the scheduled callable.
+        owner = getattr(self.sink, "__self__", None)
+        if owner is not None and owner is not self:
+            return getattr(owner, "profile_tag", None)
+        return None
+
     def serialization_time(self, bits: float) -> float:
         if self.rate_bps is None:
             return 0.0
         return bits / self.rate_bps
+
+    def reserve(self, bits: float, arrival: float, seq: int) -> Reservation:
+        """Occupy the link for ``bits`` arriving at key ``(arrival, seq)``.
+
+        Returns the reservation with its computed ``start``/``finish``/
+        ``delivery``; no event is scheduled — the caller owns delivery and
+        must re-check ``delivery`` at fire time (a later out-of-order
+        insert may have moved it).  ``seq`` must be globally monotonic in
+        issue order (ties on ``arrival`` are broken the way the reference
+        model's per-arrival events would have dispatched: issue order).
+        """
+        record = Reservation((arrival, seq), bits)
+        self.stats_bits += bits
+        self.stats_messages += 1
+        if self._ctr_bits is not None:
+            self._ctr_bits.inc(bits)
+            self._ctr_messages.inc()
+        pending = self._pending
+        if not pending:
+            prev_finish = self._busy_until
+            start = arrival if arrival > prev_finish else prev_finish
+            rate = self.rate_bps
+            finish = start if rate is None else start + bits / rate
+            record.start = start
+            record.finish = finish
+            record.delivery = finish + self.latency
+            if arrival <= self.sim.now:
+                # Stable fast path: every later reservation has a later
+                # key, so this one can never be displaced — fold it into
+                # the busy floor instead of tracking it.
+                self._busy_until = finish
+            else:
+                pending.append(record)
+            return record
+        if pending[-1].key <= record.key:
+            prev_finish = pending[-1].finish
+            start = arrival if arrival > prev_finish else prev_finish
+            rate = self.rate_bps
+            finish = start if rate is None else start + bits / rate
+            record.start = start
+            record.finish = finish
+            record.delivery = finish + self.latency
+            pending.append(record)
+        else:
+            insort(pending, record)
+            self._recompute(pending.index(record))
+        return record
+
+    def _recompute(self, index: int) -> None:
+        """Replay reservations from ``index`` on, in arrival-key order."""
+        pending = self._pending
+        prev_finish = (pending[index - 1].finish if index > 0
+                       else self._busy_until)
+        rate = self.rate_bps
+        latency = self.latency
+        for record in pending[index:]:
+            arrival = record.key[0]
+            start = arrival if arrival > prev_finish else prev_finish
+            finish = start if rate is None else start + record.bits / rate
+            record.start = start
+            record.finish = finish
+            record.delivery = finish + latency
+            prev_finish = finish
+        # Repairs only move reservations later, so any already-scheduled
+        # delivery event fires early and re-pushes to the new time.
+
+    def retire(self, record: Reservation) -> None:
+        """Mark ``record`` delivered and prune the pending prefix."""
+        record.done = True
+        pending = self._pending
+        drop = 0
+        for entry in pending:
+            if not entry.done:
+                break
+            if entry.finish > self._busy_until:
+                self._busy_until = entry.finish
+            drop += 1
+        if drop:
+            del pending[:drop]
 
     def send(self, message: Any, bits: float) -> float:
         """Enqueue ``message`` of ``bits``; returns its delivery time.
@@ -75,32 +207,52 @@ class Link:
             raise RuntimeError(f"link {self.name!r} has no sink connected")
         sim = self.sim
         now = sim.now
-        busy = self._busy_until
-        start = now if now > busy else busy
-        rate = self.rate_bps
-        finish = start if rate is None else start + bits / rate
-        self._busy_until = finish
-        delivery = finish + self.latency
-        self.stats_bits += bits
-        self.stats_messages += 1
+        record = self.reserve(bits, now, sim._seq)
+        record.message = message
         if self._ctr_bits is not None:
-            self._ctr_bits.inc(bits)
-            self._ctr_messages.inc()
             tracer = self._tracer
-            if tracer.enabled and finish > start:
+            if tracer.enabled and record.finish > record.start:
                 tracer.complete(self.trace_process, self.name,
-                                type(message).__name__, start, finish,
-                                {"bits": bits})
-        sim.call_later(delivery - now, sink, message)
-        return delivery
+                                type(message).__name__, record.start,
+                                record.finish, {"bits": bits})
+        sim.call_later(record.delivery - now, self._dispatch, record)
+        return record.delivery
+
+    def send_at(self, message: Any, bits: float, arrival: float) -> float:
+        """Like :meth:`send`, but arriving at future time ``arrival``.
+
+        Used by fused pipeline stages that resolved a future transmission
+        early; arbitration against messages issued later with earlier
+        arrivals is exact (see :class:`Reservation`).
+        """
+        sink = self.sink
+        if sink is None:
+            raise RuntimeError(f"link {self.name!r} has no sink connected")
+        sim = self.sim
+        record = self.reserve(bits, arrival, sim._seq)
+        record.message = message
+        sim.call_later(record.delivery - sim.now, self._dispatch, record)
+        return record.delivery
+
+    def _dispatch(self, record: Reservation) -> None:
+        """Deliver a sent message, honouring post-hoc repairs."""
+        sim = self.sim
+        if record.delivery > sim.now:
+            # An out-of-order arrival pushed this message later after its
+            # delivery event was scheduled; fire again at the final time.
+            sim.call_later(record.delivery - sim.now, self._dispatch, record)
+            return
+        self.retire(record)
+        self.sink(record.message)
 
     def queue_delay(self) -> float:
         """Seconds until the link would start serializing a new message."""
-        return max(0.0, self._busy_until - self.sim.now)
+        return max(0.0, self.busy_until - self.sim.now)
 
     @property
     def busy_until(self) -> float:
-        return self._busy_until
+        pending = self._pending
+        return pending[-1].finish if pending else self._busy_until
 
 
 class DuplexLink:
@@ -177,11 +329,17 @@ def drain_store_via_link(sim: Simulator, store: Store, link: Link,
     """A process shipping every item from ``store`` over ``link``.
 
     Waits for serialization so the link is never oversubscribed by this
-    drain (models a device's egress scheduler).
+    drain (models a device's egress scheduler).  Backlogs are drained in
+    bursts: after the blocking ``get()`` wake-up, every already-queued
+    item is claimed with :meth:`Store.try_get_many` rather than paying
+    one wake-up per item; pacing between items is unchanged.
     """
     while True:
-        item = yield store.get()
-        link.send(item, bits_of(item))
-        delay = link.queue_delay()
-        if delay > 0:
-            yield sim.timeout(delay)
+        pending = [(yield store.get())]
+        while pending:
+            for item in pending:
+                link.send(item, bits_of(item))
+                delay = link.queue_delay()
+                if delay > 0:
+                    yield sim.timeout(delay)
+            pending = store.try_get_many()

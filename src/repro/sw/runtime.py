@@ -180,6 +180,7 @@ class FldRuntime:
             rq_doorbell_addr=(self.nic_bar_base + RQ_DOORBELL_BASE
                               + rq.rqn * DOORBELL_STRIDE),
         )
+        self.fld.install_rx_fastpath(cq, cq_index)
         # Software writes the immutable descriptors once, pointing at
         # FLD's buffer slice, and posts the full ring.
         buffer_size = strides_per_buffer * stride_size

@@ -43,6 +43,7 @@ from .audit import (
     Violation,
     assert_clean,
     audit_all,
+    audit_fabric,
     audit_fld,
     audit_nic,
     audit_spans,
@@ -110,6 +111,7 @@ __all__ = [
     "assert_clean",
     "attribute_trace",
     "audit_all",
+    "audit_fabric",
     "audit_fld",
     "audit_nic",
     "audit_spans",

@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional
 
 __all__ = ["Violation", "AuditError", "audit_spans", "audit_fld",
-           "audit_nic", "audit_all", "assert_clean"]
+           "audit_nic", "audit_fabric", "audit_all", "assert_clean"]
 
 
 class Violation:
@@ -139,8 +139,35 @@ def audit_nic(nic, retransmit_ratio: float = 0.1,
     return violations
 
 
+def audit_fabric(fabric) -> List[Violation]:
+    """PCIe transaction-layer conservation at quiesce.
+
+    A read request whose completion never came back means a requester
+    stuck forever on a ``yield fabric.read(...)`` — the kind of lost
+    wakeup the fused/cut-through transit paths could introduce.  The
+    fabric's pending-read table must therefore drain to empty with the
+    simulation.
+    """
+    violations: List[Violation] = []
+    pending = getattr(fabric, "_pending_reads", None)
+    if pending:
+        by_requester: dict = {}
+        for state in pending.values():
+            requester = state.get("requester", "?") \
+                if isinstance(state, dict) else "?"
+            by_requester[requester] = by_requester.get(requester, 0) + 1
+        detail = ", ".join(f"{count} from {requester}"
+                           for requester, count in sorted(by_requester.items()))
+        violations.append(Violation(
+            "read-in-flight", "pcie.fabric",
+            f"{len(pending)} read(s) still awaiting completion at "
+            f"quiesce ({detail})"))
+    return violations
+
+
 def audit_all(spans=None, flds: Optional[Iterable] = None,
               nics: Optional[Iterable] = None,
+              fabrics: Optional[Iterable] = None,
               expect_complete: bool = True) -> List[Violation]:
     """Run every applicable audit; returns the combined violation list."""
     violations: List[Violation] = []
@@ -150,6 +177,8 @@ def audit_all(spans=None, flds: Optional[Iterable] = None,
         violations.extend(audit_fld(fld))
     for nic in nics or ():
         violations.extend(audit_nic(nic))
+    for fabric in fabrics or ():
+        violations.extend(audit_fabric(fabric))
     return violations
 
 

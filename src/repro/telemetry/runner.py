@@ -287,7 +287,9 @@ def run_latency(experiment: str, count: Optional[int] = None,
     from .latency import build_report
     # Open-loop runs may legitimately quiesce with dropped (hence
     # unfinished) traces; closed-loop runs must drain completely.
+    fabrics = list({id(nic.fabric): nic.fabric for nic in nics}.values())
     violations = audit_all(spans=telemetry.spans, flds=flds, nics=nics,
+                           fabrics=fabrics,
                            expect_complete=expect_complete)
     report = build_report(telemetry.spans, registry=telemetry.metrics)
     spans = telemetry.spans
@@ -418,7 +420,8 @@ def run_profile(experiment: str, count: Optional[int] = None,
         size if size is not None else default_size)
 
     from .audit import audit_all
-    violations = audit_all(flds=flds, nics=nics)
+    fabrics = list({id(nic.fabric): nic.fabric for nic in nics}.values())
+    violations = audit_all(flds=flds, nics=nics, fabrics=fabrics)
     profiler = telemetry.profiler
     summary = {
         "experiment": experiment,

@@ -157,7 +157,8 @@ class Testbed:
         from ..telemetry.audit import audit_all
         flds = [runtime.fld for runtime in self.fld_runtimes.values()]
         nics = [node.nic for node in self.nodes.values()]
-        return audit_all(flds=flds, nics=nics)
+        fabrics = list({id(nic.fabric): nic.fabric for nic in nics}.values())
+        return audit_all(flds=flds, nics=nics, fabrics=fabrics)
 
     def assert_quiesced(self) -> None:
         from ..telemetry.audit import assert_clean

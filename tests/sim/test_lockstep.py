@@ -1,0 +1,154 @@
+"""Lockstep oracle: two-tier scheduler vs a reference pure-heap engine.
+
+The engine v2 split scheduling into a FIFO ready-deque (zero-delay and
+in-order future appends) plus the classic binary heap, merged at
+dispatch time by ``(time, seq)``.  The claim is that this is *exactly*
+the single-heap dispatch order — not approximately, not "up to ties".
+
+This suite machine-checks the claim: hypothesis generates random
+workload trees (mixed zero-delay and timed pushes, same-timestamp
+bursts, pushes-during-dispatch, absolute-time ``schedule_at`` entries,
+``run(until=...)`` horizons) and executes each one through the real
+:class:`repro.sim.engine.Simulator` and through ``PureHeapScheduler``, a
+deliberately naive reimplementation of the pre-v2 engine that pushes
+*every* entry through ``heapq``.  The dispatch logs — ``(time, node)``
+per fired entry — and the final clocks must be identical.
+"""
+
+import heapq
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+
+#: Small delay alphabet with duplicates so same-timestamp bursts are
+#: common, not a corner case.
+DELAYS = [0.0, 0.0, 0.0, 1e-9, 1e-9, 2e-9, 5e-9, 1e-8]
+
+
+class PureHeapScheduler:
+    """The pre-v2 engine, minimized: one heap, strict (time, seq) pops."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue = []
+        self._seq = 0
+
+    def schedule(self, delay, action):
+        heapq.heappush(self._queue, (self.now + delay, self._seq, action))
+        self._seq += 1
+
+    def schedule_at(self, time, action):
+        assert time >= self.now
+        heapq.heappush(self._queue, (time, self._seq, action))
+        self._seq += 1
+
+    def run(self, until=None):
+        queue = self._queue
+        while queue:
+            time, _seq, action = queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(queue)
+            self.now = time
+            action()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+
+# A workload is a tree of nodes.  Each node carries (delay_index,
+# via_timeout, children); firing a node logs its identity and schedules
+# its children — pushes-during-dispatch by construction.  ``delay_index``
+# < 0 means schedule_at(now + |delay|) instead of a relative push.
+workload_nodes = st.deferred(
+    lambda: st.tuples(
+        st.integers(min_value=-len(DELAYS), max_value=len(DELAYS) - 1),
+        st.booleans(),
+        st.lists(workload_nodes, max_size=3),
+    )
+)
+
+workloads = st.lists(workload_nodes, min_size=1, max_size=6)
+
+
+def execute(sim, workload, log, label_path=()):
+    """Schedule ``workload``'s roots; children recurse on fire."""
+
+    def fire(node, path):
+        delay_index, via_timeout, children = node
+        log.append((round(sim.now, 15), path))
+        for i, child in enumerate(children):
+            schedule_node(child, path + (i,))
+
+    def schedule_node(node, path):
+        delay_index, via_timeout, children = node
+        if delay_index < 0:
+            sim.schedule_at(sim.now + DELAYS[-delay_index - 1],
+                            lambda n=node, p=path: fire(n, p))
+        elif via_timeout and hasattr(sim, "timeout"):
+            # Event-mediated push: timeout + callback, the generator idiom.
+            event = sim.timeout(DELAYS[delay_index])
+            event.add_callback(lambda _e, n=node, p=path: fire(n, p))
+        else:
+            sim.schedule(DELAYS[delay_index],
+                         lambda n=node, p=path: fire(n, p))
+
+    for i, node in enumerate(workload):
+        schedule_node(node, label_path + (i,))
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload=workloads, horizon=st.sampled_from([None, 0.0, 1.5e-9,
+                                                    4e-9, 1e-7]))
+def test_lockstep_dispatch_order(workload, horizon):
+    real, real_log = Simulator(), []
+    ref, ref_log = PureHeapScheduler(), []
+    execute(real, workload, real_log)
+    execute(ref, workload, ref_log)
+    real_end = real.run(until=horizon)
+    ref_end = ref.run(until=horizon)
+    assert real_log == ref_log
+    assert real_end == ref_end
+    assert real.now == ref.now
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=workloads)
+def test_lockstep_resumed_runs(workload):
+    """Multiple run(until=...) segments agree too — the ready tier must
+    drain correctly at every horizon, not just at quiesce."""
+    real, real_log = Simulator(), []
+    ref, ref_log = PureHeapScheduler(), []
+    execute(real, workload, real_log)
+    execute(ref, workload, ref_log)
+    for until in (1e-9, 2e-9, 6e-9, None):
+        real.run(until=until)
+        ref.run(until=until)
+        assert real_log == ref_log
+    assert real.now == ref.now
+
+
+def test_ready_tier_used_for_zero_delay():
+    """Sanity: zero-delay pushes actually land on the O(1) tier."""
+    sim = Simulator()
+    sim.schedule(0.0, lambda: None)
+    sim.schedule(0.0, lambda: None)
+    sim.schedule(1e-9, lambda: None)
+    assert len(sim._ready) == 2
+    assert len(sim._queue) == 1
+    sim.run()
+    assert not sim._ready and not sim._queue
+
+
+def test_out_of_order_future_append_falls_back_to_heap():
+    """schedule_at keeps the deque sorted: a time before the deque tail
+    must take the heap path, and dispatch order stays (time, seq)."""
+    sim = Simulator()
+    log = []
+    sim.schedule_at(5e-9, lambda: log.append("late"))
+    sim.schedule_at(2e-9, lambda: log.append("early"))  # tail is later
+    assert len(sim._ready) == 1 and len(sim._queue) == 1
+    sim.run()
+    assert log == ["early", "late"]

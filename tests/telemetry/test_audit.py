@@ -10,6 +10,7 @@ from repro.telemetry.audit import (
     AuditError,
     assert_clean,
     audit_all,
+    audit_fabric,
     audit_fld,
     audit_nic,
     audit_spans,
@@ -103,6 +104,36 @@ class TestNicAudit:
     def test_few_retransmits_below_floor_are_fine(self):
         # A handful of recoveries is normal operation, not a storm.
         assert audit_nic(_fake_nic(sent=100, retx=10)) == []
+
+
+def _fake_fabric(pending=0, requester="nic"):
+    reads = {tag: {"event": object(), "requester": requester,
+                   "chunks": [], "remaining": None}
+             for tag in range(pending)}
+    return SimpleNamespace(_pending_reads=reads)
+
+
+class TestFabricAudit:
+    def test_clean_fabric(self):
+        assert audit_fabric(_fake_fabric()) == []
+
+    def test_reads_in_flight_at_quiesce(self):
+        violations = audit_fabric(_fake_fabric(pending=3))
+        assert _rules(violations) == ["read-in-flight"]
+        assert "3 read(s)" in violations[0].detail
+        assert "3 from nic" in violations[0].detail
+
+    def test_audit_all_includes_fabrics(self):
+        violations = audit_all(fabrics=[_fake_fabric(pending=1)])
+        assert _rules(violations) == ["read-in-flight"]
+
+    def test_real_fabric_quiesces_clean(self):
+        # A drained simulated fabric has no reads outstanding.
+        from repro.pcie import PcieFabric
+        from repro.sim import Simulator
+        sim = Simulator()
+        fabric = PcieFabric(sim)
+        assert audit_fabric(fabric) == []
 
 
 class TestAssertClean:
