@@ -31,7 +31,7 @@ from ..nic.wqe import (
     OP_ETH_SEND,
 )
 from ..pcie import PcieEndpoint, PcieError
-from ..sim import Simulator
+from ..sim import Simulator, fused_dispatch_ok
 from . import bar
 from .axis import AxisMetadata, AxisStream
 from .buffers import BufferPool
@@ -216,7 +216,7 @@ class FlexDriver(PcieEndpoint):
         figure); the pipeline *latency* to the doorbell is modelled
         without blocking, so back-to-back sends stream at line rate.
         """
-        wait_started = self.sim.now
+        wait_started = self.sim._now
         yield self.tx.credits.acquire(meta.queue_id)
         needed = self.tx.buffers.chunks_for(len(data))
         while not (
@@ -224,10 +224,10 @@ class FlexDriver(PcieEndpoint):
             and self.tx.descriptors.free_slots > self._pending_chunks
         ):
             yield self.sim.timeout(self.config.cycles(16))
-        if meta.trace_ctx is not None and self.sim.now > wait_started:
+        if meta.trace_ctx is not None and self.sim._now > wait_started:
             self._spans.record(meta.trace_ctx, "fld.tx", wait_started,
-                               self.sim.now, kind="queue")
-        service_started = self.sim.now
+                               self.sim._now, kind="queue")
+        service_started = self.sim._now
         self._pending_chunks += needed
         yield self.sim.timeout(self.config.cycles(max(1, len(data) // 64)))
         prof = self._prof
@@ -250,7 +250,7 @@ class FlexDriver(PcieEndpoint):
     def _submit(self, data: bytes, meta: AxisMetadata) -> None:
         self.tx.credits.try_consume(meta.queue_id, 1)
         self._pending_chunks += self.tx.buffers.chunks_for(len(data))
-        started = self.sim.now
+        started = self.sim._now
         prof = self._prof
         prev = None
         if prof is not None:
@@ -270,7 +270,7 @@ class FlexDriver(PcieEndpoint):
         self._pending_chunks -= reserved_chunks
         if trace_started is not None and meta.trace_ctx is not None:
             self._spans.record(meta.trace_ctx, "fld.tx", trace_started,
-                               self.sim.now)
+                               self.sim._now)
         if self.tx.submit(meta.queue_id, data, meta) is None:
             return  # an egress program dropped it; credit already refunded
         self.stats_tx_packets += 1
@@ -280,7 +280,7 @@ class FlexDriver(PcieEndpoint):
         tracer = self._tracer
         if tracer.enabled:
             tracer.instant(f"fld.{self.name}", f"txq{meta.queue_id}",
-                           "submit", self.sim.now, {"bytes": len(data)})
+                           "submit", self.sim._now, {"bytes": len(data)})
 
     def credits_available(self, queue_id: int) -> int:
         return self.tx.credits.available(queue_id)
@@ -328,8 +328,7 @@ class FlexDriver(PcieEndpoint):
         doorbells issue from one continuation at the CQE's arrival
         instant, exactly as the reference delivery would issue them.
         """
-        if (self._tracer.enabled or self._spans.enabled
-                or not getattr(self.fabric, "_cut_through", False)):
+        if not fused_dispatch_ok(self.sim, self.fabric):
             return
         cq.fused_rx = partial(self._rx_cqe_fused, cq_index)
 
@@ -341,7 +340,7 @@ class FlexDriver(PcieEndpoint):
             # Rare/slow cases (unbound ring, error CQEs, match-action
             # programs): replay the reference delivery in its own event
             # at the write's arrival.
-            self.sim.call_later(handle.delivery - self.sim.now,
+            self.sim.call_later(handle.delivery - self.sim._now,
                                 self._rx_cqe_arrive, handle)
             return
         self.stats_cqe_writes += 1
@@ -359,16 +358,16 @@ class FlexDriver(PcieEndpoint):
             # receive inbox is dropping).  Buffers close on a fraction
             # of CQEs under MPRQ, so this event is the exception, not
             # the per-packet cost.
-            self.sim.call_later(handle.delivery - self.sim.now,
+            self.sim.call_later(handle.delivery - self.sim._now,
                                 partial(self._recycle_at_arrival, handle,
                                         recycles), None)
 
     def _recycle_at_arrival(self, handle, recycles, _arg) -> None:
         sim = self.sim
-        if handle.delivery > sim.now:
+        if handle.delivery > sim._now:
             # Shared-lane arbitration repaired the CQE's arrival after
             # this continuation was scheduled; fire again on time.
-            sim.call_later(handle.delivery - sim.now,
+            sim.call_later(handle.delivery - sim._now,
                            partial(self._recycle_at_arrival, handle,
                                    recycles), None)
             return
@@ -381,8 +380,8 @@ class FlexDriver(PcieEndpoint):
         """Fallback continuation: deliver a deferred CQE write exactly
         as the fabric's own event would have."""
         sim = self.sim
-        if handle.delivery > sim.now:
-            sim.call_later(handle.delivery - sim.now, self._rx_cqe_arrive,
+        if handle.delivery > sim._now:
+            sim.call_later(handle.delivery - sim._now, self._rx_cqe_arrive,
                            handle)
             return
         handle.commit()
@@ -391,17 +390,17 @@ class FlexDriver(PcieEndpoint):
         self._ctr_rx_stream.inc()
         sim = self.sim
         done = handle.delivery + self.config.pipeline_latency
-        sim.call_later(done - sim.now, self._rx_push_fused,
+        sim.call_later(done - sim._now, self._rx_push_fused,
                        (handle, data, meta))
 
     def _rx_push_fused(self, entry) -> None:
         handle, data, meta = entry
         sim = self.sim
         done = handle.delivery + self.config.pipeline_latency
-        if done > sim.now:
+        if done > sim._now:
             # Shared-lane arbitration repaired the CQE's arrival after
             # this continuation was scheduled; fire again on time.
-            sim.call_later(done - sim.now, self._rx_push_fused, entry)
+            sim.call_later(done - sim._now, self._rx_push_fused, entry)
             return
         handle.retire()
         self.rx_stream.push(data, meta)
@@ -452,11 +451,11 @@ class FlexDriver(PcieEndpoint):
     def _emit_rx(self, data: bytes, meta: AxisMetadata) -> None:
         self._ctr_rx_stream.inc()
         if meta.trace_ctx is not None:
-            started = self.sim.now
+            started = self.sim._now
 
             def push(ctx=meta.trace_ctx):
-                self._spans.record(ctx, "fld.rx", started, self.sim.now)
-                meta.trace_enqueued = self.sim.now
+                self._spans.record(ctx, "fld.rx", started, self.sim._now)
+                meta.trace_enqueued = self.sim._now
                 self.rx_stream.push(data, meta)
 
             self.sim.schedule(self.config.pipeline_latency, push)

@@ -37,7 +37,7 @@ from ..nic import (
 from ..nic import CommandChannel
 from ..nic.device import DOORBELL_STRIDE, _POISON
 from ..nic.queues import ReceiveQueue
-from ..sim import Event, Simulator, Store
+from ..sim import Event, Simulator, Store, fused_dispatch_ok
 from ..topology.addrmap import CMD_MAILBOX_OFFSET, NIC_CMD_DOORBELL
 from .cpu import CpuCore, HostCpuPort
 from .memory import BumpAllocator, HostMemory
@@ -94,7 +94,14 @@ class EthQueuePair:
         # attribute to the same profiler stage as its processes.
         self.profile_tag = f"ethqp{self.sq.qpn}.rx"
         self.sim.spawn(self._rx_dispatcher(), name=f"ethqp{self.sq.qpn}.rx")
-        self.sim.spawn(self._tx_retire(), name=f"ethqp{self.sq.qpn}.txc")
+        # Completion retirement: in cut-through (fused) mode the loop is
+        # pure bookkeeping — no timeouts — so a flat notify consumer
+        # replaces the generator; traced/spanned runs keep the process.
+        if fused_dispatch_ok(self.sim, driver.fabric):
+            _TxRetireWorker(self)
+        else:
+            self.sim.spawn(self._tx_retire(),
+                           name=f"ethqp{self.sq.qpn}.txc")
         # Fused receive dispatch: in cut-through fabric mode the NIC
         # hands rx CQEs (with their in-flight write handle) straight to
         # _rx_fused, which folds PCIe delivery and this core's
@@ -106,8 +113,8 @@ class EthQueuePair:
         self._fused_planned = 0.0   # planned end of the dispatch chain
         self._fused_done = 0.0      # actual end (>= planned under repair)
         self._fused_queue = deque()
-        if (self.core is not None and not self._spans.enabled
-                and getattr(driver.fabric, "_cut_through", False)):
+        if self.core is not None and fused_dispatch_ok(self.sim,
+                                                       driver.fabric):
             self.rx_cq.fused_rx = self._rx_fused
 
     def _take(self, size: int) -> int:
@@ -250,7 +257,7 @@ class EthQueuePair:
             cqe = yield self.rx_cq.notify.get()
             if cqe is _POISON:
                 return
-            started = self.sim.now
+            started = self.sim._now
             if self.core is not None:
                 yield self.sim.timeout(self.core.packet_cost())
             slot = cqe.wqe_counter % self.rq.entries
@@ -262,7 +269,7 @@ class EthQueuePair:
             self.stats_rx += 1
             if cqe.trace_ctx is not None:
                 self._spans.record(cqe.trace_ctx, "host.rx", started,
-                                   self.sim.now)
+                                   self.sim._now)
             if self.on_receive is not None:
                 self.on_receive(data, cqe)
             else:
@@ -284,7 +291,7 @@ class EthQueuePair:
         entry = [handle, cqe, cost, False, False]
         self._fused_queue.append(entry)
         sim = self.sim
-        sim.call_later(planned - sim.now, self._rx_fused_fire, entry)
+        sim.call_later(planned - sim._now, self._rx_fused_fire, entry)
 
     def _rx_fused_fire(self, entry) -> None:
         """The per-packet dispatch event: delivery + processing done."""
@@ -298,16 +305,16 @@ class EthQueuePair:
             return
         sim = self.sim
         done = max(entry[0].delivery, self._fused_done) + entry[2]
-        if done > sim.now:
-            sim.call_later(done - sim.now, self._rx_fused_fire, entry)
+        if done > sim._now:
+            sim.call_later(done - sim._now, self._rx_fused_fire, entry)
             return
         self._commit_fused(entry)
         # Re-drive any successors whose events fired early and bailed.
         while queue and queue[0][4]:
             head = queue[0]
             done = max(head[0].delivery, self._fused_done) + head[2]
-            if done > sim.now:
-                sim.call_later(done - sim.now, self._rx_fused_fire, head)
+            if done > sim._now:
+                sim.call_later(done - sim._now, self._rx_fused_fire, head)
                 return
             self._commit_fused(head)
 
@@ -316,7 +323,7 @@ class EthQueuePair:
         handle, cqe = entry[0], entry[1]
         entry[3] = True
         self._fused_queue.popleft()
-        self._fused_done = self.sim.now
+        self._fused_done = self.sim._now
         handle.commit()
         driver = self.driver
         slot = cqe.wqe_counter % self.rq.entries
@@ -330,6 +337,53 @@ class EthQueuePair:
             self.on_receive(data, cqe)
         else:
             self.received.try_put((data, cqe))
+
+
+class _TxRetireWorker:
+    """Flat form of :meth:`EthQueuePair._tx_retire` (fused fast path).
+
+    The retire loop never sleeps — it only waits on the tx CQ notify
+    store and updates the cumulative completion counter — so in
+    cut-through mode it runs as a plain callback chain.  Arming is
+    deferred through a zero-delay scheduled step to mirror the
+    generator spawn exactly (same scheduler pushes, same lazy start).
+    """
+
+    __slots__ = ("qp", "notify", "profile_tag")
+
+    def __init__(self, qp: "EthQueuePair"):
+        self.qp = qp
+        self.notify = qp.tx_cq.notify
+        self.profile_tag = f"ethqp{qp.sq.qpn}.txc"
+        qp.sim.schedule(0.0, self._next)
+
+    def _next(self) -> None:
+        notify = self.notify
+        while True:
+            cqe = notify.try_get()
+            if cqe is None:
+                notify.get().add_callback(self._on_cqe)
+                return
+            if cqe is _POISON:
+                return
+            self._retire(cqe)
+
+    def _on_cqe(self, event) -> None:
+        cqe = event.value
+        if cqe is _POISON:
+            return
+        self._retire(cqe)
+        self._next()
+
+    def _retire(self, cqe) -> None:
+        # Completions are cumulative under selective signalling: a CQE
+        # for index i retires everything up to i (16-bit wrap aware).
+        qp = self.qp
+        base = qp._tx_completed & ~0xFFFF
+        completed = base | cqe.wqe_counter
+        if completed < qp._tx_completed:
+            completed += 1 << 16
+        qp._tx_completed = completed + 1
 
 
 class RcEndpoint:
@@ -491,7 +545,7 @@ class RcEndpoint:
             cqe = yield self.rx_cq.notify.get()
             if cqe is _POISON:
                 return
-            started = self.sim.now
+            started = self.sim._now
             if driver.core is not None:
                 yield self.sim.timeout(driver.core.packet_cost())
             slot = cqe.wqe_counter % self.rq.entries
@@ -501,7 +555,7 @@ class RcEndpoint:
             )
             if cqe.trace_ctx is not None:
                 self._spans.record(cqe.trace_ctx, "host.rx", started,
-                                   self.sim.now)
+                                   self.sim._now)
             self._recycle(cqe.wqe_counter)
             self._assembly.append(data)
             if cqe.flags & CQE_FLAG_MSG_LAST:

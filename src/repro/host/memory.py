@@ -36,6 +36,14 @@ class HostMemory(PcieEndpoint):
     def handle_read(self, address: int, length: int) -> bytes:
         self._check(address, length)
         self.stats_reads += 1
+        page_no, offset = divmod(address, PAGE_SIZE)
+        if offset + length <= PAGE_SIZE:
+            # Fast path: the access fits in one page (rings, MTU-sized
+            # buffers) — a single slice, no chunking loop.
+            page = self._pages.get(page_no)
+            if page is None:
+                return bytes(length)
+            return bytes(page[offset:offset + length])
         out = bytearray(length)
         cursor = 0
         while cursor < length:
@@ -48,12 +56,20 @@ class HostMemory(PcieEndpoint):
         return bytes(out)
 
     def handle_write(self, address: int, data: bytes) -> None:
-        self._check(address, len(data))
+        length = len(data)
+        self._check(address, length)
         self.stats_writes += 1
+        page_no, offset = divmod(address, PAGE_SIZE)
+        if offset + length <= PAGE_SIZE:
+            page = self._pages.get(page_no)
+            if page is None:
+                page = self._pages[page_no] = bytearray(PAGE_SIZE)
+            page[offset:offset + length] = data
+            return
         cursor = 0
-        while cursor < len(data):
+        while cursor < length:
             page_no, offset = divmod(address + cursor, PAGE_SIZE)
-            chunk = min(len(data) - cursor, PAGE_SIZE - offset)
+            chunk = min(length - cursor, PAGE_SIZE - offset)
             page = self._pages.get(page_no)
             if page is None:
                 page = self._pages[page_no] = bytearray(PAGE_SIZE)

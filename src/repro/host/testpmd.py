@@ -14,7 +14,8 @@ from .. import batching
 from ..net import Ethernet, Flow, Ipv4, Packet, Tcp, Udp
 from ..net.ip import PROTO_TCP
 from ..net.parse import parse_frame
-from ..sim import LatencyCollector, Simulator, ThroughputMeter
+from ..sim import Event, LatencyCollector, Simulator, ThroughputMeter
+from ..sim.fastpath import fused_dispatch_ok
 from .driver import EthQueuePair
 
 _SEQ_FORMAT = "!Q"
@@ -79,6 +80,61 @@ class EchoApp:
             if ctx is not None:
                 self._spans.record(ctx, "host.tx", started, sim.now)
             self.stats_echoed += 1
+
+
+class _FlatPacer:
+    """Flat continuation form of the open-loop send loop.
+
+    One scheduler entry per pacing tick — the same ``(time, seq)``
+    instants the generator loop's per-packet ``timeout`` produced, with
+    no Event allocation or generator resume in between.  Frames are
+    built and posted by the same :meth:`LoadGenerator._send_frame`, so
+    per-packet traces/spans are untouched; only the pacing trampoline
+    is flattened.  A full SQ is re-polled at the same 100 ns PMD
+    granularity ``wait_for_tx_space`` spins at.
+    """
+
+    __slots__ = ("gen", "sizes", "interval", "done", "flows", "labels",
+                 "_index")
+
+    _TX_POLL = 100e-9  # EthQueuePair.wait_for_tx_space default
+
+    def __init__(self, gen: "LoadGenerator", sizes: List[int],
+                 interval: float, done: Event,
+                 flows: Optional[List[Flow]] = None,
+                 labels: Optional[List[str]] = None):
+        self.gen = gen
+        self.sizes = sizes
+        self.interval = interval
+        self.done = done
+        self.flows = flows
+        self.labels = labels
+        self._index = 0
+
+    def _tick(self, _arg=None) -> None:
+        gen = self.gen
+        sim = gen.sim
+        if gen.qp.tx_space() < 1:
+            sim.call_later(self._TX_POLL, self._tick, None)
+            return
+        index = self._index
+        flows = self.flows
+        if flows is not None:
+            gen.flow = flows[index % len(flows)]
+            labels = self.labels
+            if labels is not None:
+                gen.trace_label = labels[index % len(flows)]
+        gen._send_frame(self.sizes[index])
+        gen.stats_sent += 1
+        index += 1
+        self._index = index
+        if index < len(self.sizes):
+            sim.call_later(self.interval, self._tick, None)
+        else:
+            # The generator loop paced once more after the last frame
+            # before returning to its caller; fire the completion event
+            # at that same instant.
+            sim.call_later(self.interval, self.done.succeed, None)
 
 
 class LoadGenerator:
@@ -226,6 +282,14 @@ class LoadGenerator:
         interval = gap if gap is not None else (
             1.0 / rate_pps if rate_pps else 0.0
         )
+        if sizes and fused_dispatch_ok(self.sim, self.qp.driver.fabric):
+            # Flat pacing: back-to-back still yields to the event loop
+            # once per packet (1 ns), exactly as the generator path does.
+            done = Event(self.sim)
+            _FlatPacer(self, list(sizes),
+                       interval if interval > 0 else 1e-9, done)._tick()
+            yield done
+            return
         for size in sizes:
             yield from self.qp.wait_for_tx_space()
             self._send_frame(size)
@@ -253,6 +317,13 @@ class LoadGenerator:
         interval = gap if gap is not None else (
             1.0 / rate_pps if rate_pps else 0.0
         )
+        if sizes and fused_dispatch_ok(self.sim, self.qp.driver.fabric):
+            done = Event(self.sim)
+            _FlatPacer(self, list(sizes),
+                       interval if interval > 0 else 1e-9, done,
+                       flows=list(flows), labels=labels)._tick()
+            yield done
+            return
         for i, size in enumerate(sizes):
             self.flow = flows[i % len(flows)]
             if labels is not None:

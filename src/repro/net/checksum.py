@@ -9,27 +9,33 @@ from __future__ import annotations
 import struct
 
 
+def _folded_sum(data: bytes, initial: int) -> int:
+    """One's-complement sum of ``data``'s 16-bit words plus ``initial``.
+
+    Since 2**16 == 1 (mod 0xFFFF), the word sum of an even-length buffer
+    is congruent to the whole buffer taken as one big integer, and the
+    RFC 1071 fold of a total T is 0 when T is 0 and ((T-1) % 0xFFFF) + 1
+    otherwise — so one ``int.from_bytes`` replaces the unpack/sum loop.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = initial + int.from_bytes(data, "big")
+    if total == 0:
+        return 0
+    return (total - 1) % 0xFFFF + 1
+
+
 def internet_checksum(data: bytes, initial: int = 0) -> int:
     """One's-complement sum of 16-bit words, folded and inverted.
 
     ``initial`` allows chaining (e.g. pseudo-header then payload).
     """
-    if len(data) % 2:
-        data = data + b"\x00"
-    total = initial + sum(struct.unpack("!%dH" % (len(data) // 2), data))
-    while total >> 16:
-        total = (total & 0xFFFF) + (total >> 16)
-    return (~total) & 0xFFFF
+    return (~_folded_sum(data, initial)) & 0xFFFF
 
 
 def ones_complement_add(data: bytes, initial: int = 0) -> int:
     """Partial (non-inverted) one's-complement sum, for pseudo-headers."""
-    if len(data) % 2:
-        data = data + b"\x00"
-    total = initial + sum(struct.unpack("!%dH" % (len(data) // 2), data))
-    while total >> 16:
-        total = (total & 0xFFFF) + (total >> 16)
-    return total
+    return _folded_sum(data, initial)
 
 
 def verify_checksum(data: bytes) -> bool:

@@ -80,12 +80,14 @@ class Ethernet(Header):
             raise ValueError("truncated Ethernet header")
         # Bypass the polymorphic constructors: frame parsing runs per
         # hop on the datapath, and the wire format is already canonical.
+        # One 14-byte int split beats three field-wise conversions.
+        value = int.from_bytes(data[:14], "big")
         dst = MacAddress.__new__(MacAddress)
-        dst.value = int.from_bytes(data[0:6], "big")
+        dst.value = value >> 64
         src = MacAddress.__new__(MacAddress)
-        src.value = int.from_bytes(data[6:12], "big")
+        src.value = (value >> 16) & 0xFFFFFFFFFFFF
         eth = cls.__new__(cls)
         eth.src = src
         eth.dst = dst
-        eth.ethertype = (data[12] << 8) | data[13]
+        eth.ethertype = value & 0xFFFF
         return eth

@@ -14,6 +14,8 @@ PROTO_UDP = 17
 FLAG_DF = 0x2  # don't fragment
 FLAG_MF = 0x1  # more fragments
 
+_HEADER_STRUCT = struct.Struct("!BBHHHBBHII")
+
 
 class IpAddress:
     """A 32-bit IPv4 address."""
@@ -122,8 +124,8 @@ class Ipv4(Header):
         while total >> 16:
             total = (total & 0xFFFF) + (total >> 16)
         checksum = (~total) & 0xFFFF
-        return struct.pack(
-            "!BBHHHBBHII", version_ihl, tos, self.total_length, self.ident,
+        return _HEADER_STRUCT.pack(
+            version_ihl, tos, self.total_length, self.ident,
             flags_frag, self.ttl, self.proto, checksum, src, dst,
         )
 
@@ -132,7 +134,7 @@ class Ipv4(Header):
         if len(data) < cls.HEADER_LEN:
             raise ValueError("truncated IPv4 header")
         (version_ihl, tos, total_length, ident, flags_frag, ttl, proto,
-         _checksum, src, dst) = struct.unpack("!BBHHHBBHII", data[:20])
+         _checksum, src, dst) = _HEADER_STRUCT.unpack_from(data)
         if version_ihl >> 4 != 4:
             raise ValueError("not an IPv4 packet")
         # Datapath fast construction: skip the polymorphic address

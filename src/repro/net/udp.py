@@ -12,6 +12,8 @@ VXLAN_PORT = 4789
 ROCE_V2_PORT = 4791
 COAP_PORT = 5683
 
+_HEADER_STRUCT = struct.Struct("!HHHH")
+
 
 class Udp(Header):
     """UDP header (8 bytes)."""
@@ -34,15 +36,15 @@ class Udp(Header):
         return self
 
     def pack(self) -> bytes:
-        return struct.pack(
-            "!HHHH", self.src_port, self.dst_port, self.length, self.checksum
+        return _HEADER_STRUCT.pack(
+            self.src_port, self.dst_port, self.length, self.checksum
         )
 
     @classmethod
     def unpack(cls, data: bytes) -> "Udp":
         if len(data) < cls.HEADER_LEN:
             raise ValueError("truncated UDP header")
-        src, dst, length, checksum = struct.unpack("!HHHH", data[:8])
+        src, dst, length, checksum = _HEADER_STRUCT.unpack_from(data)
         return cls(src, dst, length, checksum)
 
     def compute_checksum(self, src: IpAddress, dst: IpAddress,

@@ -20,12 +20,13 @@ enforces it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, Optional, Tuple
 
 from ..net import Bth, Packet
 from ..net.parse import parse_frame
 from ..pcie import PcieEndpoint, PcieError, PcieFabric, PcieLinkConfig
-from ..sim import Simulator, Store
+from ..sim import Simulator, Store, fused_dispatch_ok
 # The NIC BAR's internal layout lives with the other physical address
 # constants in the overlap-checked address map.
 from ..topology.addrmap import (
@@ -136,6 +137,10 @@ class Nic(PcieEndpoint):
         self.cqs: Dict[int, CompletionQueue] = {}
         self._qp_by_sqn: Dict[int, RcQp] = {}
         self._rx_inbox: Dict[int, Store] = {}
+        # Flattened per-queue workers (fast-path gate open at creation);
+        # keyed like _rx_inbox / sqs so teardown can find them.
+        self._rx_flat: Dict[int, "_RqFlatWorker"] = {}
+        self._tx_flat: Dict[int, "_SqFlatPipeline"] = {}
         self._cached_rx_desc: Dict[Tuple[int, int], RxDesc] = {}
         self._next_qpn = 1
         self._next_cqn = 1
@@ -196,7 +201,16 @@ class Nic(PcieEndpoint):
         sq.meter = meter
         self.sqs[sq.qpn] = sq
         self._next_qpn += 1
-        self.sim.spawn(self._sq_worker(sq), name=f"{self.name}.sq{sq.qpn}")
+        if (fused_dispatch_ok(self.sim, self.fabric)
+                and transport != SendQueue.TRANSPORT_RC
+                and meter is None):
+            # Flat two-stage pipeline (fetch + transmit) — the RC
+            # transport and metered (shaper-paced) queues keep the
+            # generator pair, as do traced/span runs via the gate.
+            self._tx_flat[sq.qpn] = _SqFlatPipeline(self, sq)
+        else:
+            self.sim.spawn(self._sq_worker(sq),
+                           name=f"{self.name}.sq{sq.qpn}")
         return sq
 
     def create_rq(self, ring_addr: int, entries: int, cq: CompletionQueue,
@@ -222,8 +236,15 @@ class Nic(PcieEndpoint):
         inbox = Store(self.sim, capacity=self.config.rx_inbox_depth,
                       name=f"{self.name}.rq{rq.rqn}.inbox")
         self._rx_inbox[rq.rqn] = inbox
-        self.sim.spawn(self._rq_worker(rq, inbox),
-                       name=f"{self.name}.rq{rq.rqn}")
+        if fused_dispatch_ok(self.sim, self.fabric):
+            # Flat continuation worker: same event structure as the
+            # generator loop, no Process machinery on the per-packet
+            # path.  The gate's inputs are fixed for a simulation's
+            # lifetime, so choosing at creation time is safe.
+            self._rx_flat[rq.rqn] = _RqFlatWorker(self, rq, inbox)
+        else:
+            self.sim.spawn(self._rq_worker(rq, inbox),
+                           name=f"{self.name}.rq{rq.rqn}")
 
     def create_rc_qp(self, ring_addr: int, entries: int,
                      cq: CompletionQueue, rq: ReceiveQueue, vport: int,
@@ -273,12 +294,14 @@ class Nic(PcieEndpoint):
     def destroy_sq(self, sq: SendQueue) -> None:
         sq.destroyed = True
         self.sqs.pop(sq.qpn, None)
+        self._tx_flat.pop(sq.qpn, None)
         sq.mmio_wqes.clear()
         self._poison(sq.doorbell)
 
     def destroy_rq(self, rq: ReceiveQueue) -> None:
         rq.destroyed = True
         self.rqs.pop(rq.rqn, None)
+        self._rx_flat.pop(rq.rqn, None)
         inbox = self._rx_inbox.pop(rq.rqn, None)
         if inbox is not None:
             self._poison(inbox)
@@ -382,7 +405,7 @@ class Nic(PcieEndpoint):
                     slot = index % sq.entries
                     burst = min(self.config.wqe_fetch_batch, sq.pi - index,
                                 sq.entries - slot)
-                    fetch_started = self.sim.now
+                    fetch_started = self.sim._now
                     raw = yield fabric.read(self, sq.slot_addr(index),
                                             burst * WQE_SIZE)
                     sq.stats_wqe_fetches += burst
@@ -397,7 +420,7 @@ class Nic(PcieEndpoint):
                                 ("wqe", self.name, sq.qpn, index + i))
                             spans.record(fetched.trace_ctx,
                                          "pcie.wqe_fetch",
-                                         fetch_started, self.sim.now)
+                                         fetch_started, self.sim._now)
                         wqe_batch[index + i] = fetched
                     wqe = wqe_batch.pop(index)
                 if wqe.byte_count > 0:
@@ -408,7 +431,7 @@ class Nic(PcieEndpoint):
                 else:
                     data_event = None
                 # Blocks when the pipeline window is full.
-                yield window.put((index, wqe, data_event, self.sim.now))
+                yield window.put((index, wqe, data_event, self.sim._now))
 
     def _sq_tx_stage(self, sq: SendQueue, window: Store):
         """Transmit stage: consume fetched WQEs in order and send.
@@ -433,8 +456,7 @@ class Nic(PcieEndpoint):
         stage_tag = f"{self.name}.sq{sq.qpn}.tx"
         sim = self.sim
         delay_s = self.config.processing_delay
-        fuse_ok = (not tracer.enabled and not spans.enabled
-                   and getattr(self.fabric, "_cut_through", False)
+        fuse_ok = (fused_dispatch_ok(sim, self.fabric)
                    and sq.transport != SendQueue.TRANSPORT_RC)
         stage_free = 0.0
         while True:
@@ -442,11 +464,11 @@ class Nic(PcieEndpoint):
             # window slot early (the fetch stage would unstall ahead of
             # time): keep the slot virtually occupied until the instant
             # the reference stage would have popped.
-            held = bool(window._items) and stage_free > sim.now
+            held = bool(window._items) and stage_free > sim._now
             if held:
                 window.hold_slot(stage_free)
             item = yield window.get()
-            if not held and sim.now < stage_free:
+            if not held and sim._now < stage_free:
                 # Handed over while get-blocked, before the reference
                 # would even be polling: the item would have sat in the
                 # window (occupying its slot) until then.
@@ -454,7 +476,7 @@ class Nic(PcieEndpoint):
             if item is _POISON:
                 return
             index, wqe, data_event, enqueued = item
-            started = self.sim.now
+            started = self.sim._now
             ctx = wqe.trace_ctx
             if ctx is not None:
                 spans.record(ctx, "nic.tx", enqueued, started,
@@ -467,7 +489,7 @@ class Nic(PcieEndpoint):
                 sq.stats_wqes += 1
                 self._ctr_tx_wqes.inc()
                 self._ctr_tx_bytes.inc(len(data))
-                now = sim.now
+                now = sim._now
                 done = (now if now > stage_free else stage_free) + delay_s
                 stage_free = done
                 resolved = self._resolve_eth(sq, wqe, data)
@@ -483,8 +505,8 @@ class Nic(PcieEndpoint):
                 # Local dispositions (loopback, queue delivery, drops)
                 # can race receive-side state at the completion instant:
                 # realign and apply synchronously, like the reference.
-                if done > sim.now:
-                    yield sim.timeout(done - sim.now)
+                if done > sim._now:
+                    yield sim.timeout(done - sim._now)
                 for d, vport in resolved:
                     eswitch._apply_fdb(d, from_vport=vport)
                 if wqe.signaled:
@@ -495,10 +517,10 @@ class Nic(PcieEndpoint):
             # Gated out: a preceding fused WQE may have claimed this one
             # early, so realign to the reference pacing before running
             # the reference body unchanged.
-            pause = stage_free - self.sim.now
+            pause = stage_free - self.sim._now
             if pause > 0:
                 yield self.sim.timeout(pause)
-            service_started = self.sim.now
+            service_started = self.sim._now
             yield self.sim.timeout(self.config.processing_delay)
             sq.stats_wqes += 1
             self._ctr_tx_wqes.inc()
@@ -508,8 +530,8 @@ class Nic(PcieEndpoint):
                 delay = self.shaper.delay_for(meter, len(data) * 8)
                 if delay > 0:
                     if ctx is not None:
-                        spans.record(ctx, "nic.shaper", self.sim.now,
-                                     self.sim.now + delay, kind="queue")
+                        spans.record(ctx, "nic.shaper", self.sim._now,
+                                     self.sim._now + delay, kind="queue")
                     if prof is None:
                         yield self.sim.timeout(delay)
                     else:
@@ -545,12 +567,12 @@ class Nic(PcieEndpoint):
                     completion.trace_ctx = ctx
                     self._post_cqe(sq.cq, completion)
             if ctx is not None:
-                spans.record(ctx, "nic.tx", service_started, self.sim.now)
+                spans.record(ctx, "nic.tx", service_started, self.sim._now)
             if tracer.enabled:
                 tracer.complete(f"nic.{self.name}", f"sq{sq.qpn}", "wqe",
-                                started, self.sim.now,
+                                started, self.sim._now,
                                 {"index": index, "bytes": wqe.byte_count})
-            stage_free = self.sim.now
+            stage_free = self.sim._now
 
     def _transmit_eth(self, sq: SendQueue, wqe: TxWqe, data: bytes) -> None:
         packet = parse_frame(data)
@@ -636,7 +658,7 @@ class Nic(PcieEndpoint):
         item = _RxItem(packet.to_bytes(), flags, context, rq.rqn,
                        packet.meta.get("rss_hash", 0),
                        trace_ctx=packet.meta.get("trace_ctx"),
-                       enqueued=self.sim.now)
+                       enqueued=self.sim._now)
         inbox = self._rx_inbox.get(rq.rqn)
         if inbox is None or not inbox.try_put(item):
             self.stats_rx_dropped_inbox += 1
@@ -656,7 +678,7 @@ class Nic(PcieEndpoint):
             item = yield inbox.get()
             if item is _POISON or rq.destroyed:
                 return
-            started = self.sim.now
+            started = self.sim._now
             ctx = item.trace_ctx
             if ctx is not None:
                 spans.record(ctx, "nic.rx", item.enqueued, started,
@@ -700,13 +722,13 @@ class Nic(PcieEndpoint):
             self._ctr_rx_packets.inc()
             self._ctr_rx_bytes.inc(len(item.data))
             if ctx is not None:
-                spans.record(ctx, "nic.rx", started, self.sim.now)
+                spans.record(ctx, "nic.rx", started, self.sim._now)
             write_done = fabric.post_write(self, address, item.data,
                                            trace_ctx=ctx,
                                            trace_stage="pcie.dma_write")
             if tracer.enabled:
                 tracer.complete(f"nic.{self.name}", f"rq{rq.rqn}",
-                                "rx_packet", started, self.sim.now,
+                                "rx_packet", started, self.sim._now,
                                 {"bytes": len(item.data)})
             cqe = Cqe(
                 CQE_RECV_COMPLETION, item.qpn, wqe_counter, len(item.data),
@@ -753,7 +775,7 @@ class Nic(PcieEndpoint):
         # segment's trace context as a transient attribute instead.
         item = _RxItem(payload, flags, context, qp.qpn,
                        trace_ctx=self.rdma.inbound_trace_ctx,
-                       enqueued=self.sim.now)
+                       enqueued=self.sim._now)
         inbox = self._rx_inbox.get(qp.rq.rqn)
         if inbox is None or not inbox.try_put(item):
             self.stats_rx_dropped_inbox += 1
@@ -794,7 +816,7 @@ class Nic(PcieEndpoint):
         tracer = self._tracer
         if tracer.enabled:
             tracer.instant(f"nic.{self.name}", f"cq{cq.cqn}",
-                           f"cqe:{cqe.opcode}", self.sim.now)
+                           f"cqe:{cqe.opcode}", self.sim._now)
         done = self.fabric.post_write(self, cq.next_slot(), cqe.pack(),
                                       trace_ctx=cqe.trace_ctx,
                                       trace_stage="pcie.cqe_write")
@@ -828,3 +850,414 @@ class Nic(PcieEndpoint):
             "write_protection_errors": sum(
                 q.stats_write_protection_errors for q in qps),
         }
+
+
+class _DataSlot:
+    """Event-shaped holder for a DMA read's data on the flat tx path.
+
+    Quacks like the completion Event the pipeline used to carry through
+    the window (``_fired`` / ``value`` / ``add_callback``) but is filled
+    by the fabric's ``on_done`` callback, so no Event is allocated and
+    no scheduler state is touched — completion still lands at the exact
+    instant the Event would have fired.
+    """
+
+    __slots__ = ("_fired", "value", "_callback")
+
+    def __init__(self):
+        self._fired = False
+        self.value = None
+        self._callback = None
+
+    def _complete(self, data) -> None:
+        self._fired = True
+        self.value = data
+        callback = self._callback
+        if callback is not None:
+            self._callback = None
+            callback(self)
+
+    def add_callback(self, callback) -> None:
+        self._callback = callback
+
+
+class _RqFlatWorker:
+    """Flat continuation form of :meth:`Nic._rq_worker`.
+
+    Installed instead of the generator when the shared fast-path gate
+    (:func:`repro.sim.fastpath.fused_dispatch_ok`) is open at queue
+    creation: tracing and spans are off — so no item ever carries a
+    trace context — and the fabric runs cut-through.  The event
+    structure is exactly the reference loop's, written as continuations:
+
+    * one processing-delay event per packet, owner-tagged with the
+      queue's stage name (the string the spawned process carried);
+    * descriptor DMA reads resumed by their completion callbacks, at
+      the same instant the generator would have resumed;
+    * the data write's CQE chained through the fabric's ``on_done``
+      callback instead of a completion Event.
+
+    What disappears is the Process trampoline, the per-iteration
+    ``Store.get`` Event and the per-write completion Event — pure
+    dispatch overhead; push counts and instants are unchanged, so the
+    (time, seq) schedule is bit-identical.
+    """
+
+    __slots__ = ("nic", "rq", "inbox", "profile_tag", "_mprq", "_pend")
+
+    def __init__(self, nic: Nic, rq: ReceiveQueue, inbox: Store):
+        self.nic = nic
+        self.rq = rq
+        self.inbox = inbox
+        # Events this worker schedules attribute to the stage the
+        # spawned generator's process name did.
+        self.profile_tag = f"{nic.name}.rq{rq.rqn}"
+        self._mprq = isinstance(rq, MultiPacketReceiveQueue)
+        self._pend = None
+        # Arm via a zero-delay step, exactly like the spawned generator's
+        # first dispatch: the worker must not observe traffic (or unit
+        # tests poking handle_write) before the simulation runs.
+        nic.sim.schedule(0.0, self._next)
+
+    def _next(self) -> None:
+        """Pull the next inbox item, blocking (via a getter callback)
+        when the inbox is empty — the flat form of the loop head."""
+        item = self.inbox.try_get()
+        if item is None:
+            self.inbox.get().add_callback(self._on_item)
+            return
+        self._begin(item)
+
+    def _on_item(self, event) -> None:
+        self._begin(event.value)
+
+    def _begin(self, item) -> None:
+        if item is _POISON or self.rq.destroyed:
+            return
+        self.nic.sim.call_later(self.nic.config.processing_delay,
+                                self._service, item)
+
+    def _service(self, item: _RxItem) -> None:
+        """The post-delay body: place the packet, fetch its descriptor
+        (from cache or DMA), DMA the data and chain the CQE."""
+        nic = self.nic
+        rq = self.rq
+        if self._mprq:
+            placement = rq.place(len(item.data))
+            if placement is None:
+                nic.stats_rx_dropped_no_desc += 1
+                nic._ctr_drop_no_desc.inc()
+                self._next()
+                return
+            key = (rq.rqn, placement["desc_index"] % rq.entries)
+            if (placement["stride_index"] == 0
+                    or key not in nic._cached_rx_desc):
+                self._pend = (item, key, placement)
+                nic.fabric.read(
+                    nic, rq.slot_addr(placement["desc_index"]),
+                    RX_DESC_SIZE, on_done=self._mprq_desc_ready,
+                )
+                return
+            self._mprq_finish(item, nic._cached_rx_desc[key], placement)
+            return
+        if rq.available == 0:
+            rq.stats_drops_no_desc += 1
+            nic.stats_rx_dropped_no_desc += 1
+            nic._ctr_drop_no_desc.inc()
+            self._next()
+            return
+        index = rq.ci
+        rq.ci = index + 1
+        rq.stats_packets += 1
+        desc = nic._cached_rx_desc.pop((rq.rqn, index), None)
+        if desc is None:
+            slot = index % rq.entries
+            burst = max(1, min(nic.config.rx_desc_batch, rq.pi - index,
+                               rq.entries - slot))
+            self._pend = (item, index, burst)
+            nic.fabric.read(
+                nic, rq.slot_addr(index), burst * RX_DESC_SIZE,
+                on_done=self._plain_desc_ready,
+            )
+            return
+        self._plain_finish(item, index, desc)
+
+    def _mprq_desc_ready(self, raw) -> None:
+        item, key, placement = self._pend
+        self._pend = None
+        desc = RxDesc.unpack(raw)
+        self.nic._cached_rx_desc[key] = desc
+        self._mprq_finish(item, desc, placement)
+
+    def _mprq_finish(self, item, desc, placement) -> None:
+        address = (desc.buffer_addr
+                   + placement["stride_index"] * self.rq.stride_size)
+        self._complete(item, address, placement["desc_index"],
+                       placement["stride_index"])
+
+    def _plain_desc_ready(self, raw) -> None:
+        item, index, burst = self._pend
+        self._pend = None
+        nic = self.nic
+        rqn = self.rq.rqn
+        for i, desc in enumerate(RxDesc.unpack_many(raw, burst)):
+            nic._cached_rx_desc[(rqn, index + i)] = desc
+        self._plain_finish(item, index,
+                           nic._cached_rx_desc.pop((rqn, index)))
+
+    def _plain_finish(self, item, index, desc) -> None:
+        nic = self.nic
+        if len(item.data) > desc.byte_count:
+            nic.stats_rx_dropped_no_desc += 1
+            nic._ctr_drop_no_desc.inc()
+            self._next()
+            return
+        self._complete(item, desc.buffer_addr, index, 0)
+
+    def _complete(self, item, address, wqe_counter, stride_index) -> None:
+        nic = self.nic
+        nic._ctr_rx_packets.inc()
+        nic._ctr_rx_bytes.inc(len(item.data))
+        cqe = Cqe(
+            CQE_RECV_COMPLETION, item.qpn, wqe_counter, len(item.data),
+            flags=item.flags, rss_hash=item.rss_hash,
+            flow_tag=item.context_id, stride_index=stride_index,
+        )
+        # The CQE is ordered after the data write (PCIe posted-write
+        # ordering); on_done fires at the write's delivery instant.
+        nic.fabric.post_write(nic, address, item.data,
+                              trace_stage="pcie.dma_write",
+                              on_done=partial(nic._post_cqe, self.rq.cq, cqe))
+        self._next()
+
+
+class _SqFlatPipeline:
+    """Flat continuation form of the :meth:`Nic._sq_worker` /
+    :meth:`Nic._sq_tx_stage` generator pair.
+
+    Installed at queue creation when the shared fast-path gate is open
+    AND the queue can never leave the fused branch: Ethernet transport
+    and no meter (a metered queue may pace through the shaper, which
+    the generator body handles).  Under those conditions every WQE
+    takes `_sq_tx_stage`'s fused arm, so the whole pipeline reduces to
+    continuations:
+
+    * the fetch stage drains doorbells iteratively, pausing only on a
+      batched WQE fetch or a full window (resumed by the read's /
+      put's completion callback at the reference instants);
+    * the transmit stage pulls in order, waits for the data DMA via
+      its event callback, and keys wire reservations and CQEs at the
+      virtual completion instant ``stage_free`` exactly as the fused
+      generator arm does — including the window hold dance that keeps
+      backpressure timing faithful.
+
+    The window Store carries the fetch stage's profiler tag so
+    hold-expiry wakes it schedules attribute exactly as they did when
+    the blocking ``put`` ran inside the fetch process; the pipeline
+    object itself carries the tx stage's tag for its own deferred
+    continuations.  Push counts and instants are unchanged from the
+    generator pair, so the (time, seq) schedule is bit-identical.
+    """
+
+    __slots__ = ("nic", "sq", "window", "profile_tag", "stage_free",
+                 "_wqe_batch", "_fetch_pend", "_tx_pend")
+
+    def __init__(self, nic: Nic, sq: SendQueue):
+        self.nic = nic
+        self.sq = sq
+        window = Store(nic.sim, capacity=nic.config.dma_window,
+                       name=f"{nic.name}.sq{sq.qpn}.pipe")
+        window.profile_tag = f"{nic.name}.sq{sq.qpn}"
+        self.window = window
+        self.profile_tag = f"{nic.name}.sq{sq.qpn}.tx"
+        self.stage_free = 0.0
+        self._wqe_batch: Dict[int, TxWqe] = {}
+        self._fetch_pend = None
+        self._tx_pend = None
+        # Start via a zero-delay step, exactly like the spawned fetch
+        # generator's first dispatch (which in turn spawned the tx
+        # stage before blocking on the doorbell).
+        nic.sim.schedule(0.0, self._start)
+
+    # -- fetch stage ---------------------------------------------------
+
+    def _start(self) -> None:
+        self.nic.sim.schedule(0.0, self._pull)
+        self._fetch_idle()
+
+    def _fetch_idle(self) -> None:
+        """Consume doorbells until one pauses the drain or none remain."""
+        doorbell = self.sq.doorbell
+        while True:
+            rung = doorbell.try_get()
+            if rung is None:
+                doorbell.get().add_callback(self._on_doorbell)
+                return
+            if rung is _POISON or self.sq.destroyed:
+                # Propagate teardown to the tx stage; no re-arm.
+                self.window.put(_POISON)
+                return
+            if not self._drain():
+                return
+
+    def _on_doorbell(self, event) -> None:
+        rung = event.value
+        if rung is _POISON or self.sq.destroyed:
+            self.window.put(_POISON)
+            return
+        if self._drain():
+            self._fetch_idle()
+
+    def _drain(self) -> bool:
+        """Push WQEs up to the rung PI; False when paused on a wait."""
+        nic = self.nic
+        sq = self.sq
+        batch = self._wqe_batch
+        while sq.ci < sq.pi:
+            index = sq.ci
+            sq.ci = index + 1
+            wqe = sq.mmio_wqes.pop(index & 0xFFFF, None)
+            if wqe is None:
+                wqe = batch.pop(index, None)
+            if wqe is None:
+                # Fetch a contiguous batch (bounded by the ring edge).
+                slot = index % sq.entries
+                burst = min(nic.config.wqe_fetch_batch, sq.pi - index,
+                            sq.entries - slot)
+                self._fetch_pend = (index, burst)
+                nic.fabric.read(
+                    nic, sq.slot_addr(index), burst * WQE_SIZE,
+                    on_done=self._wqes_ready,
+                )
+                return False
+            if not self._push(index, wqe):
+                return False
+        return True
+
+    def _wqes_ready(self, raw) -> None:
+        index, burst = self._fetch_pend
+        self._fetch_pend = None
+        sq = self.sq
+        sq.stats_wqe_fetches += burst
+        batch = self._wqe_batch
+        for i, fetched in enumerate(TxWqe.unpack_many(raw, burst)):
+            batch[index + i] = fetched
+        if self._push(index, batch.pop(index)) and self._drain():
+            self._fetch_idle()
+
+    def _push(self, index: int, wqe: TxWqe) -> bool:
+        """Launch the data DMA and queue the WQE on the window; False
+        when the window is full (the put's event resumes the drain)."""
+        nic = self.nic
+        if wqe.byte_count > 0:
+            data_event = _DataSlot()
+            nic.fabric.read(nic, wqe.buffer_addr, wqe.byte_count,
+                            on_done=data_event._complete)
+        else:
+            data_event = None
+        event = self.window.put((index, wqe, data_event, nic.sim._now))
+        if event._fired:
+            return True
+        event.add_callback(self._put_admitted)
+        return False
+
+    def _put_admitted(self, _event) -> None:
+        if self._drain():
+            self._fetch_idle()
+
+    # -- transmit stage ------------------------------------------------
+
+    def _pull(self) -> None:
+        """Consume window items in order; the flat loop head, with the
+        same slot-hold discipline as the generator stage."""
+        window = self.window
+        sim = self.nic.sim
+        while True:
+            held = bool(window._items) and self.stage_free > sim._now
+            if held:
+                window.hold_slot(self.stage_free)
+            item = window.try_get()
+            if item is None:
+                window.get().add_callback(self._handover)
+                return
+            if item is _POISON:
+                return
+            if not self._tx_begin(item):
+                return
+
+    def _handover(self, event) -> None:
+        # Handed over while get-blocked, before the reference would
+        # even be polling: the item would have sat in the window
+        # (occupying its slot) until then.
+        if self.nic.sim._now < self.stage_free:
+            self.window.hold_slot(self.stage_free)
+        item = event.value
+        if item is _POISON:
+            return
+        if self._tx_begin(item):
+            self._pull()
+
+    def _tx_begin(self, item) -> bool:
+        index, wqe, data_event, _enqueued = item
+        if data_event is None:
+            return self._tx_send(index, wqe, b"")
+        if data_event._fired:
+            return self._tx_send(index, wqe, data_event.value)
+        self._tx_pend = (index, wqe)
+        data_event.add_callback(self._data_ready)
+        return False
+
+    def _data_ready(self, event) -> None:
+        index, wqe = self._tx_pend
+        self._tx_pend = None
+        if self._tx_send(index, wqe, event.value):
+            self._pull()
+
+    def _tx_send(self, index: int, wqe: TxWqe, data: bytes) -> bool:
+        """The fused transmit arm; False when the local-disposition
+        realignment defers completion to a continuation."""
+        nic = self.nic
+        sq = self.sq
+        sim = nic.sim
+        sq.stats_wqes += 1
+        nic._ctr_tx_wqes.inc()
+        nic._ctr_tx_bytes.inc(len(data))
+        now = sim._now
+        stage_free = self.stage_free
+        done = (now if now > stage_free else stage_free) \
+            + nic.config.processing_delay
+        self.stage_free = done
+        resolved = nic._resolve_eth(sq, wqe, data)
+        eswitch = nic.eswitch
+        if all(d.kind == Disposition.UPLINK for d, _v in resolved):
+            for d, vport in resolved:
+                eswitch.apply_at(d, vport, done)
+            if wqe.signaled:
+                completion = Cqe(CQE_SEND_COMPLETION, sq.qpn, index,
+                                 wqe.byte_count)
+                nic._post_cqe_at(sq.cq, completion, done)
+            return True
+        # Local dispositions (loopback, queue delivery, drops) can race
+        # receive-side state at the completion instant: realign and
+        # apply synchronously, like the reference.
+        entry = (resolved, wqe, index)
+        if done > now:
+            sim.call_later(done - now, self._apply_local_cont, entry)
+            return False
+        self._apply_local(entry)
+        return True
+
+    def _apply_local_cont(self, entry) -> None:
+        self._apply_local(entry)
+        self._pull()
+
+    def _apply_local(self, entry) -> None:
+        resolved, wqe, index = entry
+        nic = self.nic
+        eswitch = nic.eswitch
+        for d, vport in resolved:
+            eswitch._apply_fdb(d, from_vport=vport)
+        if wqe.signaled:
+            completion = Cqe(CQE_SEND_COMPLETION, self.sq.qpn, index,
+                             wqe.byte_count)
+            nic._post_cqe(self.sq.cq, completion)

@@ -104,7 +104,9 @@ class TxWqe:
     """
 
     _FORMAT = "!BBHIQIIIBQIH"
-    _PACKED = struct.calcsize(_FORMAT)
+    _STRUCT = struct.Struct(_FORMAT)
+    _PACKED = _STRUCT.size
+    _PAD = bytes(WQE_SIZE - _PACKED)
 
     __slots__ = ("opcode", "flags", "wqe_index", "qpn", "buffer_addr",
                  "byte_count", "lkey", "context_id", "ack_req",
@@ -138,21 +140,20 @@ class TxWqe:
         return bool(self.flags & WQE_FLAG_SIGNALED)
 
     def pack(self) -> bytes:
-        body = struct.pack(
-            self._FORMAT, self.opcode, self.flags, self.wqe_index, self.qpn,
+        body = self._STRUCT.pack(
+            self.opcode, self.flags, self.wqe_index, self.qpn,
             self.buffer_addr, self.byte_count, self.lkey, self.context_id,
             1 if self.ack_req else 0, self.remote_addr, self.rkey,
             self.mss,
         )
-        return body + bytes(WQE_SIZE - self._PACKED)
+        return body + self._PAD
 
     @classmethod
     def unpack(cls, data: bytes) -> "TxWqe":
         if len(data) < cls._PACKED:
             raise ValueError("truncated TxWqe")
         (opcode, flags, wqe_index, qpn, addr, count, lkey, context,
-         ack_req, remote_addr, rkey, mss) = struct.unpack(
-            cls._FORMAT, data[:cls._PACKED])
+         ack_req, remote_addr, rkey, mss) = cls._STRUCT.unpack_from(data)
         return cls(opcode, qpn, wqe_index, addr, count, flags, lkey,
                    context, bool(ack_req), remote_addr, rkey, mss)
 
@@ -226,6 +227,7 @@ class RxDesc:
     """A 16 B receive descriptor: buffer address + length + lkey."""
 
     _FORMAT = "!QII"
+    _STRUCT = struct.Struct(_FORMAT)
 
     __slots__ = ("buffer_addr", "byte_count", "lkey")
 
@@ -235,14 +237,14 @@ class RxDesc:
         self.lkey = lkey
 
     def pack(self) -> bytes:
-        return struct.pack(self._FORMAT, self.buffer_addr, self.byte_count,
-                           self.lkey)
+        return self._STRUCT.pack(self.buffer_addr, self.byte_count,
+                                 self.lkey)
 
     @classmethod
     def unpack(cls, data: bytes) -> "RxDesc":
         if len(data) < RX_DESC_SIZE:
             raise ValueError("truncated RxDesc")
-        addr, count, lkey = struct.unpack(cls._FORMAT, data[:RX_DESC_SIZE])
+        addr, count, lkey = cls._STRUCT.unpack_from(data)
         return cls(addr, count, lkey)
 
     @classmethod
@@ -302,7 +304,9 @@ class Cqe:
     """
 
     _FORMAT = "!BBHIIIIHBB"
-    _PACKED = struct.calcsize(_FORMAT)
+    _STRUCT = struct.Struct(_FORMAT)
+    _PACKED = _STRUCT.size
+    _PAD = bytes(CQE_SIZE - _PACKED)
 
     __slots__ = ("opcode", "flags", "wqe_counter", "qpn", "byte_count",
                  "rss_hash", "flow_tag", "stride_index", "owner", "syndrome",
@@ -335,19 +339,19 @@ class Cqe:
         return self.opcode == CQE_ERROR
 
     def pack(self) -> bytes:
-        body = struct.pack(
-            self._FORMAT, self.opcode, self.flags, self.wqe_counter,
+        body = self._STRUCT.pack(
+            self.opcode, self.flags, self.wqe_counter,
             self.qpn, self.byte_count, self.rss_hash, self.flow_tag,
             self.stride_index, self.owner, self.syndrome,
         )
-        return body + bytes(CQE_SIZE - self._PACKED)
+        return body + self._PAD
 
     @classmethod
     def unpack(cls, data: bytes) -> "Cqe":
         if len(data) < cls._PACKED:
             raise ValueError("truncated Cqe")
         (opcode, flags, counter, qpn, count, rss, tag, stride, owner,
-         syndrome) = struct.unpack(cls._FORMAT, data[:cls._PACKED])
+         syndrome) = cls._STRUCT.unpack_from(data)
         return cls(opcode, qpn, counter, count, flags, rss, tag, stride,
                    owner, syndrome)
 

@@ -21,6 +21,7 @@ class PcieEndpoint:
     def __init__(self, name: str):
         self.name = name
         self.fabric = None  # set by PcieFabric.attach
+        self._port = None   # the fabric port, cached by attach
         # Profiler owner tag: heap events whose callable is bound to
         # this endpoint are attributed here.  Subclasses refine it
         # (e.g. the FLD tags its tx and rx engines separately).

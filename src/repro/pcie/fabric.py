@@ -15,12 +15,20 @@ them, and every TLP pays serialization on both lanes it crosses.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, List, Optional
 
 from ..sim import Event, Link, Simulator
 from .config import PcieLinkConfig
 from .endpoint import Bar, PcieEndpoint, PcieError
-from .tlp import Tlp, TlpType, completion_chunks, split_write_bytes
+from .tlp import (
+    COMPLETION_HEADER,
+    DLLP_FRAMING,
+    Tlp,
+    TlpType,
+    completion_chunks,
+    split_write_bytes,
+)
 
 
 class _LaneCounters:
@@ -61,8 +69,22 @@ class _WriteCountdown:
         if self.remaining == 0:
             fabric = self.fabric
             if self.span_id is not None:
-                fabric._spans.exit(self.span_id, fabric.sim.now)
+                fabric._spans.exit(self.span_id, fabric.sim._now)
             self.done.succeed()
+
+
+class _CallbackDone:
+    """Duck-typed stand-in for a completion :class:`Event`.
+
+    Flattened initiators pass ``on_done`` to :meth:`PcieFabric.post_write`;
+    the write machinery only ever calls ``done.succeed()``, so a bare
+    callable slot replaces the Event allocation on the hot path.
+    """
+
+    __slots__ = ("succeed",)
+
+    def __init__(self, callback):
+        self.succeed = callback
 
 
 class DeferredWrite:
@@ -145,6 +167,8 @@ class PcieFabric:
         self.sim = sim
         self._ports: Dict[str, _Port] = {}
         self._bars: List[Bar] = []
+        self._decode_bases: List[int] = []
+        self._decode_bars: List[Bar] = []
         self._pending_reads: Dict[int, dict] = {}
         self.stats_tlps: Dict[str, int] = {}
         self._spans = sim.telemetry.spans
@@ -185,6 +209,7 @@ class PcieFabric:
         port.down.connect(self._deliver)
         self._ports[endpoint.name] = port
         endpoint.fabric = self
+        endpoint._port = port
 
     def detach(self, endpoint: PcieEndpoint) -> None:
         """Remove ``endpoint``'s port (teardown); BARs must go first."""
@@ -194,6 +219,9 @@ class PcieFabric:
                     f"endpoint {endpoint.name!r} still decodes {bar}")
         if self._ports.pop(endpoint.name, None) is None:
             raise PcieError(f"endpoint {endpoint.name!r} not attached")
+        if endpoint.fabric is self:
+            endpoint.fabric = None
+            endpoint._port = None
 
     def map_window(self, base: int, size: int, endpoint: PcieEndpoint) -> Bar:
         """Claim [base, base+size) in the fabric address space."""
@@ -202,6 +230,7 @@ class PcieFabric:
             if bar.overlaps(existing):
                 raise PcieError(f"{bar} overlaps {existing}")
         self._bars.append(bar)
+        self._rebuild_decode_index()
         return bar
 
     def unmap_window(self, base: int) -> Bar:
@@ -209,16 +238,30 @@ class PcieFabric:
         for i, bar in enumerate(self._bars):
             if bar.base == base:
                 del self._bars[i]
+                self._rebuild_decode_index()
                 return bar
         raise PcieError(f"no window mapped at {base:#x}")
 
+    def _rebuild_decode_index(self) -> None:
+        """Base-sorted decode index; BARs never overlap so a bisect on
+        bases finds the unique candidate window for any address."""
+        ordered = sorted(self._bars, key=lambda bar: bar.base)
+        self._decode_bases = [bar.base for bar in ordered]
+        self._decode_bars = ordered
+
     def decode(self, address: int) -> Bar:
-        for bar in self._bars:
-            if bar.contains(address):
+        index = bisect_right(self._decode_bases, address) - 1
+        if index >= 0:
+            bar = self._decode_bars[index]
+            if address < bar.base + bar.size:
                 return bar
         raise PcieError(f"address {address:#x} does not decode to any BAR")
 
     def port_of(self, endpoint: PcieEndpoint) -> _Port:
+        # Attached initiators carry their port (set by attach) — one
+        # identity check instead of a name hash on every transaction.
+        if endpoint.fabric is self:
+            return endpoint._port
         try:
             return self._ports[endpoint.name]
         except KeyError:
@@ -233,7 +276,8 @@ class PcieFabric:
 
     def post_write(self, requester: PcieEndpoint, address: int,
                    data: bytes = None, length: int = None,
-                   trace_ctx=None, trace_stage: str = "pcie.write") -> Event:
+                   trace_ctx=None, trace_stage: str = "pcie.write",
+                   on_done=None) -> Event:
         """A posted memory write; the event fires when the last TLP lands.
 
         Pass ``data`` for functional writes or just ``length`` for
@@ -241,14 +285,24 @@ class PcieFabric:
         as a ``trace_stage`` span on the packet's trace, and the
         context rides the TLPs so the receiving endpoint can claim it
         (``inbound_trace_ctx``) across the byte boundary.
+
+        Flattened initiators that only need a completion *callback* pass
+        ``on_done`` (a zero-argument callable) instead of chaining on
+        the returned event: the write then skips the Event allocation
+        entirely and invokes the callback at the exact instant the
+        event would have fired.  The return value is not an Event in
+        that case and must be ignored.
         """
         port = self.port_of(requester)
         if data is None and length is None:
             raise PcieError("write needs data or length")
         total = len(data) if data is not None else length
         mps = port.config.max_payload_size
-        done = Event(self.sim)
-        span_id = self._spans.enter(trace_ctx, trace_stage, self.sim.now)
+        span_id = self._spans.enter(trace_ctx, trace_stage, self.sim._now)
+        if on_done is not None and span_id is None:
+            done = _CallbackDone(on_done)
+        else:
+            done = Event(self.sim)
 
         if 0 < total <= mps:
             # Single-TLP fast path — the common case for descriptors,
@@ -297,12 +351,22 @@ class PcieFabric:
 
     def read(self, requester: PcieEndpoint, address: int,
              length: int, trace_ctx=None,
-             trace_stage: str = "pcie.read") -> Event:
-        """A memory read; the event fires with the data bytes."""
+             trace_stage: str = "pcie.read",
+             on_done=None) -> Event:
+        """A memory read; the event fires with the data bytes.
+
+        As with :meth:`post_write`, flattened initiators that only need
+        the data pass ``on_done`` (called with the bytes at completion
+        time) and the Event allocation is skipped; the return value must
+        then be ignored.
+        """
         if length <= 0:
             raise PcieError("read length must be positive")
         port = self.port_of(requester)
-        done = Event(self.sim)
+        if on_done is not None and trace_ctx is None:
+            done = _CallbackDone(on_done)
+        else:
+            done = Event(self.sim)
         request = Tlp(TlpType.MEM_READ, address, length,
                       requester=requester.name)
         request.trace_ctx = trace_ctx
@@ -314,9 +378,9 @@ class PcieFabric:
         }
         if trace_ctx is not None:
             span_id = self._spans.enter(trace_ctx, trace_stage,
-                                        self.sim.now)
+                                        self.sim._now)
             done.add_callback(
-                lambda _event: self._spans.exit(span_id, self.sim.now))
+                lambda _event: self._spans.exit(span_id, self.sim._now))
         self._send(port, request)
         return done
 
@@ -370,7 +434,7 @@ class PcieFabric:
             port.tele_up.count(tlp)
         target, record = self._reserve_path(port, tlp, arrival)
         sim = self.sim
-        sim.call_later(record.delivery - sim.now, self._arrive,
+        sim.call_later(record.delivery - sim._now, self._arrive,
                        (tlp, target.down, record))
         return done
 
@@ -385,7 +449,7 @@ class PcieFabric:
         if self._cut_through:
             target, record = self._reserve_path(port, tlp)
             sim = self.sim
-            sim.call_later(record.delivery - sim.now, self._arrive,
+            sim.call_later(record.delivery - sim._now, self._arrive,
                            (tlp, target.down, record))
             return
         port.up.send(tlp, tlp.wire_bytes() * 8)
@@ -407,11 +471,35 @@ class PcieFabric:
         bits = tlp.wire_bytes() * 8
         seq = self._issue_seq
         self._issue_seq = seq + 1
-        up = port.up.reserve(bits,
-                             self.sim.now if arrival is None else arrival,
-                             seq)
-        down = target.down.reserve(bits, up.delivery, seq)
-        down.upstream = (port.up, up)
+        up = port.up
+        if arrival is None:
+            now = self.sim._now
+            if (up._ctr_bits is None
+                    and (not up._lane_keys
+                         or up._lane_keys[-1] <= (now, seq))):
+                # Stable up lane (see Link.reserve): the occupancy
+                # recurrence runs inline with no Reservation handle —
+                # retiring one would be a no-op prune anyway, so the
+                # downstream record carries no upstream pointer.
+                keys = up._lane_keys
+                if keys:
+                    up._busy_until = up._lane_fin[-1]
+                    keys.clear()
+                    up._lane_fin.clear()
+                    up._lane_recs.clear()
+                prev = up._busy_until
+                start = now if now > prev else prev
+                rate = up.rate_bps
+                finish = start if rate is None else start + bits / rate
+                up._busy_until = finish
+                up.stats_bits += bits
+                up.stats_messages += 1
+                return target, target.down.reserve(
+                    bits, finish + up.latency, seq)
+            arrival = now
+        up_record = up.reserve(bits, arrival, seq)
+        down = target.down.reserve(bits, up_record.delivery, seq)
+        down.upstream = (up, up_record)
         return target, down
 
     @staticmethod
@@ -442,17 +530,17 @@ class PcieFabric:
             records.append(record)
         sim = self.sim
         entry = (tlps, target.down, records, span_id, done)
-        sim.call_later(records[-1].delivery - sim.now,
+        sim.call_later(records[-1].delivery - sim._now,
                        self._train_arrived, entry)
 
     def _arrive(self, entry) -> None:
         """Single-TLP delivery event (cut-through path)."""
         tlp, link, record = entry
         sim = self.sim
-        if record.delivery > sim.now:
+        if record.delivery > sim._now:
             # An out-of-order arrival on the shared lane pushed this TLP
             # later after the event was scheduled; fire again on time.
-            sim.call_later(record.delivery - sim.now, self._arrive, entry)
+            sim.call_later(record.delivery - sim._now, self._arrive, entry)
             return
         self._retire_path(link, record)
         kind = tlp.kind
@@ -468,16 +556,20 @@ class PcieFabric:
         tlps, link, records, span_id, done = entry
         sim = self.sim
         last = records[-1]
-        if last.delivery > sim.now:
-            sim.call_later(last.delivery - sim.now, self._train_arrived,
+        if last.delivery > sim._now:
+            sim.call_later(last.delivery - sim._now, self._train_arrived,
                            entry)
             return
         for record in records:
-            self._retire_path(link, record)
+            record.done = True
+            upstream = record.upstream
+            if upstream is not None:
+                upstream[0].retire(upstream[1])
+        link.retire(last)
         for tlp in tlps:
             self._deliver_write(tlp)
         if span_id is not None:
-            self._spans.exit(span_id, sim.now)
+            self._spans.exit(span_id, sim._now)
         done.succeed()
 
     def _deliver_write(self, tlp: Tlp) -> None:
@@ -529,12 +621,62 @@ class PcieFabric:
         state["remaining"] = len(chunks)
         parts = state["chunks"]
         sim = self.sim
-        now = sim.now
+        now = sim._now
         stats = self.stats_tlps
         tele_up = completer_port.tele_up
         tele_down = requester_port.tele_down
         down = requester_port.down
         up = completer_port.up
+        seq = self._issue_seq
+        if (tele_up is None and tele_down is None
+                and up._ctr_bits is None
+                and (not up._lane_keys or up._lane_keys[-1] <= (now, seq))):
+            # Fused fast path.  The completion TLPs are never routed or
+            # delivered as objects — only their lane occupancy and data
+            # slices matter — so skip allocating them.  The up lane is
+            # keyed at (now, seq..): provably stable (see Link.reserve),
+            # so its whole occupancy recurrence runs inline with no
+            # Reservation handles; per-chunk reservations survive only
+            # on the shared down lane, where later-issued traffic can
+            # still interleave with the train and force a replay.
+            up_keys = up._lane_keys
+            if up_keys:
+                up._busy_until = up._lane_fin[-1]
+                up_keys.clear()
+                up._lane_fin.clear()
+                up._lane_recs.clear()
+            rate_up = up.rate_bps
+            lat_up = up.latency
+            prev = up._busy_until
+            header_bits = (COMPLETION_HEADER + DLLP_FRAMING) * 8
+            n = len(chunks)
+            stats["CplD"] = stats.get("CplD", 0) + n
+            append_part = parts.append
+            bits_list = []
+            arrivals = []
+            total_bits = 0
+            cursor = 0
+            for index, chunk in enumerate(chunks):
+                bits = header_bits + chunk * 8
+                bits_list.append(bits)
+                total_bits += bits
+                start = now if now > prev else prev
+                prev = start if rate_up is None else start + bits / rate_up
+                arrivals.append(prev + lat_up)
+                append_part((index, data[cursor:cursor + chunk]))
+                cursor += chunk
+            self._issue_seq = seq + n
+            up._busy_until = prev
+            up.stats_bits += total_bits
+            up.stats_messages += n
+            # The whole completion burst is ONE down-lane entry; a
+            # later-issued message keying inside the train splits it
+            # back into per-chunk records (see Link.reserve_train).
+            train = down.reserve_train(bits_list, arrivals, seq)
+            entry = (tlp.tag, down, (train,))
+            sim.call_later(train.delivery - now,
+                           self._read_completed, entry)
+            return
         records = []
         cursor = 0
         for index, chunk in enumerate(chunks):
@@ -567,12 +709,18 @@ class PcieFabric:
         tag, link, records = entry
         sim = self.sim
         last = records[-1]
-        if last.delivery > sim.now:
-            sim.call_later(last.delivery - sim.now, self._read_completed,
+        if last.delivery > sim._now:
+            sim.call_later(last.delivery - sim._now, self._read_completed,
                            entry)
             return
+        # Batch retire: mark the whole train done, then prune the lane
+        # prefix once instead of once per chunk.
         for record in records:
-            self._retire_path(link, record)
+            record.done = True
+            upstream = record.upstream
+            if upstream is not None:
+                upstream[0].retire(upstream[1])
+        link.retire(last)
         state = self._pending_reads.pop(tag)
         data = b"".join(part for _seq, part in sorted(state["chunks"]))
         state["event"].succeed(data)

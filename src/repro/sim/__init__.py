@@ -4,7 +4,16 @@ Provides the clock, processes, channels and bandwidth-limited links that
 every timed experiment in the reproduction is built on.
 """
 
-from .engine import Event, Process, Resource, SimulationError, Simulator, Store
+from .engine import (
+    Continuation,
+    Event,
+    Process,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+)
+from .fastpath import fused_dispatch_ok
 from .resources import DuplexLink, Link, TokenBucket, drain_store_via_link
 from .stats import (
     Counter,
@@ -15,6 +24,7 @@ from .stats import (
 )
 
 __all__ = [
+    "Continuation",
     "Counter",
     "DuplexLink",
     "Event",
@@ -29,5 +39,6 @@ __all__ = [
     "ThroughputMeter",
     "TokenBucket",
     "drain_store_via_link",
+    "fused_dispatch_ok",
     "percentile",
 ]

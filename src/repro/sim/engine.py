@@ -17,6 +17,19 @@ same-timestamp events into one scheduler pass.  None of this changes
 scheduling order — entries are still dispatched strictly by
 ``(time, seq)`` — so results are bit-identical to the scalar engine.
 
+Besides generator :class:`Process`\ es the engine dispatches *flat
+continuations*: a plain ``(callback, arg)`` pair invoked directly by the
+run loop with no generator resume, no :class:`Event` allocation and no
+trampoline frame.  :meth:`Simulator.call_later` / :meth:`Simulator.schedule`
+/ :meth:`Simulator.schedule_at` are the zero-overhead forms used by the
+steady-state datapath workers; :meth:`Simulator.defer` /
+:meth:`Simulator.defer_at` return a cancellable :class:`Continuation`
+handle for callers that may need to revoke the call before it fires.
+Under the profiler every form stamps the entry with its owner tag at push
+time (the callback's ``__self__.profile_tag`` when bound to a tagged
+component, else the dispatching context's tag), so flat and generator
+dispatch attribute identically.
+
 Scheduling itself is two-tier: zero-delay pushes (store handoffs,
 fired-event callbacks, spawn steps) go to a FIFO *ready deque* with O(1)
 appends, timed pushes to the classic binary heap.  Because ``seq`` is
@@ -204,6 +217,50 @@ class Process:
             return
 
 
+class Continuation:
+    """A cancellable flat continuation: ``func(arg)`` at its ``(time, seq)``.
+
+    The lightweight third event kind next to :class:`Process` and
+    :class:`Event` timeouts.  A continuation occupies exactly one
+    scheduler entry; cancelling it does **not** remove the entry (the
+    reference single-heap model dispatches every pushed entry), it only
+    suppresses the callback — the dispatch still happens, as a no-op, at
+    the original ``(time, seq)`` slot.  Hot paths that never cancel use
+    :meth:`Simulator.call_later` directly and skip this handle entirely.
+    """
+
+    __slots__ = ("func", "arg", "_cancelled", "_fired")
+
+    def __init__(self, func: Callable[..., None], arg: Any):
+        self.func = func
+        self.arg = arg
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def cancel(self) -> None:
+        """Suppress the callback; idempotent, a no-op once fired."""
+        if not self._fired:
+            self._cancelled = True
+
+    def fire(self) -> None:
+        if self._cancelled or self._fired:
+            return
+        self._fired = True
+        arg = self.arg
+        if arg is _NO_ARG:
+            self.func()
+        else:
+            self.func(arg)
+
+
 class Simulator:
     """The event loop: a priority queue of (time, seq, func, arg) entries.
 
@@ -235,6 +292,8 @@ class Simulator:
             self.schedule_at = self._schedule_at_profiled
             self.call_later = self._call_later_profiled
             self.timeout = self._timeout_profiled
+            self.defer = self._defer_profiled
+            self.defer_at = self._defer_at_profiled
         else:
             self._prof = None
         self._ctr_proc_spawned = self.telemetry.counter("sim.processes.spawned")
@@ -315,6 +374,45 @@ class Simulator:
         _heappush(self._queue, (self._now + delay, seq, event.succeed, value))
         return event
 
+    def defer(self, delay: float, func: Callable[..., None],
+              arg: Any = _NO_ARG) -> Continuation:
+        """Schedule a cancellable flat continuation ``delay`` from now.
+
+        Like :meth:`call_later` but returns a :class:`Continuation`
+        handle whose :meth:`~Continuation.cancel` suppresses the call.
+        The scheduler entry itself is never removed — a cancelled
+        continuation still dispatches (as a no-op) at its original
+        ``(time, seq)``, matching the single-heap reference model.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        cont = Continuation(func, arg)
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0.0:
+            ready = self._ready
+            if not ready or ready[-1][0] <= self._now:
+                ready.append((self._now, seq, cont.fire, _NO_ARG))
+                return cont
+        _heappush(self._queue, (self._now + delay, seq, cont.fire, _NO_ARG))
+        return cont
+
+    def defer_at(self, time: float, func: Callable[..., None],
+                 arg: Any = _NO_ARG) -> Continuation:
+        """Like :meth:`defer`, at absolute time ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"defer_at({time}) before now ({self._now})")
+        cont = Continuation(func, arg)
+        seq = self._seq
+        self._seq = seq + 1
+        ready = self._ready
+        if not ready or ready[-1][0] <= time:
+            ready.append((time, seq, cont.fire, _NO_ARG))
+        else:
+            _heappush(self._queue, (time, seq, cont.fire, _NO_ARG))
+        return cont
+
     # -- profiled scheduling (bound as instance attrs when profiling) ----
 
     def _owner_tag(self, func) -> str:
@@ -390,6 +488,42 @@ class Simulator:
         _heappush(self._queue, entry)
         return event
 
+    def _defer_profiled(self, delay: float, func: Callable[..., None],
+                        arg: Any = _NO_ARG) -> Continuation:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        cont = Continuation(func, arg)
+        seq = self._seq
+        self._seq = seq + 1
+        # Attribute to the *wrapped* callable's owner (``cont.fire`` is
+        # bound to the untagged handle), so cancellable and plain
+        # continuations account identically.
+        entry = (self._now + delay, seq, cont.fire, _NO_ARG,
+                 self._owner_tag(func))
+        if delay == 0.0:
+            ready = self._ready
+            if not ready or ready[-1][0] <= self._now:
+                ready.append(entry)
+                return cont
+        _heappush(self._queue, entry)
+        return cont
+
+    def _defer_at_profiled(self, time: float, func: Callable[..., None],
+                           arg: Any = _NO_ARG) -> Continuation:
+        if time < self._now:
+            raise SimulationError(
+                f"defer_at({time}) before now ({self._now})")
+        cont = Continuation(func, arg)
+        seq = self._seq
+        self._seq = seq + 1
+        entry = (time, seq, cont.fire, _NO_ARG, self._owner_tag(func))
+        ready = self._ready
+        if not ready or ready[-1][0] <= time:
+            ready.append(entry)
+        else:
+            _heappush(self._queue, entry)
+        return cont
+
     def event(self) -> Event:
         """A fresh pending event, fired manually via :meth:`Event.succeed`."""
         return Event(self)
@@ -445,18 +579,15 @@ class Simulator:
                 # Peek the earliest entry across both tiers.  ``seq`` is
                 # unique, so comparing (time, seq) fully orders entries.
                 if ready:
+                    # (time, seq) orders entries and seq is unique, so a
+                    # direct tuple compare never reaches the callables.
                     entry = ready[0]
+                    from_ready = True
                     if queue:
                         top = queue[0]
-                        if (top[0] < entry[0]
-                                or (top[0] == entry[0]
-                                    and top[1] < entry[1])):
+                        if top < entry:
                             entry = top
                             from_ready = False
-                        else:
-                            from_ready = True
-                    else:
-                        from_ready = True
                 elif queue:
                     entry = queue[0]
                     from_ready = False
@@ -486,17 +617,12 @@ class Simulator:
                         )
                     if ready:
                         entry = ready[0]
+                        from_ready = True
                         if queue:
                             top = queue[0]
-                            if (top[0] < entry[0]
-                                    or (top[0] == entry[0]
-                                        and top[1] < entry[1])):
+                            if top < entry:
                                 entry = top
                                 from_ready = False
-                            else:
-                                from_ready = True
-                        else:
-                            from_ready = True
                     elif queue:
                         entry = queue[0]
                         from_ready = False
@@ -535,18 +661,15 @@ class Simulator:
         try:
             while True:
                 if ready:
+                    # (time, seq) orders entries and seq is unique, so a
+                    # direct tuple compare never reaches the callables.
                     entry = ready[0]
+                    from_ready = True
                     if queue:
                         top = queue[0]
-                        if (top[0] < entry[0]
-                                or (top[0] == entry[0]
-                                    and top[1] < entry[1])):
+                        if top < entry:
                             entry = top
                             from_ready = False
-                        else:
-                            from_ready = True
-                    else:
-                        from_ready = True
                 elif queue:
                     entry = queue[0]
                     from_ready = False
@@ -597,17 +720,12 @@ class Simulator:
                         )
                     if ready:
                         entry = ready[0]
+                        from_ready = True
                         if queue:
                             top = queue[0]
-                            if (top[0] < entry[0]
-                                    or (top[0] == entry[0]
-                                        and top[1] < entry[1])):
+                            if top < entry:
                                 entry = top
                                 from_ready = False
-                            else:
-                                from_ready = True
-                        else:
-                            from_ready = True
                     elif queue:
                         entry = queue[0]
                         from_ready = False

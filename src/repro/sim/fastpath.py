@@ -1,0 +1,37 @@
+"""The fused fast-path gate, shared by every flattened caller.
+
+PR 9 fused the steady-state datapath (NIC tx stage, host rx completion,
+FLD rx engine) into cut-through PCIe deliveries, but each caller grew
+its own copy of the gating predicate deciding whether the fused path is
+safe.  The predicate is the same everywhere:
+
+* packet tracing must be off (traced runs need per-hop TLP routing and
+  per-stage trace records that the fused path skips), which is also
+  what enables the fabric's cut-through mode in the first place;
+* span recording must be off (spans attach per-packet contexts that the
+  fused path does not thread through);
+* the fabric must actually be running cut-through (``_cut_through``),
+  i.e. reservations are made end-to-end at issue time.
+
+Callers layer their own *local* conditions on top (an RC send queue
+still runs the general rdma path, a metered queue still paces through
+the shaper, an FLD CQ with a programmable hook still runs the hook),
+but the core gate lives here so the flattened continuation workers and
+the fused callers agree on exactly one definition.
+"""
+
+from __future__ import annotations
+
+
+def fused_dispatch_ok(sim, fabric) -> bool:
+    """True when the flat fused datapath may replace the generator path.
+
+    ``sim`` is the :class:`~repro.sim.engine.Simulator` (for the
+    telemetry flags); ``fabric`` is the PCIe fabric the caller sits on
+    (anything without a ``_cut_through`` attribute gates the fast path
+    off, e.g. test doubles).
+    """
+    telemetry = sim.telemetry
+    return (not telemetry.tracer.enabled
+            and not telemetry.spans.enabled
+            and getattr(fabric, "_cut_through", False))

@@ -1,0 +1,76 @@
+"""The shared fused fast-path gate: one predicate, enumerated.
+
+PR 9 grew three private copies of the "may we take the fused path?"
+check (NIC tx stage, host EthQueuePair rx, FLD rx engine); PR 10 merges
+them into :func:`repro.sim.fastpath.fused_dispatch_ok`.  These tests
+enumerate every gate condition so a future edit to the predicate is a
+conscious decision, and pin that the three call sites actually use it.
+"""
+
+import itertools
+
+import pytest
+
+from repro.sim import Simulator, fused_dispatch_ok
+
+
+class _Flag:
+    def __init__(self, enabled):
+        self.enabled = enabled
+
+
+class _Telemetry:
+    def __init__(self, tracer, spans):
+        self.tracer = _Flag(tracer)
+        self.spans = _Flag(spans)
+
+
+class _Sim:
+    def __init__(self, tracer, spans):
+        self.telemetry = _Telemetry(tracer, spans)
+
+
+class _Fabric:
+    def __init__(self, cut_through):
+        self._cut_through = cut_through
+
+
+@pytest.mark.parametrize(
+    "tracer,spans,cut_through",
+    list(itertools.product([False, True], repeat=3)))
+def test_gate_truth_table(tracer, spans, cut_through):
+    """The gate opens iff tracer off AND spans off AND cut-through on."""
+    sim = _Sim(tracer, spans)
+    fabric = _Fabric(cut_through)
+    expected = (not tracer) and (not spans) and cut_through
+    assert fused_dispatch_ok(sim, fabric) is expected
+
+
+def test_gate_closed_without_cut_through_attribute():
+    """Fabric doubles without _cut_through never take the fast path."""
+    class Bare:
+        pass
+
+    assert fused_dispatch_ok(_Sim(False, False), Bare()) is False
+
+
+def test_gate_open_on_default_simulator():
+    """A default Simulator (telemetry off) plus a cut-through fabric
+    opens the gate — the configuration every fig7b-style run uses."""
+    sim = Simulator()
+    assert fused_dispatch_ok(sim, _Fabric(True)) is True
+    assert fused_dispatch_ok(sim, _Fabric(False)) is False
+
+
+def test_call_sites_share_the_predicate():
+    """All three fused callers import the shared gate (no private
+    copies of the tracer/spans/cut-through triple left behind)."""
+    import inspect
+
+    from repro.core import fld
+    from repro.host import driver
+    from repro.nic import device
+
+    for module in (device, driver, fld):
+        source = inspect.getsource(module)
+        assert "fused_dispatch_ok" in source

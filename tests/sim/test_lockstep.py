@@ -130,6 +130,171 @@ def test_lockstep_resumed_runs(workload):
     assert real.now == ref.now
 
 
+# -- mixed-kind oracle: continuations, cancellations, processes ----------
+#
+# The engine's three event kinds (plain entries, cancellable flat
+# continuations, generator processes) must interleave exactly as the
+# single-heap model dispatches the same pushes.  Each node is
+# (kind, delay_index, aux_index, children):
+#
+#   kind 0  schedule(d)
+#   kind 1  schedule_at(now + d)
+#   kind 2  timeout(d) + add_callback   (the generator-free Event idiom)
+#   kind 3  defer(d) / defer_at(now + d)        (aux parity picks which)
+#   kind 4  defer(d) raced against a cancel scheduled at aux delay
+#   kind 5  a spawned generator process: two timed resumes, children
+#           scheduled from the first (pushes-during-resume)
+#
+# The reference mirrors each kind's *scheduler entry* sequence: spawn is
+# one zero-delay entry, every yield one timed entry, a cancelled
+# continuation still occupies (and no-op-dispatches at) its original
+# (time, seq) slot.
+
+mixed_nodes = st.deferred(
+    lambda: st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=len(DELAYS) - 1),
+        st.integers(min_value=0, max_value=len(DELAYS) - 1),
+        st.lists(mixed_nodes, max_size=3),
+    )
+)
+
+mixed_workloads = st.lists(mixed_nodes, min_size=1, max_size=6)
+
+
+def execute_mixed(sim, workload, log, is_real):
+    """Schedule a mixed-kind workload on the real engine or the
+    pure-heap reference; ``log`` records every actual fire."""
+
+    def fire(node, path):
+        log.append((round(sim.now, 15), path))
+        for i, child in enumerate(node[3]):
+            schedule_node(child, path + (i,))
+
+    def schedule_node(node, path):
+        kind, delay_index, aux_index, _children = node
+        delay = DELAYS[delay_index]
+        if kind == 0:
+            sim.schedule(delay, lambda n=node, p=path: fire(n, p))
+        elif kind == 1:
+            sim.schedule_at(sim.now + delay,
+                            lambda n=node, p=path: fire(n, p))
+        elif kind == 2:
+            if is_real:
+                event = sim.timeout(delay)
+                event.add_callback(lambda _e, n=node, p=path: fire(n, p))
+            else:
+                sim.schedule(delay, lambda n=node, p=path: fire(n, p))
+        elif kind == 3:
+            if is_real:
+                if aux_index % 2:
+                    sim.defer_at(sim.now + delay,
+                                 lambda n=node, p=path: fire(n, p))
+                else:
+                    sim.defer(delay, lambda n=node, p=path: fire(n, p))
+            else:
+                if aux_index % 2:
+                    sim.schedule_at(sim.now + delay,
+                                    lambda n=node, p=path: fire(n, p))
+                else:
+                    sim.schedule(delay,
+                                 lambda n=node, p=path: fire(n, p))
+        elif kind == 4:
+            cancel_delay = DELAYS[aux_index]
+            if is_real:
+                cont = sim.defer(delay,
+                                 lambda n=node, p=path: fire(n, p))
+                sim.schedule(cancel_delay, cont.cancel)
+            else:
+                state = [False, False]  # fired, cancelled
+
+                def entry(n=node, p=path, s=state):
+                    if not s[0] and not s[1]:
+                        s[0] = True
+                        fire(n, p)
+
+                def cancel(s=state):
+                    if not s[0]:
+                        s[1] = True
+
+                sim.schedule(delay, entry)
+                sim.schedule(cancel_delay, cancel)
+        else:  # kind 5: generator process with two timed resumes
+            second_delay = DELAYS[aux_index]
+            if is_real:
+                def proc(n=node, p=path):
+                    yield sim.timeout(delay)
+                    fire(n, p + ("r1",))
+                    yield sim.timeout(second_delay)
+                    log.append((round(sim.now, 15), p + ("r2",)))
+
+                sim.spawn(proc())
+            else:
+                def resume2(p=path):
+                    log.append((round(sim.now, 15), p + ("r2",)))
+
+                def resume1(n=node, p=path):
+                    fire(n, p + ("r1",))
+                    sim.schedule(second_delay, resume2)
+
+                def step(n=node):
+                    sim.schedule(DELAYS[n[1]], resume1)
+
+                sim.schedule(0.0, step)
+
+    for i, node in enumerate(workload):
+        schedule_node(node, (i,))
+
+
+@settings(max_examples=60, deadline=None)
+@given(workload=mixed_workloads, horizon=st.sampled_from([None, 0.0,
+                                                          1.5e-9, 4e-9,
+                                                          1e-7]))
+def test_lockstep_mixed_kinds(workload, horizon):
+    """Continuations, cancellations and processes dispatch in exactly
+    the single-heap order."""
+    real, real_log = Simulator(), []
+    ref, ref_log = PureHeapScheduler(), []
+    execute_mixed(real, workload, real_log, is_real=True)
+    execute_mixed(ref, workload, ref_log, is_real=False)
+    real_end = real.run(until=horizon)
+    ref_end = ref.run(until=horizon)
+    assert real_log == ref_log
+    assert real_end == ref_end
+    assert real.now == ref.now
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=mixed_workloads)
+def test_lockstep_mixed_kinds_resumed_runs(workload):
+    """Horizon-segmented runs agree for the mixed-kind alphabet too —
+    suspended processes and pending cancellations must survive a
+    run(until=...) boundary without reordering."""
+    real, real_log = Simulator(), []
+    ref, ref_log = PureHeapScheduler(), []
+    execute_mixed(real, workload, real_log, is_real=True)
+    execute_mixed(ref, workload, ref_log, is_real=False)
+    for until in (1e-9, 2e-9, 6e-9, None):
+        real.run(until=until)
+        ref.run(until=until)
+        assert real_log == ref_log
+    assert real.now == ref.now
+
+
+def test_cancelled_continuation_still_occupies_its_slot():
+    """Cancelling a deferred continuation must not unschedule it: the
+    entry dispatches (as a no-op) at its original (time, seq), so
+    everything behind it keeps its position."""
+    sim = Simulator()
+    log = []
+    cont = sim.defer(2e-9, lambda: log.append("cancelled"))
+    sim.schedule(2e-9, lambda: log.append("behind"))
+    cont.cancel()
+    sim.run()
+    assert log == ["behind"]
+    assert cont.cancelled and not cont.fired
+
+
 def test_ready_tier_used_for_zero_delay():
     """Sanity: zero-delay pushes actually land on the O(1) tier."""
     sim = Simulator()
